@@ -1,0 +1,40 @@
+//! **Fig. 12** — time required for completing one path, AR vs SSAR, with
+//! and without the euclidean nearest-neighbor replacement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use restore_bench::{annotation_of, housing_scenario, trained_model};
+use restore_core::{Completer, CompleterConfig, ReplacementMode};
+
+fn bench_completion(c: &mut Criterion) {
+    let sc = housing_scenario(0.15, 2);
+    let ann = annotation_of(&sc);
+    let ar = trained_model(&sc, false, 2);
+    let ssar = trained_model(&sc, true, 2);
+
+    let mut group = c.benchmark_group("fig12_completion");
+    group.sample_size(10);
+    for (name, model) in [("AR", &ar), ("SSAR", &ssar)] {
+        for (mode_name, mode) in [
+            ("", ReplacementMode::Never),
+            ("+NN", ReplacementMode::Always),
+        ] {
+            let cfg = CompleterConfig { replacement: mode, ..CompleterConfig::default() };
+            let completer = Completer::new(&sc.incomplete, &ann).with_config(cfg);
+            group.bench_function(format!("housing/{name}{mode_name}"), |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let out = completer.complete(black_box(model), &mut rng).expect("complete");
+                    black_box(out.join.n_rows())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Neural-substrate micro-benchmarks: matmul, a MADE forward/backward
+//! step, and conditional sampling — the inner loops of every training and
+//! completion measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use restore_nn::{
+    block_cross_entropy, Adam, AttrSpec, Made, MadeConfig, Matrix, ParamStore, Tape,
+};
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::rand_uniform(256, 64, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(64, 128, -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("nn");
+    group.bench_function("matmul/256x64x128", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+
+    // A MADE model shaped like the housing completion models.
+    let mut store = ParamStore::new();
+    let cards = [13usize, 25, 9, 25, 4, 5];
+    let attrs: Vec<AttrSpec> = cards.iter().map(|&c| AttrSpec::new(c, 8)).collect();
+    let made = Made::new(
+        MadeConfig::new(attrs).with_hidden(vec![64, 64]),
+        &mut store,
+        &mut rng,
+    );
+    let batch: Vec<Arc<Vec<u32>>> = cards
+        .iter()
+        .map(|&card| Arc::new((0..256u32).map(|r| r % card as u32).collect()))
+        .collect();
+    let targets: Vec<Vec<u32>> = batch.iter().map(|c| c.as_ref().clone()).collect();
+
+    group.bench_function("made/forward_256", |bch| {
+        bch.iter(|| {
+            let mut tape = Tape::new();
+            let out = made.forward(&mut tape, &store, black_box(&batch), None);
+            black_box(tape.value(out).rows())
+        })
+    });
+
+    group.bench_function("made/train_step_256", |bch| {
+        let mut adam = Adam::new(&store, 1e-3);
+        bch.iter(|| {
+            let mut tape = Tape::new();
+            let out = made.forward(&mut tape, &store, black_box(&batch), None);
+            let loss = block_cross_entropy(tape.value(out), made.layout(), &targets, None);
+            tape.backward(out, loss.dlogits, &mut store);
+            adam.step(&mut store);
+            black_box(loss.loss)
+        })
+    });
+
+    group.bench_function("made/sample_suffix_256", |bch| {
+        let mut srng = StdRng::seed_from_u64(6);
+        bch.iter(|| {
+            let mut toks: Vec<Vec<u32>> = targets.clone();
+            made.sample_suffix(&store, &mut toks, None, 2, &[], &mut srng);
+            black_box(toks[5][0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Relational-engine benchmarks: hash join, grouped aggregation, and the
+//! full SPJA execution over the housing schema — the substrate costs under
+//! every incompleteness join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use restore_bench::housing_scenario;
+use restore_db::{aggregate, execute, hash_join, Agg, Expr, Query};
+
+fn bench_query(c: &mut Criterion) {
+    let sc = housing_scenario(0.5, 4);
+    let db = &sc.complete;
+    let apartments = db.table("apartment").unwrap();
+    let neighborhoods = db.table("neighborhood").unwrap();
+
+    let mut group = c.benchmark_group("query_engine");
+    group.bench_function("hash_join/apartment_x_neighborhood", |b| {
+        b.iter(|| {
+            let out = hash_join(
+                black_box(apartments),
+                "neighborhood_id",
+                black_box(neighborhoods),
+                "id",
+                "j",
+            )
+            .unwrap();
+            black_box(out.table.n_rows())
+        })
+    });
+
+    group.bench_function("aggregate/count_by_room_type", |b| {
+        b.iter(|| {
+            let out = aggregate(
+                black_box(apartments),
+                &["room_type".to_string()],
+                &[Agg::CountStar, Agg::Avg("price".into())],
+            )
+            .unwrap();
+            black_box(out.n_rows())
+        })
+    });
+
+    let q = Query::new(["neighborhood", "apartment"])
+        .filter(Expr::col("price").ge(Expr::lit(500.0)))
+        .group_by(["state"])
+        .aggregate(Agg::Avg("price".into()));
+    group.bench_function("spja/avg_price_by_state", |b| {
+        b.iter(|| {
+            let res = execute(black_box(db), &q).unwrap();
+            black_box(res.table.n_rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Fig. 11** — time required for training one completion model, AR vs
+//! SSAR, on the housing and movies schemas. The paper reports minutes on
+//! their full datasets; at benchmark scale the *ratios* are what carries
+//! over (SSAR > AR; movies > housing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use restore_bench::{annotation_of, bench_train_config, housing_scenario, movies_scenario};
+use restore_core::{CompletionModel, CompletionPath};
+
+fn bench_training(c: &mut Criterion) {
+    let housing = housing_scenario(0.15, 1);
+    let movies = movies_scenario(0.15, 1);
+    let housing_path = CompletionPath::from_tables(
+        &housing.incomplete,
+        &["neighborhood".to_string(), "apartment".to_string()],
+    )
+    .unwrap();
+    let movies_path = CompletionPath::from_tables(
+        &movies.incomplete,
+        &["director".to_string(), "movie_director".to_string(), "movie".to_string()],
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("fig11_training");
+    group.sample_size(10);
+    for (name, sc, path) in [
+        ("housing", &housing, &housing_path),
+        ("movies", &movies, &movies_path),
+    ] {
+        let ann = annotation_of(sc);
+        for ssar in [false, true] {
+            let label = format!("{name}/{}", if ssar { "SSAR" } else { "AR" });
+            let cfg = bench_train_config(ssar);
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    let m = CompletionModel::train(
+                        black_box(&sc.incomplete),
+                        &ann,
+                        path.clone(),
+                        &cfg,
+                        7,
+                    )
+                    .expect("train");
+                    black_box(m.val_loss)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Shared setup for the Criterion benches: pre-built scenarios and trained
+//! models so the hot loops measure exactly what the paper's timing figures
+//! measure (Fig. 11: training; Fig. 12: completion per path).
+
+use restore_core::{CompletionModel, CompletionPath, SchemaAnnotation, TrainConfig};
+use restore_data::{apply_removal, BiasSpec, RemovalConfig, Scenario};
+
+/// Training configuration used by the timing benches (matches the
+/// evaluation harness defaults).
+pub fn bench_train_config(ssar: bool) -> TrainConfig {
+    let cfg = TrainConfig {
+        epochs: 15,
+        batch_size: 256,
+        hidden: vec![48, 48],
+        embed_dim: 8,
+        max_train_rows: 8_000,
+        ..TrainConfig::default()
+    };
+    if ssar {
+        cfg.ssar()
+    } else {
+        cfg
+    }
+}
+
+/// The standard housing benchmark scenario (H1-style: price-biased
+/// apartment removal at keep 40% / correlation 40%).
+pub fn housing_scenario(scale: f64, seed: u64) -> Scenario {
+    let complete = restore_data::housing::generate_housing(
+        &restore_data::housing::HousingConfig::scaled(scale),
+        seed,
+    );
+    let mut removal = RemovalConfig::new(BiasSpec::continuous("apartment", "price"), 0.4, 0.4);
+    removal.tf_keep_rate = 0.3;
+    removal.seed = seed;
+    apply_removal(&complete, &removal)
+}
+
+/// The standard movies benchmark scenario (M1-style).
+pub fn movies_scenario(scale: f64, seed: u64) -> Scenario {
+    let complete = restore_data::movies::generate_movies(
+        &restore_data::movies::MoviesConfig::scaled(scale),
+        seed,
+    );
+    let mut removal =
+        RemovalConfig::new(BiasSpec::continuous("movie", "production_year"), 0.4, 0.4);
+    removal.tf_keep_rate = 0.2;
+    removal.cascade = vec![
+        "movie_company".to_string(),
+        "movie_actor".to_string(),
+        "movie_director".to_string(),
+    ];
+    removal.seed = seed;
+    apply_removal(&complete, &removal)
+}
+
+/// Annotation for a scenario's incomplete tables.
+pub fn annotation_of(sc: &Scenario) -> SchemaAnnotation {
+    SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str))
+}
+
+/// Trains the first viable completion path for the scenario's biased table.
+pub fn trained_model(sc: &Scenario, ssar: bool, seed: u64) -> CompletionModel {
+    let ann = annotation_of(sc);
+    let paths = restore_core::enumerate_paths(&sc.incomplete, &ann, &sc.bias.table, 5);
+    for p in paths {
+        if let Ok(m) =
+            CompletionModel::train(&sc.incomplete, &ann, p, &bench_train_config(ssar), seed)
+        {
+            return m;
+        }
+    }
+    panic!("no trainable path for {}", sc.bias.table);
+}
+
+/// A short housing path used by micro-benches.
+pub fn housing_path(sc: &Scenario) -> CompletionPath {
+    CompletionPath::from_tables(
+        &sc.incomplete,
+        &["neighborhood".to_string(), "apartment".to_string()],
+    )
+    .expect("housing path")
+}

@@ -1,0 +1,124 @@
+//! Completed-join reuse (§4.5): data synthesized for one query is reused
+//! for related queries — exact path matches are free, and a cached join
+//! whose extra trailing steps are all n:1 (row-multiplicity preserving) can
+//! serve any prefix of its path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::completion::CompletionOutput;
+
+/// Thread-safe cache of completed joins keyed by the ordered path tables.
+#[derive(Default)]
+pub struct JoinCache {
+    inner: Mutex<HashMap<Vec<String>, Arc<CompletionOutput>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl JoinCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact-path lookup.
+    pub fn get(&self, tables: &[String]) -> Option<Arc<CompletionOutput>> {
+        let out = self.inner.lock().get(tables).cloned();
+        match &out {
+            Some(_) => *self.hits.lock() += 1,
+            None => *self.misses.lock() += 1,
+        }
+        out
+    }
+
+    /// Looks up any cached completion whose path *starts with* `tables`
+    /// (prefix reuse). The caller is responsible for projecting — prefix
+    /// reuse is only offered when the cached entry marks the extra steps as
+    /// multiplicity-preserving.
+    pub fn get_prefix(&self, tables: &[String]) -> Option<Arc<CompletionOutput>> {
+        let inner = self.inner.lock();
+        inner
+            .iter()
+            .filter(|(k, _)| k.len() > tables.len() && k.starts_with(tables))
+            .map(|(_, v)| Arc::clone(v))
+            .next()
+    }
+
+    pub fn put(&self, tables: Vec<String>, output: Arc<CompletionOutput>) {
+        self.inner.lock().insert(tables, output);
+    }
+
+    pub fn invalidate(&self) {
+        self.inner.lock().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// `(hits, misses)` counters for instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Snapshot of all cached entries (diagnostics).
+    pub fn entries(&self) -> Vec<(Vec<String>, Arc<CompletionOutput>)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_db::Table;
+
+    fn dummy_output(tables: &[&str]) -> Arc<CompletionOutput> {
+        Arc::new(CompletionOutput {
+            join: Table::new("j", vec![]),
+            tables: tables.iter().map(|s| s.to_string()).collect(),
+            syn: vec![Vec::new(); tables.len()],
+            tf: Vec::new(),
+        })
+    }
+
+    fn key(tables: &[&str]) -> Vec<String> {
+        tables.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_hit_and_miss_counting() {
+        let cache = JoinCache::new();
+        assert!(cache.get(&key(&["a", "b"])).is_none());
+        cache.put(key(&["a", "b"]), dummy_output(&["a", "b"]));
+        assert!(cache.get(&key(&["a", "b"])).is_some());
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn prefix_lookup_finds_longer_paths() {
+        let cache = JoinCache::new();
+        cache.put(key(&["a", "b", "c"]), dummy_output(&["a", "b", "c"]));
+        assert!(cache.get_prefix(&key(&["a", "b"])).is_some());
+        assert!(cache.get_prefix(&key(&["a", "c"])).is_none());
+        assert!(cache.get_prefix(&key(&["a", "b", "c"])).is_none(), "prefix must be strict");
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let cache = JoinCache::new();
+        cache.put(key(&["a"]), dummy_output(&["a"]));
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,650 @@
+//! Query-driven data completion (§4) — the **incompleteness join** of
+//! Algorithm 1.
+//!
+//! Walking the completion path from the evidence root, each step either
+//! fans out (1:n — predict tuple factors, subtract existing partners,
+//! duplicate evidence rows, synthesize the child attributes) or is n:1
+//! (synthesize one missing parent per orphaned row). Whenever a synthesized
+//! tuple belongs to a complete table — or further joins need its foreign
+//! keys — it is replaced by its (approximate) euclidean nearest neighbor
+//! among the real tuples (Fig. 3).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use restore_db::{hash_join, Column, Database, Table, Value};
+
+use crate::ann::AnnIndex;
+use crate::annotation::SchemaAnnotation;
+use crate::encoding::AttrEncoder;
+use crate::error::{CoreError, CoreResult};
+use crate::model::{AttrKind, CompletionModel};
+
+/// When the euclidean replacement of Fig. 3 runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplacementMode {
+    /// Replace when the joined table is complete or further joins need its
+    /// foreign keys (the paper's rule).
+    #[default]
+    Auto,
+    /// Always replace (benchmarking the replacement cost, Fig. 12).
+    Always,
+    /// Never replace (the "AR/SSAR without NN replacement" series).
+    Never,
+}
+
+/// Tuning knobs of the completion executor.
+#[derive(Clone, Debug)]
+pub struct CompleterConfig {
+    /// LSH hyperplanes per hash table.
+    pub ann_bits: usize,
+    /// Number of LSH hash tables.
+    pub ann_tables: usize,
+    /// Clamp on synthesized tuples per evidence row (runaway protection).
+    pub max_missing_per_row: i64,
+    /// Euclidean replacement policy.
+    pub replacement: ReplacementMode,
+}
+
+impl Default for CompleterConfig {
+    fn default() -> Self {
+        Self { ann_bits: 10, ann_tables: 4, max_missing_per_row: 64, replacement: ReplacementMode::Auto }
+    }
+}
+
+/// The result of completing one path: the completed join plus provenance.
+#[derive(Clone, Debug)]
+pub struct CompletionOutput {
+    /// Completed join with fully qualified column names.
+    pub join: Table,
+    /// Path table names, in walk order.
+    pub tables: Vec<String>,
+    /// `syn[i][r]` — was the `tables[i]` part of row `r` synthesized?
+    pub syn: Vec<Vec<bool>>,
+    /// Tuple-factor values used per fan-out step (aligned with rows).
+    pub tf: Vec<Vec<Option<i64>>>,
+}
+
+impl CompletionOutput {
+    /// Synthesized flags for a path table.
+    pub fn synthesized_for(&self, table: &str) -> Option<&[bool]> {
+        let i = self.tables.iter().position(|t| t == table)?;
+        Some(&self.syn[i])
+    }
+
+    /// Rows where *any* part was synthesized.
+    pub fn any_synthesized(&self) -> Vec<bool> {
+        let n = self.join.n_rows();
+        let mut out = vec![false; n];
+        for flags in &self.syn {
+            for (o, &f) in out.iter_mut().zip(flags) {
+                *o |= f;
+            }
+        }
+        out
+    }
+
+    /// Number of rows with any synthesized part.
+    pub fn n_synthesized(&self) -> usize {
+        self.any_synthesized().iter().filter(|&&b| b).count()
+    }
+}
+
+/// The working state of Algorithm 1: the join so far plus parallel
+/// provenance arrays that must stay row-aligned through gathers/unions.
+struct Working {
+    table: Table,
+    syn: Vec<Vec<bool>>,
+    tf: Vec<Vec<Option<i64>>>,
+}
+
+impl Working {
+    fn gather(&self, idx: &[usize]) -> Working {
+        Working {
+            table: self.table.gather(idx),
+            syn: self.syn.iter().map(|f| idx.iter().map(|&i| f[i]).collect()).collect(),
+            tf: self
+                .tf
+                .iter()
+                .map(|f| {
+                    if f.is_empty() {
+                        Vec::new()
+                    } else {
+                        idx.iter().map(|&i| f[i]).collect()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn union(mut self, other: Working) -> CoreResult<Working> {
+        self.table.union(&other.table)?;
+        for (a, b) in self.syn.iter_mut().zip(other.syn) {
+            a.extend(b);
+        }
+        for (a, b) in self.tf.iter_mut().zip(other.tf) {
+            a.extend(b);
+        }
+        Ok(self)
+    }
+}
+
+/// Executes incompleteness joins along a trained model's path.
+pub struct Completer<'a> {
+    db: &'a Database,
+    annotation: &'a SchemaAnnotation,
+    cfg: CompleterConfig,
+}
+
+impl<'a> Completer<'a> {
+    pub fn new(db: &'a Database, annotation: &'a SchemaAnnotation) -> Self {
+        Self { db, annotation, cfg: CompleterConfig::default() }
+    }
+
+    pub fn with_config(mut self, cfg: CompleterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Algorithm 1: walks the model's completion path and produces the
+    /// approximated complete join.
+    pub fn complete(&self, model: &CompletionModel, rng: &mut StdRng) -> CoreResult<CompletionOutput> {
+        let path = model.path().clone();
+        let root = self.db.table(path.root())?;
+        let n0 = root.n_rows();
+        let mut w = Working {
+            table: root.qualified(),
+            syn: vec![vec![false; n0]],
+            tf: vec![Vec::new(); path.steps().len()],
+        };
+
+        for (i, step) in path.steps().iter().enumerate() {
+            let next_name = path.tables()[i + 1].clone();
+            let t_next = self.db.table(&next_name)?;
+            let last = i + 1 == path.tables().len() - 1;
+            // Synthesized tuples of complete tables must be replaced to
+            // comply with the annotation; tuples that feed further joins
+            // need real foreign keys (§4.2–§4.3).
+            let replace = match self.cfg.replacement {
+                ReplacementMode::Auto => self.annotation.is_complete(&next_name) || !last,
+                ReplacementMode::Always => true,
+                ReplacementMode::Never => false,
+            };
+
+            if step.fan_out {
+                w = self.fanout_step(model, w, i, t_next, replace, rng)?;
+            } else {
+                w = self.n_to_1_step(model, w, i, t_next, replace, rng)?;
+            }
+        }
+
+        Ok(CompletionOutput {
+            join: w.table,
+            tables: path.tables().to_vec(),
+            syn: w.syn,
+            tf: w.tf,
+        })
+    }
+
+    /// 1:n step: predict tuple factors, join existing children, duplicate
+    /// evidence rows for the missing ones and synthesize their attributes.
+    fn fanout_step(
+        &self,
+        model: &CompletionModel,
+        w: Working,
+        step_idx: usize,
+        t_next: &Table,
+        replace: bool,
+        rng: &mut StdRng,
+    ) -> CoreResult<Working> {
+        let step = &model.path().steps()[step_idx];
+        let parent_key_ref = format!("{}.{}", step.fk.parent, step.fk.parent_col);
+        let child_key = t_next.resolve(&step.fk.child_col)?;
+        let n = w.table.n_rows();
+
+        // Existing partner counts per working row (NULL keys have none).
+        let mut counts: HashMap<Value, i64> = HashMap::new();
+        for r in 0..t_next.n_rows() {
+            let k = t_next.value(r, child_key);
+            if !k.is_null() {
+                *counts.entry(k).or_insert(0) += 1;
+            }
+        }
+        let pk_idx = w.table.resolve(&parent_key_ref)?;
+        let existing: Vec<i64> = (0..n)
+            .map(|r| {
+                let k = w.table.value(r, pk_idx);
+                if k.is_null() {
+                    0
+                } else {
+                    counts.get(&k).copied().unwrap_or(0)
+                }
+            })
+            .collect();
+
+        // Known tuple factors from the __tf metadata column, if present.
+        let tf_ref = format!(
+            "{}.{}",
+            step.fk.parent,
+            crate::annotation::tf_column_name(&step.fk.child)
+        );
+        let known: Vec<Option<i64>> = match w.table.resolve(&tf_ref) {
+            Ok(idx) => (0..n).map(|r| w.table.value(r, idx).as_i64()).collect(),
+            Err(_) => vec![None; n],
+        };
+
+        // Resolve the factor for every row: known metadata beats everything;
+        // a complete child table means the observed count is the truth;
+        // otherwise the model predicts it (Algorithm 1, line 6).
+        let child_complete = self.annotation.is_complete(&step.fk.child);
+        let mut tf_final: Vec<i64> = vec![0; n];
+        let mut to_predict: Vec<usize> = Vec::new();
+        for r in 0..n {
+            match known[r] {
+                Some(v) => tf_final[r] = v,
+                None if child_complete => tf_final[r] = existing[r],
+                None => to_predict.push(r),
+            }
+        }
+        if !to_predict.is_empty() {
+            let sampled = model.sample_tf(&w.table, &w.tf, step_idx, &to_predict, rng)?;
+            for (&r, v) in to_predict.iter().zip(sampled) {
+                tf_final[r] = v;
+            }
+        }
+        for r in 0..n {
+            tf_final[r] = tf_final[r].max(existing[r]);
+        }
+        let missing: Vec<i64> = (0..n)
+            .map(|r| (tf_final[r] - existing[r]).clamp(0, self.cfg.max_missing_per_row))
+            .collect();
+
+        // Existing partners: plain incompleteness-free join.
+        let jout = hash_join(&w.table, &parent_key_ref, t_next, &step.fk.child_col, "join")?;
+        let mut w_inc = w.gather(&jout.left_indices);
+        w_inc.table = jout.table;
+        w_inc.syn.push(vec![false; w_inc.table.n_rows()]);
+        w_inc.tf[step_idx] = jout.left_indices.iter().map(|&l| Some(tf_final[l])).collect();
+
+        // Synthesized partners: duplicate each evidence row `missing` times.
+        let mut dup_idx = Vec::new();
+        for (r, &m) in missing.iter().enumerate() {
+            for _ in 0..m {
+                dup_idx.push(r);
+            }
+        }
+        let mut w_syn = w.gather(&dup_idx);
+        w_syn.tf[step_idx] = dup_idx.iter().map(|&r| Some(tf_final[r])).collect();
+        let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
+        let block = self.synthesize_block(model, &w_syn, step_idx + 1, t_next, &rows, replace, rng)?;
+        w_syn.table = w_syn.table.hstack(&block, "join")?;
+        w_syn.syn.push(vec![true; dup_idx.len()]);
+
+        w_inc.union(w_syn)
+    }
+
+    /// n:1 step: every working row without a partner gets one synthesized.
+    fn n_to_1_step(
+        &self,
+        model: &CompletionModel,
+        w: Working,
+        step_idx: usize,
+        t_next: &Table,
+        replace: bool,
+        rng: &mut StdRng,
+    ) -> CoreResult<Working> {
+        let step = &model.path().steps()[step_idx];
+        let child_key_ref = format!("{}.{}", step.fk.child, step.fk.child_col);
+        let jout = hash_join(&w.table, &child_key_ref, t_next, &step.fk.parent_col, "join")?;
+        let unmatched = jout.unmatched_left.clone();
+
+        let mut w_inc = w.gather(&jout.left_indices);
+        w_inc.table = jout.table;
+        w_inc.syn.push(vec![false; w_inc.table.n_rows()]);
+
+        let mut w_syn = w.gather(&unmatched);
+        let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
+        let block = self.synthesize_block(model, &w_syn, step_idx + 1, t_next, &rows, replace, rng)?;
+        w_syn.table = w_syn.table.hstack(&block, "join")?;
+        w_syn.syn.push(vec![true; unmatched.len()]);
+
+        w_inc.union(w_syn)
+    }
+
+    /// Samples the modeled columns of path table `table_idx` for the given
+    /// working rows, optionally replacing each synthesized tuple with its
+    /// nearest real neighbor, and returns the qualified column block.
+    fn synthesize_block(
+        &self,
+        model: &CompletionModel,
+        w: &Working,
+        table_idx: usize,
+        t_next: &Table,
+        rows: &[usize],
+        replace: bool,
+        rng: &mut StdRng,
+    ) -> CoreResult<Table> {
+        let sampled = if rows.is_empty() {
+            Vec::new()
+        } else {
+            model.sample_table_columns(&w.table, &w.tf, table_idx, rows, rng)?
+        };
+
+        let attr_range = model.table_attr_range(table_idx);
+        let modeled: Vec<(&str, &AttrEncoder)> = model.attrs()[attr_range.clone()]
+            .iter()
+            .map(|a| match &a.kind {
+                AttrKind::Column { column, .. } => (column.as_str(), &a.encoder),
+                AttrKind::TupleFactor { .. } => unreachable!("table range holds only columns"),
+            })
+            .collect();
+
+        // Map of modeled column name → sampled values.
+        let mut by_col: HashMap<&str, Vec<Value>> = HashMap::new();
+        for ((name, _), vals) in modeled.iter().zip(sampled) {
+            by_col.insert(name, vals);
+        }
+
+        // Euclidean replacement (Fig. 3): swap synthesized tuples for their
+        // nearest real neighbors so keys become real.
+        let mut replacement_rows: Option<Vec<usize>> = None;
+        if replace && t_next.n_rows() > 0 && !rows.is_empty() && !modeled.is_empty() {
+            let featurizer = Featurizer::fit(t_next, &modeled)?;
+            let points = featurizer.features_of_table(t_next)?;
+            let index = AnnIndex::build(points, self.cfg.ann_bits, self.cfg.ann_tables, 0xa11);
+            let queries: Vec<Vec<f32>> = (0..rows.len())
+                .map(|i| {
+                    let vals: Vec<&Value> =
+                        modeled.iter().map(|(name, _)| &by_col[name][i]).collect();
+                    featurizer.features_of_values(&vals)
+                })
+                .collect();
+            replacement_rows = Some(index.nearest_batch(&queries));
+        }
+
+        // Assemble the block with t_next's full (qualified) schema.
+        let qualified = t_next.qualified();
+        let mut columns: Vec<Column> = Vec::with_capacity(qualified.n_cols());
+        for (fi, field) in qualified.fields().iter().enumerate() {
+            let base = field.name.rsplit('.').next().unwrap_or(&field.name);
+            let mut col = Column::with_capacity(field.dtype, rows.len());
+            match &replacement_rows {
+                Some(repl) => {
+                    for &r in repl {
+                        col.push(&t_next.value(r, fi))?;
+                    }
+                }
+                None => {
+                    if let Some(vals) = by_col.get(base) {
+                        for v in vals.iter() {
+                            col.push(&coerce(v, field.dtype))?;
+                        }
+                    } else {
+                        // Keys / metadata of synthesized tuples stay NULL.
+                        for _ in 0..rows.len() {
+                            col.push(&Value::Null)?;
+                        }
+                    }
+                }
+            }
+            columns.push(col);
+        }
+        Table::from_columns("block", qualified.fields().to_vec(), columns).map_err(CoreError::from)
+    }
+}
+
+/// Coerces a sampled value into the column dtype (bin means are floats even
+/// for integer columns).
+pub(crate) fn coerce(v: &Value, dtype: restore_db::DataType) -> Value {
+    match (v, dtype) {
+        (Value::Float(f), restore_db::DataType::Int) => Value::Int(f.round() as i64),
+        (Value::Int(i), restore_db::DataType::Float) => Value::Float(*i as f64),
+        _ => v.clone(),
+    }
+}
+
+/// Feature extraction for euclidean replacement: categorical attributes are
+/// one-hot, numeric attributes are z-normalized against the real table.
+struct Featurizer<'m> {
+    specs: Vec<(&'m str, &'m AttrEncoder, FeatKind)>,
+}
+
+enum FeatKind {
+    OneHot(usize),
+    Numeric { mean: f32, std: f32 },
+}
+
+impl<'m> Featurizer<'m> {
+    fn fit(table: &Table, modeled: &[(&'m str, &'m AttrEncoder)]) -> CoreResult<Self> {
+        let mut specs = Vec::with_capacity(modeled.len());
+        for (name, enc) in modeled {
+            let kind = match enc {
+                AttrEncoder::Categorical { .. } => FeatKind::OneHot(enc.cardinality()),
+                _ => {
+                    let col = table.column_by_name(name)?;
+                    let mut vals = Vec::with_capacity(col.len());
+                    for r in 0..col.len() {
+                        if let Some(x) = col.get(r).as_f64() {
+                            vals.push(x as f32);
+                        }
+                    }
+                    let mean = if vals.is_empty() {
+                        0.0
+                    } else {
+                        vals.iter().sum::<f32>() / vals.len() as f32
+                    };
+                    let var = if vals.is_empty() {
+                        1.0
+                    } else {
+                        vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                            / vals.len() as f32
+                    };
+                    FeatKind::Numeric { mean, std: var.sqrt().max(1e-6) }
+                }
+            };
+            specs.push((*name, *enc, kind));
+        }
+        Ok(Self { specs })
+    }
+
+    fn dim(&self) -> usize {
+        self.specs
+            .iter()
+            .map(|(_, _, k)| match k {
+                FeatKind::OneHot(c) => *c,
+                FeatKind::Numeric { .. } => 1,
+            })
+            .sum()
+    }
+
+    fn push_value(&self, out: &mut Vec<f32>, spec_idx: usize, v: &Value) {
+        let (_, enc, kind) = &self.specs[spec_idx];
+        match kind {
+            FeatKind::OneHot(card) => {
+                let start = out.len();
+                out.resize(start + card, 0.0);
+                if let Some(t) = enc.encode(v) {
+                    if (t as usize) < *card {
+                        out[start + t as usize] = 1.0;
+                    }
+                }
+            }
+            FeatKind::Numeric { mean, std } => {
+                let x = v.as_f64().unwrap_or(*mean as f64) as f32;
+                out.push((x - mean) / std);
+            }
+        }
+    }
+
+    fn features_of_table(&self, table: &Table) -> CoreResult<Vec<Vec<f32>>> {
+        let idxs: Vec<usize> = self
+            .specs
+            .iter()
+            .map(|(name, _, _)| table.resolve(name).map_err(CoreError::from))
+            .collect::<CoreResult<_>>()?;
+        Ok((0..table.n_rows())
+            .map(|r| {
+                let mut f = Vec::with_capacity(self.dim());
+                for (s, &ci) in idxs.iter().enumerate() {
+                    self.push_value(&mut f, s, &table.value(r, ci));
+                }
+                f
+            })
+            .collect())
+    }
+
+    fn features_of_values(&self, values: &[&Value]) -> Vec<f32> {
+        let mut f = Vec::with_capacity(self.dim());
+        for (s, v) in values.iter().enumerate() {
+            self.push_value(&mut f, s, v);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainConfig;
+    use crate::paths::CompletionPath;
+    use rand::SeedableRng;
+    use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
+    use restore_db::Field;
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 128,
+            hidden: vec![32, 32],
+            max_train_rows: 6000,
+            ..Default::default()
+        }
+    }
+
+    fn scenario(keep: f64, corr: f64, seed: u64) -> restore_data::Scenario {
+        let db = restore_data::generate_synthetic(
+            &SyntheticConfig { predictability: 0.95, n_parent: 250, ..Default::default() },
+            seed,
+        );
+        let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), keep, corr);
+        cfg.seed = seed;
+        cfg.tf_keep_rate = 0.3;
+        apply_removal(&db, &cfg)
+    }
+
+    fn complete_scenario(sc: &restore_data::Scenario, seed: u64) -> CompletionOutput {
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let path =
+            CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let model =
+            CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
+        let completer = Completer::new(&sc.incomplete, &ann);
+        let mut rng = StdRng::seed_from_u64(seed);
+        completer.complete(&model, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn completion_restores_cardinality() {
+        let sc = scenario(0.5, 0.5, 21);
+        let out = complete_scenario(&sc, 21);
+        let complete_rows = {
+            // true join size = |tb| of the complete database
+            sc.complete.table("tb").unwrap().n_rows()
+        };
+        let got = out.join.n_rows();
+        // With 30% known TFs + predicted TFs the completed join should land
+        // near the true size — far closer than the incomplete join.
+        let incomplete_rows = sc.incomplete.table("tb").unwrap().n_rows();
+        let err_completed = (got as f64 - complete_rows as f64).abs();
+        let err_incomplete = (incomplete_rows as f64 - complete_rows as f64).abs();
+        assert!(
+            err_completed < err_incomplete * 0.5,
+            "cardinality not corrected: completed {got}, incomplete {incomplete_rows}, true {complete_rows}"
+        );
+    }
+
+    #[test]
+    fn completion_reduces_bias() {
+        let sc = scenario(0.4, 0.7, 22);
+        let out = complete_scenario(&sc, 22);
+        let value = sc.bias_value.clone().unwrap();
+        let frac = |t: &Table, col: &str| {
+            let i = t.resolve(col).unwrap();
+            (0..t.n_rows()).filter(|&r| t.value(r, i).to_string() == value).count() as f64
+                / t.n_rows().max(1) as f64
+        };
+        let true_frac = frac(sc.complete.table("tb").unwrap(), "b");
+        let inc_frac = frac(sc.incomplete.table("tb").unwrap(), "b");
+        let comp_frac = frac(&out.join, "tb.b");
+        let before = (true_frac - inc_frac).abs();
+        let after = (true_frac - comp_frac).abs();
+        assert!(
+            after < before,
+            "bias not reduced: true {true_frac:.3}, incomplete {inc_frac:.3}, completed {comp_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn synthesized_rows_are_flagged() {
+        let sc = scenario(0.5, 0.5, 23);
+        let out = complete_scenario(&sc, 23);
+        let syn = out.synthesized_for("tb").unwrap();
+        let n_syn = syn.iter().filter(|&&b| b).count();
+        assert!(n_syn > 0, "expected synthesized tuples");
+        assert_eq!(out.n_synthesized(), n_syn);
+        // Evidence table rows are never synthesized on this path.
+        assert!(out.synthesized_for("ta").unwrap().iter().all(|&b| !b));
+        // Synthesized rows have NULL child keys (no replacement for the
+        // incomplete last table).
+        let id_idx = out.join.resolve("tb.id").unwrap();
+        for (r, &s) in syn.iter().enumerate() {
+            assert_eq!(out.join.value(r, id_idx).is_null(), s);
+        }
+    }
+
+    #[test]
+    fn known_tuple_factors_are_respected() {
+        let sc = scenario(0.5, 0.3, 24);
+        let out = complete_scenario(&sc, 24);
+        // Where __tf_tb was known, the per-parent child count in the
+        // completed join must equal it exactly.
+        let ta = sc.incomplete.table("ta").unwrap();
+        let tf_idx = ta.resolve("__tf_tb").unwrap();
+        let id_idx = ta.resolve("id").unwrap();
+        let join_pid = out.join.resolve("ta.id").unwrap();
+        let mut got: HashMap<i64, i64> = HashMap::new();
+        for r in 0..out.join.n_rows() {
+            *got.entry(out.join.value(r, join_pid).as_i64().unwrap()).or_insert(0) += 1;
+        }
+        let mut checked = 0;
+        for r in 0..ta.n_rows() {
+            if let Some(tf) = ta.value(r, tf_idx).as_i64() {
+                let pid = ta.value(r, id_idx).as_i64().unwrap();
+                assert_eq!(got.get(&pid).copied().unwrap_or(0), tf, "parent {pid}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "too few known TFs exercised ({checked})");
+    }
+
+    #[test]
+    fn featurizer_distinguishes_categories() {
+        let mut t = Table::new(
+            "x",
+            vec![Field::new("c", restore_db::DataType::Str), Field::new("v", restore_db::DataType::Float)],
+        );
+        t.push_row(&[Value::str("a"), Value::Float(1.0)]).unwrap();
+        t.push_row(&[Value::str("b"), Value::Float(100.0)]).unwrap();
+        let enc_c = AttrEncoder::fit(t.column_by_name("c").unwrap(), 8);
+        let enc_v = AttrEncoder::fit(t.column_by_name("v").unwrap(), 8);
+        let modeled = vec![("c", &enc_c), ("v", &enc_v)];
+        let f = Featurizer::fit(&t, &modeled).unwrap();
+        let pts = f.features_of_table(&t).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_ne!(pts[0], pts[1]);
+        // A query equal to row 0's values maps onto row 0's features.
+        let q = f.features_of_values(&[&Value::str("a"), &Value::Float(1.0)]);
+        assert_eq!(q, pts[0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the ReStore core.
+
+use std::fmt;
+
+use restore_db::DbError;
+
+/// Errors raised by the completion engine.
+#[derive(Debug, Clone)]
+pub enum CoreError {
+    /// Propagated relational-engine error.
+    Db(DbError),
+    /// Not enough overlapping data to train a model on a path.
+    InsufficientData(String),
+    /// No completion model available for the request.
+    NoModel(String),
+    /// No valid completion path exists.
+    NoPath(String),
+    /// Invalid request / configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::InsufficientData(m) => write!(f, "insufficient training data: {m}"),
+            CoreError::NoModel(m) => write!(f, "no completion model: {m}"),
+            CoreError::NoPath(m) => write!(f, "no completion path: {m}"),
+            CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;

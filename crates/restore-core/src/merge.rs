@@ -1,0 +1,187 @@
+//! Model merging (§3.4): instead of one model per (evidence, target) pair,
+//! merge completion tasks whose table sets nest and whose evidence→target
+//! arcs admit a consistent (acyclic) variable ordering. The topological
+//! order of the merged arc graph becomes the MADE attribute order, so one
+//! model provides e.g. both `p(T1 | T2, T3)` and `p(T2 | T3)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One completion need: synthesize `target` using `evidence` tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletionTask {
+    pub evidence: Vec<String>,
+    pub target: String,
+}
+
+impl CompletionTask {
+    pub fn new<I, S>(evidence: I, target: impl Into<String>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { evidence: evidence.into_iter().map(Into::into).collect(), target: target.into() }
+    }
+
+    fn tables(&self) -> BTreeSet<String> {
+        let mut s: BTreeSet<String> = self.evidence.iter().cloned().collect();
+        s.insert(self.target.clone());
+        s
+    }
+}
+
+/// A merged model: the tasks it serves plus the consistent table ordering.
+#[derive(Clone, Debug)]
+pub struct MergedModelSpec {
+    pub tasks: Vec<CompletionTask>,
+    /// Topological table order (evidence before targets) — the MADE
+    /// variable ordering.
+    pub table_order: Vec<String>,
+}
+
+impl MergedModelSpec {
+    fn tables(&self) -> BTreeSet<String> {
+        self.tasks.iter().flat_map(|t| t.tables()).collect()
+    }
+}
+
+/// Tries to topologically order `tables` under the arcs `evidence → target`
+/// of all tasks. Returns `None` when the arc graph is cyclic (no consistent
+/// MADE ordering exists).
+fn consistent_order(tasks: &[CompletionTask]) -> Option<Vec<String>> {
+    let tables: BTreeSet<String> = tasks.iter().flat_map(|t| t.tables()).collect();
+    // adjacency + in-degrees
+    let mut out_edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut in_deg: BTreeMap<&str, usize> = tables.iter().map(|t| (t.as_str(), 0)).collect();
+    for task in tasks {
+        for e in &task.evidence {
+            if out_edges.entry(e.as_str()).or_default().insert(task.target.as_str()) {
+                *in_deg.get_mut(task.target.as_str()).unwrap() += 1;
+            }
+        }
+    }
+    // Kahn's algorithm with deterministic (sorted) tie-breaking.
+    let mut ready: Vec<&str> = in_deg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let mut order = Vec::with_capacity(tables.len());
+    while let Some(t) = ready.pop() {
+        order.push(t.to_string());
+        if let Some(succs) = out_edges.get(t) {
+            for &s in succs {
+                let d = in_deg.get_mut(s).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        ready.sort();
+        ready.reverse(); // pop smallest first
+    }
+    (order.len() == tables.len()).then_some(order)
+}
+
+/// Greedily merges completion tasks (§3.4): a task joins an existing model
+/// when its table set nests with the model's and the combined arc graph
+/// stays acyclic. Models are merged until no more non-conflicting merges
+/// are available.
+pub fn merge_tasks(tasks: &[CompletionTask]) -> Vec<MergedModelSpec> {
+    // Largest table sets first so smaller tasks fold into them.
+    let mut sorted: Vec<CompletionTask> = tasks.to_vec();
+    sorted.sort_by(|a, b| b.tables().len().cmp(&a.tables().len()).then_with(|| a.target.cmp(&b.target)));
+
+    let mut models: Vec<MergedModelSpec> = Vec::new();
+    'next_task: for task in sorted {
+        for model in &mut models {
+            let mt = model.tables();
+            let tt = task.tables();
+            let nests = tt.is_subset(&mt) || mt.is_subset(&tt);
+            if !nests {
+                continue;
+            }
+            let mut combined = model.tasks.clone();
+            combined.push(task.clone());
+            if let Some(order) = consistent_order(&combined) {
+                model.tasks = combined;
+                model.table_order = order;
+                continue 'next_task;
+            }
+        }
+        let order = consistent_order(std::slice::from_ref(&task))
+            .expect("single task is always acyclic");
+        models.push(MergedModelSpec { tasks: vec![task], table_order: order });
+    }
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(evidence: &[&str], target: &str) -> CompletionTask {
+        CompletionTask::new(evidence.iter().copied(), target)
+    }
+
+    #[test]
+    fn paper_example_merges() {
+        // §3.4: completing T2 from T3 and T1 from T2⋈T3 share one model.
+        let models = merge_tasks(&[t(&["t3"], "t2"), t(&["t2", "t3"], "t1")]);
+        assert_eq!(models.len(), 1);
+        let order = &models[0].table_order;
+        // T3 before T2 before T1.
+        let pos = |x: &str| order.iter().position(|o| o == x).unwrap();
+        assert!(pos("t3") < pos("t2"));
+        assert!(pos("t2") < pos("t1"));
+    }
+
+    #[test]
+    fn paper_counterexample_does_not_merge() {
+        // §3.4: p(T2|T1) conflicts with p(T1|T2,T3) — no consistent order.
+        let models = merge_tasks(&[t(&["t2", "t3"], "t1"), t(&["t1"], "t2")]);
+        assert_eq!(models.len(), 2, "cyclic orderings must stay separate");
+    }
+
+    #[test]
+    fn disjoint_table_sets_stay_separate() {
+        let models = merge_tasks(&[t(&["a"], "b"), t(&["x"], "y")]);
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn subset_requirement_is_enforced() {
+        // {a,b} and {b,c} overlap but neither nests — no merge even though
+        // the union would be acyclic.
+        let models = merge_tasks(&[t(&["a"], "b"), t(&["b"], "c")]);
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_three_merges_into_one() {
+        let models = merge_tasks(&[
+            t(&["a", "b", "c"], "d"),
+            t(&["a", "b"], "c"),
+            t(&["a"], "b"),
+        ]);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].tasks.len(), 3);
+        assert_eq!(models[0].table_order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn merge_reduces_model_count() {
+        // Five tasks over nested sets collapse to fewer models.
+        let tasks = vec![
+            t(&["a"], "b"),
+            t(&["a", "b"], "c"),
+            t(&["a"], "c"),
+            t(&["x"], "y"),
+            t(&["y"], "x"),
+        ];
+        let models = merge_tasks(&tasks);
+        assert!(models.len() <= 3, "expected ≤3 models, got {}", models.len());
+        let total: usize = models.iter().map(|m| m.tasks.len()).sum();
+        assert_eq!(total, 5, "every task must be served");
+    }
+}

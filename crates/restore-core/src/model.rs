@@ -1,0 +1,1047 @@
+//! Completion models (§3): AR models learn the joint distribution over all
+//! attributes of the completion-path join `T1 ⋈ … ⋈ Tm` (including tuple
+//! factors for fan-out steps); SSAR models additionally condition on a
+//! DeepSets encoding of fan-out / self-evidence tuple sets.
+//!
+//! Attribute order is the topological order along the path — evidence
+//! attributes first, each fan-out tuple factor before its child table's
+//! attributes — so conditional sampling `p(t_m | t_e)` is a suffix sample.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use restore_db::{hash_join, partner_counts, Database, Table, Value};
+use restore_nn::{
+    block_cross_entropy, Adam, AttrSpec, DeepSets, DeepSetsConfig, Made, MadeConfig, Matrix,
+    ParamStore, SetBatch, SetTableSpec, TableSet, Tape,
+};
+
+use crate::annotation::{modeled_columns, tf_column_name, SchemaAnnotation};
+use crate::encoding::AttrEncoder;
+use crate::error::{CoreError, CoreResult};
+use crate::paths::CompletionPath;
+
+/// Hyper-parameters for training completion models.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub hidden: Vec<usize>,
+    pub embed_dim: usize,
+    pub max_bins: usize,
+    pub val_fraction: f64,
+    pub clip_norm: f32,
+    /// Training joins larger than this are subsampled (stride sampling).
+    pub max_train_rows: usize,
+    /// Tuple factors are clamped to this maximum token.
+    pub tf_cap: i64,
+    /// Width of the SSAR conditioning context (0 disables DeepSets → AR).
+    pub ctx_dim: usize,
+    /// Per-row cap on fan-out evidence set sizes.
+    pub max_set_size: usize,
+    /// Minimum number of gradient steps: small training sets get extra
+    /// epochs so the conditional is actually fit.
+    pub min_steps: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 12,
+            batch_size: 256,
+            lr: 5e-3,
+            hidden: vec![64, 64],
+            embed_dim: 8,
+            max_bins: 24,
+            val_fraction: 0.1,
+            clip_norm: 5.0,
+            max_train_rows: 20_000,
+            tf_cap: 64,
+            ctx_dim: 0,
+            max_set_size: 12,
+            min_steps: 400,
+            patience: 10,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// SSAR variant of this configuration.
+    pub fn ssar(mut self) -> Self {
+        self.ctx_dim = 16;
+        self
+    }
+
+    pub fn is_ssar(&self) -> bool {
+        self.ctx_dim > 0
+    }
+}
+
+/// What a model attribute represents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrKind {
+    /// A modeled column of a path table.
+    Column { table: String, column: String },
+    /// The tuple factor of fan-out step `step` (children of `tables[step]`
+    /// in `tables[step+1]`).
+    TupleFactor { step: usize },
+}
+
+/// One attribute of the completion model.
+#[derive(Clone, Debug)]
+pub struct ModelAttr {
+    pub kind: AttrKind,
+    pub encoder: AttrEncoder,
+}
+
+impl ModelAttr {
+    pub fn name(&self) -> String {
+        match &self.kind {
+            AttrKind::Column { table, column } => format!("{table}.{column}"),
+            AttrKind::TupleFactor { step } => format!("__tf_step{step}"),
+        }
+    }
+}
+
+/// One fan-out evidence table of an SSAR model.
+struct CtxTable {
+    /// Set-tuple table name.
+    table: String,
+    /// Path table the set hangs off.
+    anchor: String,
+    /// Key column on the anchor (parent side of the fan-out edge).
+    anchor_key: String,
+    /// Encoded columns of the set table.
+    columns: Vec<String>,
+    encoders: Vec<AttrEncoder>,
+    /// Pre-encoded tokens of the (incomplete) set table: `tokens[a][row]`.
+    tokens: Vec<Vec<u32>>,
+    /// `id` value per set row (None when the table has no `id` column);
+    /// used to exclude the predicted row itself from self-evidence.
+    row_ids: Option<Vec<Value>>,
+    /// anchor key value → set row indices.
+    index: HashMap<Value, Vec<usize>>,
+    /// True when `table == path.target()` (self-evidence, §3.3).
+    self_evidence: bool,
+}
+
+/// A trained completion model for one path.
+pub struct CompletionModel {
+    path: CompletionPath,
+    attrs: Vec<ModelAttr>,
+    /// Attr index range of each path table's columns.
+    table_ranges: Vec<Range<usize>>,
+    /// Attr index of the tuple factor for each step (fan-out steps only).
+    tf_attrs: Vec<Option<usize>>,
+    made: Made,
+    store: ParamStore,
+    ctx: Vec<CtxTable>,
+    deepsets: Option<DeepSets>,
+    cfg: TrainConfig,
+    /// Per-epoch mean training loss.
+    pub train_losses: Vec<f32>,
+    /// Held-out per-attribute NLL (the §5 model-selection "test loss").
+    pub val_per_attr: Vec<f32>,
+    /// Held-out total NLL.
+    pub val_loss: f32,
+    /// Wall-clock training time in seconds (Fig. 11).
+    pub train_seconds: f64,
+}
+
+impl CompletionModel {
+    pub fn path(&self) -> &CompletionPath {
+        &self.path
+    }
+
+    pub fn attrs(&self) -> &[ModelAttr] {
+        &self.attrs
+    }
+
+    pub fn is_ssar(&self) -> bool {
+        self.deepsets.is_some()
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Attr range holding the columns of path table `idx`.
+    pub fn table_attr_range(&self, idx: usize) -> Range<usize> {
+        self.table_ranges[idx].clone()
+    }
+
+    /// Attr index of the tuple factor of step `step`, if it is fan-out.
+    pub fn tf_attr(&self, step: usize) -> Option<usize> {
+        self.tf_attrs[step]
+    }
+
+    /// Mean held-out NLL over the target table's attributes — the §5 basic
+    /// selection criterion.
+    pub fn target_val_loss(&self) -> f32 {
+        let range = self.table_attr_range(self.path.len() - 1);
+        if range.is_empty() {
+            return 0.0;
+        }
+        let vals = &self.val_per_attr[range.clone()];
+        vals.iter().sum::<f32>() / vals.len() as f32
+    }
+
+    /// Trains a completion model for `path` on the available data of the
+    /// (incomplete) database.
+    pub fn train(
+        db: &Database,
+        annotation: &SchemaAnnotation,
+        path: CompletionPath,
+        cfg: &TrainConfig,
+        seed: u64,
+    ) -> CoreResult<Self> {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // ---- attribute layout & encoders --------------------------------
+        let mut attrs: Vec<ModelAttr> = Vec::new();
+        let mut table_ranges = Vec::with_capacity(path.len());
+        let mut tf_attrs = vec![None; path.steps().len()];
+        for (i, tname) in path.tables().iter().enumerate() {
+            let table = db.table(tname)?;
+            let start = attrs.len();
+            for col in modeled_columns(table) {
+                let encoder = AttrEncoder::fit(table.column_by_name(&col)?, cfg.max_bins);
+                attrs.push(ModelAttr {
+                    kind: AttrKind::Column { table: tname.clone(), column: col },
+                    encoder,
+                });
+            }
+            table_ranges.push(start..attrs.len());
+            if i < path.steps().len() {
+                let step = &path.steps()[i];
+                if step.fan_out {
+                    // Tuple factor of this step, fit on known factors.
+                    let parent = db.table(&step.fk.parent)?;
+                    let known = Self::known_tf_values(db, parent, step)?;
+                    let encoder = AttrEncoder::fit_tuple_factor(known, cfg.tf_cap);
+                    tf_attrs[i] = Some(attrs.len());
+                    attrs.push(ModelAttr { kind: AttrKind::TupleFactor { step: i }, encoder });
+                }
+            }
+        }
+        if attrs.is_empty() {
+            return Err(CoreError::Invalid(format!("path {} has no modeled attributes", path.describe())));
+        }
+
+        // ---- training join ------------------------------------------------
+        let join = build_path_join(db, &path)?;
+        if join.n_rows() < 8 {
+            return Err(CoreError::InsufficientData(format!(
+                "path {} yields only {} joined rows",
+                path.describe(),
+                join.n_rows()
+            )));
+        }
+        let (tokens, weights) = encode_training_tokens(db, &path, &attrs, &tf_attrs, &join)?;
+
+        // ---- SSAR context (decided before the network: a path without
+        // fan-out evidence degrades to a plain AR model) -------------------
+        let ctx = if cfg.is_ssar() {
+            build_ctx_tables(db, annotation, &path, cfg)?
+        } else {
+            Vec::new()
+        };
+        let effective_ctx_dim = if ctx.is_empty() { 0 } else { cfg.ctx_dim };
+
+        // ---- network -------------------------------------------------------
+        let mut store = ParamStore::new();
+        let specs: Vec<AttrSpec> = attrs
+            .iter()
+            .map(|a| AttrSpec::new(a.encoder.model_cardinality(), cfg.embed_dim))
+            .collect();
+        let made_cfg = MadeConfig::new(specs)
+            .with_ctx(effective_ctx_dim)
+            .with_hidden(cfg.hidden.clone());
+        let made = Made::new(made_cfg, &mut store, &mut rng);
+
+        let deepsets = if ctx.is_empty() {
+            None
+        } else {
+            let ds_cfg = DeepSetsConfig {
+                tables: ctx
+                    .iter()
+                    .map(|c| {
+                        SetTableSpec::new(
+                            c.encoders.iter().map(|e| e.model_cardinality()).collect(),
+                            cfg.embed_dim,
+                            16,
+                        )
+                    })
+                    .collect(),
+                ctx_dim: cfg.ctx_dim,
+                post_hidden: 32,
+            };
+            Some(DeepSets::new(&ds_cfg, &mut store, &mut rng))
+        };
+
+        let mut model = Self {
+            path,
+            attrs,
+            table_ranges,
+            tf_attrs,
+            made,
+            store,
+            ctx,
+            deepsets,
+            cfg: cfg.clone(),
+            train_losses: Vec::new(),
+            val_per_attr: Vec::new(),
+            val_loss: 0.0,
+            train_seconds: 0.0,
+        };
+        model.fit(&join, tokens, weights, &mut rng)?;
+        model.train_seconds = started.elapsed().as_secs_f64();
+        Ok(model)
+    }
+
+    /// Known tuple factors of a fan-out step: the non-null `__tf_<child>`
+    /// metadata if present, otherwise the observed partner counts (child
+    /// table complete ⇒ observed = true).
+    fn known_tf_values(
+        db: &Database,
+        parent: &Table,
+        step: &restore_db::PathStep,
+    ) -> CoreResult<Vec<i64>> {
+        let tf_col = tf_column_name(&step.fk.child);
+        if let Ok(idx) = parent.resolve(&tf_col) {
+            Ok((0..parent.n_rows())
+                .filter_map(|r| parent.value(r, idx).as_i64())
+                .collect())
+        } else {
+            let child = db.table(&step.fk.child)?;
+            Ok(partner_counts(parent, &step.fk.parent_col, child, &step.fk.child_col)?
+                .into_iter()
+                .map(|c| c as i64)
+                .collect())
+        }
+    }
+
+    fn fit(
+        &mut self,
+        join: &Table,
+        tokens: Vec<Vec<u32>>,
+        weights: Vec<Vec<f32>>,
+        rng: &mut StdRng,
+    ) -> CoreResult<()> {
+        let n = tokens[0].len();
+        // Subsample + shuffle once; split off validation tail.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        order.truncate(self.cfg.max_train_rows.max(16));
+        let n_val = ((order.len() as f64 * self.cfg.val_fraction) as usize).clamp(1, order.len() / 2 + 1);
+        let val_rows: Vec<usize> = order.split_off(order.len() - n_val);
+        let train_rows = order;
+
+        let mut adam = Adam::new(&self.store, self.cfg.lr);
+        let bs = self.cfg.batch_size.max(8);
+        let batches_per_epoch = train_rows.len().div_ceil(bs).max(1);
+        let epochs = self.cfg.epochs.max(self.cfg.min_steps.div_ceil(batches_per_epoch));
+
+        // Early stopping on the held-out split: small training joins (a few
+        // hundred rows) overfit quickly, which would both hurt the
+        // completion and corrupt the §5 test-loss selection signal.
+        let mut best_val = f32::INFINITY;
+        let mut best_store: Option<ParamStore> = None;
+        let mut stale = 0usize;
+        for _epoch in 0..epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in train_rows.chunks(bs) {
+                let loss = self.train_step(join, &tokens, &weights, chunk, &mut adam)?;
+                epoch_loss += loss as f64;
+                batches += 1;
+            }
+            self.train_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+            let val = self.validate(join, &tokens, &weights, &val_rows)?.loss;
+            if val < best_val - 1e-4 {
+                best_val = val;
+                best_store = Some(self.store.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.cfg.patience {
+                    break;
+                }
+            }
+        }
+        if let Some(store) = best_store {
+            self.store = store;
+        }
+
+        let loss = self.validate(join, &tokens, &weights, &val_rows)?;
+        self.val_per_attr = loss.per_attr;
+        self.val_loss = loss.loss;
+        Ok(())
+    }
+
+    /// Held-out NLL with the current parameters.
+    fn validate(
+        &self,
+        join: &Table,
+        tokens: &[Vec<u32>],
+        weights: &[Vec<f32>],
+        val_rows: &[usize],
+    ) -> CoreResult<restore_nn::BlockLoss> {
+        let (btoks, bweights) = gather_batch(tokens, weights, val_rows);
+        let ctx_matrix = self.context_matrix(join, val_rows, true)?;
+        let arc_toks: Vec<Arc<Vec<u32>>> = btoks.into_iter().map(Arc::new).collect();
+        Ok(self.made.evaluate(&self.store, &arc_toks, ctx_matrix.as_ref(), Some(&bweights)))
+    }
+
+    fn train_step(
+        &mut self,
+        join: &Table,
+        tokens: &[Vec<u32>],
+        weights: &[Vec<f32>],
+        rows: &[usize],
+        adam: &mut Adam,
+    ) -> CoreResult<f32> {
+        let (btoks, bweights) = gather_batch(tokens, weights, rows);
+        let arc_toks: Vec<Arc<Vec<u32>>> = btoks.iter().cloned().map(Arc::new).collect();
+        let mut tape = Tape::new();
+        let ctx_var = if self.deepsets.is_some() {
+            let batch = self.build_set_batch(join, rows, true)?;
+            let ds = self.deepsets.as_ref().unwrap();
+            Some(ds.forward(&mut tape, &self.store, &batch, rows.len()))
+        } else {
+            None
+        };
+        let logits = self.made.forward(&mut tape, &self.store, &arc_toks, ctx_var);
+        let loss = block_cross_entropy(tape.value(logits), self.made.layout(), &btoks, Some(&bweights));
+        tape.backward(logits, loss.dlogits, &mut self.store);
+        self.store.clip_grad_norm(self.cfg.clip_norm);
+        adam.step(&mut self.store);
+        Ok(loss.loss)
+    }
+
+    /// DeepSets context matrix for specific join rows (inference path).
+    fn context_matrix(
+        &self,
+        join: &Table,
+        rows: &[usize],
+        exclude_self: bool,
+    ) -> CoreResult<Option<Matrix>> {
+        let Some(ds) = &self.deepsets else { return Ok(None) };
+        let batch = self.build_set_batch(join, rows, exclude_self)?;
+        let mut tape = Tape::new();
+        let out = ds.forward(&mut tape, &self.store, &batch, rows.len());
+        Ok(Some(tape.value(out).clone()))
+    }
+
+    /// Assembles the fan-out evidence sets for a batch of join rows.
+    fn build_set_batch(&self, join: &Table, rows: &[usize], exclude_self: bool) -> CoreResult<SetBatch> {
+        let mut tables = Vec::with_capacity(self.ctx.len());
+        for ct in &self.ctx {
+            let anchor_ref = format!("{}.{}", ct.anchor, ct.anchor_key);
+            let anchor_idx = join.resolve(&anchor_ref).ok();
+            // Self-evidence exclusion: match the set tuple's id against the
+            // join row's target id.
+            let self_id_idx = if exclude_self && ct.self_evidence {
+                join.resolve(&format!("{}.id", ct.table)).ok()
+            } else {
+                None
+            };
+            let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); ct.columns.len()];
+            let mut segments = Vec::new();
+            if let Some(aidx) = anchor_idx {
+                for (pos, &r) in rows.iter().enumerate() {
+                    let key = join.value(r, aidx);
+                    if key.is_null() {
+                        continue;
+                    }
+                    let Some(members) = ct.index.get(&key) else { continue };
+                    let self_id = self_id_idx.map(|i| join.value(r, i));
+                    let mut taken = 0usize;
+                    for &m in members {
+                        if taken >= self.cfg.max_set_size {
+                            break;
+                        }
+                        if let (Some(sid), Some(ids)) = (&self_id, &ct.row_ids) {
+                            if !sid.is_null() && &ids[m] == sid {
+                                continue;
+                            }
+                        }
+                        for (a, col) in tokens.iter_mut().enumerate() {
+                            col.push(ct.tokens[a][m]);
+                        }
+                        segments.push(pos as u32);
+                        taken += 1;
+                    }
+                }
+            }
+            tables.push(TableSet {
+                tokens: tokens.into_iter().map(Arc::new).collect(),
+                segments: Arc::new(segments),
+            });
+        }
+        Ok(SetBatch { tables })
+    }
+
+    /// Encodes the columns of a (partial) completed join into model tokens.
+    /// Attributes whose table is not yet part of the join (or whose value is
+    /// NULL) get the MASK token. Tuple-factor attrs are filled from
+    /// `tf_values[step]` where available.
+    pub fn encode_tokens(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+    ) -> Vec<Vec<u32>> {
+        let n = join.n_rows();
+        let mut out = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            let mut col = Vec::with_capacity(n);
+            match &attr.kind {
+                AttrKind::Column { table, column } => {
+                    match join.resolve(&format!("{table}.{column}")) {
+                        Ok(idx) => {
+                            for r in 0..n {
+                                let v = join.value(r, idx);
+                                col.push(attr.encoder.encode(&v).unwrap_or(attr.encoder.mask_token()));
+                            }
+                        }
+                        Err(_) => col.resize(n, attr.encoder.mask_token()),
+                    }
+                }
+                AttrKind::TupleFactor { step } => match tf_values.get(*step) {
+                    Some(vals) if vals.len() == n => {
+                        for v in vals {
+                            col.push(match v {
+                                Some(x) => attr
+                                    .encoder
+                                    .encode(&Value::Int(*x))
+                                    .unwrap_or(attr.encoder.mask_token()),
+                                None => attr.encoder.mask_token(),
+                            });
+                        }
+                    }
+                    _ => col.resize(n, attr.encoder.mask_token()),
+                },
+            }
+            out.push(col);
+        }
+        out
+    }
+
+    /// Predicts the tuple factor of `step` for the given join rows,
+    /// conditioning on everything before it. The *expected value* of the
+    /// conditional distribution with stochastic rounding is used rather
+    /// than a plain sample: the completion clamps factors to at least the
+    /// observed partner count (`max(tf, existing)`), which would turn
+    /// sampling variance into a systematic cardinality overshoot; the
+    /// expectation keeps completed cardinalities unbiased.
+    pub fn sample_tf(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+        step: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<i64>> {
+        let attr_idx = self.tf_attrs[step]
+            .ok_or_else(|| CoreError::Invalid(format!("step {step} has no tuple factor")))?;
+        let dists = self.conditional_dist(join, tf_values, attr_idx, rows)?;
+        let enc = &self.attrs[attr_idx].encoder;
+        Ok(dists
+            .into_iter()
+            .map(|d| {
+                let expected: f64 = d
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| p as f64 * enc.decode(i as u32).as_i64().unwrap_or(0) as f64)
+                    .sum();
+                let floor = expected.floor();
+                let frac = expected - floor;
+                floor as i64 + (rng.random::<f64>() < frac) as i64
+            })
+            .collect())
+    }
+
+    /// Samples all column attributes of path table `table_idx` for the given
+    /// join rows; returns decoded values per modeled column.
+    pub fn sample_table_columns(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+        table_idx: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<Vec<Value>>> {
+        let range = self.table_attr_range(table_idx);
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let sampled = self.sample_attr_block(join, tf_values, range.clone(), rows, rng)?;
+        Ok(sampled
+            .into_iter()
+            .enumerate()
+            .map(|(i, toks)| {
+                let enc = &self.attrs[range.start + i].encoder;
+                toks.into_iter().map(|t| enc.decode(t)).collect()
+            })
+            .collect())
+    }
+
+    /// Core sampling routine: fills the token block `attr_range` for the
+    /// selected rows via iterative forward sampling, returning the sampled
+    /// tokens (one vec per attr in the range).
+    fn sample_attr_block(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+        attr_range: Range<usize>,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<Vec<u32>>> {
+        let all_tokens = self.encode_tokens(join, tf_values);
+        let mut batch: Vec<Vec<u32>> = all_tokens
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        let ctx = self.context_matrix(join, rows, false)?;
+        let excluded: Vec<Option<u32>> =
+            self.attrs.iter().map(|a| Some(a.encoder.mask_token())).collect();
+        self.made.sample_range(
+            &self.store,
+            &mut batch,
+            ctx.as_ref(),
+            attr_range.start,
+            attr_range.end,
+            &excluded,
+            rng,
+        );
+        Ok(batch[attr_range].to_vec())
+    }
+
+    /// Conditional distribution of attribute `attr_idx` for the given rows
+    /// of a completed join (used by the §6 confidence machinery).
+    pub fn conditional_dist(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+        attr_idx: usize,
+        rows: &[usize],
+    ) -> CoreResult<Vec<Vec<f32>>> {
+        let all_tokens = self.encode_tokens(join, tf_values);
+        let batch: Vec<Arc<Vec<u32>>> = all_tokens
+            .iter()
+            .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
+            .collect();
+        let ctx = self.context_matrix(join, rows, false)?;
+        let dists = self.made.conditional_dists(&self.store, &batch, ctx.as_ref(), attr_idx);
+        // Drop the MASK token and renormalize.
+        let card = self.attrs[attr_idx].encoder.cardinality();
+        Ok(dists
+            .into_iter()
+            .map(|mut d| {
+                d.truncate(card);
+                let s: f32 = d.iter().sum();
+                if s > 0.0 {
+                    for v in &mut d {
+                        *v /= s;
+                    }
+                }
+                d
+            })
+            .collect())
+    }
+
+    /// Marginal (training-data) distribution of an attribute — the
+    /// `P_incomplete` of the §6 certainty computation.
+    pub fn training_marginal(&self, db: &Database, attr_idx: usize) -> CoreResult<Vec<f32>> {
+        let attr = &self.attrs[attr_idx];
+        let AttrKind::Column { table, column } = &attr.kind else {
+            return Err(CoreError::Invalid("marginals only exist for column attrs".into()));
+        };
+        let t = db.table(table)?;
+        let col = t.column_by_name(column)?;
+        let card = attr.encoder.cardinality();
+        let mut counts = vec![0.0f32; card];
+        let mut total = 0.0f32;
+        for r in 0..col.len() {
+            if let Some(tok) = attr.encoder.encode(&col.get(r)) {
+                counts[tok as usize] += 1.0;
+                total += 1.0;
+            }
+        }
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Index of the model attribute for `table.column`, if modeled.
+    pub fn attr_index(&self, table: &str, column: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| {
+            matches!(&a.kind, AttrKind::Column { table: t, column: c } if t == table && c == column)
+        })
+    }
+}
+
+/// Joins the path tables over the available (incomplete) data.
+pub fn build_path_join(db: &Database, path: &CompletionPath) -> CoreResult<Table> {
+    let mut join = db.table(path.root())?.qualified();
+    for step in path.steps() {
+        let right = db.table(step.to_table())?;
+        let (lref, rref) = if step.fan_out {
+            (
+                format!("{}.{}", step.fk.parent, step.fk.parent_col),
+                format!("{}.{}", step.fk.child, step.fk.child_col),
+            )
+        } else {
+            (
+                format!("{}.{}", step.fk.child, step.fk.child_col),
+                format!("{}.{}", step.fk.parent, step.fk.parent_col),
+            )
+        };
+        join = hash_join(&join, &lref, right, &rref, "join")?.table;
+    }
+    Ok(join)
+}
+
+/// Encodes the training join into token + loss-weight columns.
+fn encode_training_tokens(
+    db: &Database,
+    path: &CompletionPath,
+    attrs: &[ModelAttr],
+    tf_attrs: &[Option<usize>],
+    join: &Table,
+) -> CoreResult<(Vec<Vec<u32>>, Vec<Vec<f32>>)> {
+    let n = join.n_rows();
+    let mut tokens: Vec<Vec<u32>> = vec![Vec::with_capacity(n); attrs.len()];
+    let mut weights: Vec<Vec<f32>> = vec![Vec::with_capacity(n); attrs.len()];
+
+    // Tuple factors per fan-out step, resolved once per step.
+    let mut tf_per_step: Vec<Option<Vec<Option<i64>>>> = vec![None; path.steps().len()];
+    for (i, step) in path.steps().iter().enumerate() {
+        if tf_attrs[i].is_none() {
+            continue;
+        }
+        let parent_ref = format!("{}.{}", step.fk.parent, tf_column_name(&step.fk.child));
+        let vals: Vec<Option<i64>> = if let Ok(idx) = join.resolve(&parent_ref) {
+            (0..n).map(|r| join.value(r, idx).as_i64()).collect()
+        } else {
+            // Child is complete: observed counts are the truth.
+            let child = db.table(&step.fk.child)?;
+            let counts = partner_counts(
+                join,
+                &format!("{}.{}", step.fk.parent, step.fk.parent_col),
+                child,
+                &step.fk.child_col,
+            )?;
+            counts.into_iter().map(|c| Some(c as i64)).collect()
+        };
+        tf_per_step[i] = Some(vals);
+    }
+
+    for (a, attr) in attrs.iter().enumerate() {
+        match &attr.kind {
+            AttrKind::Column { table, column } => {
+                let idx = join.resolve(&format!("{table}.{column}"))?;
+                for r in 0..n {
+                    match attr.encoder.encode(&join.value(r, idx)) {
+                        Some(t) => {
+                            tokens[a].push(t);
+                            weights[a].push(1.0);
+                        }
+                        None => {
+                            tokens[a].push(attr.encoder.mask_token());
+                            weights[a].push(0.0);
+                        }
+                    }
+                }
+            }
+            AttrKind::TupleFactor { step } => {
+                let vals = tf_per_step[*step].as_ref().expect("tf resolved above");
+                for v in vals {
+                    match v {
+                        Some(x) => {
+                            let t = attr
+                                .encoder
+                                .encode(&Value::Int(*x))
+                                .unwrap_or(attr.encoder.mask_token());
+                            tokens[a].push(t);
+                            weights[a].push(1.0);
+                        }
+                        None => {
+                            tokens[a].push(attr.encoder.mask_token());
+                            weights[a].push(0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((tokens, weights))
+}
+
+/// Gathers batch rows out of column-major token/weight storage.
+fn gather_batch(
+    tokens: &[Vec<u32>],
+    weights: &[Vec<f32>],
+    rows: &[usize],
+) -> (Vec<Vec<u32>>, Vec<Vec<f32>>) {
+    let btoks = tokens
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+    let bweights = weights
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+    (btoks, bweights)
+}
+
+/// Builds the SSAR context tables: self-evidence (available target-table
+/// siblings) plus fan-out neighbors of the evidence root that are not on
+/// the path (§3.3).
+fn build_ctx_tables(
+    db: &Database,
+    annotation: &SchemaAnnotation,
+    path: &CompletionPath,
+    cfg: &TrainConfig,
+) -> CoreResult<Vec<CtxTable>> {
+    let mut out = Vec::new();
+    let mut candidates: Vec<(String, String, restore_db::PathStep, bool)> = Vec::new();
+
+    // Self-evidence: when the final step fans out, the available children of
+    // the second-to-last table are evidence for the missing ones.
+    if let Some(last) = path.steps().last() {
+        if last.fan_out {
+            candidates.push((
+                last.fk.child.clone(),
+                last.fk.parent.clone(),
+                last.clone(),
+                true,
+            ));
+        }
+    }
+    // Fan-out neighbors of the evidence root not on the path.
+    for step in db.neighbors(path.root()) {
+        if step.fan_out && !path.tables().iter().any(|t| t == step.to_table()) {
+            // Only complete neighbors are reliable evidence.
+            if annotation.is_complete(step.to_table()) {
+                candidates.push((
+                    step.fk.child.clone(),
+                    step.fk.parent.clone(),
+                    step.clone(),
+                    false,
+                ));
+            }
+        }
+    }
+
+    for (table_name, anchor, step, self_evidence) in candidates {
+        let table = db.table(&table_name)?;
+        let columns = modeled_columns(table);
+        if columns.is_empty() {
+            continue;
+        }
+        let encoders: Vec<AttrEncoder> = columns
+            .iter()
+            .map(|c| Ok(AttrEncoder::fit(table.column_by_name(c)?, cfg.max_bins)))
+            .collect::<CoreResult<_>>()?;
+        // Pre-encode all rows.
+        let mut tokens: Vec<Vec<u32>> = Vec::with_capacity(columns.len());
+        for (c, enc) in columns.iter().zip(&encoders) {
+            let idx = table.resolve(c)?;
+            tokens.push(
+                (0..table.n_rows())
+                    .map(|r| enc.encode(&table.value(r, idx)).unwrap_or(enc.mask_token()))
+                    .collect(),
+            );
+        }
+        let row_ids = table.resolve("id").ok().map(|idx| {
+            (0..table.n_rows()).map(|r| table.value(r, idx)).collect::<Vec<Value>>()
+        });
+        // Index by the FK value pointing at the anchor.
+        let fk_idx = table.resolve(&step.fk.child_col)?;
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        for r in 0..table.n_rows() {
+            let key = table.value(r, fk_idx);
+            if !key.is_null() {
+                index.entry(key).or_default().push(r);
+            }
+        }
+        out.push(CtxTable {
+            table: table_name,
+            anchor,
+            anchor_key: step.fk.parent_col.clone(),
+            columns,
+            encoders,
+            tokens,
+            row_ids,
+            index,
+            self_evidence,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 128,
+            hidden: vec![32, 32],
+            max_train_rows: 4000,
+            ..Default::default()
+        }
+    }
+
+    fn synthetic_scenario(predictability: f64, seed: u64) -> restore_data::Scenario {
+        let db = restore_data::generate_synthetic(
+            &SyntheticConfig { predictability, n_parent: 250, ..Default::default() },
+            seed,
+        );
+        let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
+        cfg.seed = seed;
+        apply_removal(&db, &cfg)
+    }
+
+    fn trained_model(predictability: f64, seed: u64) -> (restore_data::Scenario, CompletionModel) {
+        let sc = synthetic_scenario(predictability, seed);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let model =
+            CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
+        (sc, model)
+    }
+
+    #[test]
+    fn attribute_layout_has_tf_before_target() {
+        let (_, model) = trained_model(0.9, 1);
+        // attrs: [ta.a, TF, tb.b]
+        assert_eq!(model.attrs().len(), 3);
+        assert!(matches!(model.attrs()[0].kind, AttrKind::Column { .. }));
+        assert!(matches!(model.attrs()[1].kind, AttrKind::TupleFactor { step: 0 }));
+        assert_eq!(model.table_attr_range(0), 0..1);
+        assert_eq!(model.table_attr_range(1), 2..3);
+        assert_eq!(model.tf_attr(0), Some(1));
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (_, model) = trained_model(1.0, 2);
+        let first = model.train_losses.first().copied().unwrap();
+        let last = model.train_losses.last().copied().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn predictable_data_has_lower_val_loss() {
+        // Fig. 5b: test loss grows as predictability falls.
+        let (_, hi) = trained_model(1.0, 3);
+        let (_, lo) = trained_model(0.2, 3);
+        assert!(
+            hi.target_val_loss() < lo.target_val_loss(),
+            "val loss: predictable {} vs noise {}",
+            hi.target_val_loss(),
+            lo.target_val_loss()
+        );
+    }
+
+    #[test]
+    fn sampled_values_follow_the_conditional() {
+        let (sc, model) = trained_model(1.0, 4);
+        // Evidence join = just ta (qualified); sample TF and b for each row.
+        let ta = sc.incomplete.table("ta").unwrap().qualified();
+        let rows: Vec<usize> = (0..40).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tf_slots: Vec<Vec<Option<i64>>> = vec![vec![None; ta.n_rows()]];
+        let vals = model
+            .sample_table_columns(&ta, &tf_slots, 1, &rows, &mut rng)
+            .unwrap();
+        // With predictability 1.0, b must equal f(a) = a mod 10 for most rows.
+        let a_idx = ta.resolve("ta.a").unwrap();
+        let mut correct = 0;
+        for (i, &r) in rows.iter().enumerate() {
+            let a: usize = ta.value(r, a_idx).as_str().unwrap()[1..].parse().unwrap();
+            let b = vals[0][i].to_string();
+            if b == format!("b{}", a % 10) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 30, "only {correct}/40 samples followed the deterministic rule");
+    }
+
+    #[test]
+    fn sampled_tuple_factors_are_plausible() {
+        let (sc, model) = trained_model(0.9, 5);
+        let ta = sc.incomplete.table("ta").unwrap().qualified();
+        let rows: Vec<usize> = (0..ta.n_rows()).collect();
+        let mut rng = StdRng::seed_from_u64(10);
+        let tf_slots: Vec<Vec<Option<i64>>> = vec![vec![None; ta.n_rows()]];
+        let tfs = model.sample_tf(&ta, &tf_slots, 0, &rows, &mut rng).unwrap();
+        // True fan-outs are 5..7; sampled factors must stay in a sane band.
+        let mean = tfs.iter().sum::<i64>() as f64 / tfs.len() as f64;
+        assert!((4.0..8.0).contains(&mean), "sampled TF mean {mean} implausible");
+        assert!(tfs.iter().all(|&t| (0..=64).contains(&t)));
+    }
+
+    #[test]
+    fn conditional_dist_excludes_mask_and_normalizes() {
+        let (sc, model) = trained_model(0.8, 6);
+        let ta = sc.incomplete.table("ta").unwrap().qualified();
+        let tf_slots: Vec<Vec<Option<i64>>> = vec![vec![None; ta.n_rows()]];
+        let b_attr = model.attr_index("tb", "b").unwrap();
+        let dists = model.conditional_dist(&ta, &tf_slots, b_attr, &[0, 1, 2]).unwrap();
+        for d in dists {
+            assert_eq!(d.len(), model.attrs()[b_attr].encoder.cardinality());
+            let s: f32 = d.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ssar_model_trains_with_self_evidence() {
+        let sc = synthetic_scenario(0.5, 7);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let cfg = quick_cfg().ssar();
+        let model = CompletionModel::train(&sc.incomplete, &ann, path, &cfg, 7).unwrap();
+        assert!(model.is_ssar());
+        let first = model.train_losses.first().copied().unwrap();
+        let last = model.train_losses.last().copied().unwrap();
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn insufficient_data_is_an_error() {
+        let db = restore_data::generate_synthetic(
+            &SyntheticConfig { n_parent: 10, ..Default::default() },
+            8,
+        );
+        // Remove everything but a couple of rows.
+        let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.02, 0.0);
+        cfg.seed = 8;
+        let sc = apply_removal(&db, &cfg);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        assert!(matches!(
+            CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), 8),
+            Err(CoreError::InsufficientData(_))
+        ));
+    }
+}

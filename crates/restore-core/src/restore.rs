@@ -1,0 +1,733 @@
+//! The [`ReStore`] facade: annotate → train → complete → query (Fig. 1).
+//!
+//! Queries over incomplete tables are answered by (1) building an
+//! *execution chain* — the selected completion path of the incomplete
+//! table, extended by the remaining query tables, (2) running Algorithm 1
+//! over the chain, (3) projecting the completed join onto the query tables
+//! (with the §4.4 reweighting when the chain contains additional evidence
+//! tables), and (4) executing the filter/aggregate tail with normal
+//! operators.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use restore_db::{execute_on_join, Database, Query, QueryResult, Table, Value};
+
+use crate::annotation::{modeled_columns, SchemaAnnotation};
+use crate::cache::JoinCache;
+use crate::completion::{Completer, CompleterConfig, CompletionOutput};
+use crate::confidence::{confidence_interval, ConfidenceInterval, ConfidenceQuery};
+use crate::error::{CoreError, CoreResult};
+use crate::model::{CompletionModel, TrainConfig};
+use crate::paths::CompletionPath;
+use crate::selection::{select_model, CandidateScore, SelectionStrategy, SuspectedBias};
+
+/// Configuration of the ReStore facade.
+#[derive(Clone, Debug)]
+pub struct RestoreConfig {
+    pub train: TrainConfig,
+    pub completer: CompleterConfig,
+    /// Maximum completion-path length (tables); the movie setups need 5.
+    pub max_path_len: usize,
+    /// Maximum candidate paths trained during selection.
+    pub max_candidates: usize,
+    pub strategy: SelectionStrategy,
+}
+
+impl Default for RestoreConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            completer: CompleterConfig::default(),
+            max_path_len: 5,
+            max_candidates: 3,
+            strategy: SelectionStrategy::default(),
+        }
+    }
+}
+
+/// Summary of one trained completion model.
+#[derive(Clone, Debug)]
+pub struct ModelSummary {
+    pub target: String,
+    pub path: String,
+    pub ssar: bool,
+    pub val_loss: f32,
+    pub target_val_loss: f32,
+    pub seconds: f64,
+    pub parameters: usize,
+}
+
+/// Output of [`ReStore::train`].
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    pub models: Vec<ModelSummary>,
+    /// Candidate scores per incomplete table (for Fig. 10-style analysis).
+    pub candidates: HashMap<String, Vec<CandidateScore>>,
+}
+
+/// The ReStore system: an incomplete database plus trained completion
+/// models, ready to answer aggregate queries as if the data were complete.
+pub struct ReStore {
+    db: Database,
+    annotation: SchemaAnnotation,
+    config: RestoreConfig,
+    suspected: Vec<SuspectedBias>,
+    models: HashMap<Vec<String>, Arc<CompletionModel>>,
+    selected: HashMap<String, Vec<String>>,
+    /// Paths explicitly forced via [`ReStore::set_selected_path`].
+    forced: HashMap<String, Vec<String>>,
+    cache: JoinCache,
+}
+
+impl ReStore {
+    pub fn new(db: Database, config: RestoreConfig) -> Self {
+        Self {
+            db,
+            annotation: SchemaAnnotation::new(),
+            config,
+            suspected: Vec::new(),
+            models: HashMap::new(),
+            selected: HashMap::new(),
+            forced: HashMap::new(),
+            cache: JoinCache::new(),
+        }
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn annotation(&self) -> &SchemaAnnotation {
+        &self.annotation
+    }
+
+    /// Annotates a table as incomplete (§2.2, step 1).
+    pub fn mark_incomplete(&mut self, table: impl Into<String>) {
+        self.annotation.mark_incomplete(table);
+        self.cache.invalidate();
+    }
+
+    /// Registers a suspected bias hint used by
+    /// [`SelectionStrategy::SuspectedBiasRanking`].
+    pub fn suspect_bias(&mut self, bias: SuspectedBias) {
+        self.suspected.push(bias);
+    }
+
+    /// Cache statistics `(hits, misses)` (§4.5 instrumentation).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// All completed joins currently cached (diagnostics).
+    pub fn cached_completions(&self) -> Vec<(Vec<String>, Arc<CompletionOutput>)> {
+        self.cache.entries()
+    }
+
+    /// All models trained so far (diagnostics).
+    pub fn trained_models(&self) -> Vec<Arc<CompletionModel>> {
+        self.models.values().cloned().collect()
+    }
+
+    /// Selects completion paths and trains models for every incomplete
+    /// table with modeled attributes (link tables without attributes are
+    /// completed implicitly inside longer chains).
+    pub fn train(&mut self, seed: u64) -> CoreResult<TrainReport> {
+        let mut report = TrainReport::default();
+        let targets: Vec<String> = self
+            .annotation
+            .incomplete_tables()
+            .map(str::to_string)
+            .collect();
+        for (i, target) in targets.iter().enumerate() {
+            let table = self.db.table(target)?;
+            if modeled_columns(table).is_empty() {
+                continue;
+            }
+            let suspected = self
+                .suspected
+                .iter()
+                .find(|s| &s.table == target)
+                .cloned();
+            let outcome = select_model(
+                &self.db,
+                &self.annotation,
+                target,
+                self.config.max_path_len,
+                self.config.max_candidates,
+                &self.config.strategy,
+                suspected.as_ref(),
+                &self.config.train,
+                seed.wrapping_add(i as u64 * 7919),
+            )?;
+            let model = Arc::new(outcome.model);
+            report.models.push(ModelSummary {
+                target: target.clone(),
+                path: model.path().describe(),
+                ssar: model.is_ssar(),
+                val_loss: model.val_loss,
+                target_val_loss: model.target_val_loss(),
+                seconds: model.train_seconds,
+                parameters: model.num_parameters(),
+            });
+            report.candidates.insert(target.clone(), outcome.candidates);
+            self.selected
+                .insert(target.clone(), model.path().tables().to_vec());
+            self.models
+                .insert(model.path().tables().to_vec(), model);
+        }
+        Ok(report)
+    }
+
+    /// Returns (training on demand) the model for an exact path.
+    pub fn model_for_path(&mut self, tables: &[String], seed: u64) -> CoreResult<Arc<CompletionModel>> {
+        if let Some(m) = self.models.get(tables) {
+            return Ok(Arc::clone(m));
+        }
+        let path = CompletionPath::from_tables(&self.db, tables)?;
+        let model = Arc::new(CompletionModel::train(
+            &self.db,
+            &self.annotation,
+            path,
+            &self.config.train,
+            seed,
+        )?);
+        self.models.insert(tables.to_vec(), Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// The model selected for an incomplete table, if trained.
+    pub fn selected_model(&self, table: &str) -> Option<Arc<CompletionModel>> {
+        let path = self.selected.get(table)?;
+        self.models.get(path).cloned()
+    }
+
+    /// Forces the completion path used for `table` (training the model on
+    /// demand) — used when the user knows the best evidence, and by the
+    /// evaluation's "optimal selection" mode (§7.2 reports metrics under
+    /// optimal model and path selection).
+    pub fn set_selected_path(&mut self, table: &str, tables: &[String], seed: u64) -> CoreResult<()> {
+        let model = self.model_for_path(tables, seed)?;
+        if model.path().target() != table {
+            return Err(CoreError::Invalid(format!(
+                "path {} does not end at {table}",
+                model.path().describe()
+            )));
+        }
+        self.selected.insert(table.to_string(), tables.to_vec());
+        self.forced.insert(table.to_string(), tables.to_vec());
+        Ok(())
+    }
+
+    /// Candidate completion paths for an incomplete table.
+    pub fn candidate_paths(&self, table: &str) -> Vec<CompletionPath> {
+        crate::paths::enumerate_paths(&self.db, &self.annotation, table, self.config.max_path_len)
+    }
+
+    /// §4.5 offline completion: without workload knowledge, pre-completes
+    /// every joinable (complete evidence, incomplete target) pair so that
+    /// any single-table or two-table query is answerable without
+    /// generating data at query time. Returns the number of cached joins.
+    pub fn precompute_pairs(&mut self, seed: u64) -> CoreResult<usize> {
+        let incomplete: Vec<String> =
+            self.annotation.incomplete_tables().map(str::to_string).collect();
+        let mut cached = 0;
+        for target in incomplete {
+            let table = self.db.table(&target)?;
+            if modeled_columns(table).is_empty() {
+                continue;
+            }
+            for step in self.db.neighbors(&target) {
+                // The evidence side is the FK neighbor; it must be complete.
+                let other = step.to_table().to_string();
+                if self.annotation.is_incomplete(&other) {
+                    continue;
+                }
+                let chain = vec![other, target.clone()];
+                if self.complete_join(&chain, seed).is_ok() {
+                    cached += 1;
+                }
+            }
+        }
+        Ok(cached)
+    }
+
+    /// Completes the join over an ordered table chain (Algorithm 1) with
+    /// §4.5 caching.
+    pub fn complete_join(&mut self, tables: &[String], seed: u64) -> CoreResult<Arc<CompletionOutput>> {
+        if let Some(cached) = self.cache.get(tables) {
+            return Ok(cached);
+        }
+        let model = self.model_for_path(tables, seed)?;
+        let completer = Completer::new(&self.db, &self.annotation)
+            .with_config(self.config.completer.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
+        let out = Arc::new(completer.complete(&model, &mut rng)?);
+        self.cache.put(tables.to_vec(), Arc::clone(&out));
+        Ok(out)
+    }
+
+    /// Executes a query over the incomplete data as-is (the baseline the
+    /// paper compares against).
+    pub fn execute_without_completion(&self, query: &Query) -> CoreResult<QueryResult> {
+        restore_db::execute(&self.db, query).map_err(CoreError::from)
+    }
+
+    /// Executes a query with data completion: the ReStore answer.
+    pub fn execute(&mut self, query: &Query, seed: u64) -> CoreResult<QueryResult> {
+        let needs_completion = query
+            .tables
+            .iter()
+            .any(|t| self.annotation.is_incomplete(t));
+        if !needs_completion {
+            return self.execute_without_completion(query);
+        }
+        let focus = query_focus_columns(query);
+        // Single-table queries get the completed relation directly (all
+        // real rows plus reweighted synthesized ones).
+        if query.tables.len() == 1 {
+            let completed = self.completed_table_focused(&query.tables[0], &focus, seed)?;
+            return execute_on_join(&completed, query).map_err(CoreError::from);
+        }
+        let chain = self.execution_chain(&query.tables, &focus, seed)?;
+        let out = self.complete_join(&chain, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let projected = self.project_completed(&out, &query.tables, &mut rng)?;
+        execute_on_join(&projected, query).map_err(CoreError::from)
+    }
+
+    /// Completes a single incomplete table and returns it in the table's
+    /// own schema: all real rows survive as-is, synthesized rows are taken
+    /// from the completed chain join and thinned by the evidence
+    /// multiplicity (the §4.4 reweighting — an n:1 evidence step visits a
+    /// target tuple once per evidence row).
+    pub fn completed_table(&mut self, table: &str, seed: u64) -> CoreResult<Table> {
+        self.completed_table_focused(table, &[], seed)
+    }
+
+    /// [`ReStore::completed_table`] with query-aware path selection: the
+    /// candidate whose held-out NLL on the `focus` attributes is lowest
+    /// wins (§5 — the significance of evidence depends on the query).
+    pub fn completed_table_focused(
+        &mut self,
+        table: &str,
+        focus: &[String],
+        seed: u64,
+    ) -> CoreResult<Table> {
+        let tname = table.to_string();
+        let chain = self.execution_chain(std::slice::from_ref(&tname), focus, seed)?;
+        let out = self.complete_join(&chain, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517e);
+
+        let base = self.db.table(table)?;
+        let mut result = base.clone();
+        let join = &out.join;
+        let syn = out
+            .synthesized_for(table)
+            .ok_or_else(|| CoreError::Invalid(format!("{table} not on completed chain")))?;
+
+        // Evidence multiplicity from real (non-synthesized) rows: how often
+        // does one real target tuple appear in the chain join?
+        let multiplicity = match join.resolve(&format!("{table}.id")) {
+            Ok(id_idx) => {
+                let mut distinct = std::collections::HashSet::new();
+                let mut real = 0usize;
+                for r in 0..join.n_rows() {
+                    let v = join.value(r, id_idx);
+                    if !syn[r] && !v.is_null() {
+                        real += 1;
+                        distinct.insert(v.to_string());
+                    }
+                }
+                (real as f64 / distinct.len().max(1) as f64).max(1.0)
+            }
+            Err(_) => 1.0,
+        };
+        let p_keep = 1.0 / multiplicity;
+
+        for r in 0..join.n_rows() {
+            if !syn[r] || rand::Rng::random::<f64>(&mut rng) >= p_keep {
+                continue;
+            }
+            let row: Vec<Value> = base
+                .fields()
+                .iter()
+                .map(|f| {
+                    let bare = f.name.rsplit('.').next().unwrap_or(&f.name);
+                    match join.resolve(&format!("{table}.{bare}")) {
+                        Ok(i) => crate::completion::coerce(&join.value(r, i), f.dtype),
+                        Err(_) => Value::Null,
+                    }
+                })
+                .collect();
+            result.push_row(&row)?;
+        }
+        Ok(result)
+    }
+
+    /// §6 confidence interval for an aggregate over the completed join of
+    /// `query_tables`.
+    pub fn confidence(
+        &mut self,
+        query_tables: &[String],
+        query: &ConfidenceQuery,
+        level: f64,
+        seed: u64,
+    ) -> CoreResult<ConfidenceInterval> {
+        let focus = match query {
+            ConfidenceQuery::CountFraction { column, .. }
+            | ConfidenceQuery::Avg { column, .. }
+            | ConfidenceQuery::Sum { column, .. } => vec![column.clone()],
+        };
+        let chain = self.execution_chain(query_tables, &focus, seed)?;
+        let out = self.complete_join(&chain, seed)?;
+        let model = self.model_for_path(&chain, seed)?;
+        confidence_interval(&model, &self.db, &out, query, level)
+    }
+
+    /// Builds the execution chain for a set of query tables: a candidate
+    /// completion path of an incomplete query table, extended with the
+    /// remaining query tables along FK edges. Among all viable chains the
+    /// one whose model best predicts the `focus` attributes (held-out NLL)
+    /// wins — the significance of evidence depends on the query (§5).
+    fn execution_chain(
+        &mut self,
+        query_tables: &[String],
+        focus: &[String],
+        seed: u64,
+    ) -> CoreResult<Vec<String>> {
+        let incomplete: Vec<String> = query_tables
+            .iter()
+            .filter(|t| self.annotation.is_incomplete(t))
+            .cloned()
+            .collect();
+        if incomplete.is_empty() {
+            return Err(CoreError::Invalid("no incomplete table in query".into()));
+        }
+        let mut best: Option<(f32, Vec<String>)> = None;
+        let mut last_err: Option<CoreError> = None;
+        for anchor in &incomplete {
+            let table = self.db.table(anchor)?;
+            if modeled_columns(table).is_empty() {
+                continue;
+            }
+            // A forced path short-circuits candidate enumeration.
+            let candidates: Vec<Vec<String>> = match self.forced.get(anchor) {
+                Some(forced) => vec![forced.clone()],
+                None => self
+                    .candidate_paths(anchor)
+                    .into_iter()
+                    .take(self.config.max_candidates.max(1))
+                    .map(|p| p.tables().to_vec())
+                    .collect(),
+            };
+            for mut chain in candidates {
+                let mut remaining: Vec<String> = query_tables
+                    .iter()
+                    .filter(|t| !chain.contains(t))
+                    .cloned()
+                    .collect();
+                // Greedily append tables connected to the chain's end.
+                while !remaining.is_empty() {
+                    let end = chain.last().unwrap().clone();
+                    match remaining
+                        .iter()
+                        .position(|t| self.db.edge_between(&end, t).is_some())
+                    {
+                        Some(i) => chain.push(remaining.remove(i)),
+                        None => break,
+                    }
+                }
+                if !remaining.is_empty() {
+                    last_err = Some(CoreError::Invalid(format!(
+                        "cannot extend chain {chain:?} with {remaining:?}"
+                    )));
+                    continue;
+                }
+                match self.model_for_path(&chain, seed) {
+                    Ok(model) => {
+                        // Every chain table outside the query adds evidence
+                        // multiplicity (and reweighting noise, §4.4), so
+                        // near-ties go to the leaner chain.
+                        let extras = chain
+                            .iter()
+                            .filter(|t| !query_tables.contains(t))
+                            .count();
+                        // §4.4 reweighting for extra evidence tables is far
+                        // noisier than the completion itself, so covering
+                        // chains win unless their evidence is much weaker.
+                        let score = focus_loss(&model, focus, &self.annotation, query_tables)
+                            + 0.3 * extras as f32;
+                        if best.as_ref().map_or(true, |(b, _)| score < *b) {
+                            best = Some((score, chain));
+                        }
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        best.map(|(_, c)| c).ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                CoreError::NoPath(format!("no execution chain covers {query_tables:?}"))
+            })
+        })
+    }
+
+    /// Projects a completed chain join onto the query tables, correcting
+    /// row multiplicity introduced by additional evidence tables (§4.4).
+    fn project_completed(
+        &self,
+        out: &CompletionOutput,
+        query_tables: &[String],
+        rng: &mut StdRng,
+    ) -> CoreResult<Table> {
+        let chain = &out.tables;
+        let extras: Vec<&String> = chain.iter().filter(|t| !query_tables.contains(t)).collect();
+        if extras.is_empty() {
+            return Ok(out.join.clone());
+        }
+        // Keep only the query tables' columns — evidence columns would
+        // shadow query attributes (e.g. actor.gender vs director.gender).
+        let query_cols: Vec<String> = out
+            .join
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .filter(|name| {
+                name.split_once('.')
+                    .is_some_and(|(t, _)| query_tables.iter().any(|q| q == t))
+            })
+            .collect();
+        // The extras form the evidence prefix; the pivot is the first chain
+        // table that belongs to the query.
+        let pivot_idx = chain
+            .iter()
+            .position(|t| query_tables.contains(t))
+            .ok_or_else(|| CoreError::Invalid("query tables not on chain".into()))?;
+        let join = &out.join;
+        let n = join.n_rows();
+
+        // Row keys: id columns of the pivot and all downstream query tables.
+        let key_cols: Vec<usize> = chain[pivot_idx..]
+            .iter()
+            .filter(|t| query_tables.contains(t))
+            .filter_map(|t| join.resolve(&format!("{t}.id")).ok())
+            .collect();
+        if key_cols.is_empty() {
+            // No identity available; project columns and return as-is.
+            let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
+            return join.project(&refs).map_err(CoreError::from);
+        }
+
+        // A row is synthetic when any *query-table* part of it was
+        // synthesized — euclidean replacement may have given it real keys
+        // (Fig. 3), so null-ness of the key is not the right signal.
+        let relevant: Vec<usize> = (0..chain.len())
+            .filter(|&i| query_tables.contains(&chain[i]))
+            .collect();
+        let is_syn = |r: usize| relevant.iter().any(|&i| out.syn[i][r]);
+
+        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+        let mut real_rows = 0usize;
+        let mut keep = vec![false; n];
+        let mut syn_rows: Vec<usize> = Vec::new();
+        for r in 0..n {
+            if is_syn(r) {
+                syn_rows.push(r);
+                continue;
+            }
+            let key: Vec<Value> = key_cols.iter().map(|&c| join.value(r, c)).collect();
+            if key.iter().any(Value::is_null) {
+                // Real parts but no identity — keep conservatively.
+                keep[r] = true;
+                continue;
+            }
+            real_rows += 1;
+            if seen.insert(key) {
+                keep[r] = true;
+            }
+        }
+        // Multiplicity of real keys → thinning factor for synthesized rows.
+        let distinct = seen.len().max(1);
+        let multiplicity = (real_rows as f64 / distinct as f64).max(1.0);
+        let p_keep = 1.0 / multiplicity;
+        for &r in &syn_rows {
+            if rand::Rng::random::<f64>(rng) < p_keep {
+                keep[r] = true;
+            }
+        }
+        let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
+        join.filter(&keep).project(&refs).map_err(CoreError::from)
+    }
+}
+
+/// Bare (unqualified) column names a query reads: filter references,
+/// group-by columns and aggregate inputs.
+pub fn query_focus_columns(query: &Query) -> Vec<String> {
+    let mut cols = Vec::new();
+    if let Some(f) = &query.filter {
+        f.collect_columns(&mut cols);
+    }
+    cols.extend(query.group_by.iter().cloned());
+    for agg in &query.aggregates {
+        if let Some(c) = agg.input_column() {
+            cols.push(c.to_string());
+        }
+    }
+    let mut bare: Vec<String> = cols
+        .into_iter()
+        .map(|c| c.rsplit('.').next().unwrap_or(&c).to_string())
+        .collect();
+    bare.sort();
+    bare.dedup();
+    bare
+}
+
+/// Mean held-out NLL of a model on the attributes the query needs to be
+/// synthesized: attributes of *incomplete query tables*, preferring the
+/// focus columns. Restricting to query tables keeps the score comparable
+/// across chains with different evidence prefixes.
+fn focus_loss(
+    model: &CompletionModel,
+    focus: &[String],
+    annotation: &SchemaAnnotation,
+    query_tables: &[String],
+) -> f32 {
+    let mut focus_vals = Vec::new();
+    let mut all_vals = Vec::new();
+    for (i, attr) in model.attrs().iter().enumerate() {
+        if let crate::model::AttrKind::Column { table, column } = &attr.kind {
+            if annotation.is_incomplete(table) && query_tables.iter().any(|q| q == table) {
+                all_vals.push(model.val_per_attr[i]);
+                if focus.iter().any(|f| f == column) {
+                    focus_vals.push(model.val_per_attr[i]);
+                }
+            }
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    if !focus_vals.is_empty() {
+        mean(&focus_vals)
+    } else if !all_vals.is_empty() {
+        mean(&all_vals)
+    } else {
+        model.target_val_loss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_db::Agg;
+
+    use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
+
+    fn restore_on_synthetic(seed: u64) -> (restore_data::Scenario, ReStore) {
+        let db = restore_data::generate_synthetic(
+            &SyntheticConfig { predictability: 0.95, n_parent: 200, ..Default::default() },
+            seed,
+        );
+        let mut rcfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
+        rcfg.seed = seed;
+        let sc = apply_removal(&db, &rcfg);
+        let mut cfg = RestoreConfig::default();
+        cfg.train.epochs = 10;
+        cfg.train.hidden = vec![32, 32];
+        cfg.max_candidates = 1;
+        let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
+        rs.mark_incomplete("tb");
+        (sc, rs)
+    }
+
+    #[test]
+    fn train_reports_models() {
+        let (_, mut rs) = restore_on_synthetic(51);
+        let report = rs.train(51).unwrap();
+        assert_eq!(report.models.len(), 1);
+        let m = &report.models[0];
+        assert_eq!(m.target, "tb");
+        assert!(m.path.contains("ta"));
+        assert!(m.seconds > 0.0);
+        assert!(m.parameters > 100);
+        assert!(rs.selected_model("tb").is_some());
+    }
+
+    #[test]
+    fn completed_count_beats_incomplete_count() {
+        let (sc, mut rs) = restore_on_synthetic(52);
+        rs.train(52).unwrap();
+        let q = Query::new(["tb"]).aggregate(Agg::CountStar);
+        let truth = restore_db::execute(&sc.complete, &q).unwrap().scalar().unwrap();
+        let incomplete = rs.execute_without_completion(&q).unwrap().scalar().unwrap();
+        let completed = rs.execute(&q, 52).unwrap().scalar().unwrap();
+        assert!(
+            (completed - truth).abs() < (incomplete - truth).abs(),
+            "completion did not improve COUNT: truth {truth}, incomplete {incomplete}, completed {completed}"
+        );
+    }
+
+    #[test]
+    fn complete_queries_bypass_completion() {
+        let (sc, mut rs) = restore_on_synthetic(53);
+        let q = Query::new(["ta"]).aggregate(Agg::CountStar);
+        let r = rs.execute(&q, 53).unwrap();
+        let truth = restore_db::execute(&sc.complete, &q).unwrap();
+        assert_eq!(r.scalar(), truth.scalar());
+    }
+
+    #[test]
+    fn join_cache_is_reused() {
+        let (_, mut rs) = restore_on_synthetic(54);
+        rs.train(54).unwrap();
+        let q = Query::new(["ta", "tb"]).aggregate(Agg::CountStar);
+        let a = rs.execute(&q, 54).unwrap().scalar().unwrap();
+        let (h0, _) = rs.cache_stats();
+        let b = rs.execute(&q, 54).unwrap().scalar().unwrap();
+        let (h1, _) = rs.cache_stats();
+        assert_eq!(a, b, "cached completion must give identical answers");
+        assert!(h1 > h0, "second query must hit the cache");
+    }
+
+    #[test]
+    fn precompute_pairs_fills_the_cache() {
+        let (_, mut rs) = restore_on_synthetic(56);
+        let cached = rs.precompute_pairs(56).unwrap();
+        assert_eq!(cached, 1, "ta→tb is the only (complete, incomplete) pair");
+        // The subsequent query hits the cache instead of re-completing.
+        let (h0, _) = rs.cache_stats();
+        let q = Query::new(["ta", "tb"]).aggregate(Agg::CountStar);
+        rs.execute(&q, 56).unwrap();
+        let (h1, _) = rs.cache_stats();
+        assert!(h1 > h0, "query after precompute must hit the cache");
+    }
+
+    #[test]
+    fn group_by_query_on_completed_join() {
+        let (sc, mut rs) = restore_on_synthetic(55);
+        rs.train(55).unwrap();
+        let q = Query::new(["ta", "tb"])
+            .group_by(["b"])
+            .aggregate(Agg::CountStar);
+        let truth = restore_db::execute(&sc.complete, &q).unwrap().groups();
+        let incomplete = rs.execute_without_completion(&q).unwrap().groups();
+        let completed = rs.execute(&q, 55).unwrap().groups();
+        // Mean absolute relative error over true groups.
+        let err = |m: &std::collections::BTreeMap<Vec<String>, Vec<f64>>| {
+            let mut tot = 0.0;
+            for (k, v) in &truth {
+                let got = m.get(k).map(|x| x[0]).unwrap_or(0.0);
+                tot += (got - v[0]).abs() / v[0].max(1.0);
+            }
+            tot / truth.len() as f64
+        };
+        assert!(
+            err(&completed) < err(&incomplete),
+            "group-by error not improved: completed {} vs incomplete {}",
+            err(&completed),
+            err(&incomplete)
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Model & path selection (§5).
+//!
+//! *Basic selection* filters models by their held-out test loss — an
+//! unpredictable target attribute means the bias cannot be corrected
+//! (Fig. 5b validates the criterion). *Advanced selection* derives an
+//! additional incomplete scenario from the already-incomplete data (whose
+//! ground truth we hold) and ranks candidates by how well they reconstruct
+//! it. When the user *suspects* the direction of the bias, candidates are
+//! ranked by how strongly they correct in that direction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use restore_db::Database;
+
+use crate::annotation::SchemaAnnotation;
+use crate::completion::{Completer, CompletionOutput};
+use crate::error::{CoreError, CoreResult};
+use crate::model::{CompletionModel, TrainConfig};
+use crate::paths::enumerate_paths;
+
+/// The direction of a suspected bias on an attribute (§5): does the
+/// incomplete data over- or under-estimate it?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BiasDirection {
+    Overestimated,
+    Underestimated,
+}
+
+/// User-provided hint that an attribute's aggregate is biased.
+#[derive(Clone, Debug)]
+pub struct SuspectedBias {
+    pub table: String,
+    pub column: String,
+    pub direction: BiasDirection,
+    /// For categorical attributes: the value whose share is biased.
+    pub value: Option<String>,
+}
+
+/// How the facade selects among candidate completion paths.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Pick the shortest valid path (no training of alternatives).
+    Shortest,
+    /// Train every candidate and pick the lowest held-out target NLL
+    /// (basic selection, §5).
+    #[default]
+    BestValLoss,
+    /// Additionally rank the basic-filtered candidates by completing the
+    /// data and scoring against the suspected bias direction.
+    SuspectedBiasRanking,
+}
+
+/// Score sheet of one candidate path.
+#[derive(Clone, Debug)]
+pub struct CandidateScore {
+    pub path: String,
+    pub val_loss: f32,
+    pub target_val_loss: f32,
+    /// Strategy-specific ranking score (higher is better).
+    pub score: f64,
+    pub selected: bool,
+}
+
+/// Outcome of path selection for one incomplete table.
+pub struct SelectionOutcome {
+    pub model: CompletionModel,
+    pub candidates: Vec<CandidateScore>,
+}
+
+/// Basic filter (§5): a model whose held-out NLL on the target attributes
+/// is close to the uninformative (marginal-entropy) bound cannot correct
+/// the bias. We filter candidates whose target NLL exceeds `factor` × the
+/// best candidate's.
+pub fn basic_filter(scored: &mut Vec<(CompletionModel, f64)>, factor: f32) {
+    if scored.len() <= 1 {
+        return;
+    }
+    let best = scored
+        .iter()
+        .map(|(m, _)| m.target_val_loss())
+        .fold(f32::INFINITY, f32::min);
+    scored.retain(|(m, _)| m.target_val_loss() <= best * factor + 1e-3);
+}
+
+/// Trains candidate models for all paths to `target` and applies the
+/// selection strategy.
+#[allow(clippy::too_many_arguments)]
+pub fn select_model(
+    db: &Database,
+    annotation: &SchemaAnnotation,
+    target: &str,
+    max_path_len: usize,
+    max_candidates: usize,
+    strategy: &SelectionStrategy,
+    suspected: Option<&SuspectedBias>,
+    train_cfg: &TrainConfig,
+    seed: u64,
+) -> CoreResult<SelectionOutcome> {
+    let mut paths = enumerate_paths(db, annotation, target, max_path_len);
+    if paths.is_empty() {
+        return Err(CoreError::NoPath(format!("no completion path reaches {target}")));
+    }
+    if *strategy == SelectionStrategy::Shortest {
+        paths.truncate(1);
+    } else {
+        paths.truncate(max_candidates.max(1));
+    }
+
+    // Train all candidates.
+    let mut trained: Vec<(CompletionModel, f64)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (i, path) in paths.iter().enumerate() {
+        match CompletionModel::train(db, annotation, path.clone(), train_cfg, seed ^ (i as u64) << 8) {
+            Ok(m) => trained.push((m, 0.0)),
+            Err(e) => failures.push(format!("{}: {e}", path.describe())),
+        }
+    }
+    if trained.is_empty() {
+        return Err(CoreError::NoModel(format!(
+            "all candidate paths failed for {target}: {failures:?}"
+        )));
+    }
+
+    // Score per strategy.
+    match strategy {
+        SelectionStrategy::Shortest | SelectionStrategy::BestValLoss => {
+            for (m, score) in trained.iter_mut() {
+                *score = -(m.target_val_loss() as f64);
+            }
+        }
+        SelectionStrategy::SuspectedBiasRanking => {
+            basic_filter(&mut trained, 1.5);
+            let sus = suspected.ok_or_else(|| {
+                CoreError::Invalid("SuspectedBiasRanking needs a SuspectedBias hint".into())
+            })?;
+            for (m, score) in trained.iter_mut() {
+                *score = suspected_bias_score(db, annotation, m, sus, seed)?;
+            }
+        }
+    }
+
+    // Pick the max-score candidate; report everything.
+    let best_idx = trained
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut candidates = Vec::with_capacity(trained.len());
+    for (i, (m, score)) in trained.iter().enumerate() {
+        candidates.push(CandidateScore {
+            path: m.path().describe(),
+            val_loss: m.val_loss,
+            target_val_loss: m.target_val_loss(),
+            score: *score,
+            selected: i == best_idx,
+        });
+    }
+    let model = trained.swap_remove(best_idx).0;
+    Ok(SelectionOutcome { model, candidates })
+}
+
+/// Scores a candidate by how strongly its completion corrects the
+/// suspected bias: completes the data and measures the shift of the
+/// attribute's mean (continuous) or target-value share (categorical) in the
+/// suspected direction.
+fn suspected_bias_score(
+    db: &Database,
+    annotation: &SchemaAnnotation,
+    model: &CompletionModel,
+    suspected: &SuspectedBias,
+    seed: u64,
+) -> CoreResult<f64> {
+    let completer = Completer::new(db, annotation);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb1a5);
+    let out = completer.complete(model, &mut rng)?;
+    let before = attr_statistic(StatInput::Incomplete(db), suspected)?;
+    let after = attr_statistic(StatInput::Completed(&out), suspected)?;
+    let shift = after - before;
+    Ok(match suspected.direction {
+        // Incomplete data overestimates → a good completion lowers it.
+        BiasDirection::Overestimated => -shift,
+        BiasDirection::Underestimated => shift,
+    })
+}
+
+enum StatInput<'a> {
+    Incomplete(&'a Database),
+    Completed(&'a CompletionOutput),
+}
+
+/// Mean (continuous) or target-value share (categorical) of the suspected
+/// attribute.
+fn attr_statistic(input: StatInput<'_>, suspected: &SuspectedBias) -> CoreResult<f64> {
+    let (values, n): (Vec<restore_db::Value>, usize) = match input {
+        StatInput::Incomplete(db) => {
+            let t = db.table(&suspected.table)?;
+            let idx = t.resolve(&suspected.column)?;
+            ((0..t.n_rows()).map(|r| t.value(r, idx)).collect(), t.n_rows())
+        }
+        StatInput::Completed(out) => {
+            let idx = out
+                .join
+                .resolve(&format!("{}.{}", suspected.table, suspected.column))?;
+            ((0..out.join.n_rows()).map(|r| out.join.value(r, idx)).collect(), out.join.n_rows())
+        }
+    };
+    if n == 0 {
+        return Ok(0.0);
+    }
+    Ok(match &suspected.value {
+        Some(v) => values.iter().filter(|x| x.to_string() == *v).count() as f64 / n as f64,
+        None => {
+            let nums: Vec<f64> = values.iter().filter_map(|x| x.as_f64()).collect();
+            if nums.is_empty() {
+                0.0
+            } else {
+                nums.iter().sum::<f64>() / nums.len() as f64
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
+
+    fn scenario(seed: u64) -> restore_data::Scenario {
+        let db = restore_data::generate_synthetic(
+            &SyntheticConfig { predictability: 0.95, n_parent: 200, ..Default::default() },
+            seed,
+        );
+        let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
+        cfg.seed = seed;
+        apply_removal(&db, &cfg)
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { epochs: 6, hidden: vec![32, 32], max_train_rows: 4000, ..Default::default() }
+    }
+
+    #[test]
+    fn best_val_loss_selects_a_model() {
+        let sc = scenario(41);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let outcome = select_model(
+            &sc.incomplete,
+            &ann,
+            "tb",
+            3,
+            4,
+            &SelectionStrategy::BestValLoss,
+            None,
+            &quick_cfg(),
+            41,
+        )
+        .unwrap();
+        assert_eq!(outcome.model.path().target(), "tb");
+        assert!(outcome.candidates.iter().any(|c| c.selected));
+    }
+
+    #[test]
+    fn no_path_is_an_error() {
+        let sc = scenario(42);
+        // Mark everything incomplete: no complete evidence root exists.
+        let ann = SchemaAnnotation::with_incomplete(["ta", "tb"]);
+        assert!(matches!(
+            select_model(
+                &sc.incomplete,
+                &ann,
+                "tb",
+                3,
+                4,
+                &SelectionStrategy::BestValLoss,
+                None,
+                &quick_cfg(),
+                42,
+            ),
+            Err(CoreError::NoPath(_))
+        ));
+    }
+
+    #[test]
+    fn suspected_bias_ranking_prefers_correcting_models() {
+        let sc = scenario(43);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let sus = SuspectedBias {
+            table: "tb".into(),
+            column: "b".into(),
+            direction: BiasDirection::Underestimated,
+            value: sc.bias_value.clone(),
+        };
+        let outcome = select_model(
+            &sc.incomplete,
+            &ann,
+            "tb",
+            2,
+            2,
+            &SelectionStrategy::SuspectedBiasRanking,
+            Some(&sus),
+            &quick_cfg(),
+            43,
+        )
+        .unwrap();
+        // The biased value was depleted; a good completion raises its share,
+        // so the winning score must be positive.
+        let winner = outcome.candidates.iter().find(|c| c.selected).unwrap();
+        assert!(winner.score > 0.0, "winning score {} should correct the bias", winner.score);
+    }
+
+    #[test]
+    fn basic_filter_drops_bad_models() {
+        let sc = scenario(44);
+        let ann = SchemaAnnotation::with_incomplete(["tb"]);
+        let path = crate::paths::CompletionPath::from_tables(
+            &sc.incomplete,
+            &["ta".into(), "tb".into()],
+        )
+        .unwrap();
+        let good = CompletionModel::train(&sc.incomplete, &ann, path.clone(), &quick_cfg(), 1).unwrap();
+        // An untrained model: 0 epochs and no minimum-step floor.
+        let mut bad_cfg = quick_cfg();
+        bad_cfg.epochs = 0;
+        bad_cfg.min_steps = 0;
+        let bad = CompletionModel::train(&sc.incomplete, &ann, path, &bad_cfg, 1).unwrap();
+        let mut scored = vec![(good, 0.0), (bad, 0.0)];
+        basic_filter(&mut scored, 1.1);
+        assert_eq!(scored.len(), 1, "the uninformative model must be filtered");
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the relational engine.
+
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist (table context in the message).
+    UnknownColumn(String),
+    /// A column reference matched several columns of a join result.
+    AmbiguousColumn(String),
+    /// A value had an unexpected type for the operation.
+    TypeMismatch { expected: &'static str, found: String },
+    /// Row arity or column length did not match the schema.
+    ShapeMismatch(String),
+    /// The requested join is impossible (no FK path / cyclic).
+    InvalidJoin(String),
+    /// Generic invalid query description.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DbError::InvalidJoin(m) => write!(f, "invalid join: {m}"),
+            DbError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used across the engine.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,247 @@
+//! Scalar expressions for filter predicates.
+//!
+//! ReStore supports "arbitrary filter predicates" (§2.2) because filters run
+//! on the completed join with normal operators — this module provides the
+//! comparison / boolean / arithmetic expression tree those filters use.
+
+use crate::error::DbResult;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A scalar expression evaluated per row.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Column reference (possibly qualified, e.g. `apartment.price`).
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison; SQL semantics (NULL compares to nothing → false).
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// True when the inner expression is NULL.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(rhs))
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(rhs))
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(rhs))
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(rhs))
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(rhs))
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(rhs))
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluates the expression for row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> DbResult<Value> {
+        Ok(match self {
+            Expr::Col(name) => {
+                let idx = table.resolve(name)?;
+                table.value(row, idx)
+            }
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(a, op, b) => {
+                let (va, vb) = (a.eval(table, row)?, b.eval(table, row)?);
+                match (op, va.partial_cmp_sql(&vb)) {
+                    (_, None) => {
+                        // NULL comparison is false except explicit Ne of
+                        // non-null vs null which is also NULL in SQL; we
+                        // model three-valued logic collapsed to false.
+                        Value::Int(0)
+                    }
+                    (CmpOp::Eq, Some(o)) => Value::Int((o == std::cmp::Ordering::Equal) as i64),
+                    (CmpOp::Ne, Some(o)) => Value::Int((o != std::cmp::Ordering::Equal) as i64),
+                    (CmpOp::Lt, Some(o)) => Value::Int((o == std::cmp::Ordering::Less) as i64),
+                    (CmpOp::Le, Some(o)) => Value::Int((o != std::cmp::Ordering::Greater) as i64),
+                    (CmpOp::Gt, Some(o)) => Value::Int((o == std::cmp::Ordering::Greater) as i64),
+                    (CmpOp::Ge, Some(o)) => Value::Int((o != std::cmp::Ordering::Less) as i64),
+                }
+            }
+            Expr::And(a, b) => {
+                Value::Int((a.eval_bool(table, row)? && b.eval_bool(table, row)?) as i64)
+            }
+            Expr::Or(a, b) => {
+                Value::Int((a.eval_bool(table, row)? || b.eval_bool(table, row)?) as i64)
+            }
+            Expr::Not(a) => Value::Int(!a.eval_bool(table, row)? as i64),
+            Expr::Arith(a, op, b) => {
+                let (va, vb) = (a.eval(table, row)?, b.eval(table, row)?);
+                match (va.as_f64(), vb.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    return Ok(Value::Null);
+                                }
+                                x / y
+                            }
+                        };
+                        Value::Float(r)
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::IsNull(a) => Value::Int(a.eval(table, row)?.is_null() as i64),
+        })
+    }
+
+    /// Evaluates as a boolean; NULL and 0 are false.
+    pub fn eval_bool(&self, table: &Table, row: usize) -> DbResult<bool> {
+        Ok(match self.eval(table, row)? {
+            Value::Null => false,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Str(_) => true,
+        })
+    }
+
+    /// Evaluates the predicate for every row, returning the selection mask.
+    pub fn eval_mask(&self, table: &Table) -> DbResult<Vec<bool>> {
+        (0..table.n_rows()).map(|r| self.eval_bool(table, r)).collect()
+    }
+
+    /// Collects every column reference in the expression tree.
+    pub fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(name) => out.push(name.clone()),
+            Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(a, _, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.collect_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+    use crate::value::DataType;
+
+    fn apartments() -> Table {
+        let mut t = Table::new(
+            "apartment",
+            vec![
+                Field::new("price", DataType::Float),
+                Field::new("room_type", DataType::Str),
+                Field::new("rooms", DataType::Int),
+            ],
+        );
+        t.push_row(&[Value::Float(1000.0), Value::str("Entire home/apt"), Value::Int(3)]).unwrap();
+        t.push_row(&[Value::Float(500.0), Value::str("Private room"), Value::Int(1)]).unwrap();
+        t.push_row(&[Value::Null, Value::str("Entire home/apt"), Value::Int(2)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn comparison_and_boolean_logic() {
+        let t = apartments();
+        let pred = Expr::col("price")
+            .ge(Expr::lit(600.0))
+            .and(Expr::col("room_type").eq(Expr::lit("Entire home/apt")));
+        assert_eq!(pred.eval_mask(&t).unwrap(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let t = apartments();
+        let pred = Expr::col("price").lt(Expr::lit(1e9));
+        assert_eq!(pred.eval_mask(&t).unwrap(), vec![true, true, false]);
+        let isnull = Expr::IsNull(Box::new(Expr::col("price")));
+        assert_eq!(isnull.eval_mask(&t).unwrap(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn arithmetic_with_division_by_zero() {
+        let t = apartments();
+        let e = Expr::Arith(Box::new(Expr::col("price")), ArithOp::Div, Box::new(Expr::lit(0.0)));
+        assert!(e.eval(&t, 0).unwrap().is_null());
+        let e2 = Expr::Arith(Box::new(Expr::col("price")), ArithOp::Mul, Box::new(Expr::lit(2.0)));
+        assert_eq!(e2.eval(&t, 1).unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn not_and_or() {
+        let t = apartments();
+        let pred = Expr::col("rooms").eq(Expr::lit(1i64)).or(Expr::col("rooms").eq(Expr::lit(2i64)));
+        assert_eq!(pred.eval_mask(&t).unwrap(), vec![false, true, true]);
+        assert_eq!(pred.clone().not().eval_mask(&t).unwrap(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = apartments();
+        assert!(Expr::col("nope").eval(&t, 0).is_err());
+    }
+
+    #[test]
+    fn int_literal_compares_to_float_column() {
+        let t = apartments();
+        let pred = Expr::col("price").ge(Expr::lit(500i64));
+        assert_eq!(pred.eval_mask(&t).unwrap(), vec![true, true, false]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Query execution: join planning + filter + aggregation.
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Database;
+use crate::table::Table;
+
+use super::aggregate::aggregate;
+use super::join::hash_join;
+use super::Query;
+
+/// A query result with helpers for extracting scalars / group maps.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    pub table: Table,
+    /// Number of leading group-key columns.
+    pub group_cols: usize,
+}
+
+impl QueryResult {
+    /// The single numeric result of an ungrouped single-aggregate query.
+    pub fn scalar(&self) -> Option<f64> {
+        if self.group_cols == 0 && self.table.n_rows() == 1 {
+            self.table.value(0, 0).as_f64()
+        } else {
+            None
+        }
+    }
+
+    /// Map from group key (rendered values) to the aggregate columns.
+    pub fn groups(&self) -> BTreeMap<Vec<String>, Vec<f64>> {
+        let mut out = BTreeMap::new();
+        for r in 0..self.table.n_rows() {
+            let key: Vec<String> = (0..self.group_cols)
+                .map(|c| self.table.value(r, c).to_string())
+                .collect();
+            let vals: Vec<f64> = (self.group_cols..self.table.n_cols())
+                .map(|c| self.table.value(r, c).as_f64().unwrap_or(f64::NAN))
+                .collect();
+            out.insert(key, vals);
+        }
+        out
+    }
+}
+
+/// Computes the (natural, FK-directed) join of the query's tables.
+///
+/// The first table's columns come first; every further table is attached by
+/// a hash join along the FK edge the planner discovered. Output column
+/// names are fully qualified.
+pub fn join_tables(db: &Database, tables: &[String]) -> DbResult<Table> {
+    let order = db.join_order(tables)?;
+    let mut joined = db.table(&order[0].0)?.qualified();
+    for (name, step) in &order[1..] {
+        let step = step
+            .as_ref()
+            .ok_or_else(|| DbError::InvalidJoin(format!("{name} lacks a join edge")))?;
+        let right = db.table(name)?;
+        let (left_on, right_on) = if step.fan_out {
+            // Accumulated side holds the parent.
+            (
+                format!("{}.{}", step.fk.parent, step.fk.parent_col),
+                format!("{}.{}", step.fk.child, step.fk.child_col),
+            )
+        } else {
+            (
+                format!("{}.{}", step.fk.child, step.fk.child_col),
+                format!("{}.{}", step.fk.parent, step.fk.parent_col),
+            )
+        };
+        let out = hash_join(&joined, &left_on, right, &right_on, "join")?;
+        joined = out.table;
+    }
+    Ok(joined)
+}
+
+/// Executes an SPJA query over the database.
+pub fn execute(db: &Database, query: &Query) -> DbResult<QueryResult> {
+    let joined = join_tables(db, &query.tables)?;
+    execute_on_join(&joined, query)
+}
+
+/// Executes the filter/group/aggregate tail of `query` over an externally
+/// provided join result (e.g. a *completed* join produced by ReStore).
+pub fn execute_on_join(joined: &Table, query: &Query) -> DbResult<QueryResult> {
+    let filtered = match &query.filter {
+        Some(pred) => {
+            let mask = pred.eval_mask(joined)?;
+            joined.filter(&mask)
+        }
+        None => joined.clone(),
+    };
+    if query.aggregates.is_empty() {
+        return Ok(QueryResult { table: filtered, group_cols: query.group_by.len() });
+    }
+    let table = aggregate(&filtered, &query.group_by, &query.aggregates)?;
+    Ok(QueryResult { table, group_cols: query.group_by.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::Agg;
+    use crate::schema::ForeignKey;
+    use crate::table::Field;
+    use crate::value::{DataType, Value};
+
+    /// The running example of the paper: neighborhoods with apartments.
+    fn housing() -> Database {
+        let mut db = Database::new();
+        let mut n = Table::new(
+            "neighborhood",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("state", DataType::Str),
+                Field::new("pop_density", DataType::Float),
+            ],
+        );
+        n.push_row(&[Value::Int(1), Value::str("NYC"), Value::Float(27000.0)]).unwrap();
+        n.push_row(&[Value::Int(2), Value::str("CA"), Value::Float(254.0)]).unwrap();
+        db.add_table(n);
+        let mut a = Table::new(
+            "apartment",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("neighborhood_id", DataType::Int),
+                Field::new("rent", DataType::Float),
+            ],
+        );
+        a.push_row(&[Value::Int(1), Value::Int(1), Value::Float(2000.0)]).unwrap();
+        a.push_row(&[Value::Int(2), Value::Int(1), Value::Float(3000.0)]).unwrap();
+        a.push_row(&[Value::Int(3), Value::Int(2), Value::Float(3200.0)]).unwrap();
+        a.push_row(&[Value::Int(4), Value::Int(2), Value::Float(2000.0)]).unwrap();
+        a.push_row(&[Value::Int(5), Value::Int(2), Value::Float(1000.0)]).unwrap();
+        db.add_table(a);
+        db.add_foreign_key(ForeignKey::new("apartment", "neighborhood_id", "neighborhood", "id")).unwrap();
+        db
+    }
+
+    #[test]
+    fn figure_1c_average_rent_per_state() {
+        // SELECT AVG(rent) FROM neighborhood NATURAL JOIN apartment GROUP BY state
+        let db = housing();
+        let q = Query::new(["neighborhood", "apartment"])
+            .group_by(["state"])
+            .aggregate(Agg::Avg("rent".into()));
+        let res = execute(&db, &q).unwrap();
+        let groups = res.groups();
+        assert_eq!(groups[&vec!["CA".to_string()]][0], (3200.0 + 2000.0 + 1000.0) / 3.0);
+        assert_eq!(groups[&vec!["NYC".to_string()]][0], 2500.0);
+    }
+
+    #[test]
+    fn single_table_scalar_query() {
+        let db = housing();
+        let q = Query::new(["apartment"])
+            .filter(Expr::col("rent").ge(Expr::lit(2000.0)))
+            .aggregate(Agg::CountStar);
+        let res = execute(&db, &q).unwrap();
+        assert_eq!(res.scalar(), Some(4.0));
+    }
+
+    #[test]
+    fn filter_on_joined_table() {
+        let db = housing();
+        let q = Query::new(["apartment", "neighborhood"])
+            .filter(Expr::col("state").eq(Expr::lit("CA")))
+            .aggregate(Agg::Sum("rent".into()));
+        let res = execute(&db, &q).unwrap();
+        assert_eq!(res.scalar(), Some(6200.0));
+    }
+
+    #[test]
+    fn no_aggregates_returns_filtered_join() {
+        let db = housing();
+        let q = Query::new(["neighborhood", "apartment"])
+            .filter(Expr::col("rent").gt(Expr::lit(2500.0)));
+        let res = execute(&db, &q).unwrap();
+        assert_eq!(res.table.n_rows(), 2);
+    }
+
+    #[test]
+    fn disconnected_query_errors() {
+        let mut db = housing();
+        db.add_table(Table::new("island", vec![Field::new("id", DataType::Int)]));
+        let q = Query::new(["apartment", "island"]).aggregate(Agg::CountStar);
+        assert!(execute(&db, &q).is_err());
+    }
+
+    #[test]
+    fn execute_on_provided_join_matches_execute() {
+        let db = housing();
+        let q = Query::new(["neighborhood", "apartment"])
+            .group_by(["state"])
+            .aggregate(Agg::CountStar);
+        let joined = join_tables(&db, &q.tables).unwrap();
+        let a = execute(&db, &q).unwrap();
+        let b = execute_on_join(&joined, &q).unwrap();
+        assert_eq!(a.groups(), b.groups());
+    }
+}

@@ -1,0 +1,174 @@
+//! Hash equi-join along foreign keys.
+
+use std::collections::HashMap;
+
+use crate::error::DbResult;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Result of a hash join, keeping the row provenance that ReStore's
+/// incompleteness join needs (which left rows had no partner, §4.2).
+#[derive(Debug)]
+pub struct JoinOutput {
+    /// The joined table (columns of both inputs, qualified names).
+    pub table: Table,
+    /// For each output row: the source row in the left input.
+    pub left_indices: Vec<usize>,
+    /// For each output row: the source row in the right input.
+    pub right_indices: Vec<usize>,
+    /// Left rows that found no join partner.
+    pub unmatched_left: Vec<usize>,
+}
+
+/// Inner hash join `left ⋈ right` on `left.left_on == right.right_on`.
+///
+/// Both inputs are qualified (`table.column`) before stacking so column
+/// names never collide. NULL keys never match (SQL semantics).
+pub fn hash_join(
+    left: &Table,
+    left_on: &str,
+    right: &Table,
+    right_on: &str,
+    out_name: &str,
+) -> DbResult<JoinOutput> {
+    let lcol = left.resolve(left_on)?;
+    let rcol = right.resolve(right_on)?;
+
+    // Build on the right input.
+    let mut build: HashMap<Value, Vec<usize>> = HashMap::with_capacity(right.n_rows());
+    for r in 0..right.n_rows() {
+        let key = right.value(r, rcol);
+        if key.is_null() {
+            continue;
+        }
+        build.entry(key).or_default().push(r);
+    }
+
+    let mut left_indices = Vec::new();
+    let mut right_indices = Vec::new();
+    let mut unmatched_left = Vec::new();
+    for l in 0..left.n_rows() {
+        let key = left.value(l, lcol);
+        if key.is_null() {
+            unmatched_left.push(l);
+            continue;
+        }
+        match build.get(&key) {
+            Some(rows) => {
+                for &r in rows {
+                    left_indices.push(l);
+                    right_indices.push(r);
+                }
+            }
+            None => unmatched_left.push(l),
+        }
+    }
+
+    let lgath = left.qualified().gather(&left_indices);
+    let rgath = right.qualified().gather(&right_indices);
+    let table = lgath.hstack(&rgath, out_name)?;
+    Ok(JoinOutput { table, left_indices, right_indices, unmatched_left })
+}
+
+/// Number of join partners each left row has in `right` — the raw material
+/// for tuple factors.
+pub fn partner_counts(left: &Table, left_on: &str, right: &Table, right_on: &str) -> DbResult<Vec<usize>> {
+    let lcol = left.resolve(left_on)?;
+    let rcol = right.resolve(right_on)?;
+    let mut counts: HashMap<Value, usize> = HashMap::with_capacity(left.n_rows());
+    for r in 0..right.n_rows() {
+        let key = right.value(r, rcol);
+        if !key.is_null() {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    Ok((0..left.n_rows())
+        .map(|l| {
+            let key = left.value(l, lcol);
+            if key.is_null() {
+                0
+            } else {
+                counts.get(&key).copied().unwrap_or(0)
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+    use crate::value::DataType;
+
+    fn parent() -> Table {
+        let mut t = Table::new("p", vec![Field::new("id", DataType::Int), Field::new("x", DataType::Str)]);
+        t.push_row(&[Value::Int(1), Value::str("a")]).unwrap();
+        t.push_row(&[Value::Int(2), Value::str("b")]).unwrap();
+        t.push_row(&[Value::Int(3), Value::str("c")]).unwrap();
+        t
+    }
+
+    fn child() -> Table {
+        let mut t = Table::new("c", vec![Field::new("pid", DataType::Int), Field::new("y", DataType::Float)]);
+        t.push_row(&[Value::Int(1), Value::Float(10.0)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Float(20.0)]).unwrap();
+        t.push_row(&[Value::Int(3), Value::Float(30.0)]).unwrap();
+        t.push_row(&[Value::Null, Value::Float(99.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        let p = parent();
+        let c = child();
+        let out = hash_join(&p, "id", &c, "pid", "j").unwrap();
+        // Reference: nested loop.
+        let mut expect = 0;
+        for i in 0..p.n_rows() {
+            for j in 0..c.n_rows() {
+                if p.value(i, 0) == c.value(j, 0) && !p.value(i, 0).is_null() {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(out.table.n_rows(), expect);
+        assert_eq!(out.table.n_rows(), 3);
+        // Provenance lines up.
+        for (k, (&l, &r)) in out.left_indices.iter().zip(&out.right_indices).enumerate() {
+            assert_eq!(out.table.value(k, 0), p.value(l, 0));
+            assert_eq!(out.table.value(k, 3), c.value(r, 1));
+        }
+    }
+
+    #[test]
+    fn unmatched_left_rows_are_reported() {
+        let p = parent();
+        let c = child();
+        let out = hash_join(&p, "id", &c, "pid", "j").unwrap();
+        assert_eq!(out.unmatched_left, vec![1]); // id=2 has no children
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let p = parent();
+        let c = child();
+        let out = hash_join(&c, "pid", &p, "id", "j").unwrap();
+        // The NULL child is unmatched even though no parent key is NULL.
+        assert!(out.unmatched_left.contains(&3));
+    }
+
+    #[test]
+    fn qualified_output_names() {
+        let out = hash_join(&parent(), "id", &child(), "pid", "j").unwrap();
+        let names: Vec<&str> = out.table.fields().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["p.id", "p.x", "c.pid", "c.y"]);
+    }
+
+    #[test]
+    fn partner_counts_match_join() {
+        let p = parent();
+        let c = child();
+        let counts = partner_counts(&p, "id", &c, "pid").unwrap();
+        assert_eq!(counts, vec![2, 0, 1]);
+    }
+}

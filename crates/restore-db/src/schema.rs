@@ -1,0 +1,306 @@
+//! The database catalog: tables plus the foreign-key schema graph.
+//!
+//! ReStore's completion paths and acyclic walks (§3.3, §4) are paths in this
+//! graph, so the catalog exposes BFS path finding and neighbor enumeration.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::error::{DbError, DbResult};
+use crate::table::Table;
+
+/// A foreign-key relationship: `child.child_col` references
+/// `parent.parent_col`. One parent row has many child rows (1:n from the
+/// parent's perspective).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub child: String,
+    pub child_col: String,
+    pub parent: String,
+    pub parent_col: String,
+}
+
+impl ForeignKey {
+    pub fn new(
+        child: impl Into<String>,
+        child_col: impl Into<String>,
+        parent: impl Into<String>,
+        parent_col: impl Into<String>,
+    ) -> Self {
+        Self {
+            child: child.into(),
+            child_col: child_col.into(),
+            parent: parent.into(),
+            parent_col: parent_col.into(),
+        }
+    }
+}
+
+/// One step along a schema path: the FK edge plus the travel direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    pub fk: ForeignKey,
+    /// `true` when travelling parent → child (a 1:n "fan-out" step);
+    /// `false` when travelling child → parent (n:1).
+    pub fan_out: bool,
+}
+
+impl PathStep {
+    /// Table this step arrives at.
+    pub fn to_table(&self) -> &str {
+        if self.fan_out {
+            &self.fk.child
+        } else {
+            &self.fk.parent
+        }
+    }
+
+    /// Table this step departs from.
+    pub fn from_table(&self) -> &str {
+        if self.fan_out {
+            &self.fk.parent
+        } else {
+            &self.fk.child
+        }
+    }
+}
+
+/// An in-memory database: named tables + foreign keys.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Registers a foreign key; both tables and columns must exist.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> DbResult<()> {
+        let child = self.table(&fk.child)?;
+        child.resolve(&fk.child_col)?;
+        let parent = self.table(&fk.parent)?;
+        parent.resolve(&fk.parent_col)?;
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Replaces (or inserts) a table wholesale.
+    pub fn replace_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// FK edge connecting two tables (either direction), if any.
+    pub fn edge_between(&self, a: &str, b: &str) -> Option<PathStep> {
+        for fk in &self.foreign_keys {
+            if fk.parent == a && fk.child == b {
+                return Some(PathStep { fk: fk.clone(), fan_out: true });
+            }
+            if fk.child == a && fk.parent == b {
+                return Some(PathStep { fk: fk.clone(), fan_out: false });
+            }
+        }
+        None
+    }
+
+    /// All schema-graph neighbors of `table` with their step descriptors.
+    pub fn neighbors(&self, table: &str) -> Vec<PathStep> {
+        let mut out = Vec::new();
+        for fk in &self.foreign_keys {
+            if fk.parent == table {
+                out.push(PathStep { fk: fk.clone(), fan_out: true });
+            }
+            if fk.child == table {
+                out.push(PathStep { fk: fk.clone(), fan_out: false });
+            }
+        }
+        out
+    }
+
+    /// Shortest FK path from `from` to `to` (BFS over the undirected schema
+    /// graph). Returns the steps to take, or an error when disconnected.
+    pub fn find_path(&self, from: &str, to: &str) -> DbResult<Vec<PathStep>> {
+        self.table(from)?;
+        self.table(to)?;
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let mut prev: HashMap<String, PathStep> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from.to_string());
+        let mut seen: HashMap<String, bool> = HashMap::new();
+        seen.insert(from.to_string(), true);
+        while let Some(cur) = queue.pop_front() {
+            for step in self.neighbors(&cur) {
+                let nxt = step.to_table().to_string();
+                if seen.contains_key(&nxt) {
+                    continue;
+                }
+                seen.insert(nxt.clone(), true);
+                prev.insert(nxt.clone(), step);
+                if nxt == to {
+                    // Reconstruct.
+                    let mut path = Vec::new();
+                    let mut cur = to.to_string();
+                    while cur != from {
+                        let step = prev[&cur].clone();
+                        cur = step.from_table().to_string();
+                        path.push(step);
+                    }
+                    path.reverse();
+                    return Ok(path);
+                }
+                queue.push_back(nxt);
+            }
+        }
+        Err(DbError::InvalidJoin(format!("no FK path from {from} to {to}")))
+    }
+
+    /// Orders `tables` into a connected join sequence: the first table, then
+    /// each next table connected by an FK edge to some earlier table.
+    /// Errors when the requested set is not connected in the schema graph.
+    pub fn join_order(&self, tables: &[String]) -> DbResult<Vec<(String, Option<PathStep>)>> {
+        if tables.is_empty() {
+            return Err(DbError::InvalidQuery("empty table list".into()));
+        }
+        for t in tables {
+            self.table(t)?;
+        }
+        let mut placed: Vec<(String, Option<PathStep>)> = vec![(tables[0].clone(), None)];
+        let mut remaining: Vec<String> = tables[1..].to_vec();
+        while !remaining.is_empty() {
+            let mut advanced = false;
+            for i in 0..remaining.len() {
+                let cand = &remaining[i];
+                if let Some(step) = placed
+                    .iter()
+                    .find_map(|(t, _)| self.edge_between(t, cand))
+                {
+                    placed.push((cand.clone(), Some(step)));
+                    remaining.remove(i);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Err(DbError::InvalidJoin(format!(
+                    "tables {remaining:?} are not FK-connected to {:?}",
+                    placed.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>()
+                )));
+            }
+        }
+        Ok(placed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+    use crate::value::DataType;
+
+    fn housing_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new("neighborhood", vec![Field::new("id", DataType::Int)]));
+        db.add_table(Table::new(
+            "apartment",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("neighborhood_id", DataType::Int),
+                Field::new("landlord_id", DataType::Int),
+            ],
+        ));
+        db.add_table(Table::new("landlord", vec![Field::new("id", DataType::Int)]));
+        db.add_table(Table::new("school", vec![Field::new("id", DataType::Int), Field::new("neighborhood_id", DataType::Int)]));
+        db.add_foreign_key(ForeignKey::new("apartment", "neighborhood_id", "neighborhood", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("apartment", "landlord_id", "landlord", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("school", "neighborhood_id", "neighborhood", "id")).unwrap();
+        db
+    }
+
+    #[test]
+    fn foreign_key_validation() {
+        let mut db = housing_db();
+        assert!(db
+            .add_foreign_key(ForeignKey::new("apartment", "nope", "neighborhood", "id"))
+            .is_err());
+        assert!(db
+            .add_foreign_key(ForeignKey::new("missing", "id", "neighborhood", "id"))
+            .is_err());
+    }
+
+    #[test]
+    fn path_direction_is_tracked() {
+        let db = housing_db();
+        let path = db.find_path("neighborhood", "apartment").unwrap();
+        assert_eq!(path.len(), 1);
+        assert!(path[0].fan_out, "neighborhood->apartment is 1:n");
+        let back = db.find_path("apartment", "neighborhood").unwrap();
+        assert!(!back[0].fan_out, "apartment->neighborhood is n:1");
+    }
+
+    #[test]
+    fn multi_hop_path() {
+        let db = housing_db();
+        let path = db.find_path("landlord", "school").unwrap();
+        let tables: Vec<&str> = path.iter().map(|s| s.to_table()).collect();
+        assert_eq!(tables, vec!["apartment", "neighborhood", "school"]);
+    }
+
+    #[test]
+    fn disconnected_tables_error() {
+        let mut db = housing_db();
+        db.add_table(Table::new("island", vec![Field::new("id", DataType::Int)]));
+        assert!(db.find_path("island", "apartment").is_err());
+    }
+
+    #[test]
+    fn join_order_builds_connected_sequence() {
+        let db = housing_db();
+        let order = db
+            .join_order(&["landlord".into(), "neighborhood".into(), "apartment".into()])
+            .unwrap();
+        assert_eq!(order[0].0, "landlord");
+        assert_eq!(order[1].0, "apartment");
+        assert_eq!(order[2].0, "neighborhood");
+        assert!(order[1].1.as_ref().is_some());
+    }
+
+    #[test]
+    fn join_order_rejects_disconnected_sets() {
+        let db = housing_db();
+        assert!(db.join_order(&["landlord".into(), "school".into()]).is_err());
+        // (landlord and school only connect through apartment+neighborhood)
+    }
+
+    #[test]
+    fn same_table_path_is_empty() {
+        let db = housing_db();
+        assert!(db.find_path("apartment", "apartment").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs every experiment of the paper's evaluation in sequence, writing
+//! all artifacts to `results/`. Expect tens of minutes at default scale;
+//! pass `--quick` for a smoke run.
+
+use std::process::Command;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "exp1_bias",
+        "exp1_fanout",
+        "exp1_confidence",
+        "exp2_real",
+        "exp3_queries",
+        "exp4_models",
+        "exp4_selection",
+        "exp4_timing",
+        "exp_confidence_real",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let started = Instant::now();
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let t = Instant::now();
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        println!("[{bin} finished in {:.1}s, status {status}]", t.elapsed().as_secs_f64());
+        if !status.success() {
+            eprintln!("warning: {bin} exited with {status}");
+        }
+    }
+    println!("\nall experiments done in {:.1}s", started.elapsed().as_secs_f64());
+}

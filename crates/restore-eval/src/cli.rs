@@ -1,0 +1,71 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+
+/// Common sweep parameters, overridable via `--key=value` flags.
+#[derive(Clone, Debug)]
+pub struct EvalArgs {
+    /// Dataset scale factor for the housing/movies generators.
+    pub scale: f64,
+    pub seed: u64,
+    pub keeps: Vec<f64>,
+    pub corrs: Vec<f64>,
+    /// `--quick` halves the grid for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for EvalArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.3,
+            seed: 7,
+            keeps: vec![0.2, 0.4, 0.6, 0.8],
+            corrs: vec![0.2, 0.4, 0.6, 0.8],
+            quick: false,
+        }
+    }
+}
+
+fn parse_list(s: &str) -> Vec<f64> {
+    s.split(',').filter_map(|v| v.trim().parse().ok()).collect()
+}
+
+/// Parses `std::env::args()`; unknown flags abort with usage help.
+pub fn parse_args() -> EvalArgs {
+    let mut args = EvalArgs::default();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            args.quick = true;
+            continue;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("usage: [--quick] [--scale=0.3] [--seed=7] [--keeps=0.2,0.4] [--corrs=0.2,0.8]");
+            std::process::exit(2);
+        };
+        match key {
+            "--scale" => args.scale = value.parse().unwrap_or(args.scale),
+            "--seed" => args.seed = value.parse().unwrap_or(args.seed),
+            "--keeps" => args.keeps = parse_list(value),
+            "--corrs" => args.corrs = parse_list(value),
+            _ => {
+                eprintln!("unknown flag {key}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.keeps = vec![0.2, 0.8];
+        args.corrs = vec![0.2, 0.8];
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(parse_list("0.2,0.4"), vec![0.2, 0.4]);
+        assert_eq!(parse_list("1"), vec![1.0]);
+        assert!(parse_list("nope").is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Exp. 3 — end-to-end query processing (§7.4): the Table 1 workload and
+//! the Fig. 8 relative-error improvements.
+
+use serde::Serialize;
+
+use restore_core::{RestoreConfig, ReStore, SelectionStrategy};
+use restore_data::{build_scenario, Setup};
+use restore_db::QueryResult;
+
+use crate::harness::eval_train_config;
+use crate::metrics::{group_relative_error, relative_error};
+use crate::parallel::parallel_map;
+use crate::queries::queries_for_setup;
+
+/// One (query, keep rate, removal correlation) cell of Fig. 8.
+#[derive(Clone, Debug, Serialize)]
+pub struct Exp3Cell {
+    pub dataset: String,
+    pub setup: String,
+    pub query: String,
+    pub sql: String,
+    pub keep_rate: f64,
+    pub removal_correlation: f64,
+    /// Average relative error querying the incomplete data directly.
+    pub err_incomplete: f64,
+    /// Average relative error after ReStore's completion.
+    pub err_completed: f64,
+    /// `err_incomplete − err_completed` — the y-axis of Fig. 8.
+    pub improvement: f64,
+    pub error: Option<String>,
+}
+
+/// Relative error of a query result against the ground truth: plain for
+/// scalar aggregates, averaged over true groups for group-by queries.
+pub fn query_error(truth: &QueryResult, estimate: &QueryResult) -> f64 {
+    if truth.group_cols == 0 {
+        match (truth.scalar(), estimate.scalar()) {
+            (Some(t), Some(e)) => relative_error(e, t),
+            (Some(_), None) => 1.0,
+            _ => 0.0,
+        }
+    } else {
+        group_relative_error(&truth.groups(), &estimate.groups(), 0)
+    }
+}
+
+/// Runs the Table 1 workload for the given setups over the sweep grid.
+pub fn run_exp3(
+    setups: &[Setup],
+    keeps: &[f64],
+    corrs: &[f64],
+    scale: f64,
+    seed: u64,
+) -> Vec<Exp3Cell> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for setup in setups {
+        for &k in keeps {
+            for &c in corrs {
+                jobs.push((setup.clone(), k, c, id));
+                id += 1;
+            }
+        }
+    }
+    let results: Vec<Vec<Exp3Cell>> = parallel_map(jobs, |(setup, keep, corr, id)| {
+        run_exp3_cell(setup, *keep, *corr, scale, seed.wrapping_add(id.wrapping_mul(104729)))
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Runs both Table 1 queries of one setup on one scenario.
+pub fn run_exp3_cell(setup: &Setup, keep: f64, corr: f64, scale: f64, seed: u64) -> Vec<Exp3Cell> {
+    let sc = build_scenario(setup, keep, corr, scale, seed);
+    let dataset = if setup.id.starts_with('H') { "Housing" } else { "Movies" };
+
+    let mut cfg = RestoreConfig::default();
+    cfg.train = eval_train_config();
+    cfg.strategy = SelectionStrategy::BestValLoss;
+    cfg.max_candidates = 3;
+    let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
+    for t in &sc.incomplete_tables {
+        rs.mark_incomplete(t.clone());
+    }
+
+    queries_for_setup(setup.id)
+        .into_iter()
+        .map(|wq| {
+            let mut cell = Exp3Cell {
+                dataset: dataset.to_string(),
+                setup: setup.id.to_string(),
+                query: wq.id.to_string(),
+                sql: wq.sql.to_string(),
+                keep_rate: keep,
+                removal_correlation: corr,
+                err_incomplete: f64::NAN,
+                err_completed: f64::NAN,
+                improvement: f64::NAN,
+                error: None,
+            };
+            let truth = match restore_db::execute(&sc.complete, &wq.query) {
+                Ok(t) => t,
+                Err(e) => {
+                    cell.error = Some(format!("truth: {e}"));
+                    return cell;
+                }
+            };
+            let incomplete = match rs.execute_without_completion(&wq.query) {
+                Ok(r) => r,
+                Err(e) => {
+                    cell.error = Some(format!("incomplete: {e}"));
+                    return cell;
+                }
+            };
+            cell.err_incomplete = query_error(&truth, &incomplete);
+            match rs.execute(&wq.query, seed) {
+                Ok(r) => {
+                    cell.err_completed = query_error(&truth, &r);
+                    cell.improvement = cell.err_incomplete - cell.err_completed;
+                }
+                Err(e) => cell.error = Some(format!("completed: {e}")),
+            }
+            cell
+        })
+        .collect()
+}

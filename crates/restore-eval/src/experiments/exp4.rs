@@ -1,0 +1,246 @@
+//! Exp. 4 — accuracy and performance aspects (§7.5): Fig. 9 (AR vs SSAR
+//! bias-reduction distributions), Fig. 10 (model/path selection quality),
+//! Fig. 11 (training time) and Fig. 12 (completion time per path).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use restore_core::{
+    enumerate_paths, CompleterConfig, Completer, CompletionModel, ReplacementMode,
+    SchemaAnnotation, TrainConfig,
+};
+use restore_data::{build_scenario, Scenario, Setup};
+
+use crate::harness::{eval_train_config, stat_of};
+use crate::metrics::bias_reduction;
+use crate::parallel::parallel_map;
+
+/// One completed candidate: setup × model class × correlation → bias red.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Cell {
+    pub setup: String,
+    pub model_class: String,
+    pub removal_correlation: f64,
+    pub bias_reduction: f64,
+}
+
+/// Trains a model on a scenario path and measures the bias reduction of
+/// the completed biased attribute. Returns `(bias_reduction, model)`.
+fn complete_and_score(
+    sc: &Scenario,
+    model: &CompletionModel,
+    seed: u64,
+    replacement: ReplacementMode,
+) -> f64 {
+    let ann = SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
+    let cfg = CompleterConfig { replacement, ..CompleterConfig::default() };
+    let completer = Completer::new(&sc.incomplete, &ann).with_config(cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf19);
+    let Ok(out) = completer.complete(model, &mut rng) else {
+        return f64::NAN;
+    };
+    let target = &sc.bias.table;
+    let value = sc.bias_value.as_deref();
+    let truth = stat_of(sc.complete.table(target).unwrap(), &sc.bias.column, value);
+    let inc = stat_of(sc.incomplete.table(target).unwrap(), &sc.bias.column, value);
+    let comp = stat_of(&out.join, &format!("{target}.{}", sc.bias.column), value);
+    bias_reduction(truth, inc, comp)
+}
+
+fn first_path_model(
+    sc: &Scenario,
+    train: &TrainConfig,
+    max_len: usize,
+    seed: u64,
+) -> Option<CompletionModel> {
+    let ann = SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
+    let paths = enumerate_paths(&sc.incomplete, &ann, &sc.bias.table, max_len);
+    for p in paths {
+        if let Ok(m) = CompletionModel::train(&sc.incomplete, &ann, p, train, seed) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Runs the Fig. 9 comparison: AR vs SSAR bias reductions per setup.
+pub fn run_fig9(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<Fig9Cell> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for setup in setups {
+        for &c in corrs {
+            for ssar in [false, true] {
+                jobs.push((setup.clone(), c, ssar, id));
+                id += 1;
+            }
+        }
+    }
+    parallel_map(jobs, |(setup, corr, ssar, id)| {
+        let s = seed.wrapping_add(id.wrapping_mul(6151));
+        let sc = build_scenario(setup, 0.4, *corr, scale, s);
+        let train = if *ssar { eval_train_config().ssar() } else { eval_train_config() };
+        let br = first_path_model(&sc, &train, 5, s)
+            .map(|m| complete_and_score(&sc, &m, s, ReplacementMode::Auto))
+            .unwrap_or(f64::NAN);
+        Fig9Cell {
+            setup: setup.id.to_string(),
+            model_class: if *ssar { "SSAR" } else { "AR" }.to_string(),
+            removal_correlation: *corr,
+            bias_reduction: br,
+        }
+    })
+}
+
+/// One Fig. 10 cell: all candidate models plus the two selection answers.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Cell {
+    pub setup: String,
+    pub removal_correlation: f64,
+    /// Bias reduction of every candidate path ("All Models" scatter).
+    pub all_models: Vec<(String, f64)>,
+    /// Candidate picked by test-loss selection ("Model Selection").
+    pub selected: f64,
+    /// Candidate picked with the suspected-bias hint.
+    pub selected_suspected: f64,
+    /// The best candidate in hindsight (oracle).
+    pub best: f64,
+}
+
+/// Runs the Fig. 10 selection-quality sweep (keep rate fixed at 40%).
+pub fn run_fig10(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<Fig10Cell> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for setup in setups {
+        for &c in corrs {
+            jobs.push((setup.clone(), c, id));
+            id += 1;
+        }
+    }
+    parallel_map(jobs, |(setup, corr, id)| {
+        let s = seed.wrapping_add(id.wrapping_mul(12289));
+        let sc = build_scenario(setup, 0.4, *corr, scale, s);
+        let ann =
+            SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
+        let paths = enumerate_paths(&sc.incomplete, &ann, &sc.bias.table, 5);
+        let train = eval_train_config();
+
+        // Statistics for the suspected-bias score: the removal depletes the
+        // biased attribute, so the completion should *raise* it.
+        let value = sc.bias_value.as_deref();
+        let inc_stat =
+            stat_of(sc.incomplete.table(&sc.bias.table).unwrap(), &sc.bias.column, value);
+
+        let mut all = Vec::new();
+        let mut by_val_loss: Option<(f32, f64)> = None;
+        let mut by_suspected: Option<(f64, f64)> = None;
+        for p in paths.into_iter().take(3) {
+            let Ok(m) = CompletionModel::train(&sc.incomplete, &ann, p, &train, s) else {
+                continue;
+            };
+            let br = complete_and_score(&sc, &m, s, ReplacementMode::Auto);
+            if br.is_nan() {
+                continue;
+            }
+            // Suspected-bias score: shift of the statistic upwards.
+            let ann2 = SchemaAnnotation::with_incomplete(
+                sc.incomplete_tables.iter().map(String::as_str),
+            );
+            let completer = Completer::new(&sc.incomplete, &ann2);
+            let mut rng = StdRng::seed_from_u64(s ^ 0x5a5a);
+            let shift = completer
+                .complete(&m, &mut rng)
+                .map(|out| {
+                    stat_of(&out.join, &format!("{}.{}", sc.bias.table, sc.bias.column), value)
+                        - inc_stat
+                })
+                .unwrap_or(f64::NEG_INFINITY);
+            all.push((m.path().describe(), br));
+            if by_val_loss.map_or(true, |(v, _)| m.target_val_loss() < v) {
+                by_val_loss = Some((m.target_val_loss(), br));
+            }
+            if by_suspected.map_or(true, |(sc_, _)| shift > sc_) {
+                by_suspected = Some((shift, br));
+            }
+        }
+        let best = all.iter().map(|(_, b)| *b).fold(f64::NEG_INFINITY, f64::max);
+        Fig10Cell {
+            setup: setup.id.to_string(),
+            removal_correlation: *corr,
+            all_models: all,
+            selected: by_val_loss.map(|(_, b)| b).unwrap_or(f64::NAN),
+            selected_suspected: by_suspected.map(|(_, b)| b).unwrap_or(f64::NAN),
+            best: if best.is_finite() { best } else { f64::NAN },
+        }
+    })
+}
+
+/// One Fig. 11/12 timing row.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimingCell {
+    pub dataset: String,
+    pub setup: String,
+    pub model_class: String,
+    pub path: String,
+    pub train_seconds: f64,
+    /// Completion time without euclidean replacement.
+    pub completion_seconds: f64,
+    /// Completion time with euclidean replacement forced on.
+    pub completion_nn_seconds: f64,
+    pub synthesized_tuples: usize,
+}
+
+/// Runs the Fig. 11/12 timing measurements: per setup, train AR and SSAR
+/// models and time the completion of one path with and without nearest-
+/// neighbor replacement.
+pub fn run_timings(setups: &[Setup], scale: f64, seed: u64) -> Vec<TimingCell> {
+    let mut jobs = Vec::new();
+    for (i, setup) in setups.iter().enumerate() {
+        for ssar in [false, true] {
+            jobs.push((setup.clone(), ssar, seed.wrapping_add(i as u64 * 17)));
+        }
+    }
+    parallel_map(jobs, |(setup, ssar, s)| {
+        let dataset = if setup.id.starts_with('H') { "Housing" } else { "Movies" };
+        let sc = build_scenario(setup, 0.4, 0.4, scale, *s);
+        let train = if *ssar { eval_train_config().ssar() } else { eval_train_config() };
+        let mut cell = TimingCell {
+            dataset: dataset.to_string(),
+            setup: setup.id.to_string(),
+            model_class: if *ssar { "SSAR" } else { "AR" }.to_string(),
+            path: String::new(),
+            train_seconds: f64::NAN,
+            completion_seconds: f64::NAN,
+            completion_nn_seconds: f64::NAN,
+            synthesized_tuples: 0,
+        };
+        let Some(model) = first_path_model(&sc, &train, 5, *s) else {
+            return cell;
+        };
+        cell.path = model.path().describe();
+        cell.train_seconds = model.train_seconds;
+        let ann =
+            SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
+        for (mode, slot) in [
+            (ReplacementMode::Never, 0usize),
+            (ReplacementMode::Always, 1usize),
+        ] {
+            let cfg = CompleterConfig { replacement: mode, ..CompleterConfig::default() };
+            let completer = Completer::new(&sc.incomplete, &ann).with_config(cfg);
+            let mut rng = StdRng::seed_from_u64(*s ^ 0x71e5);
+            let started = Instant::now();
+            if let Ok(out) = completer.complete(&model, &mut rng) {
+                let elapsed = started.elapsed().as_secs_f64();
+                if slot == 0 {
+                    cell.completion_seconds = elapsed;
+                    cell.synthesized_tuples = out.n_synthesized();
+                } else {
+                    cell.completion_nn_seconds = elapsed;
+                }
+            }
+        }
+        cell
+    })
+}

@@ -1,0 +1,7 @@
+//! Experiment runners, one module per paper experiment.
+
+pub mod confidence;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;

@@ -1,0 +1,62 @@
+//! Parallel execution of independent experiment cells over a small worker
+//! pool (each cell owns its RNG seed, so results are order-independent and
+//! reproducible).
+
+use crossbeam::channel;
+
+/// Maps `f` over `jobs` on `workers` threads, preserving input order.
+pub fn parallel_map<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
+where
+    J: Send + Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(jobs.len().max(1));
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let (tx, rx) = channel::unbounded::<(usize, &J)>();
+    for pair in jobs.iter().enumerate() {
+        tx.send(pair).unwrap();
+    }
+    drop(tx);
+    let (out_tx, out_rx) = channel::unbounded::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, job)) = rx.recv() {
+                    let _ = out_tx.send((i, f(job)));
+                }
+            });
+        }
+        drop(out_tx);
+    });
+    let mut results: Vec<(usize, T)> = out_rx.into_iter().collect();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<u64> = (0..50).collect();
+        let out = parallel_map(jobs, |&j| j * 2);
+        assert_eq!(out, (0..50).map(|j| j * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, |&j: &u32| j).is_empty());
+        assert_eq!(parallel_map(vec![7u32], |&j| j + 1), vec![8]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # restore-nn — neural substrate for ReStore
+//!
+//! The ReStore paper implements its completion models in PyTorch; no deep
+//! learning framework is available in this offline environment, so this
+//! crate provides the minimal substrate the models need, built from scratch:
+//!
+//! * [`tensor::Matrix`] — dense row-major `f32` matrices;
+//! * [`tape::Tape`] — reverse-mode automatic differentiation;
+//! * [`params::ParamStore`] — parameter/gradient storage;
+//! * [`layers`] — linear, masked linear, embedding, MLP;
+//! * [`masks`] — MADE mask construction with attribute-grouped degrees;
+//! * [`made::Made`] — the masked autoregressive network (AR backbone);
+//! * [`deepsets::DeepSets`] — permutation-invariant tree embeddings
+//!   (SSAR conditioning);
+//! * [`loss`] — per-attribute softmax cross-entropy and KL divergence;
+//! * [`optim`] — Adam / SGD.
+//!
+//! Everything is deterministic given a seed and sized for laptop-scale
+//! tabular models (a few hundred thousand parameters).
+
+pub mod deepsets;
+pub mod layers;
+pub mod loss;
+pub mod made;
+pub mod masks;
+pub mod optim;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub use deepsets::{DeepSets, DeepSetsConfig, SetBatch, SetTableSpec, TableSet};
+pub use loss::{block_cross_entropy, kl_divergence, BlockLayout, BlockLoss};
+pub use made::{sample_categorical, AttrSpec, Made, MadeConfig};
+pub use optim::{Adam, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, VarId};
+pub use tensor::Matrix;

@@ -1,0 +1,397 @@
+//! MADE — Masked Autoencoder for Distribution Estimation (Germain et al.),
+//! the deep autoregressive model class ReStore's completion models build on
+//! (§3.1–§3.2 of the paper), with learned per-attribute embeddings and
+//! residual connections as in naru (Yang et al., VLDB 2019).
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::layers::{Embedding, MaskedLinear};
+use crate::loss::{block_cross_entropy, BlockLayout, BlockLoss};
+use crate::masks::build_masks;
+use crate::params::ParamStore;
+use crate::tape::{Tape, VarId};
+use crate::tensor::Matrix;
+
+/// One model attribute: its token cardinality and embedding width.
+#[derive(Clone, Debug)]
+pub struct AttrSpec {
+    pub cardinality: usize,
+    pub embed_dim: usize,
+}
+
+impl AttrSpec {
+    pub fn new(cardinality: usize, embed_dim: usize) -> Self {
+        Self { cardinality, embed_dim }
+    }
+}
+
+/// Hyper-parameters of a MADE network.
+#[derive(Clone, Debug)]
+pub struct MadeConfig {
+    pub attrs: Vec<AttrSpec>,
+    /// Width of the always-visible conditioning block (0 = plain AR model;
+    /// >0 = SSAR conditioning from the DeepSets tree encoder).
+    pub ctx_dim: usize,
+    /// Hidden layer widths. Equal widths enable residual connections.
+    pub hidden: Vec<usize>,
+    pub residual: bool,
+}
+
+impl MadeConfig {
+    pub fn new(attrs: Vec<AttrSpec>) -> Self {
+        Self { attrs, ctx_dim: 0, hidden: vec![64, 64], residual: true }
+    }
+
+    pub fn with_ctx(mut self, ctx_dim: usize) -> Self {
+        self.ctx_dim = ctx_dim;
+        self
+    }
+
+    pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.hidden = hidden;
+        self
+    }
+}
+
+/// The MADE network. Parameters live in an external [`ParamStore`] so the
+/// same store can also hold a DeepSets context encoder (SSAR models).
+#[derive(Clone, Debug)]
+pub struct Made {
+    cfg: MadeConfig,
+    embeddings: Vec<Embedding>,
+    input_layer: MaskedLinear,
+    hidden_layers: Vec<MaskedLinear>,
+    output_layer: MaskedLinear,
+    layout: BlockLayout,
+}
+
+impl Made {
+    pub fn new<R: Rng>(cfg: MadeConfig, store: &mut ParamStore, rng: &mut R) -> Self {
+        assert!(!cfg.attrs.is_empty(), "MADE needs at least one attribute");
+        assert!(cfg.attrs.iter().all(|a| a.cardinality >= 1), "zero-cardinality attribute");
+        let embed_dims: Vec<usize> = cfg.attrs.iter().map(|a| a.embed_dim).collect();
+        let cards: Vec<usize> = cfg.attrs.iter().map(|a| a.cardinality).collect();
+        let masks = build_masks(&embed_dims, &cards, cfg.ctx_dim, &cfg.hidden);
+
+        let embeddings = cfg
+            .attrs
+            .iter()
+            .map(|a| Embedding::new(store, a.cardinality, a.embed_dim, rng))
+            .collect();
+        let input_layer = MaskedLinear::new(store, Arc::clone(&masks.input), rng);
+        let hidden_layers = masks
+            .hidden
+            .iter()
+            .map(|m| MaskedLinear::new(store, Arc::clone(m), rng))
+            .collect();
+        let output_layer = MaskedLinear::new(store, Arc::clone(&masks.output), rng);
+
+        Self { cfg, embeddings, input_layer, hidden_layers, output_layer, layout: BlockLayout::new(&cards) }
+    }
+
+    pub fn num_attrs(&self) -> usize {
+        self.cfg.attrs.len()
+    }
+
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    pub fn ctx_dim(&self) -> usize {
+        self.cfg.ctx_dim
+    }
+
+    pub fn cardinality(&self, attr: usize) -> usize {
+        self.cfg.attrs[attr].cardinality
+    }
+
+    /// Forward pass on the tape. `tokens[a]` holds the token of attribute
+    /// `a` for every batch row; `ctx` must be provided iff `ctx_dim > 0`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<VarId>,
+    ) -> VarId {
+        assert_eq!(tokens.len(), self.num_attrs(), "token column count mismatch");
+        let m = tokens.first().map_or(0, |t| t.len());
+        for t in tokens {
+            assert_eq!(t.len(), m, "ragged token columns");
+        }
+        let mut parts = Vec::with_capacity(self.num_attrs() + 1);
+        match (self.cfg.ctx_dim, ctx) {
+            (0, None) => {}
+            (d, Some(c)) => {
+                assert_eq!(tape.value(c).shape(), (m, d), "context shape mismatch");
+                parts.push(c);
+            }
+            (d, None) => panic!("model expects a {d}-wide context"),
+            #[allow(unreachable_patterns)]
+            (0, Some(_)) => panic!("model does not take a context"),
+        }
+        for (emb, toks) in self.embeddings.iter().zip(tokens) {
+            parts.push(emb.forward(tape, store, Arc::clone(toks)));
+        }
+        let x = tape.concat_cols(&parts);
+        let mut h = self.input_layer.forward(tape, store, x);
+        h = tape.relu(h);
+        for layer in &self.hidden_layers {
+            let pre = layer.forward(tape, store, h);
+            let combined = if self.cfg.residual
+                && tape.value(pre).shape() == tape.value(h).shape()
+            {
+                tape.add(pre, h)
+            } else {
+                pre
+            };
+            h = tape.relu(combined);
+        }
+        self.output_layer.forward(tape, store, h)
+    }
+
+    /// Inference-only forward returning the raw logits matrix.
+    pub fn logits(&self, store: &ParamStore, tokens: &[Arc<Vec<u32>>], ctx: Option<&Matrix>) -> Matrix {
+        let mut tape = Tape::new();
+        let ctx_var = ctx.map(|c| tape.input(c.clone()));
+        let out = self.forward(&mut tape, store, tokens, ctx_var);
+        tape.value(out).clone()
+    }
+
+    /// Evaluates the per-attribute NLL without updating parameters — the
+    /// "test loss" used for basic model selection (§5).
+    pub fn evaluate(
+        &self,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        weights: Option<&[Vec<f32>]>,
+    ) -> BlockLoss {
+        let logits = self.logits(store, tokens, ctx);
+        let targets: Vec<Vec<u32>> = tokens.iter().map(|t| t.as_ref().clone()).collect();
+        block_cross_entropy(&logits, &self.layout, &targets, weights)
+    }
+
+    /// Conditional distribution of attribute `attr` for every batch row,
+    /// given the tokens of attributes `< attr` (later columns are ignored by
+    /// construction — pass placeholders).
+    pub fn conditional_dists(
+        &self,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        attr: usize,
+    ) -> Vec<Vec<f32>> {
+        let logits = self.logits(store, tokens, ctx);
+        (0..logits.rows())
+            .map(|r| self.layout.dist(logits.row(r), attr))
+            .collect()
+    }
+
+    /// Iterative forward sampling (§3.1): fills token columns
+    /// `start..num_attrs` by repeatedly predicting `p(x_i | x_{<i})` and
+    /// sampling. `excluded[a]` optionally names a token whose probability is
+    /// zeroed before sampling (used to forbid the MASK token of tuple
+    /// factors at generation time).
+    pub fn sample_suffix<R: Rng>(
+        &self,
+        store: &ParamStore,
+        tokens: &mut [Vec<u32>],
+        ctx: Option<&Matrix>,
+        start: usize,
+        excluded: &[Option<u32>],
+        rng: &mut R,
+    ) {
+        self.sample_range(store, tokens, ctx, start, self.num_attrs(), excluded, rng)
+    }
+
+    /// Like [`Made::sample_suffix`] but stops after attribute `end − 1` —
+    /// used by Algorithm 1 to sample one table's attribute block (or a
+    /// single tuple factor) at a time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_range<R: Rng>(
+        &self,
+        store: &ParamStore,
+        tokens: &mut [Vec<u32>],
+        ctx: Option<&Matrix>,
+        start: usize,
+        end: usize,
+        excluded: &[Option<u32>],
+        rng: &mut R,
+    ) {
+        assert_eq!(tokens.len(), self.num_attrs());
+        assert!(end <= self.num_attrs() && start <= end);
+        assert!(excluded.is_empty() || excluded.len() == self.num_attrs());
+        let m = tokens.first().map_or(0, |t| t.len());
+        if m == 0 {
+            return;
+        }
+        for attr in start..end {
+            let cols: Vec<Arc<Vec<u32>>> = tokens.iter().map(|t| Arc::new(t.clone())).collect();
+            let logits = self.logits(store, &cols, ctx);
+            for r in 0..m {
+                let mut dist = self.layout.dist(logits.row(r), attr);
+                if let Some(Some(ex)) = excluded.get(attr) {
+                    let ex = *ex as usize;
+                    if ex < dist.len() {
+                        dist[ex] = 0.0;
+                        let s: f32 = dist.iter().sum();
+                        if s > 0.0 {
+                            for d in &mut dist {
+                                *d /= s;
+                            }
+                        } else {
+                            // Degenerate: everything but the excluded token
+                            // had zero mass; fall back to uniform.
+                            let n = dist.len();
+                            for (i, d) in dist.iter_mut().enumerate() {
+                                *d = if i == ex { 0.0 } else { 1.0 / (n - 1).max(1) as f32 };
+                            }
+                        }
+                    }
+                }
+                tokens[attr][r] = sample_categorical(&dist, rng);
+            }
+        }
+    }
+}
+
+/// Samples an index from an (assumed normalized) categorical distribution.
+pub fn sample_categorical<R: Rng>(dist: &[f32], rng: &mut R) -> u32 {
+    let u: f32 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i as u32;
+        }
+    }
+    (dist.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_model(cards: &[usize], ctx: usize, seed: u64) -> (Made, ParamStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let attrs = cards.iter().map(|&c| AttrSpec::new(c, 4)).collect();
+        let cfg = MadeConfig::new(attrs).with_ctx(ctx).with_hidden(vec![32, 32]);
+        let made = Made::new(cfg, &mut store, &mut rng);
+        (made, store)
+    }
+
+    #[test]
+    fn autoregressive_property_holds() {
+        // Changing attribute j must not change the conditional of any
+        // attribute i <= j.
+        let (made, store) = make_model(&[5, 5, 5], 0, 7);
+        let base: Vec<Arc<Vec<u32>>> =
+            vec![Arc::new(vec![1]), Arc::new(vec![2]), Arc::new(vec![3])];
+        let logits_base = made.logits(&store, &base, None);
+        for j in 0..3 {
+            let mut toks = base.clone();
+            toks[j] = Arc::new(vec![4]);
+            let logits = made.logits(&store, &toks, None);
+            for i in 0..=j {
+                let (off, card) = made.layout().block(i);
+                for c in off..off + card {
+                    assert_eq!(
+                        logits_base.get(0, c),
+                        logits.get(0, c),
+                        "output block {i} changed when perturbing attr {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_influences_all_outputs() {
+        let (made, store) = make_model(&[4, 4], 3, 8);
+        let toks: Vec<Arc<Vec<u32>>> = vec![Arc::new(vec![0]), Arc::new(vec![0])];
+        let c1 = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let c2 = Matrix::from_rows(&[&[0.0, 5.0, -3.0]]);
+        let l1 = made.logits(&store, &toks, Some(&c1));
+        let l2 = made.logits(&store, &toks, Some(&c2));
+        let (off0, card0) = made.layout().block(0);
+        let changed0 = (off0..off0 + card0).any(|c| l1.get(0, c) != l2.get(0, c));
+        assert!(changed0, "context did not reach attribute 0");
+    }
+
+    #[test]
+    fn learns_deterministic_dependency() {
+        // x1 = (x0 + 1) mod 4 — after training, p(x1 | x0) should put most
+        // mass on the right token.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (made, mut store) = make_model(&[4, 4], 0, 9);
+        let mut adam = Adam::new(&store, 5e-3);
+        let n = 256;
+        let x0: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let x1: Vec<u32> = x0.iter().map(|&v| (v + 1) % 4).collect();
+        let cols = vec![Arc::new(x0.clone()), Arc::new(x1.clone())];
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let out = made.forward(&mut tape, &store, &cols, None);
+            let targets = vec![x0.clone(), x1.clone()];
+            let loss = block_cross_entropy(tape.value(out), made.layout(), &targets, None);
+            tape.backward(out, loss.dlogits, &mut store);
+            store.clip_grad_norm(5.0);
+            adam.step(&mut store);
+        }
+        // Check the learned conditional.
+        for v in 0..4u32 {
+            let toks = vec![Arc::new(vec![v]), Arc::new(vec![0])];
+            let dist = made.conditional_dists(&store, &toks, None, 1);
+            let argmax = dist[0]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0 as u32;
+            assert_eq!(argmax, (v + 1) % 4, "p(x1|x0={v}) put mass on {argmax}");
+        }
+        // And sampling follows it.
+        let mut toks = vec![vec![2u32; 64], vec![0u32; 64]];
+        made.sample_suffix(&store, &mut toks, None, 1, &[], &mut rng);
+        let right = toks[1].iter().filter(|&&t| t == 3).count();
+        assert!(right > 48, "sampling followed the conditional only {right}/64 times");
+    }
+
+    #[test]
+    fn excluded_token_is_never_sampled() {
+        let (made, store) = make_model(&[3, 5], 0, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut toks = vec![vec![0u32; 200], vec![0u32; 200]];
+        made.sample_suffix(&store, &mut toks, None, 1, &[None, Some(4)], &mut rng);
+        assert!(toks[1].iter().all(|&t| t != 4), "excluded token was sampled");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (made, store) = make_model(&[3, 3], 0, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut toks = vec![vec![], vec![]];
+        made.sample_suffix(&store, &mut toks, None, 0, &[], &mut rng);
+        assert!(toks[0].is_empty());
+        let loss = made.evaluate(&store, &[Arc::new(vec![]), Arc::new(vec![])], None, None);
+        assert_eq!(loss.loss, 0.0);
+    }
+
+    #[test]
+    fn sample_categorical_is_unbiased_enough() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let dist = vec![0.1, 0.6, 0.3];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample_categorical(&dist, &mut rng) as usize] += 1;
+        }
+        assert!((counts[1] as f32 / 3000.0 - 0.6).abs() < 0.05);
+    }
+}

@@ -1,0 +1,139 @@
+//! Parameter storage shared by all layers of a model.
+//!
+//! Layers allocate parameters in a [`ParamStore`] and keep only the returned
+//! [`ParamId`]s. During a forward pass the tape copies the current parameter
+//! values into leaf nodes; after `backward` the accumulated gradients are
+//! flushed back into the store, where the optimizer consumes them.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Index of a parameter inside a [`ParamStore`].
+pub type ParamId = usize;
+
+/// Owns all trainable parameters of a model together with their gradient
+/// accumulators.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter and returns its id.
+    pub fn register(&mut self, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Matrix::zeros(r, c));
+        self.values.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters (for reporting model sizes).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id]
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.grads[id].add_assign(delta);
+    }
+
+    /// Clears all gradient accumulators (keeping allocations).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_assign(s);
+            }
+        }
+    }
+
+    /// Iterates over `(id, value, grad)` triples, mutably — used by
+    /// optimizers.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &Matrix)> {
+        self.values
+            .iter_mut()
+            .zip(self.grads.iter())
+            .enumerate()
+            .map(|(id, (v, g))| (id, v, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_accumulate() {
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::filled(2, 2, 1.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 4);
+        store.accumulate_grad(id, &Matrix::filled(2, 2, 0.5));
+        store.accumulate_grad(id, &Matrix::filled(2, 2, 0.25));
+        assert_eq!(store.grad(id).get(0, 0), 0.75);
+        store.zero_grads();
+        assert_eq!(store.grad(id).get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::zeros(1, 2));
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        store.clip_grad_norm(1.0);
+        let g = store.grad(id);
+        assert!((g.norm() - 1.0).abs() < 1e-6);
+        assert!((g.get(0, 0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_grads() {
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::zeros(1, 2));
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[0.3, 0.4]]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad(id).get(0, 1) - 0.4).abs() < 1e-7);
+    }
+}

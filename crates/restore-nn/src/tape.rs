@@ -1,0 +1,457 @@
+//! A small tape-based reverse-mode automatic differentiation engine.
+//!
+//! The tape records every operation of a forward pass as a [`Node`]; calling
+//! [`Tape::backward`] walks the nodes in reverse and accumulates gradients.
+//! Parameter leaves remember their [`ParamId`] so gradients can be flushed
+//! back into the [`ParamStore`] afterwards.
+//!
+//! Only the operations the ReStore models need are implemented: (masked)
+//! matrix multiplication, bias broadcast, element-wise add, ReLU, column
+//! concatenation, embedding gather, and segment-sum pooling (for DeepSets).
+
+use std::sync::Arc;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Matrix;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarId(usize);
+
+enum Op {
+    /// Input or parameter leaf. `param` is `Some` for trainable leaves.
+    Leaf { param: Option<ParamId> },
+    /// `x · w`
+    MatMul { x: VarId, w: VarId },
+    /// `x · (w ⊙ mask)` — used by MADE masked linear layers.
+    MaskedMatMul { x: VarId, w: VarId, mask: Arc<Matrix> },
+    /// Broadcast-add a `1 × n` bias row to every row of `x`.
+    AddRow { x: VarId, bias: VarId },
+    /// Element-wise addition of equally shaped values.
+    Add { a: VarId, b: VarId },
+    /// Element-wise `max(0, x)`.
+    Relu { x: VarId },
+    /// Column-wise concatenation.
+    ConcatCols { parts: Vec<VarId> },
+    /// Gather rows of an embedding matrix: `out[i] = table[idx[i]]`.
+    Gather { table: VarId, idx: Arc<Vec<u32>> },
+    /// Segment sum: `out[seg[i]] += x[i]`, with `n_segments` output rows.
+    SegmentSum { x: VarId, seg: Arc<Vec<u32>>, n_segments: usize },
+    /// Scalar multiplication.
+    Scale { x: VarId, s: f32 },
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+}
+
+/// Records a forward pass; consumed by [`Tape::backward`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current value of `v`.
+    pub fn value(&self, v: VarId) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of `v` after [`Tape::backward`], if any reached it.
+    pub fn grad(&self, v: VarId) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> VarId {
+        self.nodes.push(Node { op, value, grad: None });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Records a non-trainable input leaf.
+    pub fn input(&mut self, value: Matrix) -> VarId {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    /// Records a trainable parameter leaf with the store's current value.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        self.push(Op::Leaf { param: Some(id) }, store.value(id).clone())
+    }
+
+    pub fn matmul(&mut self, x: VarId, w: VarId) -> VarId {
+        let value = self.value(x).matmul(self.value(w));
+        self.push(Op::MatMul { x, w }, value)
+    }
+
+    /// Masked matmul `x · (w ⊙ mask)`; the mask is applied on the fly so the
+    /// stored parameter stays dense and the optimizer never sees the mask.
+    pub fn masked_matmul(&mut self, x: VarId, w: VarId, mask: Arc<Matrix>) -> VarId {
+        assert_eq!(self.value(w).shape(), mask.shape(), "mask shape mismatch");
+        let masked = self.value(w).hadamard(&mask);
+        let value = self.value(x).matmul(&masked);
+        self.push(Op::MaskedMatMul { x, w, mask }, value)
+    }
+
+    pub fn add_row(&mut self, x: VarId, bias: VarId) -> VarId {
+        let (xr, xc) = self.value(x).shape();
+        let b = self.value(bias);
+        assert_eq!(b.shape(), (1, xc), "bias must be 1 x cols");
+        let mut value = self.value(x).clone();
+        for r in 0..xr {
+            let row = value.row_mut(r);
+            for (v, bv) in row.iter_mut().zip(b.row(0)) {
+                *v += bv;
+            }
+        }
+        // `b` borrow ends before push
+        let _ = b;
+        self.push(Op::AddRow { x, bias }, value)
+    }
+
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut value = self.value(a).clone();
+        value.add_assign(self.value(b));
+        self.push(Op::Add { a, b }, value)
+    }
+
+    pub fn relu(&mut self, x: VarId) -> VarId {
+        let mut value = self.value(x).clone();
+        for v in value.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        self.push(Op::Relu { x }, value)
+    }
+
+    pub fn scale(&mut self, x: VarId, s: f32) -> VarId {
+        let mut value = self.value(x).clone();
+        value.scale_assign(s);
+        self.push(Op::Scale { x, s }, value)
+    }
+
+    /// Concatenates values column-wise. All parts must share the row count.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|p| self.value(*p).cols()).sum();
+        let mut value = Matrix::zeros(rows, total);
+        let mut offset = 0;
+        for p in parts {
+            let m = self.value(*p);
+            assert_eq!(m.rows(), rows, "concat row mismatch");
+            let c = m.cols();
+            for r in 0..rows {
+                value.row_mut(r)[offset..offset + c].copy_from_slice(m.row(r));
+            }
+            offset += c;
+        }
+        self.push(Op::ConcatCols { parts: parts.to_vec() }, value)
+    }
+
+    /// Embedding lookup: row `i` of the output is row `idx[i]` of `table`.
+    pub fn gather(&mut self, table: VarId, idx: Arc<Vec<u32>>) -> VarId {
+        let t = self.value(table);
+        let cols = t.cols();
+        let mut value = Matrix::zeros(idx.len(), cols);
+        for (i, &ix) in idx.iter().enumerate() {
+            let ix = ix as usize;
+            assert!(ix < t.rows(), "gather index {ix} out of range {}", t.rows());
+            value.row_mut(i).copy_from_slice(t.row(ix));
+        }
+        let _ = t;
+        self.push(Op::Gather { table, idx }, value)
+    }
+
+    /// Sum-pooling by segment: output row `s` is the sum of input rows `i`
+    /// with `seg[i] == s`. Segments with no members stay zero — exactly the
+    /// behaviour DeepSets needs for empty evidence sets.
+    pub fn segment_sum(&mut self, x: VarId, seg: Arc<Vec<u32>>, n_segments: usize) -> VarId {
+        let m = self.value(x);
+        assert_eq!(m.rows(), seg.len(), "segment ids must cover all rows");
+        let cols = m.cols();
+        let mut value = Matrix::zeros(n_segments, cols);
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < n_segments, "segment id {s} out of range {n_segments}");
+            let src = m.row(i).to_vec();
+            for (o, v) in value.row_mut(s).iter_mut().zip(&src) {
+                *o += v;
+            }
+        }
+        let _ = m;
+        self.push(Op::SegmentSum { x, seg, n_segments }, value)
+    }
+
+    fn accumulate(&mut self, v: VarId, delta: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs reverse-mode differentiation seeding `root`'s gradient with
+    /// `seed` (same shape as `root`'s value), then flushes parameter
+    /// gradients into `store`.
+    pub fn backward(&mut self, root: VarId, seed: Matrix, store: &mut ParamStore) {
+        assert_eq!(self.value(root).shape(), seed.shape(), "seed gradient shape mismatch");
+        self.accumulate(root, seed);
+
+        for i in (0..=root.0).rev() {
+            let Some(grad) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            // Re-insert so callers can inspect grads after backward.
+            self.nodes[i].grad = Some(grad.clone());
+            // Split borrows: read-only access to earlier nodes via raw index.
+            match &self.nodes[i].op {
+                Op::Leaf { param } => {
+                    if let Some(pid) = *param {
+                        store.accumulate_grad(pid, &grad);
+                    }
+                }
+                Op::MatMul { x, w } => {
+                    let (x, w) = (*x, *w);
+                    let dx = grad.matmul_t(self.value(w));
+                    let dw = self.value(x).t_matmul(&grad);
+                    self.accumulate(x, dx);
+                    self.accumulate(w, dw);
+                }
+                Op::MaskedMatMul { x, w, mask } => {
+                    let (x, w, mask) = (*x, *w, Arc::clone(mask));
+                    let masked = self.value(w).hadamard(&mask);
+                    let dx = grad.matmul_t(&masked);
+                    let dw = self.value(x).t_matmul(&grad).hadamard(&mask);
+                    self.accumulate(x, dx);
+                    self.accumulate(w, dw);
+                }
+                Op::AddRow { x, bias } => {
+                    let (x, bias) = (*x, *bias);
+                    let db = grad.col_sums();
+                    self.accumulate(x, grad);
+                    self.accumulate(bias, db);
+                }
+                Op::Add { a, b } => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Relu { x } => {
+                    let x = *x;
+                    let mut dx = grad;
+                    for (d, v) in dx.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                        if *v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    self.accumulate(x, dx);
+                }
+                Op::ConcatCols { parts } => {
+                    let parts = parts.clone();
+                    let mut offset = 0;
+                    for p in parts {
+                        let c = self.value(p).cols();
+                        let rows = grad.rows();
+                        let mut dp = Matrix::zeros(rows, c);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + c]);
+                        }
+                        offset += c;
+                        self.accumulate(p, dp);
+                    }
+                }
+                Op::Gather { table, idx } => {
+                    let (table, idx) = (*table, Arc::clone(idx));
+                    let (vr, vc) = self.value(table).shape();
+                    let mut dt = Matrix::zeros(vr, vc);
+                    for (i, &ix) in idx.iter().enumerate() {
+                        let src = grad.row(i);
+                        let dst = dt.row_mut(ix as usize);
+                        for (d, g) in dst.iter_mut().zip(src) {
+                            *d += g;
+                        }
+                    }
+                    self.accumulate(table, dt);
+                }
+                Op::SegmentSum { x, seg, n_segments } => {
+                    debug_assert_eq!(grad.rows(), *n_segments);
+                    let (x, seg) = (*x, Arc::clone(seg));
+                    let cols = grad.cols();
+                    let mut dx = Matrix::zeros(seg.len(), cols);
+                    for (i, &s) in seg.iter().enumerate() {
+                        dx.row_mut(i).copy_from_slice(grad.row(s as usize));
+                    }
+                    self.accumulate(x, dx);
+                }
+                Op::Scale { x, s } => {
+                    let (x, s) = (*x, *s);
+                    let mut dx = grad;
+                    dx.scale_assign(s);
+                    self.accumulate(x, dx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check<F>(param_shape: (usize, usize), mut f: F, seed: u64)
+    where
+        F: FnMut(&mut Tape, VarId) -> VarId,
+    {
+        // Scalar-output finite-difference gradient check for a single param.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let pid = store.register(Matrix::rand_uniform(param_shape.0, param_shape.1, -0.8, 0.8, &mut rng));
+
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let p = tape.param(&store, pid);
+        let out = f(&mut tape, p);
+        let (or, oc) = tape.value(out).shape();
+        store.zero_grads();
+        tape.backward(out, Matrix::filled(or, oc, 1.0), &mut store);
+        let analytic = store.grad(pid).clone();
+
+        // Numeric gradient of sum(out).
+        let eps = 1e-3f32;
+        for i in 0..param_shape.0 {
+            for j in 0..param_shape.1 {
+                let orig = store.value(pid).get(i, j);
+                let eval = |store: &ParamStore, f: &mut F| -> f32 {
+                    let mut t = Tape::new();
+                    let p = t.param(store, pid);
+                    let o = f(&mut t, p);
+                    t.value(o).data().iter().sum()
+                };
+                store.value_mut(pid).set(i, j, orig + eps);
+                let up = eval(&store, &mut f);
+                store.value_mut(pid).set(i, j, orig - eps);
+                let down = eval(&store, &mut f);
+                store.value_mut(pid).set(i, j, orig);
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.get(i, j);
+                assert!(
+                    (a - numeric).abs() < 1e-2 * (1.0 + a.abs().max(numeric.abs())),
+                    "grad mismatch at ({i},{j}): analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.25, -0.75]]);
+        finite_diff_check((3, 4), move |tape, p| {
+            let xi = tape.input(x.clone());
+            tape.matmul(xi, p)
+        }, 10);
+    }
+
+    #[test]
+    fn masked_matmul_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.25, -0.75]]);
+        let mask = Arc::new(Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+        ]));
+        finite_diff_check((3, 4), move |tape, p| {
+            let xi = tape.input(x.clone());
+            tape.masked_matmul(xi, p, Arc::clone(&mask))
+        }, 11);
+    }
+
+    #[test]
+    fn relu_chain_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.25]]);
+        finite_diff_check((2, 3), move |tape, p| {
+            let xi = tape.input(x.clone());
+            let h = tape.matmul(xi, p);
+            tape.relu(h)
+        }, 12);
+    }
+
+    #[test]
+    fn bias_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[1.5, 0.25, -2.0]]);
+        finite_diff_check((1, 3), move |tape, p| {
+            let xi = tape.input(x.clone());
+            tape.add_row(xi, p)
+        }, 13);
+    }
+
+    #[test]
+    fn gather_gradient_accumulates_duplicates() {
+        let mut store = ParamStore::new();
+        let pid = store.register(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let mut tape = Tape::new();
+        let table = tape.param(&store, pid);
+        let out = tape.gather(table, Arc::new(vec![0, 1, 0]));
+        tape.backward(out, Matrix::filled(3, 2, 1.0), &mut store);
+        // Row 0 gathered twice -> grad 2, row 1 once -> grad 1.
+        assert_eq!(store.grad(pid).row(0), &[2.0, 2.0]);
+        assert_eq!(store.grad(pid).row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_sum_pools_and_backprops() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[1.0], &[2.0], &[4.0]]));
+        let out = tape.segment_sum(x, Arc::new(vec![1, 1, 0]), 3);
+        assert_eq!(tape.value(out).row(0), &[4.0]);
+        assert_eq!(tape.value(out).row(1), &[3.0]);
+        assert_eq!(tape.value(out).row(2), &[0.0]); // empty segment
+        let mut seed = Matrix::zeros(3, 1);
+        seed.set(1, 0, 1.0);
+        tape.backward(out, seed, &mut store);
+        let gx = tape.grad(x).unwrap();
+        assert_eq!(gx.data(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let a = tape.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = tape.input(Matrix::from_rows(&[&[3.0]]));
+        let out = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(out).row(0), &[1.0, 2.0, 3.0]);
+        tape.backward(out, Matrix::from_rows(&[&[10.0, 20.0, 30.0]]), &mut store);
+        assert_eq!(tape.grad(a).unwrap().row(0), &[10.0, 20.0]);
+        assert_eq!(tape.grad(b).unwrap().row(0), &[30.0]);
+    }
+
+    #[test]
+    fn residual_add_gradient_flows_both_ways() {
+        let mut store = ParamStore::new();
+        let pid = store.register(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let w = tape.param(&store, pid);
+        let h = tape.matmul(x, w);
+        let out = tape.add(h, x);
+        tape.backward(out, Matrix::filled(1, 2, 1.0), &mut store);
+        // dx = dy·Wᵀ + dy = [1,1]·I + [1,1] = [2,2]
+        assert_eq!(tape.grad(x).unwrap().row(0), &[2.0, 2.0]);
+    }
+}
