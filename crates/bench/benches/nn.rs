@@ -8,9 +8,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
 
-use restore_nn::{
-    block_cross_entropy, Adam, AttrSpec, Made, MadeConfig, Matrix, ParamStore, Tape,
-};
+use restore_nn::{block_cross_entropy, Adam, AttrSpec, Made, MadeConfig, Matrix, ParamStore, Tape};
 
 fn bench_nn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);

@@ -19,7 +19,11 @@ fn bench_training(c: &mut Criterion) {
     .unwrap();
     let movies_path = CompletionPath::from_tables(
         &movies.incomplete,
-        &["director".to_string(), "movie_director".to_string(), "movie".to_string()],
+        &[
+            "director".to_string(),
+            "movie_director".to_string(),
+            "movie".to_string(),
+        ],
     )
     .unwrap();
 

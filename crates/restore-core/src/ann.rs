@@ -27,7 +27,10 @@ impl AnnIndex {
     pub fn build(points: Vec<Vec<f32>>, bits: usize, n_tables: usize, seed: u64) -> Self {
         assert!(!points.is_empty(), "cannot index an empty point set");
         let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "ragged feature vectors");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "ragged feature vectors"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let bits = bits.clamp(1, 24);
         let mut planes = Vec::with_capacity(n_tables);
@@ -43,7 +46,12 @@ impl AnnIndex {
             planes.push(set);
             tables.push(table);
         }
-        Self { points, dim, planes, tables }
+        Self {
+            points,
+            dim,
+            planes,
+            tables,
+        }
     }
 
     fn hash(planes: &[Vec<f32>], point: &[f32]) -> u64 {
@@ -115,7 +123,9 @@ mod tests {
     use super::*;
 
     fn grid_points(n: usize) -> Vec<Vec<f32>> {
-        (0..n).map(|i| vec![i as f32, (i * 2) as f32 % 17.0]).collect()
+        (0..n)
+            .map(|i| vec![i as f32, (i * 2) as f32 % 17.0])
+            .collect()
     }
 
     #[test]
@@ -148,7 +158,10 @@ mod tests {
             let err = AnnIndex::distance2(&q, &pts[found]) - AnnIndex::distance2(&q, &pts[exact]);
             total_err += err;
         }
-        assert!(total_err < 10.0, "ANN answers drift too far from exact: {total_err}");
+        assert!(
+            total_err < 10.0,
+            "ANN answers drift too far from exact: {total_err}"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl SchemaAnnotation {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { incomplete: tables.into_iter().map(Into::into).collect() }
+        Self {
+            incomplete: tables.into_iter().map(Into::into).collect(),
+        }
     }
 
     pub fn mark_incomplete(&mut self, table: impl Into<String>) {
@@ -107,7 +109,10 @@ mod tests {
                 Field::new("__tf_review", DataType::Int),
             ],
         );
-        assert_eq!(modeled_columns(&t), vec!["price".to_string(), "room_type".to_string()]);
+        assert_eq!(
+            modeled_columns(&t),
+            vec!["price".to_string(), "room_type".to_string()]
+        );
     }
 
     #[test]

@@ -4,11 +4,16 @@
 //! serve any prefix of its path.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::completion::CompletionOutput;
+
+/// `parking_lot`-style infallible lock: a poisoned mutex only happens if a
+/// cache user panicked mid-insert, and the map is always left consistent,
+/// so recovering the guard is safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Thread-safe cache of completed joins keyed by the ordered path tables.
 #[derive(Default)]
@@ -25,10 +30,10 @@ impl JoinCache {
 
     /// Exact-path lookup.
     pub fn get(&self, tables: &[String]) -> Option<Arc<CompletionOutput>> {
-        let out = self.inner.lock().get(tables).cloned();
+        let out = lock(&self.inner).get(tables).cloned();
         match &out {
-            Some(_) => *self.hits.lock() += 1,
-            None => *self.misses.lock() += 1,
+            Some(_) => *lock(&self.hits) += 1,
+            None => *lock(&self.misses) += 1,
         }
         out
     }
@@ -38,7 +43,7 @@ impl JoinCache {
     /// reuse is only offered when the cached entry marks the extra steps as
     /// multiplicity-preserving.
     pub fn get_prefix(&self, tables: &[String]) -> Option<Arc<CompletionOutput>> {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         inner
             .iter()
             .filter(|(k, _)| k.len() > tables.len() && k.starts_with(tables))
@@ -47,30 +52,29 @@ impl JoinCache {
     }
 
     pub fn put(&self, tables: Vec<String>, output: Arc<CompletionOutput>) {
-        self.inner.lock().insert(tables, output);
+        lock(&self.inner).insert(tables, output);
     }
 
     pub fn invalidate(&self) {
-        self.inner.lock().clear();
+        lock(&self.inner).clear();
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        lock(&self.inner).len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        lock(&self.inner).is_empty()
     }
 
     /// `(hits, misses)` counters for instrumentation.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (*lock(&self.hits), *lock(&self.misses))
     }
 
     /// Snapshot of all cached entries (diagnostics).
     pub fn entries(&self) -> Vec<(Vec<String>, Arc<CompletionOutput>)> {
-        self.inner
-            .lock()
+        lock(&self.inner)
             .iter()
             .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect()
@@ -110,7 +114,10 @@ mod tests {
         cache.put(key(&["a", "b", "c"]), dummy_output(&["a", "b", "c"]));
         assert!(cache.get_prefix(&key(&["a", "b"])).is_some());
         assert!(cache.get_prefix(&key(&["a", "c"])).is_none());
-        assert!(cache.get_prefix(&key(&["a", "b", "c"])).is_none(), "prefix must be strict");
+        assert!(
+            cache.get_prefix(&key(&["a", "b", "c"])).is_none(),
+            "prefix must be strict"
+        );
     }
 
     #[test]

@@ -9,11 +9,21 @@
 //! keys — it is replaced by its (approximate) euclidean nearest neighbor
 //! among the real tuples (Fig. 3).
 
+//! **Batched, parallel sampling.** Every synthesis step samples its rows in
+//! batches of [`CompleterConfig::batch_size`]: one gradient-free forward
+//! pass per attribute fills a whole batch, and the batches fan out over a
+//! worker pool ([`CompleterConfig::workers`]). Each batch owns an RNG
+//! seeded from `(step seed, batch offset)`, so completions are bit-stable
+//! under any worker count and reproduce the single-row sampling sequence
+//! at `batch_size = 1`.
+
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use restore_db::{hash_join, Column, Database, Table, Value};
+use restore_util::{default_workers, derive_seed, parallel_map_workers};
 
 use crate::ann::AnnIndex;
 use crate::annotation::SchemaAnnotation;
@@ -45,11 +55,25 @@ pub struct CompleterConfig {
     pub max_missing_per_row: i64,
     /// Euclidean replacement policy.
     pub replacement: ReplacementMode,
+    /// Rows sampled per no-grad forward pass (B). Larger batches amortize
+    /// the per-pass cost; `1` degrades to single-row sampling (the
+    /// determinism-contract reference point).
+    pub batch_size: usize,
+    /// Worker threads the sampling batches fan out over (`0` = one per
+    /// available hardware thread). Results never depend on this value.
+    pub workers: usize,
 }
 
 impl Default for CompleterConfig {
     fn default() -> Self {
-        Self { ann_bits: 10, ann_tables: 4, max_missing_per_row: 64, replacement: ReplacementMode::Auto }
+        Self {
+            ann_bits: 10,
+            ann_tables: 4,
+            max_missing_per_row: 64,
+            replacement: ReplacementMode::Auto,
+            batch_size: 256,
+            workers: 0,
+        }
     }
 }
 
@@ -103,7 +127,11 @@ impl Working {
     fn gather(&self, idx: &[usize]) -> Working {
         Working {
             table: self.table.gather(idx),
-            syn: self.syn.iter().map(|f| idx.iter().map(|&i| f[i]).collect()).collect(),
+            syn: self
+                .syn
+                .iter()
+                .map(|f| idx.iter().map(|&i| f[i]).collect())
+                .collect(),
             tf: self
                 .tf
                 .iter()
@@ -139,7 +167,11 @@ pub struct Completer<'a> {
 
 impl<'a> Completer<'a> {
     pub fn new(db: &'a Database, annotation: &'a SchemaAnnotation) -> Self {
-        Self { db, annotation, cfg: CompleterConfig::default() }
+        Self {
+            db,
+            annotation,
+            cfg: CompleterConfig::default(),
+        }
     }
 
     pub fn with_config(mut self, cfg: CompleterConfig) -> Self {
@@ -148,8 +180,10 @@ impl<'a> Completer<'a> {
     }
 
     /// Algorithm 1: walks the model's completion path and produces the
-    /// approximated complete join.
-    pub fn complete(&self, model: &CompletionModel, rng: &mut StdRng) -> CoreResult<CompletionOutput> {
+    /// approximated complete join. Deterministic in `seed` — every sampling
+    /// batch derives its RNG from the seed and its position, independent of
+    /// batch grouping across steps and of the worker count.
+    pub fn complete(&self, model: &CompletionModel, seed: u64) -> CoreResult<CompletionOutput> {
         let path = model.path().clone();
         let root = self.db.table(path.root())?;
         let n0 = root.n_rows();
@@ -172,10 +206,14 @@ impl<'a> Completer<'a> {
                 ReplacementMode::Never => false,
             };
 
+            // Independent RNG streams for this step's tuple-factor and
+            // column sampling.
+            let tf_seed = derive_seed(seed, 2 * i as u64);
+            let col_seed = derive_seed(seed, 2 * i as u64 + 1);
             if step.fan_out {
-                w = self.fanout_step(model, w, i, t_next, replace, rng)?;
+                w = self.fanout_step(model, w, i, t_next, replace, tf_seed, col_seed)?;
             } else {
-                w = self.n_to_1_step(model, w, i, t_next, replace, rng)?;
+                w = self.n_to_1_step(model, w, i, t_next, replace, col_seed)?;
             }
         }
 
@@ -187,8 +225,37 @@ impl<'a> Completer<'a> {
         })
     }
 
+    /// Splits `rows` into sampling batches, fans them out over the worker
+    /// pool, and returns the per-batch results in input order. Each batch's
+    /// RNG is seeded from `(seed, offset of the batch's first row)` so the
+    /// output is a pure function of `(rows, seed, batch_size)`.
+    fn sample_batches<T, F>(&self, rows: &[usize], seed: u64, f: F) -> CoreResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&[usize], &mut StdRng) -> CoreResult<T> + Sync,
+    {
+        let bs = self.cfg.batch_size.max(1);
+        let jobs: Vec<(usize, &[usize])> = rows
+            .chunks(bs)
+            .enumerate()
+            .map(|(k, chunk)| (k * bs, chunk))
+            .collect();
+        let workers = if self.cfg.workers == 0 {
+            default_workers()
+        } else {
+            self.cfg.workers
+        };
+        parallel_map_workers(jobs, workers, |(offset, chunk)| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, *offset as u64));
+            f(chunk, &mut rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
     /// 1:n step: predict tuple factors, join existing children, duplicate
     /// evidence rows for the missing ones and synthesize their attributes.
+    #[allow(clippy::too_many_arguments)]
     fn fanout_step(
         &self,
         model: &CompletionModel,
@@ -196,7 +263,8 @@ impl<'a> Completer<'a> {
         step_idx: usize,
         t_next: &Table,
         replace: bool,
-        rng: &mut StdRng,
+        tf_seed: u64,
+        col_seed: u64,
     ) -> CoreResult<Working> {
         let step = &model.path().steps()[step_idx];
         let parent_key_ref = format!("{}.{}", step.fk.parent, step.fk.parent_col);
@@ -248,7 +316,13 @@ impl<'a> Completer<'a> {
             }
         }
         if !to_predict.is_empty() {
-            let sampled = model.sample_tf(&w.table, &w.tf, step_idx, &to_predict, rng)?;
+            // Encode the working join once, then predict factors in
+            // parallel batches.
+            let encoded = model.encode_tokens(&w.table, &w.tf);
+            let batches = self.sample_batches(&to_predict, tf_seed, |chunk, rng| {
+                model.sample_tf_encoded(&w.table, &encoded, step_idx, chunk, rng)
+            })?;
+            let sampled: Vec<i64> = batches.into_iter().flatten().collect();
             for (&r, v) in to_predict.iter().zip(sampled) {
                 tf_final[r] = v;
             }
@@ -261,11 +335,21 @@ impl<'a> Completer<'a> {
             .collect();
 
         // Existing partners: plain incompleteness-free join.
-        let jout = hash_join(&w.table, &parent_key_ref, t_next, &step.fk.child_col, "join")?;
+        let jout = hash_join(
+            &w.table,
+            &parent_key_ref,
+            t_next,
+            &step.fk.child_col,
+            "join",
+        )?;
         let mut w_inc = w.gather(&jout.left_indices);
         w_inc.table = jout.table;
         w_inc.syn.push(vec![false; w_inc.table.n_rows()]);
-        w_inc.tf[step_idx] = jout.left_indices.iter().map(|&l| Some(tf_final[l])).collect();
+        w_inc.tf[step_idx] = jout
+            .left_indices
+            .iter()
+            .map(|&l| Some(tf_final[l]))
+            .collect();
 
         // Synthesized partners: duplicate each evidence row `missing` times.
         let mut dup_idx = Vec::new();
@@ -277,7 +361,15 @@ impl<'a> Completer<'a> {
         let mut w_syn = w.gather(&dup_idx);
         w_syn.tf[step_idx] = dup_idx.iter().map(|&r| Some(tf_final[r])).collect();
         let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
-        let block = self.synthesize_block(model, &w_syn, step_idx + 1, t_next, &rows, replace, rng)?;
+        let block = self.synthesize_block(
+            model,
+            &w_syn,
+            step_idx + 1,
+            t_next,
+            &rows,
+            replace,
+            col_seed,
+        )?;
         w_syn.table = w_syn.table.hstack(&block, "join")?;
         w_syn.syn.push(vec![true; dup_idx.len()]);
 
@@ -292,11 +384,17 @@ impl<'a> Completer<'a> {
         step_idx: usize,
         t_next: &Table,
         replace: bool,
-        rng: &mut StdRng,
+        col_seed: u64,
     ) -> CoreResult<Working> {
         let step = &model.path().steps()[step_idx];
         let child_key_ref = format!("{}.{}", step.fk.child, step.fk.child_col);
-        let jout = hash_join(&w.table, &child_key_ref, t_next, &step.fk.parent_col, "join")?;
+        let jout = hash_join(
+            &w.table,
+            &child_key_ref,
+            t_next,
+            &step.fk.parent_col,
+            "join",
+        )?;
         let unmatched = jout.unmatched_left.clone();
 
         let mut w_inc = w.gather(&jout.left_indices);
@@ -305,7 +403,15 @@ impl<'a> Completer<'a> {
 
         let mut w_syn = w.gather(&unmatched);
         let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
-        let block = self.synthesize_block(model, &w_syn, step_idx + 1, t_next, &rows, replace, rng)?;
+        let block = self.synthesize_block(
+            model,
+            &w_syn,
+            step_idx + 1,
+            t_next,
+            &rows,
+            replace,
+            col_seed,
+        )?;
         w_syn.table = w_syn.table.hstack(&block, "join")?;
         w_syn.syn.push(vec![true; unmatched.len()]);
 
@@ -313,8 +419,11 @@ impl<'a> Completer<'a> {
     }
 
     /// Samples the modeled columns of path table `table_idx` for the given
-    /// working rows, optionally replacing each synthesized tuple with its
-    /// nearest real neighbor, and returns the qualified column block.
+    /// working rows — in parallel batches of `batch_size` rows, one no-grad
+    /// forward pass per attribute per batch — optionally replacing each
+    /// synthesized tuple with its nearest real neighbor, and returns the
+    /// qualified column block.
+    #[allow(clippy::too_many_arguments)]
     fn synthesize_block(
         &self,
         model: &CompletionModel,
@@ -323,12 +432,27 @@ impl<'a> Completer<'a> {
         t_next: &Table,
         rows: &[usize],
         replace: bool,
-        rng: &mut StdRng,
+        seed: u64,
     ) -> CoreResult<Table> {
         let sampled = if rows.is_empty() {
             Vec::new()
         } else {
-            model.sample_table_columns(&w.table, &w.tf, table_idx, rows, rng)?
+            let encoded = model.encode_tokens(&w.table, &w.tf);
+            let batches = self.sample_batches(rows, seed, |chunk, rng| {
+                model.sample_table_columns_encoded(&w.table, &encoded, table_idx, chunk, rng)
+            })?;
+            // Column-wise concatenation of the per-batch blocks.
+            let mut merged: Vec<Vec<Value>> = Vec::new();
+            for block in batches {
+                if merged.is_empty() {
+                    merged = block;
+                } else {
+                    for (col, part) in merged.iter_mut().zip(block) {
+                        col.extend(part);
+                    }
+                }
+            }
+            merged
         };
 
         let attr_range = model.table_attr_range(table_idx);
@@ -440,7 +564,10 @@ impl<'m> Featurizer<'m> {
                         vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
                             / vals.len() as f32
                     };
-                    FeatKind::Numeric { mean, std: var.sqrt().max(1e-6) }
+                    FeatKind::Numeric {
+                        mean,
+                        std: var.sqrt().max(1e-6),
+                    }
                 }
             };
             specs.push((*name, *enc, kind));
@@ -508,7 +635,7 @@ mod tests {
     use super::*;
     use crate::model::TrainConfig;
     use crate::paths::CompletionPath;
-    use rand::SeedableRng;
+
     use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
     use restore_db::Field;
 
@@ -524,7 +651,11 @@ mod tests {
 
     fn scenario(keep: f64, corr: f64, seed: u64) -> restore_data::Scenario {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { predictability: 0.95, n_parent: 250, ..Default::default() },
+            &SyntheticConfig {
+                predictability: 0.95,
+                n_parent: 250,
+                ..Default::default()
+            },
             seed,
         );
         let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), keep, corr);
@@ -537,11 +668,9 @@ mod tests {
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
         let path =
             CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
-        let model =
-            CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
+        let model = CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
         let completer = Completer::new(&sc.incomplete, &ann);
-        let mut rng = StdRng::seed_from_u64(seed);
-        completer.complete(&model, &mut rng).unwrap()
+        completer.complete(&model, seed).unwrap()
     }
 
     #[test]
@@ -571,7 +700,9 @@ mod tests {
         let value = sc.bias_value.clone().unwrap();
         let frac = |t: &Table, col: &str| {
             let i = t.resolve(col).unwrap();
-            (0..t.n_rows()).filter(|&r| t.value(r, i).to_string() == value).count() as f64
+            (0..t.n_rows())
+                .filter(|&r| t.value(r, i).to_string() == value)
+                .count() as f64
                 / t.n_rows().max(1) as f64
         };
         let true_frac = frac(sc.complete.table("tb").unwrap(), "b");
@@ -615,7 +746,8 @@ mod tests {
         let join_pid = out.join.resolve("ta.id").unwrap();
         let mut got: HashMap<i64, i64> = HashMap::new();
         for r in 0..out.join.n_rows() {
-            *got.entry(out.join.value(r, join_pid).as_i64().unwrap()).or_insert(0) += 1;
+            *got.entry(out.join.value(r, join_pid).as_i64().unwrap())
+                .or_insert(0) += 1;
         }
         let mut checked = 0;
         for r in 0..ta.n_rows() {
@@ -632,7 +764,10 @@ mod tests {
     fn featurizer_distinguishes_categories() {
         let mut t = Table::new(
             "x",
-            vec![Field::new("c", restore_db::DataType::Str), Field::new("v", restore_db::DataType::Float)],
+            vec![
+                Field::new("c", restore_db::DataType::Str),
+                Field::new("v", restore_db::DataType::Float),
+            ],
         );
         t.push_row(&[Value::str("a"), Value::Float(1.0)]).unwrap();
         t.push_row(&[Value::str("b"), Value::Float(100.0)]).unwrap();

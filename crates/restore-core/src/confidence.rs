@@ -16,7 +16,11 @@ use crate::model::CompletionModel;
 pub enum ConfidenceQuery {
     /// Fraction of rows where `table.column == value` (count-queries of
     /// Figs. 6/13/14 report this fraction).
-    CountFraction { table: String, column: String, value: String },
+    CountFraction {
+        table: String,
+        column: String,
+        value: String,
+    },
     /// Average of `table.column` over the completed join.
     Avg { table: String, column: String },
     /// Sum of `table.column` over the completed join.
@@ -79,7 +83,10 @@ pub fn confidence_interval(
         ConfidenceQuery::CountFraction { value, .. } => {
             let target_tok = attr.encoder.encode(&Value::str(value.clone())).or_else(|| {
                 // Numeric categorical values arrive as strings too.
-                value.parse::<f64>().ok().and_then(|f| attr.encoder.encode(&Value::Float(f)))
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .and_then(|f| attr.encoder.encode(&Value::Float(f)))
             });
             let existing = real_rows
                 .iter()
@@ -90,7 +97,8 @@ pub fn confidence_interval(
             let mut hi = existing;
             let mut est = existing;
             for d in &dists {
-                let p_model = target_tok.map_or(0.0, |t| d.get(t as usize).copied().unwrap_or(0.0)) as f64;
+                let p_model =
+                    target_tok.map_or(0.0, |t| d.get(t as usize).copied().unwrap_or(0.0)) as f64;
                 let c = certainty(d, &marginal) as f64;
                 lo += c * p_model + (1.0 - c) * p_lo;
                 hi += c * p_model + (1.0 - c) * p_hi;
@@ -137,7 +145,12 @@ pub fn confidence_interval(
                 ConfidenceQuery::Avg { .. } => (sum_lo / count, sum_hi / count, sum_est / count),
                 _ => (sum_lo, sum_hi, sum_est),
             };
-            Ok(ConfidenceInterval { lo, hi, estimate: est, theoretical: None })
+            Ok(ConfidenceInterval {
+                lo,
+                hi,
+                estimate: est,
+                theoretical: None,
+            })
         }
     }
 }
@@ -171,32 +184,43 @@ mod tests {
     use crate::completion::Completer;
     use crate::model::{CompletionModel, TrainConfig};
     use crate::paths::CompletionPath;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use restore_data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig};
 
-    fn run_scenario(predictability: f64, seed: u64) -> (restore_data::Scenario, CompletionModel, CompletionOutput) {
+    fn run_scenario(
+        predictability: f64,
+        seed: u64,
+    ) -> (restore_data::Scenario, CompletionModel, CompletionOutput) {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { predictability, n_parent: 200, ..Default::default() },
+            &SyntheticConfig {
+                predictability,
+                n_parent: 200,
+                ..Default::default()
+            },
             seed,
         );
         let mut rcfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.4);
         rcfg.seed = seed;
         let sc = apply_removal(&db, &rcfg);
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
-        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
-        let cfg = TrainConfig { epochs: 10, hidden: vec![32, 32], ..Default::default() };
+        let path =
+            CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let cfg = TrainConfig {
+            epochs: 10,
+            hidden: vec![32, 32],
+            ..Default::default()
+        };
         let model = CompletionModel::train(&sc.incomplete, &ann, path, &cfg, seed).unwrap();
         let completer = Completer::new(&sc.incomplete, &ann);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let out = completer.complete(&model, &mut rng).unwrap();
+        let out = completer.complete(&model, seed).unwrap();
         (sc, model, out)
     }
 
     fn true_fraction(sc: &restore_data::Scenario, value: &str) -> f64 {
         let t = sc.complete.table("tb").unwrap();
         let i = t.resolve("b").unwrap();
-        (0..t.n_rows()).filter(|&r| t.value(r, i).to_string() == value).count() as f64
+        (0..t.n_rows())
+            .filter(|&r| t.value(r, i).to_string() == value)
+            .count() as f64
             / t.n_rows() as f64
     }
 
@@ -213,7 +237,10 @@ mod tests {
         let truth = true_fraction(&sc, &value);
         let (tmin, tmax) = ci.theoretical.unwrap();
         assert!(ci.lo <= ci.hi);
-        assert!(tmin <= ci.lo + 1e-9 && ci.hi <= tmax + 1e-9, "CI outside theoretical bounds");
+        assert!(
+            tmin <= ci.lo + 1e-9 && ci.hi <= tmax + 1e-9,
+            "CI outside theoretical bounds"
+        );
         assert!(
             ci.lo - 0.05 <= truth && truth <= ci.hi + 0.05,
             "true fraction {truth:.3} outside CI [{:.3}, {:.3}]",
@@ -231,8 +258,10 @@ mod tests {
             column: "b".into(),
             value: sc.bias_value.clone().unwrap(),
         };
-        let ci_hi = confidence_interval(&model_hi, &sc_hi.incomplete, &out_hi, &q(&sc_hi), 0.95).unwrap();
-        let ci_lo = confidence_interval(&model_lo, &sc_lo.incomplete, &out_lo, &q(&sc_lo), 0.95).unwrap();
+        let ci_hi =
+            confidence_interval(&model_hi, &sc_hi.incomplete, &out_hi, &q(&sc_hi), 0.95).unwrap();
+        let ci_lo =
+            confidence_interval(&model_lo, &sc_lo.incomplete, &out_lo, &q(&sc_lo), 0.95).unwrap();
         assert!(
             ci_hi.hi - ci_hi.lo < ci_lo.hi - ci_lo.lo,
             "predictable CI ({:.3}) should be tighter than noise CI ({:.3})",
@@ -249,7 +278,10 @@ mod tests {
         // synthetic numeric view: here we simply check the Avg machinery on
         // the `a` attribute of the (complete) evidence table is rejected,
         // and Sum on `b` is rejected for non-numeric decode.
-        let q = ConfidenceQuery::Avg { table: "tb".into(), column: "b".into() };
+        let q = ConfidenceQuery::Avg {
+            table: "tb".into(),
+            column: "b".into(),
+        };
         let ci = confidence_interval(&model, &sc.incomplete, &out, &q, 0.95).unwrap();
         // Categorical tokens decode to strings → numeric view is 0; the
         // interval still must be ordered and finite.
@@ -260,7 +292,10 @@ mod tests {
     #[test]
     fn unknown_attr_is_an_error() {
         let (sc, model, out) = run_scenario(0.8, 34);
-        let q = ConfidenceQuery::Avg { table: "tb".into(), column: "nope".into() };
+        let q = ConfidenceQuery::Avg {
+            table: "tb".into(),
+            column: "nope".into(),
+        };
         assert!(confidence_interval(&model, &sc.incomplete, &out, &q, 0.95).is_err());
     }
 }

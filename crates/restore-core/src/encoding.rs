@@ -26,7 +26,10 @@ pub const MAX_DISTINCT_CATEGORICAL: usize = 96;
 #[derive(Clone, Debug)]
 pub enum AttrEncoder {
     /// Distinct-value dictionary (strings or small numeric domains).
-    Categorical { values: Vec<Value>, index: HashMap<String, u32> },
+    Categorical {
+        values: Vec<Value>,
+        index: HashMap<String, u32>,
+    },
     /// Quantile bins over a continuous column. `edges` has `k+1` entries for
     /// `k` bins; `means` holds the mean of the training values per bin.
     Binned { edges: Vec<f64>, means: Vec<f64> },
@@ -55,7 +58,7 @@ impl AttrEncoder {
                 vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let mut distinct: Vec<f64> = Vec::new();
                 for &v in &vals {
-                    if distinct.last().map_or(true, |&d| d != v) {
+                    if distinct.last().is_none_or(|&d| d != v) {
                         distinct.push(v);
                     }
                 }
@@ -63,13 +66,23 @@ impl AttrEncoder {
                     let is_int = matches!(column, Column::Int(_));
                     let mut map: BTreeMap<String, Value> = BTreeMap::new();
                     for &v in &distinct {
-                        let val = if is_int { Value::Int(v as i64) } else { Value::Float(v) };
+                        let val = if is_int {
+                            Value::Int(v as i64)
+                        } else {
+                            Value::Float(v)
+                        };
                         map.insert(val.to_string(), val);
                     }
                     // Preserve numeric order rather than lexicographic.
                     let values: Vec<Value> = distinct
                         .iter()
-                        .map(|&v| if is_int { Value::Int(v as i64) } else { Value::Float(v) })
+                        .map(|&v| {
+                            if is_int {
+                                Value::Int(v as i64)
+                            } else {
+                                Value::Float(v)
+                            }
+                        })
                         .collect();
                     let index = values
                         .iter()
@@ -118,7 +131,13 @@ impl AttrEncoder {
             .iter()
             .zip(&counts)
             .enumerate()
-            .map(|(b, (s, &c))| if c > 0 { s / c as f64 } else { (edges[b] + edges[b + 1]) / 2.0 })
+            .map(|(b, (s, &c))| {
+                if c > 0 {
+                    s / c as f64
+                } else {
+                    (edges[b] + edges[b + 1]) / 2.0
+                }
+            })
             .collect();
         AttrEncoder::Binned { edges, means }
     }
@@ -126,7 +145,10 @@ impl AttrEncoder {
     /// Fits a tuple-factor encoder for counts in `[0, max_observed]`.
     pub fn fit_tuple_factor(counts: impl IntoIterator<Item = i64>, cap: i64) -> AttrEncoder {
         let max = counts.into_iter().max().unwrap_or(0).clamp(0, cap);
-        AttrEncoder::IntRange { min: 0, max: max.max(1) }
+        AttrEncoder::IntRange {
+            min: 0,
+            max: max.max(1),
+        }
     }
 
     /// Number of real (non-MASK) tokens.
@@ -170,13 +192,12 @@ impl AttrEncoder {
     /// Decodes a token back into a value (bin tokens decode to bin means).
     pub fn decode(&self, token: u32) -> Value {
         match self {
-            AttrEncoder::Categorical { values, .. } => values
-                .get(token as usize)
-                .cloned()
-                .unwrap_or(Value::Null),
-            AttrEncoder::Binned { means, .. } => {
-                means.get(token as usize).map_or(Value::Null, |&m| Value::Float(m))
+            AttrEncoder::Categorical { values, .. } => {
+                values.get(token as usize).cloned().unwrap_or(Value::Null)
             }
+            AttrEncoder::Binned { means, .. } => means
+                .get(token as usize)
+                .map_or(Value::Null, |&m| Value::Float(m)),
             AttrEncoder::IntRange { min, .. } => Value::Int(min + token as i64),
         }
     }
@@ -267,7 +288,11 @@ mod tests {
         let true_mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let decoded_mean = vals
             .iter()
-            .map(|&v| enc.decode(enc.encode(&Value::Float(v)).unwrap()).as_f64().unwrap())
+            .map(|&v| {
+                enc.decode(enc.encode(&Value::Float(v)).unwrap())
+                    .as_f64()
+                    .unwrap()
+            })
             .sum::<f64>()
             / vals.len() as f64;
         assert!(

@@ -30,7 +30,9 @@ pub mod restore;
 pub mod selection;
 
 pub use ann::AnnIndex;
-pub use annotation::{is_key_column, is_tf_column, modeled_columns, tf_column_name, SchemaAnnotation};
+pub use annotation::{
+    is_key_column, is_tf_column, modeled_columns, tf_column_name, SchemaAnnotation,
+};
 pub use cache::JoinCache;
 pub use completion::{Completer, CompleterConfig, CompletionOutput, ReplacementMode};
 pub use confidence::{confidence_interval, ConfidenceInterval, ConfidenceQuery};
@@ -41,6 +43,6 @@ pub use model::{AttrKind, CompletionModel, ModelAttr, TrainConfig};
 pub use paths::{enumerate_paths, CompletionPath};
 pub use restore::{ModelSummary, ReStore, RestoreConfig, TrainReport};
 pub use selection::{
-    basic_filter, select_model, BiasDirection, CandidateScore, SelectionOutcome,
-    SelectionStrategy, SuspectedBias,
+    basic_filter, select_model, BiasDirection, CandidateScore, SelectionOutcome, SelectionStrategy,
+    SuspectedBias,
 };

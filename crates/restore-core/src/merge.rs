@@ -19,7 +19,10 @@ impl CompletionTask {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { evidence: evidence.into_iter().map(Into::into).collect(), target: target.into() }
+        Self {
+            evidence: evidence.into_iter().map(Into::into).collect(),
+            target: target.into(),
+        }
     }
 
     fn tables(&self) -> BTreeSet<String> {
@@ -54,7 +57,11 @@ fn consistent_order(tasks: &[CompletionTask]) -> Option<Vec<String>> {
     let mut in_deg: BTreeMap<&str, usize> = tables.iter().map(|t| (t.as_str(), 0)).collect();
     for task in tasks {
         for e in &task.evidence {
-            if out_edges.entry(e.as_str()).or_default().insert(task.target.as_str()) {
+            if out_edges
+                .entry(e.as_str())
+                .or_default()
+                .insert(task.target.as_str())
+            {
                 *in_deg.get_mut(task.target.as_str()).unwrap() += 1;
             }
         }
@@ -90,7 +97,12 @@ fn consistent_order(tasks: &[CompletionTask]) -> Option<Vec<String>> {
 pub fn merge_tasks(tasks: &[CompletionTask]) -> Vec<MergedModelSpec> {
     // Largest table sets first so smaller tasks fold into them.
     let mut sorted: Vec<CompletionTask> = tasks.to_vec();
-    sorted.sort_by(|a, b| b.tables().len().cmp(&a.tables().len()).then_with(|| a.target.cmp(&b.target)));
+    sorted.sort_by(|a, b| {
+        b.tables()
+            .len()
+            .cmp(&a.tables().len())
+            .then_with(|| a.target.cmp(&b.target))
+    });
 
     let mut models: Vec<MergedModelSpec> = Vec::new();
     'next_task: for task in sorted {
@@ -109,9 +121,12 @@ pub fn merge_tasks(tasks: &[CompletionTask]) -> Vec<MergedModelSpec> {
                 continue 'next_task;
             }
         }
-        let order = consistent_order(std::slice::from_ref(&task))
-            .expect("single task is always acyclic");
-        models.push(MergedModelSpec { tasks: vec![task], table_order: order });
+        let order =
+            consistent_order(std::slice::from_ref(&task)).expect("single task is always acyclic");
+        models.push(MergedModelSpec {
+            tasks: vec![task],
+            table_order: order,
+        });
     }
     models
 }
@@ -180,7 +195,11 @@ mod tests {
             t(&["y"], "x"),
         ];
         let models = merge_tasks(&tasks);
-        assert!(models.len() <= 3, "expected ≤3 models, got {}", models.len());
+        assert!(
+            models.len() <= 3,
+            "expected ≤3 models, got {}",
+            models.len()
+        );
         let total: usize = models.iter().map(|m| m.tasks.len()).sum();
         assert_eq!(total, 5, "every task must be served");
     }

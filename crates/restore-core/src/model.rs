@@ -17,8 +17,8 @@ use rand::{Rng, SeedableRng};
 
 use restore_db::{hash_join, partner_counts, Database, Table, Value};
 use restore_nn::{
-    block_cross_entropy, Adam, AttrSpec, DeepSets, DeepSetsConfig, Made, MadeConfig, Matrix,
-    ParamStore, SetBatch, SetTableSpec, TableSet, Tape,
+    block_cross_entropy, Adam, AttrSpec, DeepSets, DeepSetsConfig, InferenceSession, Made,
+    MadeConfig, Matrix, ParamStore, SetBatch, SetTableSpec, TableSet, Tape,
 };
 
 use crate::annotation::{modeled_columns, tf_column_name, SchemaAnnotation};
@@ -216,7 +216,10 @@ impl CompletionModel {
             for col in modeled_columns(table) {
                 let encoder = AttrEncoder::fit(table.column_by_name(&col)?, cfg.max_bins);
                 attrs.push(ModelAttr {
-                    kind: AttrKind::Column { table: tname.clone(), column: col },
+                    kind: AttrKind::Column {
+                        table: tname.clone(),
+                        column: col,
+                    },
                     encoder,
                 });
             }
@@ -229,12 +232,18 @@ impl CompletionModel {
                     let known = Self::known_tf_values(db, parent, step)?;
                     let encoder = AttrEncoder::fit_tuple_factor(known, cfg.tf_cap);
                     tf_attrs[i] = Some(attrs.len());
-                    attrs.push(ModelAttr { kind: AttrKind::TupleFactor { step: i }, encoder });
+                    attrs.push(ModelAttr {
+                        kind: AttrKind::TupleFactor { step: i },
+                        encoder,
+                    });
                 }
             }
         }
         if attrs.is_empty() {
-            return Err(CoreError::Invalid(format!("path {} has no modeled attributes", path.describe())));
+            return Err(CoreError::Invalid(format!(
+                "path {} has no modeled attributes",
+                path.describe()
+            )));
         }
 
         // ---- training join ------------------------------------------------
@@ -323,10 +332,12 @@ impl CompletionModel {
                 .collect())
         } else {
             let child = db.table(&step.fk.child)?;
-            Ok(partner_counts(parent, &step.fk.parent_col, child, &step.fk.child_col)?
-                .into_iter()
-                .map(|c| c as i64)
-                .collect())
+            Ok(
+                partner_counts(parent, &step.fk.parent_col, child, &step.fk.child_col)?
+                    .into_iter()
+                    .map(|c| c as i64)
+                    .collect(),
+            )
         }
     }
 
@@ -344,14 +355,18 @@ impl CompletionModel {
             order.swap(i, rng.random_range(0..=i));
         }
         order.truncate(self.cfg.max_train_rows.max(16));
-        let n_val = ((order.len() as f64 * self.cfg.val_fraction) as usize).clamp(1, order.len() / 2 + 1);
+        let n_val =
+            ((order.len() as f64 * self.cfg.val_fraction) as usize).clamp(1, order.len() / 2 + 1);
         let val_rows: Vec<usize> = order.split_off(order.len() - n_val);
         let train_rows = order;
 
         let mut adam = Adam::new(&self.store, self.cfg.lr);
         let bs = self.cfg.batch_size.max(8);
         let batches_per_epoch = train_rows.len().div_ceil(bs).max(1);
-        let epochs = self.cfg.epochs.max(self.cfg.min_steps.div_ceil(batches_per_epoch));
+        let epochs = self
+            .cfg
+            .epochs
+            .max(self.cfg.min_steps.div_ceil(batches_per_epoch));
 
         // Early stopping on the held-out split: small training joins (a few
         // hundred rows) overfit quickly, which would both hurt the
@@ -367,7 +382,8 @@ impl CompletionModel {
                 epoch_loss += loss as f64;
                 batches += 1;
             }
-            self.train_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+            self.train_losses
+                .push((epoch_loss / batches.max(1) as f64) as f32);
             let val = self.validate(join, &tokens, &weights, &val_rows)?.loss;
             if val < best_val - 1e-4 {
                 best_val = val;
@@ -401,7 +417,9 @@ impl CompletionModel {
         let (btoks, bweights) = gather_batch(tokens, weights, val_rows);
         let ctx_matrix = self.context_matrix(join, val_rows, true)?;
         let arc_toks: Vec<Arc<Vec<u32>>> = btoks.into_iter().map(Arc::new).collect();
-        Ok(self.made.evaluate(&self.store, &arc_toks, ctx_matrix.as_ref(), Some(&bweights)))
+        Ok(self
+            .made
+            .evaluate(&self.store, &arc_toks, ctx_matrix.as_ref(), Some(&bweights)))
     }
 
     fn train_step(
@@ -415,37 +433,53 @@ impl CompletionModel {
         let (btoks, bweights) = gather_batch(tokens, weights, rows);
         let arc_toks: Vec<Arc<Vec<u32>>> = btoks.iter().cloned().map(Arc::new).collect();
         let mut tape = Tape::new();
-        let ctx_var = if self.deepsets.is_some() {
+        let ctx_var = if let Some(ds) = &self.deepsets {
             let batch = self.build_set_batch(join, rows, true)?;
-            let ds = self.deepsets.as_ref().unwrap();
             Some(ds.forward(&mut tape, &self.store, &batch, rows.len()))
         } else {
             None
         };
-        let logits = self.made.forward(&mut tape, &self.store, &arc_toks, ctx_var);
-        let loss = block_cross_entropy(tape.value(logits), self.made.layout(), &btoks, Some(&bweights));
+        let logits = self
+            .made
+            .forward(&mut tape, &self.store, &arc_toks, ctx_var);
+        let loss = block_cross_entropy(
+            tape.value(logits),
+            self.made.layout(),
+            &btoks,
+            Some(&bweights),
+        );
         tape.backward(logits, loss.dlogits, &mut self.store);
         self.store.clip_grad_norm(self.cfg.clip_norm);
         adam.step(&mut self.store);
         Ok(loss.loss)
     }
 
-    /// DeepSets context matrix for specific join rows (inference path).
+    /// DeepSets context matrix for specific join rows (inference path —
+    /// gradient-free batched encoding, no tape).
     fn context_matrix(
         &self,
         join: &Table,
         rows: &[usize],
         exclude_self: bool,
     ) -> CoreResult<Option<Matrix>> {
-        let Some(ds) = &self.deepsets else { return Ok(None) };
+        let Some(ds) = &self.deepsets else {
+            return Ok(None);
+        };
         let batch = self.build_set_batch(join, rows, exclude_self)?;
-        let mut tape = Tape::new();
-        let out = ds.forward(&mut tape, &self.store, &batch, rows.len());
-        Ok(Some(tape.value(out).clone()))
+        let mut session = InferenceSession::new();
+        Ok(Some(
+            ds.encode_in(&mut session, &self.store, &batch, rows.len())
+                .clone(),
+        ))
     }
 
     /// Assembles the fan-out evidence sets for a batch of join rows.
-    fn build_set_batch(&self, join: &Table, rows: &[usize], exclude_self: bool) -> CoreResult<SetBatch> {
+    fn build_set_batch(
+        &self,
+        join: &Table,
+        rows: &[usize],
+        exclude_self: bool,
+    ) -> CoreResult<SetBatch> {
         let mut tables = Vec::with_capacity(self.ctx.len());
         for ct in &self.ctx {
             let anchor_ref = format!("{}.{}", ct.anchor, ct.anchor_key);
@@ -465,7 +499,9 @@ impl CompletionModel {
                     if key.is_null() {
                         continue;
                     }
-                    let Some(members) = ct.index.get(&key) else { continue };
+                    let Some(members) = ct.index.get(&key) else {
+                        continue;
+                    };
                     let self_id = self_id_idx.map(|i| join.value(r, i));
                     let mut taken = 0usize;
                     for &m in members {
@@ -497,11 +533,7 @@ impl CompletionModel {
     /// Attributes whose table is not yet part of the join (or whose value is
     /// NULL) get the MASK token. Tuple-factor attrs are filled from
     /// `tf_values[step]` where available.
-    pub fn encode_tokens(
-        &self,
-        join: &Table,
-        tf_values: &[Vec<Option<i64>>],
-    ) -> Vec<Vec<u32>> {
+    pub fn encode_tokens(&self, join: &Table, tf_values: &[Vec<Option<i64>>]) -> Vec<Vec<u32>> {
         let n = join.n_rows();
         let mut out = Vec::with_capacity(self.attrs.len());
         for attr in &self.attrs {
@@ -512,7 +544,9 @@ impl CompletionModel {
                         Ok(idx) => {
                             for r in 0..n {
                                 let v = join.value(r, idx);
-                                col.push(attr.encoder.encode(&v).unwrap_or(attr.encoder.mask_token()));
+                                col.push(
+                                    attr.encoder.encode(&v).unwrap_or(attr.encoder.mask_token()),
+                                );
                             }
                         }
                         Err(_) => col.resize(n, attr.encoder.mask_token()),
@@ -553,9 +587,24 @@ impl CompletionModel {
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<i64>> {
+        let encoded = self.encode_tokens(join, tf_values);
+        self.sample_tf_encoded(join, &encoded, step, rows, rng)
+    }
+
+    /// [`CompletionModel::sample_tf`] over pre-encoded tokens — the batched
+    /// completion path encodes the working join once per step and fans
+    /// chunks of rows out over workers, each calling this.
+    pub fn sample_tf_encoded(
+        &self,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        step: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<i64>> {
         let attr_idx = self.tf_attrs[step]
             .ok_or_else(|| CoreError::Invalid(format!("step {step} has no tuple factor")))?;
-        let dists = self.conditional_dist(join, tf_values, attr_idx, rows)?;
+        let dists = self.conditional_dist_encoded(join, encoded, attr_idx, rows)?;
         let enc = &self.attrs[attr_idx].encoder;
         Ok(dists
             .into_iter()
@@ -582,11 +631,25 @@ impl CompletionModel {
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<Vec<Value>>> {
+        let encoded = self.encode_tokens(join, tf_values);
+        self.sample_table_columns_encoded(join, &encoded, table_idx, rows, rng)
+    }
+
+    /// [`CompletionModel::sample_table_columns`] over pre-encoded tokens —
+    /// one no-grad forward pass per attribute fills the whole row batch.
+    pub fn sample_table_columns_encoded(
+        &self,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        table_idx: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<Vec<Value>>> {
         let range = self.table_attr_range(table_idx);
         if range.is_empty() {
             return Ok(Vec::new());
         }
-        let sampled = self.sample_attr_block(join, tf_values, range.clone(), rows, rng)?;
+        let sampled = self.sample_attr_block(join, encoded, range.clone(), rows, rng)?;
         Ok(sampled
             .into_iter()
             .enumerate()
@@ -598,25 +661,32 @@ impl CompletionModel {
     }
 
     /// Core sampling routine: fills the token block `attr_range` for the
-    /// selected rows via iterative forward sampling, returning the sampled
-    /// tokens (one vec per attr in the range).
+    /// selected rows via batched iterative forward sampling on the no-grad
+    /// engine, returning the sampled tokens (one vec per attr in the
+    /// range). The session's activation buffers are reused across the
+    /// autoregressive steps, so the loop is allocation-free after the first
+    /// attribute.
     fn sample_attr_block(
         &self,
         join: &Table,
-        tf_values: &[Vec<Option<i64>>],
+        encoded: &[Vec<u32>],
         attr_range: Range<usize>,
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<Vec<u32>>> {
-        let all_tokens = self.encode_tokens(join, tf_values);
-        let mut batch: Vec<Vec<u32>> = all_tokens
+        let mut batch: Vec<Arc<Vec<u32>>> = encoded
             .iter()
-            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
             .collect();
         let ctx = self.context_matrix(join, rows, false)?;
-        let excluded: Vec<Option<u32>> =
-            self.attrs.iter().map(|a| Some(a.encoder.mask_token())).collect();
-        self.made.sample_range(
+        let excluded: Vec<Option<u32>> = self
+            .attrs
+            .iter()
+            .map(|a| Some(a.encoder.mask_token()))
+            .collect();
+        let mut session = InferenceSession::new();
+        self.made.sample_range_in(
+            &mut session,
             &self.store,
             &mut batch,
             ctx.as_ref(),
@@ -625,7 +695,10 @@ impl CompletionModel {
             &excluded,
             rng,
         );
-        Ok(batch[attr_range].to_vec())
+        Ok(batch[attr_range]
+            .iter()
+            .map(|col| col.as_ref().clone())
+            .collect())
     }
 
     /// Conditional distribution of attribute `attr_idx` for the given rows
@@ -637,13 +710,26 @@ impl CompletionModel {
         attr_idx: usize,
         rows: &[usize],
     ) -> CoreResult<Vec<Vec<f32>>> {
-        let all_tokens = self.encode_tokens(join, tf_values);
-        let batch: Vec<Arc<Vec<u32>>> = all_tokens
+        let encoded = self.encode_tokens(join, tf_values);
+        self.conditional_dist_encoded(join, &encoded, attr_idx, rows)
+    }
+
+    /// [`CompletionModel::conditional_dist`] over pre-encoded tokens.
+    pub fn conditional_dist_encoded(
+        &self,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        attr_idx: usize,
+        rows: &[usize],
+    ) -> CoreResult<Vec<Vec<f32>>> {
+        let batch: Vec<Arc<Vec<u32>>> = encoded
             .iter()
             .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
             .collect();
         let ctx = self.context_matrix(join, rows, false)?;
-        let dists = self.made.conditional_dists(&self.store, &batch, ctx.as_ref(), attr_idx);
+        let dists = self
+            .made
+            .conditional_dists(&self.store, &batch, ctx.as_ref(), attr_idx);
         // Drop the MASK token and renormalize.
         let card = self.attrs[attr_idx].encoder.cardinality();
         Ok(dists
@@ -666,7 +752,9 @@ impl CompletionModel {
     pub fn training_marginal(&self, db: &Database, attr_idx: usize) -> CoreResult<Vec<f32>> {
         let attr = &self.attrs[attr_idx];
         let AttrKind::Column { table, column } = &attr.kind else {
-            return Err(CoreError::Invalid("marginals only exist for column attrs".into()));
+            return Err(CoreError::Invalid(
+                "marginals only exist for column attrs".into(),
+            ));
         };
         let t = db.table(table)?;
         let col = t.column_by_name(column)?;
@@ -716,6 +804,9 @@ pub fn build_path_join(db: &Database, path: &CompletionPath) -> CoreResult<Table
     Ok(join)
 }
 
+/// Column-major training tokens plus per-attribute loss weights.
+type TokenColumns = (Vec<Vec<u32>>, Vec<Vec<f32>>);
+
 /// Encodes the training join into token + loss-weight columns.
 fn encode_training_tokens(
     db: &Database,
@@ -723,7 +814,7 @@ fn encode_training_tokens(
     attrs: &[ModelAttr],
     tf_attrs: &[Option<usize>],
     join: &Table,
-) -> CoreResult<(Vec<Vec<u32>>, Vec<Vec<f32>>)> {
+) -> CoreResult<TokenColumns> {
     let n = join.n_rows();
     let mut tokens: Vec<Vec<u32>> = vec![Vec::with_capacity(n); attrs.len()];
     let mut weights: Vec<Vec<f32>> = vec![Vec::with_capacity(n); attrs.len()];
@@ -869,7 +960,9 @@ fn build_ctx_tables(
             );
         }
         let row_ids = table.resolve("id").ok().map(|idx| {
-            (0..table.n_rows()).map(|r| table.value(r, idx)).collect::<Vec<Value>>()
+            (0..table.n_rows())
+                .map(|r| table.value(r, idx))
+                .collect::<Vec<Value>>()
         });
         // Index by the FK value pointing at the anchor.
         let fk_idx = table.resolve(&step.fk.child_col)?;
@@ -912,7 +1005,11 @@ mod tests {
 
     fn synthetic_scenario(predictability: f64, seed: u64) -> restore_data::Scenario {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { predictability, n_parent: 250, ..Default::default() },
+            &SyntheticConfig {
+                predictability,
+                n_parent: 250,
+                ..Default::default()
+            },
             seed,
         );
         let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
@@ -923,9 +1020,9 @@ mod tests {
     fn trained_model(predictability: f64, seed: u64) -> (restore_data::Scenario, CompletionModel) {
         let sc = synthetic_scenario(predictability, seed);
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
-        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
-        let model =
-            CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
+        let path =
+            CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let model = CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), seed).unwrap();
         (sc, model)
     }
 
@@ -935,7 +1032,10 @@ mod tests {
         // attrs: [ta.a, TF, tb.b]
         assert_eq!(model.attrs().len(), 3);
         assert!(matches!(model.attrs()[0].kind, AttrKind::Column { .. }));
-        assert!(matches!(model.attrs()[1].kind, AttrKind::TupleFactor { step: 0 }));
+        assert!(matches!(
+            model.attrs()[1].kind,
+            AttrKind::TupleFactor { step: 0 }
+        ));
         assert_eq!(model.table_attr_range(0), 0..1);
         assert_eq!(model.table_attr_range(1), 2..3);
         assert_eq!(model.tf_attr(0), Some(1));
@@ -983,7 +1083,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 30, "only {correct}/40 samples followed the deterministic rule");
+        assert!(
+            correct >= 30,
+            "only {correct}/40 samples followed the deterministic rule"
+        );
     }
 
     #[test]
@@ -996,7 +1099,10 @@ mod tests {
         let tfs = model.sample_tf(&ta, &tf_slots, 0, &rows, &mut rng).unwrap();
         // True fan-outs are 5..7; sampled factors must stay in a sane band.
         let mean = tfs.iter().sum::<i64>() as f64 / tfs.len() as f64;
-        assert!((4.0..8.0).contains(&mean), "sampled TF mean {mean} implausible");
+        assert!(
+            (4.0..8.0).contains(&mean),
+            "sampled TF mean {mean} implausible"
+        );
         assert!(tfs.iter().all(|&t| (0..=64).contains(&t)));
     }
 
@@ -1006,7 +1112,9 @@ mod tests {
         let ta = sc.incomplete.table("ta").unwrap().qualified();
         let tf_slots: Vec<Vec<Option<i64>>> = vec![vec![None; ta.n_rows()]];
         let b_attr = model.attr_index("tb", "b").unwrap();
-        let dists = model.conditional_dist(&ta, &tf_slots, b_attr, &[0, 1, 2]).unwrap();
+        let dists = model
+            .conditional_dist(&ta, &tf_slots, b_attr, &[0, 1, 2])
+            .unwrap();
         for d in dists {
             assert_eq!(d.len(), model.attrs()[b_attr].encoder.cardinality());
             let s: f32 = d.iter().sum();
@@ -1018,7 +1126,8 @@ mod tests {
     fn ssar_model_trains_with_self_evidence() {
         let sc = synthetic_scenario(0.5, 7);
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
-        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let path =
+            CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
         let cfg = quick_cfg().ssar();
         let model = CompletionModel::train(&sc.incomplete, &ann, path, &cfg, 7).unwrap();
         assert!(model.is_ssar());
@@ -1030,7 +1139,10 @@ mod tests {
     #[test]
     fn insufficient_data_is_an_error() {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { n_parent: 10, ..Default::default() },
+            &SyntheticConfig {
+                n_parent: 10,
+                ..Default::default()
+            },
             8,
         );
         // Remove everything but a couple of rows.
@@ -1038,7 +1150,8 @@ mod tests {
         cfg.seed = 8;
         let sc = apply_removal(&db, &cfg);
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
-        let path = CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
+        let path =
+            CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()]).unwrap();
         assert!(matches!(
             CompletionModel::train(&sc.incomplete, &ann, path, &quick_cfg(), 8),
             Err(CoreError::InsufficientData(_))

@@ -27,7 +27,10 @@ impl CompletionPath {
             })?;
             steps.push(step);
         }
-        Ok(Self { tables: tables.to_vec(), steps })
+        Ok(Self {
+            tables: tables.to_vec(),
+            steps,
+        })
     }
 
     pub fn tables(&self) -> &[String] {
@@ -107,7 +110,11 @@ pub fn enumerate_paths(
         }
     }
     // Prefer short paths, deterministic order.
-    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.describe().cmp(&b.describe())));
+    out.sort_by(|a, b| {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.describe().cmp(&b.describe()))
+    });
     out.dedup_by(|a, b| a.tables == b.tables);
     out
 }
@@ -119,7 +126,13 @@ mod tests {
 
     fn movie_like_db() -> Database {
         let mut db = Database::new();
-        for t in ["movie", "director", "company", "movie_director", "movie_company"] {
+        for t in [
+            "movie",
+            "director",
+            "company",
+            "movie_director",
+            "movie_company",
+        ] {
             let mut fields = vec![Field::new("id", DataType::Int)];
             if t.starts_with("movie_") {
                 let entity = t.trim_start_matches("movie_");
@@ -128,10 +141,24 @@ mod tests {
             }
             db.add_table(Table::new(t, fields));
         }
-        db.add_foreign_key(ForeignKey::new("movie_director", "movie_id", "movie", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("movie_director", "director_id", "director", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("movie_company", "movie_id", "movie", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("movie_company", "company_id", "company", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("movie_director", "movie_id", "movie", "id"))
+            .unwrap();
+        db.add_foreign_key(ForeignKey::new(
+            "movie_director",
+            "director_id",
+            "director",
+            "id",
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey::new("movie_company", "movie_id", "movie", "id"))
+            .unwrap();
+        db.add_foreign_key(ForeignKey::new(
+            "movie_company",
+            "company_id",
+            "company",
+            "id",
+        ))
+        .unwrap();
         db
     }
 
@@ -161,7 +188,11 @@ mod tests {
         assert!(describes.contains(&"company→movie_company→movie".to_string()));
         // No path may start at an incomplete table.
         for p in &paths {
-            assert!(ann.is_complete(p.root()), "path rooted at incomplete table: {}", p.describe());
+            assert!(
+                ann.is_complete(p.root()),
+                "path rooted at incomplete table: {}",
+                p.describe()
+            );
         }
     }
 
@@ -196,7 +227,8 @@ mod tests {
     #[test]
     fn extend_appends_connected_table() {
         let db = movie_like_db();
-        let p = CompletionPath::from_tables(&db, &["company".into(), "movie_company".into()]).unwrap();
+        let p =
+            CompletionPath::from_tables(&db, &["company".into(), "movie_company".into()]).unwrap();
         let q = p.extend(&db, "movie").unwrap();
         assert_eq!(q.target(), "movie");
         assert!(p.extend(&db, "director").is_err());

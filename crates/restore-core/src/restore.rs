@@ -147,11 +147,7 @@ impl ReStore {
             if modeled_columns(table).is_empty() {
                 continue;
             }
-            let suspected = self
-                .suspected
-                .iter()
-                .find(|s| &s.table == target)
-                .cloned();
+            let suspected = self.suspected.iter().find(|s| &s.table == target).cloned();
             let outcome = select_model(
                 &self.db,
                 &self.annotation,
@@ -176,14 +172,17 @@ impl ReStore {
             report.candidates.insert(target.clone(), outcome.candidates);
             self.selected
                 .insert(target.clone(), model.path().tables().to_vec());
-            self.models
-                .insert(model.path().tables().to_vec(), model);
+            self.models.insert(model.path().tables().to_vec(), model);
         }
         Ok(report)
     }
 
     /// Returns (training on demand) the model for an exact path.
-    pub fn model_for_path(&mut self, tables: &[String], seed: u64) -> CoreResult<Arc<CompletionModel>> {
+    pub fn model_for_path(
+        &mut self,
+        tables: &[String],
+        seed: u64,
+    ) -> CoreResult<Arc<CompletionModel>> {
         if let Some(m) = self.models.get(tables) {
             return Ok(Arc::clone(m));
         }
@@ -209,7 +208,12 @@ impl ReStore {
     /// demand) — used when the user knows the best evidence, and by the
     /// evaluation's "optimal selection" mode (§7.2 reports metrics under
     /// optimal model and path selection).
-    pub fn set_selected_path(&mut self, table: &str, tables: &[String], seed: u64) -> CoreResult<()> {
+    pub fn set_selected_path(
+        &mut self,
+        table: &str,
+        tables: &[String],
+        seed: u64,
+    ) -> CoreResult<()> {
         let model = self.model_for_path(tables, seed)?;
         if model.path().target() != table {
             return Err(CoreError::Invalid(format!(
@@ -232,8 +236,11 @@ impl ReStore {
     /// any single-table or two-table query is answerable without
     /// generating data at query time. Returns the number of cached joins.
     pub fn precompute_pairs(&mut self, seed: u64) -> CoreResult<usize> {
-        let incomplete: Vec<String> =
-            self.annotation.incomplete_tables().map(str::to_string).collect();
+        let incomplete: Vec<String> = self
+            .annotation
+            .incomplete_tables()
+            .map(str::to_string)
+            .collect();
         let mut cached = 0;
         for target in incomplete {
             let table = self.db.table(&target)?;
@@ -257,15 +264,18 @@ impl ReStore {
 
     /// Completes the join over an ordered table chain (Algorithm 1) with
     /// §4.5 caching.
-    pub fn complete_join(&mut self, tables: &[String], seed: u64) -> CoreResult<Arc<CompletionOutput>> {
+    pub fn complete_join(
+        &mut self,
+        tables: &[String],
+        seed: u64,
+    ) -> CoreResult<Arc<CompletionOutput>> {
         if let Some(cached) = self.cache.get(tables) {
             return Ok(cached);
         }
         let model = self.model_for_path(tables, seed)?;
-        let completer = Completer::new(&self.db, &self.annotation)
-            .with_config(self.config.completer.clone());
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
-        let out = Arc::new(completer.complete(&model, &mut rng)?);
+        let completer =
+            Completer::new(&self.db, &self.annotation).with_config(self.config.completer.clone());
+        let out = Arc::new(completer.complete(&model, seed ^ 0xc0de)?);
         self.cache.put(tables.to_vec(), Arc::clone(&out));
         Ok(out)
     }
@@ -335,9 +345,9 @@ impl ReStore {
             Ok(id_idx) => {
                 let mut distinct = std::collections::HashSet::new();
                 let mut real = 0usize;
-                for r in 0..join.n_rows() {
+                for (r, &s) in syn.iter().enumerate() {
                     let v = join.value(r, id_idx);
-                    if !syn[r] && !v.is_null() {
+                    if !s && !v.is_null() {
                         real += 1;
                         distinct.insert(v.to_string());
                     }
@@ -348,8 +358,8 @@ impl ReStore {
         };
         let p_keep = 1.0 / multiplicity;
 
-        for r in 0..join.n_rows() {
-            if !syn[r] || rand::Rng::random::<f64>(&mut rng) >= p_keep {
+        for (r, &s) in syn.iter().enumerate() {
+            if !s || rand::Rng::random::<f64>(&mut rng) >= p_keep {
                 continue;
             }
             let row: Vec<Value> = base
@@ -452,16 +462,13 @@ impl ReStore {
                         // Every chain table outside the query adds evidence
                         // multiplicity (and reweighting noise, §4.4), so
                         // near-ties go to the leaner chain.
-                        let extras = chain
-                            .iter()
-                            .filter(|t| !query_tables.contains(t))
-                            .count();
+                        let extras = chain.iter().filter(|t| !query_tables.contains(t)).count();
                         // §4.4 reweighting for extra evidence tables is far
                         // noisier than the completion itself, so covering
                         // chains win unless their evidence is much weaker.
                         let score = focus_loss(&model, focus, &self.annotation, query_tables)
                             + 0.3 * extras as f32;
-                        if best.as_ref().map_or(true, |(b, _)| score < *b) {
+                        if best.as_ref().is_none_or(|(b, _)| score < *b) {
                             best = Some((score, chain));
                         }
                     }
@@ -534,7 +541,7 @@ impl ReStore {
         let mut real_rows = 0usize;
         let mut keep = vec![false; n];
         let mut syn_rows: Vec<usize> = Vec::new();
-        for r in 0..n {
+        for (r, keep_slot) in keep.iter_mut().enumerate() {
             if is_syn(r) {
                 syn_rows.push(r);
                 continue;
@@ -542,12 +549,12 @@ impl ReStore {
             let key: Vec<Value> = key_cols.iter().map(|&c| join.value(r, c)).collect();
             if key.iter().any(Value::is_null) {
                 // Real parts but no identity — keep conservatively.
-                keep[r] = true;
+                *keep_slot = true;
                 continue;
             }
             real_rows += 1;
             if seen.insert(key) {
-                keep[r] = true;
+                *keep_slot = true;
             }
         }
         // Multiplicity of real keys → thinning factor for synthesized rows.
@@ -627,7 +634,11 @@ mod tests {
 
     fn restore_on_synthetic(seed: u64) -> (restore_data::Scenario, ReStore) {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { predictability: 0.95, n_parent: 200, ..Default::default() },
+            &SyntheticConfig {
+                predictability: 0.95,
+                n_parent: 200,
+                ..Default::default()
+            },
             seed,
         );
         let mut rcfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
@@ -660,7 +671,10 @@ mod tests {
         let (sc, mut rs) = restore_on_synthetic(52);
         rs.train(52).unwrap();
         let q = Query::new(["tb"]).aggregate(Agg::CountStar);
-        let truth = restore_db::execute(&sc.complete, &q).unwrap().scalar().unwrap();
+        let truth = restore_db::execute(&sc.complete, &q)
+            .unwrap()
+            .scalar()
+            .unwrap();
         let incomplete = rs.execute_without_completion(&q).unwrap().scalar().unwrap();
         let completed = rs.execute(&q, 52).unwrap().scalar().unwrap();
         assert!(

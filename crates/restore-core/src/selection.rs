@@ -8,9 +8,6 @@
 //! it. When the user *suspects* the direction of the bias, candidates are
 //! ranked by how strongly they correct in that direction.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use restore_db::Database;
 
 use crate::annotation::SchemaAnnotation;
@@ -99,7 +96,9 @@ pub fn select_model(
 ) -> CoreResult<SelectionOutcome> {
     let mut paths = enumerate_paths(db, annotation, target, max_path_len);
     if paths.is_empty() {
-        return Err(CoreError::NoPath(format!("no completion path reaches {target}")));
+        return Err(CoreError::NoPath(format!(
+            "no completion path reaches {target}"
+        )));
     }
     if *strategy == SelectionStrategy::Shortest {
         paths.truncate(1);
@@ -111,7 +110,13 @@ pub fn select_model(
     let mut trained: Vec<(CompletionModel, f64)> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     for (i, path) in paths.iter().enumerate() {
-        match CompletionModel::train(db, annotation, path.clone(), train_cfg, seed ^ (i as u64) << 8) {
+        match CompletionModel::train(
+            db,
+            annotation,
+            path.clone(),
+            train_cfg,
+            seed ^ (i as u64) << 8,
+        ) {
             Ok(m) => trained.push((m, 0.0)),
             Err(e) => failures.push(format!("{}: {e}", path.describe())),
         }
@@ -173,8 +178,7 @@ fn suspected_bias_score(
     seed: u64,
 ) -> CoreResult<f64> {
     let completer = Completer::new(db, annotation);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xb1a5);
-    let out = completer.complete(model, &mut rng)?;
+    let out = completer.complete(model, seed ^ 0xb1a5)?;
     let before = attr_statistic(StatInput::Incomplete(db), suspected)?;
     let after = attr_statistic(StatInput::Completed(&out), suspected)?;
     let shift = after - before;
@@ -197,13 +201,21 @@ fn attr_statistic(input: StatInput<'_>, suspected: &SuspectedBias) -> CoreResult
         StatInput::Incomplete(db) => {
             let t = db.table(&suspected.table)?;
             let idx = t.resolve(&suspected.column)?;
-            ((0..t.n_rows()).map(|r| t.value(r, idx)).collect(), t.n_rows())
+            (
+                (0..t.n_rows()).map(|r| t.value(r, idx)).collect(),
+                t.n_rows(),
+            )
         }
         StatInput::Completed(out) => {
             let idx = out
                 .join
                 .resolve(&format!("{}.{}", suspected.table, suspected.column))?;
-            ((0..out.join.n_rows()).map(|r| out.join.value(r, idx)).collect(), out.join.n_rows())
+            (
+                (0..out.join.n_rows())
+                    .map(|r| out.join.value(r, idx))
+                    .collect(),
+                out.join.n_rows(),
+            )
         }
     };
     if n == 0 {
@@ -229,7 +241,11 @@ mod tests {
 
     fn scenario(seed: u64) -> restore_data::Scenario {
         let db = restore_data::generate_synthetic(
-            &SyntheticConfig { predictability: 0.95, n_parent: 200, ..Default::default() },
+            &SyntheticConfig {
+                predictability: 0.95,
+                n_parent: 200,
+                ..Default::default()
+            },
             seed,
         );
         let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.6);
@@ -238,7 +254,12 @@ mod tests {
     }
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { epochs: 6, hidden: vec![32, 32], max_train_rows: 4000, ..Default::default() }
+        TrainConfig {
+            epochs: 6,
+            hidden: vec![32, 32],
+            max_train_rows: 4000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -307,19 +328,22 @@ mod tests {
         // The biased value was depleted; a good completion raises its share,
         // so the winning score must be positive.
         let winner = outcome.candidates.iter().find(|c| c.selected).unwrap();
-        assert!(winner.score > 0.0, "winning score {} should correct the bias", winner.score);
+        assert!(
+            winner.score > 0.0,
+            "winning score {} should correct the bias",
+            winner.score
+        );
     }
 
     #[test]
     fn basic_filter_drops_bad_models() {
         let sc = scenario(44);
         let ann = SchemaAnnotation::with_incomplete(["tb"]);
-        let path = crate::paths::CompletionPath::from_tables(
-            &sc.incomplete,
-            &["ta".into(), "tb".into()],
-        )
-        .unwrap();
-        let good = CompletionModel::train(&sc.incomplete, &ann, path.clone(), &quick_cfg(), 1).unwrap();
+        let path =
+            crate::paths::CompletionPath::from_tables(&sc.incomplete, &["ta".into(), "tb".into()])
+                .unwrap();
+        let good =
+            CompletionModel::train(&sc.incomplete, &ann, path.clone(), &quick_cfg(), 1).unwrap();
         // An untrained model: 0 epochs and no minimum-step floor.
         let mut bad_cfg = quick_cfg();
         bad_cfg.epochs = 0;

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use restore_db::{Database, DataType, Field, ForeignKey, Table, Value};
+use restore_db::{DataType, Database, Field, ForeignKey, Table, Value};
 
 use crate::zipf::Zipf;
 
@@ -31,7 +31,12 @@ impl HousingConfig {
     /// Laptop-scale default (the paper's dataset is ≈8K/360K/500K rows; the
     /// ratios are preserved, the absolute size is scaled down).
     pub fn small() -> Self {
-        Self { n_neighborhoods: 150, n_landlords: 1200, n_apartments: 4000, n_states: 12 }
+        Self {
+            n_neighborhoods: 150,
+            n_landlords: 1200,
+            n_apartments: 4000,
+            n_states: 12,
+        }
     }
 
     /// Uniformly scales all table sizes.
@@ -114,8 +119,8 @@ pub fn generate_housing(cfg: &HousingConfig, seed: u64) -> Database {
     for id in 0..cfg.n_landlords {
         let tier = rng.random_range(0..4usize);
         let since = 2008 + (tier as i64) * 3 + rng.random_range(0..3i64);
-        let response_time = (4 - tier as i64).max(1)
-            + if rng.random::<f64>() < 0.2 { 1 } else { 0 };
+        let response_time =
+            (4 - tier as i64).max(1) + if rng.random::<f64>() < 0.2 { 1 } else { 0 };
         let response_rate =
             (104.0 - 9.0 * response_time as f64 - 6.0 * rng.random::<f64>()).clamp(40.0, 100.0);
         landlord_tier.push(tier);
@@ -217,9 +222,20 @@ pub fn generate_housing(cfg: &HousingConfig, seed: u64) -> Database {
     }
     db.add_table(apartment);
 
-    db.add_foreign_key(ForeignKey::new("apartment", "neighborhood_id", "neighborhood", "id"))
-        .unwrap();
-    db.add_foreign_key(ForeignKey::new("apartment", "landlord_id", "landlord", "id")).unwrap();
+    db.add_foreign_key(ForeignKey::new(
+        "apartment",
+        "neighborhood_id",
+        "neighborhood",
+        "id",
+    ))
+    .unwrap();
+    db.add_foreign_key(ForeignKey::new(
+        "apartment",
+        "landlord_id",
+        "landlord",
+        "id",
+    ))
+    .unwrap();
     db
 }
 
@@ -261,8 +277,12 @@ mod tests {
         .unwrap();
         let d = joined.resolve("pop_density").unwrap();
         let p = joined.resolve("price").unwrap();
-        let xs: Vec<f64> = (0..joined.n_rows()).map(|r| joined.value(r, d).as_f64().unwrap()).collect();
-        let ys: Vec<f64> = (0..joined.n_rows()).map(|r| joined.value(r, p).as_f64().unwrap()).collect();
+        let xs: Vec<f64> = (0..joined.n_rows())
+            .map(|r| joined.value(r, d).as_f64().unwrap())
+            .collect();
+        let ys: Vec<f64> = (0..joined.n_rows())
+            .map(|r| joined.value(r, p).as_f64().unwrap())
+            .collect();
         let r = pearson(&xs, &ys);
         assert!(r > 0.4, "price/density correlation too weak: {r}");
     }
@@ -277,8 +297,12 @@ mod tests {
         .unwrap();
         let s = joined.resolve("landlord_since").unwrap();
         let p = joined.resolve("price").unwrap();
-        let xs: Vec<f64> = (0..joined.n_rows()).map(|r| joined.value(r, s).as_f64().unwrap()).collect();
-        let ys: Vec<f64> = (0..joined.n_rows()).map(|r| joined.value(r, p).as_f64().unwrap()).collect();
+        let xs: Vec<f64> = (0..joined.n_rows())
+            .map(|r| joined.value(r, s).as_f64().unwrap())
+            .collect();
+        let ys: Vec<f64> = (0..joined.n_rows())
+            .map(|r| joined.value(r, p).as_f64().unwrap())
+            .collect();
         let r = pearson(&xs, &ys);
         assert!(r > 0.3, "landlord_since/price correlation too weak: {r}");
     }
@@ -289,8 +313,12 @@ mod tests {
         let l = db.table("landlord").unwrap();
         let rr = l.resolve("landlord_response_rate").unwrap();
         let rt = l.resolve("landlord_response_time").unwrap();
-        let xs: Vec<f64> = (0..l.n_rows()).map(|r| l.value(r, rt).as_f64().unwrap()).collect();
-        let ys: Vec<f64> = (0..l.n_rows()).map(|r| l.value(r, rr).as_f64().unwrap()).collect();
+        let xs: Vec<f64> = (0..l.n_rows())
+            .map(|r| l.value(r, rt).as_f64().unwrap())
+            .collect();
+        let ys: Vec<f64> = (0..l.n_rows())
+            .map(|r| l.value(r, rr).as_f64().unwrap())
+            .collect();
         assert!(pearson(&xs, &ys) < -0.5);
     }
 

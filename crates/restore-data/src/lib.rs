@@ -22,9 +22,10 @@ pub mod synthetic;
 pub mod zipf;
 
 pub use removal::{
-    apply_removal, most_frequent_value, tf_column_name, BiasKind, BiasSpec, RemovalConfig,
-    Scenario,
+    apply_removal, most_frequent_value, tf_column_name, BiasKind, BiasSpec, RemovalConfig, Scenario,
 };
-pub use setups::{all_setups, build_scenario, housing_setups, movie_setups, setup_by_id, DatasetKind, Setup};
+pub use setups::{
+    all_setups, build_scenario, housing_setups, movie_setups, setup_by_id, DatasetKind, Setup,
+};
 pub use synthetic::{generate_synthetic, SyntheticConfig};
 pub use zipf::Zipf;

@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use restore_db::{Database, DataType, Field, ForeignKey, Table, Value};
+use restore_db::{DataType, Database, Field, ForeignKey, Table, Value};
 
 use crate::zipf::Zipf;
 
@@ -34,7 +34,13 @@ pub struct MoviesConfig {
 
 impl MoviesConfig {
     pub fn small() -> Self {
-        Self { n_movies: 2000, n_directors: 500, n_actors: 1500, n_companies: 300, actors_per_movie: 4 }
+        Self {
+            n_movies: 2000,
+            n_directors: 500,
+            n_actors: 1500,
+            n_companies: 300,
+            actors_per_movie: 4,
+        }
     }
 
     pub fn scaled(factor: f64) -> Self {
@@ -55,12 +61,22 @@ impl Default for MoviesConfig {
     }
 }
 
-const COUNTRIES: [&str; 10] =
-    ["USA", "UK", "Germany", "France", "India", "Japan", "Italy", "Spain", "Canada", "Brazil"];
-const COUNTRY_CODES: [&str; 10] =
-    ["[us]", "[gb]", "[de]", "[fr]", "[in]", "[jp]", "[it]", "[es]", "[ca]", "[br]"];
-const GENRES: [&str; 8] =
-    ["Drama", "Comedy", "Action", "Thriller", "Romance", "Documentary", "Horror", "Animation"];
+const COUNTRIES: [&str; 10] = [
+    "USA", "UK", "Germany", "France", "India", "Japan", "Italy", "Spain", "Canada", "Brazil",
+];
+const COUNTRY_CODES: [&str; 10] = [
+    "[us]", "[gb]", "[de]", "[fr]", "[in]", "[jp]", "[it]", "[es]", "[ca]", "[br]",
+];
+const GENRES: [&str; 8] = [
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Romance",
+    "Documentary",
+    "Horror",
+    "Animation",
+];
 const COMPANY_TYPES: [&str; 2] = ["production companies", "distributors"];
 
 /// Decade-level activity buckets: directors/actors are matched to movies
@@ -152,7 +168,11 @@ pub fn generate_movies(cfg: &MoviesConfig, seed: u64) -> Database {
         company_buckets[c].push(id);
         let ty = COMPANY_TYPES[(rng.random::<f64>() < 0.7) as usize ^ 1];
         company
-            .push_row(&[Value::Int(id as i64), Value::str(COUNTRY_CODES[c]), Value::str(ty)])
+            .push_row(&[
+                Value::Int(id as i64),
+                Value::str(COUNTRY_CODES[c]),
+                Value::str(ty),
+            ])
             .unwrap();
     }
     db.add_table(company);
@@ -225,7 +245,11 @@ pub fn generate_movies(cfg: &MoviesConfig, seed: u64) -> Database {
                 rng.random_range(0..cfg.n_directors)
             };
             movie_director
-                .push_row(&[Value::Int(md_id), Value::Int(id as i64), Value::Int(did as i64)])
+                .push_row(&[
+                    Value::Int(md_id),
+                    Value::Int(id as i64),
+                    Value::Int(did as i64),
+                ])
                 .unwrap();
             md_id += 1;
         }
@@ -240,7 +264,11 @@ pub fn generate_movies(cfg: &MoviesConfig, seed: u64) -> Database {
                 rng.random_range(0..cfg.n_actors)
             };
             movie_actor
-                .push_row(&[Value::Int(ma_id), Value::Int(id as i64), Value::Int(aid as i64)])
+                .push_row(&[
+                    Value::Int(ma_id),
+                    Value::Int(id as i64),
+                    Value::Int(aid as i64),
+                ])
                 .unwrap();
             ma_id += 1;
         }
@@ -255,7 +283,11 @@ pub fn generate_movies(cfg: &MoviesConfig, seed: u64) -> Database {
                 rng.random_range(0..cfg.n_companies)
             };
             movie_company
-                .push_row(&[Value::Int(mc_id), Value::Int(id as i64), Value::Int(cid as i64)])
+                .push_row(&[
+                    Value::Int(mc_id),
+                    Value::Int(id as i64),
+                    Value::Int(cid as i64),
+                ])
                 .unwrap();
             mc_id += 1;
         }
@@ -270,8 +302,10 @@ pub fn generate_movies(cfg: &MoviesConfig, seed: u64) -> Database {
         ("movie_actor", "actor"),
         ("movie_company", "company"),
     ] {
-        db.add_foreign_key(ForeignKey::new(link, "movie_id", "movie", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new(link, format!("{entity}_id"), entity, "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new(link, "movie_id", "movie", "id"))
+            .unwrap();
+        db.add_foreign_key(ForeignKey::new(link, format!("{entity}_id"), entity, "id"))
+            .unwrap();
     }
     db
 }
@@ -283,7 +317,15 @@ mod tests {
     #[test]
     fn schema_matches_figure_4b() {
         let db = generate_movies(&MoviesConfig::small(), 1);
-        for t in ["movie", "director", "actor", "company", "movie_director", "movie_actor", "movie_company"] {
+        for t in [
+            "movie",
+            "director",
+            "actor",
+            "company",
+            "movie_director",
+            "movie_actor",
+            "movie_company",
+        ] {
             assert!(db.table(t).is_ok(), "missing table {t}");
         }
         assert_eq!(db.foreign_keys().len(), 6);
@@ -294,19 +336,24 @@ mod tests {
         let db = generate_movies(&MoviesConfig::small(), 2);
         let joined = restore_db::query::executor::join_tables(
             &db,
-            &["movie".to_string(), "movie_director".to_string(), "director".to_string()],
+            &[
+                "movie".to_string(),
+                "movie_director".to_string(),
+                "director".to_string(),
+            ],
         )
         .unwrap();
         let y = joined.resolve("production_year").unwrap();
         let b = joined.resolve("birth_year").unwrap();
         let mut gaps: Vec<f64> = Vec::new();
         for r in 0..joined.n_rows() {
-            gaps.push(
-                joined.value(r, y).as_f64().unwrap() - joined.value(r, b).as_f64().unwrap(),
-            );
+            gaps.push(joined.value(r, y).as_f64().unwrap() - joined.value(r, b).as_f64().unwrap());
         }
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!((30.0..55.0).contains(&mean), "director age gap mean {mean} not plausible");
+        assert!(
+            (30.0..55.0).contains(&mean),
+            "director age gap mean {mean} not plausible"
+        );
     }
 
     #[test]
@@ -314,7 +361,11 @@ mod tests {
         let db = generate_movies(&MoviesConfig::small(), 3);
         let joined = restore_db::query::executor::join_tables(
             &db,
-            &["movie".to_string(), "movie_company".to_string(), "company".to_string()],
+            &[
+                "movie".to_string(),
+                "movie_company".to_string(),
+                "company".to_string(),
+            ],
         )
         .unwrap();
         let mc = joined.resolve("movie.country").unwrap();
@@ -329,7 +380,10 @@ mod tests {
             }
         }
         let share = hit as f64 / joined.n_rows() as f64;
-        assert!(share > 0.6, "company/movie country match share only {share}");
+        assert!(
+            share > 0.6,
+            "company/movie country match share only {share}"
+        );
     }
 
     #[test]

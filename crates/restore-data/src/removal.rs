@@ -17,7 +17,7 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use restore_db::{Column, Database, DataType, Field, Table, Value};
+use restore_db::{Column, DataType, Database, Field, Table, Value};
 
 /// How removal correlates with the biased attribute.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,11 +40,19 @@ pub struct BiasSpec {
 
 impl BiasSpec {
     pub fn categorical(table: impl Into<String>, column: impl Into<String>) -> Self {
-        Self { table: table.into(), column: column.into(), kind: BiasKind::Categorical(None) }
+        Self {
+            table: table.into(),
+            column: column.into(),
+            kind: BiasKind::Categorical(None),
+        }
     }
 
     pub fn continuous(table: impl Into<String>, column: impl Into<String>) -> Self {
-        Self { table: table.into(), column: column.into(), kind: BiasKind::Continuous }
+        Self {
+            table: table.into(),
+            column: column.into(),
+            kind: BiasKind::Continuous,
+        }
     }
 }
 
@@ -169,7 +177,9 @@ fn biased_keep_mask<R: Rng>(
     } else {
         scores
             .iter()
-            .map(|&b| (q + correlation * (q * (1.0 - q)).sqrt() * (b - mean) / std).clamp(0.02, 0.98))
+            .map(|&b| {
+                (q + correlation * (q * (1.0 - q)).sqrt() * (b - mean) / std).clamp(0.02, 0.98)
+            })
             .collect()
     };
     // Efraimidis–Spirakis weighted sampling without replacement: remove the
@@ -196,15 +206,19 @@ pub fn apply_removal(complete: &Database, cfg: &RemovalConfig) -> Scenario {
     // Resolve the concrete bias value for categorical targets.
     let bias_value = match &cfg.bias.kind {
         BiasKind::Categorical(Some(v)) => Some(v.clone()),
-        BiasKind::Categorical(None) => {
-            most_frequent_value(complete.table(&cfg.bias.table).expect("bias table"), &cfg.bias.column)
-        }
+        BiasKind::Categorical(None) => most_frequent_value(
+            complete.table(&cfg.bias.table).expect("bias table"),
+            &cfg.bias.column,
+        ),
         BiasKind::Continuous => None,
     };
 
     // 1. Primary biased removal.
     {
-        let table = incomplete.table(&cfg.bias.table).expect("bias table").clone();
+        let table = incomplete
+            .table(&cfg.bias.table)
+            .expect("bias table")
+            .clone();
         let scores = bias_scores(&table, &cfg.bias, &bias_value);
         let mask = biased_keep_mask(&scores, cfg.keep_rate, cfg.removal_correlation, &mut rng);
         incomplete.replace_table(table.filter(&mask));
@@ -235,7 +249,9 @@ pub fn apply_removal(complete: &Database, cfg: &RemovalConfig) -> Scenario {
         for fk in fks {
             let parent = incomplete.table(&fk.parent).expect("cascade parent");
             let pcol = parent.resolve(&fk.parent_col).unwrap();
-            let keys: HashSet<Value> = (0..parent.n_rows()).map(|r| parent.value(r, pcol)).collect();
+            let keys: HashSet<Value> = (0..parent.n_rows())
+                .map(|r| parent.value(r, pcol))
+                .collect();
             let ccol = table.resolve(&fk.child_col).unwrap();
             let mask: Vec<bool> = (0..table.n_rows())
                 .map(|r| keys.contains(&table.value(r, ccol)))
@@ -291,7 +307,13 @@ mod tests {
     use crate::synthetic::{generate_synthetic, SyntheticConfig};
 
     fn base_db() -> Database {
-        generate_synthetic(&SyntheticConfig { n_parent: 300, ..Default::default() }, 11)
+        generate_synthetic(
+            &SyntheticConfig {
+                n_parent: 300,
+                ..Default::default()
+            },
+            11,
+        )
     }
 
     fn fraction_of(table: &Table, col: &str, value: &str) -> f64 {
@@ -336,7 +358,10 @@ mod tests {
         let value = sc.bias_value.clone().unwrap();
         let before = fraction_of(db.table("tb").unwrap(), "b", &value);
         let after = fraction_of(sc.incomplete.table("tb").unwrap(), "b", &value);
-        assert!((after - before).abs() < 0.07, "uniform removal shifted {before} -> {after}");
+        assert!(
+            (after - before).abs() < 0.07,
+            "uniform removal shifted {before} -> {after}"
+        );
     }
 
     #[test]
@@ -351,18 +376,12 @@ mod tests {
         let share = known as f64 / ta.n_rows() as f64;
         assert!((share - 0.3).abs() < 0.1, "tf keep share {share}");
         // Known TFs must equal the true (complete) fan-out.
-        let counts = restore_db::partner_counts(
-            ta,
-            "id",
-            db.table("tb").unwrap(),
-            "a_id",
-        )
-        .unwrap();
+        let counts = restore_db::partner_counts(ta, "id", db.table("tb").unwrap(), "a_id").unwrap();
         // counts here are against the complete child (db is the original).
         let idx = ta.resolve(&tf_column_name("tb")).unwrap();
-        for r in 0..ta.n_rows() {
+        for (r, &count) in counts.iter().enumerate() {
             if let Some(v) = ta.value(r, idx).as_i64() {
-                assert_eq!(v as usize, counts[r], "known TF must be the true count");
+                assert_eq!(v as usize, count, "known TF must be the true count");
             }
         }
     }
@@ -374,7 +393,11 @@ mod tests {
         let mut parent = Table::new("p", vec![Field::new("id", DataType::Int)]);
         let mut child = Table::new(
             "c",
-            vec![Field::new("id", DataType::Int), Field::new("p_id", DataType::Int), Field::new("x", DataType::Float)],
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("p_id", DataType::Int),
+                Field::new("x", DataType::Float),
+            ],
         );
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..50 {
@@ -382,18 +405,39 @@ mod tests {
         }
         for i in 0..2000 {
             child
-                .push_row(&[Value::Int(i), Value::Int(i % 50), Value::Float(rng.random::<f64>() * 100.0)])
+                .push_row(&[
+                    Value::Int(i),
+                    Value::Int(i % 50),
+                    Value::Float(rng.random::<f64>() * 100.0),
+                ])
                 .unwrap();
         }
         db.add_table(parent);
         db.add_table(child);
-        db.add_foreign_key(restore_db::ForeignKey::new("c", "p_id", "p", "id")).unwrap();
+        db.add_foreign_key(restore_db::ForeignKey::new("c", "p_id", "p", "id"))
+            .unwrap();
 
         let cfg = RemovalConfig::new(BiasSpec::continuous("c", "x"), 0.5, 0.9);
         let sc = apply_removal(&db, &cfg);
-        let before = db.table("c").unwrap().column_by_name("x").unwrap().mean().unwrap();
-        let after = sc.incomplete.table("c").unwrap().column_by_name("x").unwrap().mean().unwrap();
-        assert!(after < before - 10.0, "continuous bias should remove large values: {before} -> {after}");
+        let before = db
+            .table("c")
+            .unwrap()
+            .column_by_name("x")
+            .unwrap()
+            .mean()
+            .unwrap();
+        let after = sc
+            .incomplete
+            .table("c")
+            .unwrap()
+            .column_by_name("x")
+            .unwrap()
+            .mean()
+            .unwrap();
+        assert!(
+            after < before - 10.0,
+            "continuous bias should remove large values: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -409,7 +453,10 @@ mod tests {
         let keys: HashSet<Value> = (0..ta.n_rows()).map(|r| ta.value(r, pcol)).collect();
         let ccol = tb.resolve("a_id").unwrap();
         for r in 0..tb.n_rows() {
-            assert!(keys.contains(&tb.value(r, ccol)), "dangling child survived cascade");
+            assert!(
+                keys.contains(&tb.value(r, ccol)),
+                "dangling child survived cascade"
+            );
         }
         assert!(sc.incomplete_tables.contains(&"tb".to_string()));
     }

@@ -45,7 +45,10 @@ pub fn housing_setups() -> Vec<Setup> {
         mk("H2", BiasSpec::categorical("apartment", "room_type")),
         mk("H3", BiasSpec::categorical("apartment", "property_type")),
         mk("H4", BiasSpec::continuous("landlord", "landlord_since")),
-        mk("H5", BiasSpec::continuous("landlord", "landlord_response_rate")),
+        mk(
+            "H5",
+            BiasSpec::continuous("landlord", "landlord_response_rate"),
+        ),
     ]
 }
 
@@ -60,11 +63,23 @@ pub fn movie_setups() -> Vec<Setup> {
         cascade: MOVIE_LINKS.to_vec(),
     };
     vec![
-        mk("M1", BiasSpec::continuous("movie", "production_year"), vec![]),
+        mk(
+            "M1",
+            BiasSpec::continuous("movie", "production_year"),
+            vec![],
+        ),
         mk("M2", BiasSpec::categorical("movie", "genre"), vec![]),
         mk("M3", BiasSpec::categorical("movie", "country"), vec![]),
-        mk("M4", BiasSpec::continuous("director", "birth_year"), vec![("movie", 0.8)]),
-        mk("M5", BiasSpec::categorical("company", "country_code"), vec![("movie", 0.8)]),
+        mk(
+            "M4",
+            BiasSpec::continuous("director", "birth_year"),
+            vec![("movie", 0.8)],
+        ),
+        mk(
+            "M5",
+            BiasSpec::categorical("company", "country_code"),
+            vec![("movie", 0.8)],
+        ),
     ]
 }
 
@@ -119,8 +134,12 @@ mod tests {
         assert_eq!(setups.len(), 10);
         assert_eq!(setups[0].id, "H1");
         assert_eq!(setups[9].id, "M5");
-        assert!(housing_setups().iter().all(|s| (s.tf_keep_rate - 0.3).abs() < 1e-9));
-        assert!(movie_setups().iter().all(|s| (s.tf_keep_rate - 0.2).abs() < 1e-9));
+        assert!(housing_setups()
+            .iter()
+            .all(|s| (s.tf_keep_rate - 0.3).abs() < 1e-9));
+        assert!(movie_setups()
+            .iter()
+            .all(|s| (s.tf_keep_rate - 0.2).abs() < 1e-9));
     }
 
     #[test]
@@ -139,9 +158,26 @@ mod tests {
     #[test]
     fn h1_bias_lowers_average_price() {
         let sc = build_scenario(&setup_by_id("H1").unwrap(), 0.4, 0.8, 0.15, 4);
-        let before = sc.complete.table("apartment").unwrap().column_by_name("price").unwrap().mean().unwrap();
-        let after = sc.incomplete.table("apartment").unwrap().column_by_name("price").unwrap().mean().unwrap();
-        assert!(after < before, "continuous bias must lower the mean: {before} -> {after}");
+        let before = sc
+            .complete
+            .table("apartment")
+            .unwrap()
+            .column_by_name("price")
+            .unwrap()
+            .mean()
+            .unwrap();
+        let after = sc
+            .incomplete
+            .table("apartment")
+            .unwrap()
+            .column_by_name("price")
+            .unwrap()
+            .mean()
+            .unwrap();
+        assert!(
+            after < before,
+            "continuous bias must lower the mean: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -159,9 +195,15 @@ mod tests {
     fn tf_columns_exist_on_parents() {
         let sc = build_scenario(&setup_by_id("H1").unwrap(), 0.5, 0.5, 0.15, 6);
         let n = sc.incomplete.table("neighborhood").unwrap();
-        assert!(n.resolve("__tf_apartment").is_ok(), "neighborhood must carry TF metadata");
+        assert!(
+            n.resolve("__tf_apartment").is_ok(),
+            "neighborhood must carry TF metadata"
+        );
         let l = sc.incomplete.table("landlord").unwrap();
-        assert!(l.resolve("__tf_apartment").is_ok(), "landlord must carry TF metadata");
+        assert!(
+            l.resolve("__tf_apartment").is_ok(),
+            "landlord must carry TF metadata"
+        );
     }
 
     #[test]
@@ -173,7 +215,9 @@ mod tests {
         let frac = |db: &restore_db::Database| {
             let t = db.table("movie").unwrap();
             let idx = t.resolve("genre").unwrap();
-            (0..t.n_rows()).filter(|&r| t.value(r, idx).to_string() == v).count() as f64
+            (0..t.n_rows())
+                .filter(|&r| t.value(r, idx).to_string() == v)
+                .count() as f64
                 / t.n_rows() as f64
         };
         assert!(frac(&sc.incomplete) < frac(&sc.complete));

@@ -61,7 +61,10 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, seed: u64) -> Database {
 
     let mut ta = Table::new(
         "ta",
-        vec![Field::new("id", restore_db::DataType::Int), Field::new("a", restore_db::DataType::Str)],
+        vec![
+            Field::new("id", restore_db::DataType::Int),
+            Field::new("a", restore_db::DataType::Str),
+        ],
     );
     let zipf = cfg.zipf_a.map(|s| Zipf::new(cfg.card_a, s));
     let mut a_vals = Vec::with_capacity(cfg.n_parent);
@@ -71,7 +74,8 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, seed: u64) -> Database {
             None => rng.random_range(0..cfg.card_a),
         };
         a_vals.push(a);
-        ta.push_row(&[Value::Int(id as i64), Value::str(format!("a{a}"))]).unwrap();
+        ta.push_row(&[Value::Int(id as i64), Value::str(format!("a{a}"))])
+            .unwrap();
     }
     db.add_table(ta);
 
@@ -118,7 +122,8 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, seed: u64) -> Database {
         }
     }
     db.add_table(tb);
-    db.add_foreign_key(ForeignKey::new("tb", "a_id", "ta", "id")).unwrap();
+    db.add_foreign_key(ForeignKey::new("tb", "a_id", "ta", "id"))
+        .unwrap();
     db
 }
 
@@ -138,25 +143,34 @@ mod tests {
 
     #[test]
     fn full_predictability_makes_b_a_function_of_a() {
-        let cfg = SyntheticConfig { predictability: 1.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            predictability: 1.0,
+            ..Default::default()
+        };
         let db = generate_synthetic(&cfg, 2);
-        let joined = restore_db::query::executor::join_tables(
-            &db,
-            &["ta".to_string(), "tb".to_string()],
-        )
-        .unwrap();
+        let joined =
+            restore_db::query::executor::join_tables(&db, &["ta".to_string(), "tb".to_string()])
+                .unwrap();
         let a_idx = joined.resolve("ta.a").unwrap();
         let b_idx = joined.resolve("tb.b").unwrap();
         for r in 0..joined.n_rows() {
-            let a: usize = joined.value(r, a_idx).as_str().unwrap()[1..].parse().unwrap();
-            let b: usize = joined.value(r, b_idx).as_str().unwrap()[1..].parse().unwrap();
+            let a: usize = joined.value(r, a_idx).as_str().unwrap()[1..]
+                .parse()
+                .unwrap();
+            let b: usize = joined.value(r, b_idx).as_str().unwrap()[1..]
+                .parse()
+                .unwrap();
             assert_eq!(b, a % 10, "B must equal f(A) at predictability 1.0");
         }
     }
 
     #[test]
     fn zero_predictability_is_noise() {
-        let cfg = SyntheticConfig { predictability: 0.0, n_parent: 600, ..Default::default() };
+        let cfg = SyntheticConfig {
+            predictability: 0.0,
+            n_parent: 600,
+            ..Default::default()
+        };
         let db = generate_synthetic(&cfg, 3);
         // The most frequent B value should be near uniform share (10%).
         let tb = db.table("tb").unwrap();
@@ -170,7 +184,11 @@ mod tests {
 
     #[test]
     fn zipf_skews_a_distribution() {
-        let cfg = SyntheticConfig { zipf_a: Some(2.0), n_parent: 2000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            zipf_a: Some(2.0),
+            n_parent: 2000,
+            ..Default::default()
+        };
         let db = generate_synthetic(&cfg, 4);
         let ta = db.table("ta").unwrap();
         let mut counts = std::collections::HashMap::new();
@@ -198,7 +216,10 @@ mod tests {
                 .push(tb.value(r, 2).to_string());
         }
         for (_, vals) in per_parent {
-            assert!(vals.windows(2).all(|w| w[0] == w[1]), "coherence 1.0 ⇒ all siblings equal");
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "coherence 1.0 ⇒ all siblings equal"
+            );
         }
     }
 

@@ -53,7 +53,10 @@ impl Dictionary {
 pub enum Column {
     Int(Vec<Option<i64>>),
     Float(Vec<Option<f64>>),
-    Str { dict: Dictionary, codes: Vec<Option<u32>> },
+    Str {
+        dict: Dictionary,
+        codes: Vec<Option<u32>>,
+    },
 }
 
 impl Column {
@@ -61,7 +64,10 @@ impl Column {
         match dtype {
             DataType::Int => Column::Int(Vec::new()),
             DataType::Float => Column::Float(Vec::new()),
-            DataType::Str => Column::Str { dict: Dictionary::new(), codes: Vec::new() },
+            DataType::Str => Column::Str {
+                dict: Dictionary::new(),
+                codes: Vec::new(),
+            },
         }
     }
 
@@ -69,7 +75,10 @@ impl Column {
         match dtype {
             DataType::Int => Column::Int(Vec::with_capacity(cap)),
             DataType::Float => Column::Float(Vec::with_capacity(cap)),
-            DataType::Str => Column::Str { dict: Dictionary::new(), codes: Vec::with_capacity(cap) },
+            DataType::Str => Column::Str {
+                dict: Dictionary::new(),
+                codes: Vec::with_capacity(cap),
+            },
         }
     }
 
@@ -124,8 +133,9 @@ impl Column {
         match self {
             Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
             Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
-            Column::Str { dict, codes } => codes[row]
-                .map_or(Value::Null, |c| Value::Str(Arc::clone(dict.value(c)))),
+            Column::Str { dict, codes } => {
+                codes[row].map_or(Value::Null, |c| Value::Str(Arc::clone(dict.value(c))))
+            }
         }
     }
 

@@ -12,7 +12,10 @@ pub enum DbError {
     /// A column reference matched several columns of a join result.
     AmbiguousColumn(String),
     /// A value had an unexpected type for the operation.
-    TypeMismatch { expected: &'static str, found: String },
+    TypeMismatch {
+        expected: &'static str,
+        found: String,
+    },
     /// Row arity or column length did not match the schema.
     ShapeMismatch(String),
     /// The requested join is impossible (no FK path / cyclic).

@@ -159,7 +159,9 @@ impl Expr {
 
     /// Evaluates the predicate for every row, returning the selection mask.
     pub fn eval_mask(&self, table: &Table) -> DbResult<Vec<bool>> {
-        (0..table.n_rows()).map(|r| self.eval_bool(table, r)).collect()
+        (0..table.n_rows())
+            .map(|r| self.eval_bool(table, r))
+            .collect()
     }
 
     /// Collects every column reference in the expression tree.
@@ -191,9 +193,20 @@ mod tests {
                 Field::new("rooms", DataType::Int),
             ],
         );
-        t.push_row(&[Value::Float(1000.0), Value::str("Entire home/apt"), Value::Int(3)]).unwrap();
-        t.push_row(&[Value::Float(500.0), Value::str("Private room"), Value::Int(1)]).unwrap();
-        t.push_row(&[Value::Null, Value::str("Entire home/apt"), Value::Int(2)]).unwrap();
+        t.push_row(&[
+            Value::Float(1000.0),
+            Value::str("Entire home/apt"),
+            Value::Int(3),
+        ])
+        .unwrap();
+        t.push_row(&[
+            Value::Float(500.0),
+            Value::str("Private room"),
+            Value::Int(1),
+        ])
+        .unwrap();
+        t.push_row(&[Value::Null, Value::str("Entire home/apt"), Value::Int(2)])
+            .unwrap();
         t
     }
 
@@ -218,18 +231,31 @@ mod tests {
     #[test]
     fn arithmetic_with_division_by_zero() {
         let t = apartments();
-        let e = Expr::Arith(Box::new(Expr::col("price")), ArithOp::Div, Box::new(Expr::lit(0.0)));
+        let e = Expr::Arith(
+            Box::new(Expr::col("price")),
+            ArithOp::Div,
+            Box::new(Expr::lit(0.0)),
+        );
         assert!(e.eval(&t, 0).unwrap().is_null());
-        let e2 = Expr::Arith(Box::new(Expr::col("price")), ArithOp::Mul, Box::new(Expr::lit(2.0)));
+        let e2 = Expr::Arith(
+            Box::new(Expr::col("price")),
+            ArithOp::Mul,
+            Box::new(Expr::lit(2.0)),
+        );
         assert_eq!(e2.eval(&t, 1).unwrap(), Value::Float(1000.0));
     }
 
     #[test]
     fn not_and_or() {
         let t = apartments();
-        let pred = Expr::col("rooms").eq(Expr::lit(1i64)).or(Expr::col("rooms").eq(Expr::lit(2i64)));
+        let pred = Expr::col("rooms")
+            .eq(Expr::lit(1i64))
+            .or(Expr::col("rooms").eq(Expr::lit(2i64)));
         assert_eq!(pred.eval_mask(&t).unwrap(), vec![false, true, true]);
-        assert_eq!(pred.clone().not().eval_mask(&t).unwrap(), vec![true, false, false]);
+        assert_eq!(
+            pred.clone().not().eval_mask(&t).unwrap(),
+            vec![true, false, false]
+        );
     }
 
     #[test]

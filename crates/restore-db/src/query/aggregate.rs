@@ -57,7 +57,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: None, max: None }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, v: &Value) {
@@ -71,14 +76,14 @@ impl AggState {
         let better_min = self
             .min
             .as_ref()
-            .map_or(true, |m| matches!(v.partial_cmp_sql(m), Some(std::cmp::Ordering::Less)));
+            .is_none_or(|m| matches!(v.partial_cmp_sql(m), Some(std::cmp::Ordering::Less)));
         if better_min {
             self.min = Some(v.clone());
         }
         let better_max = self
             .max
             .as_ref()
-            .map_or(true, |m| matches!(v.partial_cmp_sql(m), Some(std::cmp::Ordering::Greater)));
+            .is_none_or(|m| matches!(v.partial_cmp_sql(m), Some(std::cmp::Ordering::Greater)));
         if better_max {
             self.max = Some(v.clone());
         }
@@ -108,7 +113,9 @@ impl AggState {
 /// input, matching SQL's global aggregation semantics).
 pub fn aggregate(table: &Table, group_by: &[String], aggs: &[Agg]) -> DbResult<Table> {
     if aggs.is_empty() {
-        return Err(DbError::InvalidQuery("aggregation without aggregate functions".into()));
+        return Err(DbError::InvalidQuery(
+            "aggregation without aggregate functions".into(),
+        ));
     }
     let group_idx: Vec<usize> = group_by
         .iter()
@@ -188,7 +195,13 @@ mod tests {
                 Field::new("amount", DataType::Float),
             ],
         );
-        for (r, a) in [("east", 10.0), ("east", 20.0), ("west", 5.0), ("west", 15.0), ("west", 10.0)] {
+        for (r, a) in [
+            ("east", 10.0),
+            ("east", 20.0),
+            ("west", 5.0),
+            ("west", 15.0),
+            ("west", 10.0),
+        ] {
             t.push_row(&[Value::str(r), Value::Float(a)]).unwrap();
         }
         t.push_row(&[Value::str("east"), Value::Null]).unwrap();
@@ -201,7 +214,11 @@ mod tests {
         let out = aggregate(
             &t,
             &["region".into()],
-            &[Agg::CountStar, Agg::Sum("amount".into()), Agg::Avg("amount".into())],
+            &[
+                Agg::CountStar,
+                Agg::Sum("amount".into()),
+                Agg::Avg("amount".into()),
+            ],
         )
         .unwrap();
         assert_eq!(out.n_rows(), 2);
@@ -218,7 +235,12 @@ mod tests {
     #[test]
     fn global_aggregate_without_groups() {
         let t = sales();
-        let out = aggregate(&t, &[], &[Agg::Min("amount".into()), Agg::Max("amount".into())]).unwrap();
+        let out = aggregate(
+            &t,
+            &[],
+            &[Agg::Min("amount".into()), Agg::Max("amount".into())],
+        )
+        .unwrap();
         assert_eq!(out.n_rows(), 1);
         assert_eq!(out.value(0, 0), Value::Float(5.0));
         assert_eq!(out.value(0, 1), Value::Float(20.0));

@@ -92,10 +92,16 @@ pub fn execute_on_join(joined: &Table, query: &Query) -> DbResult<QueryResult> {
         None => joined.clone(),
     };
     if query.aggregates.is_empty() {
-        return Ok(QueryResult { table: filtered, group_cols: query.group_by.len() });
+        return Ok(QueryResult {
+            table: filtered,
+            group_cols: query.group_by.len(),
+        });
     }
     let table = aggregate(&filtered, &query.group_by, &query.aggregates)?;
-    Ok(QueryResult { table, group_cols: query.group_by.len() })
+    Ok(QueryResult {
+        table,
+        group_cols: query.group_by.len(),
+    })
 }
 
 #[cfg(test)]
@@ -118,8 +124,10 @@ mod tests {
                 Field::new("pop_density", DataType::Float),
             ],
         );
-        n.push_row(&[Value::Int(1), Value::str("NYC"), Value::Float(27000.0)]).unwrap();
-        n.push_row(&[Value::Int(2), Value::str("CA"), Value::Float(254.0)]).unwrap();
+        n.push_row(&[Value::Int(1), Value::str("NYC"), Value::Float(27000.0)])
+            .unwrap();
+        n.push_row(&[Value::Int(2), Value::str("CA"), Value::Float(254.0)])
+            .unwrap();
         db.add_table(n);
         let mut a = Table::new(
             "apartment",
@@ -129,13 +137,24 @@ mod tests {
                 Field::new("rent", DataType::Float),
             ],
         );
-        a.push_row(&[Value::Int(1), Value::Int(1), Value::Float(2000.0)]).unwrap();
-        a.push_row(&[Value::Int(2), Value::Int(1), Value::Float(3000.0)]).unwrap();
-        a.push_row(&[Value::Int(3), Value::Int(2), Value::Float(3200.0)]).unwrap();
-        a.push_row(&[Value::Int(4), Value::Int(2), Value::Float(2000.0)]).unwrap();
-        a.push_row(&[Value::Int(5), Value::Int(2), Value::Float(1000.0)]).unwrap();
+        a.push_row(&[Value::Int(1), Value::Int(1), Value::Float(2000.0)])
+            .unwrap();
+        a.push_row(&[Value::Int(2), Value::Int(1), Value::Float(3000.0)])
+            .unwrap();
+        a.push_row(&[Value::Int(3), Value::Int(2), Value::Float(3200.0)])
+            .unwrap();
+        a.push_row(&[Value::Int(4), Value::Int(2), Value::Float(2000.0)])
+            .unwrap();
+        a.push_row(&[Value::Int(5), Value::Int(2), Value::Float(1000.0)])
+            .unwrap();
         db.add_table(a);
-        db.add_foreign_key(ForeignKey::new("apartment", "neighborhood_id", "neighborhood", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new(
+            "apartment",
+            "neighborhood_id",
+            "neighborhood",
+            "id",
+        ))
+        .unwrap();
         db
     }
 
@@ -148,7 +167,10 @@ mod tests {
             .aggregate(Agg::Avg("rent".into()));
         let res = execute(&db, &q).unwrap();
         let groups = res.groups();
-        assert_eq!(groups[&vec!["CA".to_string()]][0], (3200.0 + 2000.0 + 1000.0) / 3.0);
+        assert_eq!(
+            groups[&vec!["CA".to_string()]][0],
+            (3200.0 + 2000.0 + 1000.0) / 3.0
+        );
         assert_eq!(groups[&vec!["NYC".to_string()]][0], 2500.0);
     }
 

@@ -67,12 +67,22 @@ pub fn hash_join(
     let lgath = left.qualified().gather(&left_indices);
     let rgath = right.qualified().gather(&right_indices);
     let table = lgath.hstack(&rgath, out_name)?;
-    Ok(JoinOutput { table, left_indices, right_indices, unmatched_left })
+    Ok(JoinOutput {
+        table,
+        left_indices,
+        right_indices,
+        unmatched_left,
+    })
 }
 
 /// Number of join partners each left row has in `right` — the raw material
 /// for tuple factors.
-pub fn partner_counts(left: &Table, left_on: &str, right: &Table, right_on: &str) -> DbResult<Vec<usize>> {
+pub fn partner_counts(
+    left: &Table,
+    left_on: &str,
+    right: &Table,
+    right_on: &str,
+) -> DbResult<Vec<usize>> {
     let lcol = left.resolve(left_on)?;
     let rcol = right.resolve(right_on)?;
     let mut counts: HashMap<Value, usize> = HashMap::with_capacity(left.n_rows());
@@ -101,7 +111,13 @@ mod tests {
     use crate::value::DataType;
 
     fn parent() -> Table {
-        let mut t = Table::new("p", vec![Field::new("id", DataType::Int), Field::new("x", DataType::Str)]);
+        let mut t = Table::new(
+            "p",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("x", DataType::Str),
+            ],
+        );
         t.push_row(&[Value::Int(1), Value::str("a")]).unwrap();
         t.push_row(&[Value::Int(2), Value::str("b")]).unwrap();
         t.push_row(&[Value::Int(3), Value::str("c")]).unwrap();
@@ -109,7 +125,13 @@ mod tests {
     }
 
     fn child() -> Table {
-        let mut t = Table::new("c", vec![Field::new("pid", DataType::Int), Field::new("y", DataType::Float)]);
+        let mut t = Table::new(
+            "c",
+            vec![
+                Field::new("pid", DataType::Int),
+                Field::new("y", DataType::Float),
+            ],
+        );
         t.push_row(&[Value::Int(1), Value::Float(10.0)]).unwrap();
         t.push_row(&[Value::Int(1), Value::Float(20.0)]).unwrap();
         t.push_row(&[Value::Int(3), Value::Float(30.0)]).unwrap();

@@ -119,10 +119,16 @@ impl Database {
     pub fn edge_between(&self, a: &str, b: &str) -> Option<PathStep> {
         for fk in &self.foreign_keys {
             if fk.parent == a && fk.child == b {
-                return Some(PathStep { fk: fk.clone(), fan_out: true });
+                return Some(PathStep {
+                    fk: fk.clone(),
+                    fan_out: true,
+                });
             }
             if fk.child == a && fk.parent == b {
-                return Some(PathStep { fk: fk.clone(), fan_out: false });
+                return Some(PathStep {
+                    fk: fk.clone(),
+                    fan_out: false,
+                });
             }
         }
         None
@@ -133,10 +139,16 @@ impl Database {
         let mut out = Vec::new();
         for fk in &self.foreign_keys {
             if fk.parent == table {
-                out.push(PathStep { fk: fk.clone(), fan_out: true });
+                out.push(PathStep {
+                    fk: fk.clone(),
+                    fan_out: true,
+                });
             }
             if fk.child == table {
-                out.push(PathStep { fk: fk.clone(), fan_out: false });
+                out.push(PathStep {
+                    fk: fk.clone(),
+                    fan_out: false,
+                });
             }
         }
         out
@@ -178,7 +190,9 @@ impl Database {
                 queue.push_back(nxt);
             }
         }
-        Err(DbError::InvalidJoin(format!("no FK path from {from} to {to}")))
+        Err(DbError::InvalidJoin(format!(
+            "no FK path from {from} to {to}"
+        )))
     }
 
     /// Orders `tables` into a connected join sequence: the first table, then
@@ -197,10 +211,7 @@ impl Database {
             let mut advanced = false;
             for i in 0..remaining.len() {
                 let cand = &remaining[i];
-                if let Some(step) = placed
-                    .iter()
-                    .find_map(|(t, _)| self.edge_between(t, cand))
-                {
+                if let Some(step) = placed.iter().find_map(|(t, _)| self.edge_between(t, cand)) {
                     placed.push((cand.clone(), Some(step)));
                     remaining.remove(i);
                     advanced = true;
@@ -226,7 +237,10 @@ mod tests {
 
     fn housing_db() -> Database {
         let mut db = Database::new();
-        db.add_table(Table::new("neighborhood", vec![Field::new("id", DataType::Int)]));
+        db.add_table(Table::new(
+            "neighborhood",
+            vec![Field::new("id", DataType::Int)],
+        ));
         db.add_table(Table::new(
             "apartment",
             vec![
@@ -235,11 +249,38 @@ mod tests {
                 Field::new("landlord_id", DataType::Int),
             ],
         ));
-        db.add_table(Table::new("landlord", vec![Field::new("id", DataType::Int)]));
-        db.add_table(Table::new("school", vec![Field::new("id", DataType::Int), Field::new("neighborhood_id", DataType::Int)]));
-        db.add_foreign_key(ForeignKey::new("apartment", "neighborhood_id", "neighborhood", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("apartment", "landlord_id", "landlord", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("school", "neighborhood_id", "neighborhood", "id")).unwrap();
+        db.add_table(Table::new(
+            "landlord",
+            vec![Field::new("id", DataType::Int)],
+        ));
+        db.add_table(Table::new(
+            "school",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("neighborhood_id", DataType::Int),
+            ],
+        ));
+        db.add_foreign_key(ForeignKey::new(
+            "apartment",
+            "neighborhood_id",
+            "neighborhood",
+            "id",
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey::new(
+            "apartment",
+            "landlord_id",
+            "landlord",
+            "id",
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey::new(
+            "school",
+            "neighborhood_id",
+            "neighborhood",
+            "id",
+        ))
+        .unwrap();
         db
     }
 
@@ -294,7 +335,9 @@ mod tests {
     #[test]
     fn join_order_rejects_disconnected_sets() {
         let db = housing_db();
-        assert!(db.join_order(&["landlord".into(), "school".into()]).is_err());
+        assert!(db
+            .join_order(&["landlord".into(), "school".into()])
+            .is_err());
         // (landlord and school only connect through apartment+neighborhood)
     }
 

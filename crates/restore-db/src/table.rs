@@ -13,7 +13,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Self { name: name.into(), dtype }
+        Self {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -30,11 +33,20 @@ impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Self {
         let columns = fields.iter().map(|f| Column::new(f.dtype)).collect();
-        Self { name: name.into(), fields, columns, n_rows: 0 }
+        Self {
+            name: name.into(),
+            fields,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Builds a table directly from columns (all lengths must agree).
-    pub fn from_columns(name: impl Into<String>, fields: Vec<Field>, columns: Vec<Column>) -> DbResult<Self> {
+    pub fn from_columns(
+        name: impl Into<String>,
+        fields: Vec<Field>,
+        columns: Vec<Column>,
+    ) -> DbResult<Self> {
         if fields.len() != columns.len() {
             return Err(DbError::ShapeMismatch("fields/columns count".into()));
         }
@@ -44,10 +56,18 @@ impl Table {
                 return Err(DbError::ShapeMismatch(format!("column {} length", f.name)));
             }
             if c.dtype() != f.dtype {
-                return Err(DbError::TypeMismatch { expected: "field dtype", found: format!("{}", c.dtype()) });
+                return Err(DbError::TypeMismatch {
+                    expected: "field dtype",
+                    found: format!("{}", c.dtype()),
+                });
             }
         }
-        Ok(Self { name: name.into(), fields, columns, n_rows })
+        Ok(Self {
+            name: name.into(),
+            fields,
+            columns,
+            n_rows,
+        })
     }
 
     pub fn name(&self) -> &str {
@@ -104,7 +124,10 @@ impl Table {
                 }
             }
         }
-        Err(DbError::UnknownColumn(format!("{reference} in table {}", self.name)))
+        Err(DbError::UnknownColumn(format!(
+            "{reference} in table {}",
+            self.name
+        )))
     }
 
     pub fn column(&self, idx: usize) -> &Column {
@@ -147,7 +170,12 @@ impl Table {
     /// New table with rows gathered by `indices` (duplicates allowed).
     pub fn gather(&self, indices: &[usize]) -> Table {
         let columns = self.columns.iter().map(|c| c.gather(indices)).collect();
-        Table { name: self.name.clone(), fields: self.fields.clone(), columns, n_rows: indices.len() }
+        Table {
+            name: self.name.clone(),
+            fields: self.fields.clone(),
+            columns,
+            n_rows: indices.len(),
+        }
     }
 
     /// New table keeping only rows where `mask` is true.
@@ -171,7 +199,12 @@ impl Table {
             fields.push(self.fields[i].clone());
             columns.push(self.columns[i].clone());
         }
-        Ok(Table { name: self.name.clone(), fields, columns, n_rows: self.n_rows })
+        Ok(Table {
+            name: self.name.clone(),
+            fields,
+            columns,
+            n_rows: self.n_rows,
+        })
     }
 
     /// Appends all rows of `other`; schemas must match by position & dtype.
@@ -179,9 +212,17 @@ impl Table {
         if self.fields.len() != other.fields.len() {
             return Err(DbError::ShapeMismatch("union arity".into()));
         }
-        for ((a, b), f) in self.columns.iter_mut().zip(&other.columns).zip(&self.fields) {
+        for ((a, b), f) in self
+            .columns
+            .iter_mut()
+            .zip(&other.columns)
+            .zip(&self.fields)
+        {
             if a.dtype() != b.dtype() {
-                return Err(DbError::TypeMismatch { expected: "matching dtypes", found: f.name.clone() });
+                return Err(DbError::TypeMismatch {
+                    expected: "matching dtypes",
+                    found: f.name.clone(),
+                });
             }
             a.extend_from(b)?;
         }
@@ -202,13 +243,21 @@ impl Table {
                 }
             })
             .collect();
-        Table { name: self.name.clone(), fields, columns: self.columns.clone(), n_rows: self.n_rows }
+        Table {
+            name: self.name.clone(),
+            fields,
+            columns: self.columns.clone(),
+            n_rows: self.n_rows,
+        }
     }
 
     /// Adds a column to the table (length must equal `n_rows`).
     pub fn add_column(&mut self, field: Field, column: Column) -> DbResult<()> {
         if column.len() != self.n_rows {
-            return Err(DbError::ShapeMismatch(format!("column {} length", field.name)));
+            return Err(DbError::ShapeMismatch(format!(
+                "column {} length",
+                field.name
+            )));
         }
         self.fields.push(field);
         self.columns.push(column);
@@ -224,7 +273,12 @@ impl Table {
         fields.extend(other.fields.iter().cloned());
         let mut columns = self.columns.clone();
         columns.extend(other.columns.iter().cloned());
-        Ok(Table { name: name.into(), fields, columns, n_rows: self.n_rows })
+        Ok(Table {
+            name: name.into(),
+            fields,
+            columns,
+            n_rows: self.n_rows,
+        })
     }
 }
 
@@ -235,11 +289,18 @@ mod tests {
     fn people() -> Table {
         let mut t = Table::new(
             "people",
-            vec![Field::new("id", DataType::Int), Field::new("name", DataType::Str), Field::new("age", DataType::Float)],
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("name", DataType::Str),
+                Field::new("age", DataType::Float),
+            ],
         );
-        t.push_row(&[Value::Int(1), Value::str("ann"), Value::Float(31.0)]).unwrap();
-        t.push_row(&[Value::Int(2), Value::str("bob"), Value::Float(25.0)]).unwrap();
-        t.push_row(&[Value::Int(3), Value::Null, Value::Float(40.0)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::str("ann"), Value::Float(31.0)])
+            .unwrap();
+        t.push_row(&[Value::Int(2), Value::str("bob"), Value::Float(25.0)])
+            .unwrap();
+        t.push_row(&[Value::Int(3), Value::Null, Value::Float(40.0)])
+            .unwrap();
         t
     }
 

@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Int(2).partial_cmp_sql(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).partial_cmp_sql(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -8,7 +8,12 @@ use restore_eval::{mean, parse_args};
 
 fn main() {
     let args = parse_args();
-    let mut cfg = Exp1Config { keeps: args.keeps.clone(), corrs: args.corrs.clone(), seed: args.seed, ..Default::default() };
+    let mut cfg = Exp1Config {
+        keeps: args.keeps.clone(),
+        corrs: args.corrs.clone(),
+        seed: args.seed,
+        ..Default::default()
+    };
     if args.quick {
         cfg.predictabilities = vec![0.2, 0.6, 1.0];
         cfg.zipfs = vec![1.0, 2.0, 3.0];

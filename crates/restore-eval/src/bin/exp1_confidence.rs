@@ -2,12 +2,16 @@
 //! correlation 40%) and **Fig. 13** (appendix: all correlations).
 
 use restore_eval::experiments::confidence::run_confidence_synthetic;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
-    let preds = if args.quick { vec![0.25, 1.0] } else { vec![0.25, 0.5, 0.75, 1.0] };
+    let preds = if args.quick {
+        vec![0.25, 1.0]
+    } else {
+        vec![0.25, 0.5, 0.75, 1.0]
+    };
     let cells = run_confidence_synthetic(&preds, &args.keeps, &args.corrs, 250, args.seed);
     save_json("fig6_fig13_confidence_synthetic", &cells);
 
@@ -24,16 +28,32 @@ fn main() {
             ]);
         }
         let title = if (corr - 0.4).abs() < 1e-9 {
-            format!("Fig. 6 — confidence intervals (removal correlation {})", pct(corr))
+            format!(
+                "Fig. 6 — confidence intervals (removal correlation {})",
+                pct(corr)
+            )
         } else {
-            format!("Fig. 13 — confidence intervals (removal correlation {})", pct(corr))
+            format!(
+                "Fig. 13 — confidence intervals (removal correlation {})",
+                pct(corr)
+            )
         };
         print_table(
             &title,
-            &["keep", "predictability", "95% CI", "true fraction", "theoretical", "covered"],
+            &[
+                "keep",
+                "predictability",
+                "95% CI",
+                "true fraction",
+                "theoretical",
+                "covered",
+            ],
             &rows,
         );
     }
     let covered = cells.iter().filter(|c| c.covered).count();
-    println!("\ncoverage: {covered}/{} cells contain the true fraction", cells.len());
+    println!(
+        "\ncoverage: {covered}/{} cells contain the true fraction",
+        cells.len()
+    );
 }

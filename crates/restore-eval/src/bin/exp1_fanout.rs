@@ -2,8 +2,8 @@
 //! fan-out predictability (self-evidence coherence) grows.
 
 use restore_eval::experiments::exp1::run_exp1_fanout;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
@@ -27,7 +27,12 @@ fn main() {
         .collect();
     print_table(
         "Fig. 5c — SSAR vs AR under fan-out predictability",
-        &["fan-out predictability", "AR bias red.", "SSAR bias red.", "SSAR - AR"],
+        &[
+            "fan-out predictability",
+            "AR bias red.",
+            "SSAR bias red.",
+            "SSAR - AR",
+        ],
         &rows,
     );
 }

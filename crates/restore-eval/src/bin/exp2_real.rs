@@ -3,13 +3,20 @@
 
 use restore_data::all_setups;
 use restore_eval::experiments::exp2::run_exp2;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
     let setups = all_setups();
-    let cells = run_exp2(&setups, &args.keeps, &args.corrs, args.scale, args.seed, false);
+    let cells = run_exp2(
+        &setups,
+        &args.keeps,
+        &args.corrs,
+        args.scale,
+        args.seed,
+        false,
+    );
     save_json("fig7_exp2_real", &cells);
 
     for (title, field) in [
@@ -26,7 +33,13 @@ fn main() {
                         .find(|x| {
                             x.setup == setup.id && x.keep_rate == k && x.removal_correlation == c
                         })
-                        .map(|x| if field == 0 { x.bias_reduction } else { x.cardinality_correction })
+                        .map(|x| {
+                            if field == 0 {
+                                x.bias_reduction
+                            } else {
+                                x.cardinality_correction
+                            }
+                        })
                         .unwrap_or(f64::NAN);
                     row.push(pct(v));
                 }
@@ -36,7 +49,10 @@ fn main() {
             headers.extend(args.corrs.iter().map(|c| format!("corr {}", pct(*c))));
             let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
             print_table(
-                &format!("{title} — setup {} ({}.{})", setup.id, setup.bias.table, setup.bias.column),
+                &format!(
+                    "{title} — setup {} ({}.{})",
+                    setup.id, setup.bias.table, setup.bias.column
+                ),
                 &headers_ref,
                 &rows,
             );

@@ -3,8 +3,8 @@
 
 use restore_data::all_setups;
 use restore_eval::experiments::exp3::run_exp3;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
@@ -17,10 +17,19 @@ fn main() {
     let mut seen = std::collections::BTreeSet::new();
     for c in &cells {
         if seen.insert((c.dataset.clone(), c.query.clone())) {
-            sql_rows.push(vec![c.dataset.clone(), c.setup.clone(), c.query.clone(), c.sql.clone()]);
+            sql_rows.push(vec![
+                c.dataset.clone(),
+                c.setup.clone(),
+                c.query.clone(),
+                c.sql.clone(),
+            ]);
         }
     }
-    print_table("Table 1 — query workload", &["dataset", "setup", "query", "SQL"], &sql_rows);
+    print_table(
+        "Table 1 — query workload",
+        &["dataset", "setup", "query", "SQL"],
+        &sql_rows,
+    );
 
     // Fig. 8: one block per query; rows keep rate, cols removal corr.
     for dataset in ["Housing", "Movies"] {

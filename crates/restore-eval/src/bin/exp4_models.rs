@@ -18,7 +18,9 @@ fn main() {
         for class in ["AR", "SSAR"] {
             let brs: Vec<f64> = cells
                 .iter()
-                .filter(|c| c.setup == setup.id && c.model_class == class && c.bias_reduction.is_finite())
+                .filter(|c| {
+                    c.setup == setup.id && c.model_class == class && c.bias_reduction.is_finite()
+                })
                 .map(|c| c.bias_reduction)
                 .collect();
             if brs.is_empty() {
@@ -49,7 +51,9 @@ fn main() {
         let m = |class: &str| {
             let brs: Vec<f64> = cells
                 .iter()
-                .filter(|c| c.setup == setup.id && c.model_class == class && c.bias_reduction.is_finite())
+                .filter(|c| {
+                    c.setup == setup.id && c.model_class == class && c.bias_reduction.is_finite()
+                })
                 .map(|c| c.bias_reduction)
                 .collect();
             mean(&brs)

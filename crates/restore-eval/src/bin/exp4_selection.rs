@@ -4,8 +4,8 @@
 
 use restore_data::all_setups;
 use restore_eval::experiments::exp4::run_fig10;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
@@ -27,7 +27,14 @@ fn main() {
     }
     print_table(
         "Fig. 10 — selection quality (keep rate 40%)",
-        &["setup", "corr", "all models", "selected", "selected+suspected", "best (oracle)"],
+        &[
+            "setup",
+            "corr",
+            "all models",
+            "selected",
+            "selected+suspected",
+            "best (oracle)",
+        ],
         &rows,
     );
 
@@ -35,7 +42,10 @@ fn main() {
     let near = |a: f64, b: f64| a.is_finite() && b.is_finite() && a >= b - 0.1;
     let total = cells.iter().filter(|c| c.best.is_finite()).count();
     let sel_ok = cells.iter().filter(|c| near(c.selected, c.best)).count();
-    let sus_ok = cells.iter().filter(|c| near(c.selected_suspected, c.best)).count();
+    let sus_ok = cells
+        .iter()
+        .filter(|c| near(c.selected_suspected, c.best))
+        .count();
     println!(
         "\nwithin 10pp of the best model: selection {sel_ok}/{total}, selection+suspected bias {sus_ok}/{total}"
     );

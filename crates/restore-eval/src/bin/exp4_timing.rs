@@ -28,7 +28,15 @@ fn main() {
         .collect();
     print_table(
         "Fig. 11/12 — per-setup timings",
-        &["setup", "model", "path", "train", "complete", "complete+NN", "synthesized"],
+        &[
+            "setup",
+            "model",
+            "path",
+            "train",
+            "complete",
+            "complete+NN",
+            "synthesized",
+        ],
         &rows,
     );
 
@@ -38,13 +46,23 @@ fn main() {
         for class in ["AR", "SSAR"] {
             let ts: Vec<f64> = cells
                 .iter()
-                .filter(|c| c.dataset == dataset && c.model_class == class && c.train_seconds.is_finite())
+                .filter(|c| {
+                    c.dataset == dataset && c.model_class == class && c.train_seconds.is_finite()
+                })
                 .map(|c| c.train_seconds)
                 .collect();
-            rows11.push(vec![dataset.to_string(), class.to_string(), secs(mean(&ts))]);
+            rows11.push(vec![
+                dataset.to_string(),
+                class.to_string(),
+                secs(mean(&ts)),
+            ]);
         }
     }
-    print_table("Fig. 11 — mean training time", &["dataset", "model", "train time"], &rows11);
+    print_table(
+        "Fig. 11 — mean training time",
+        &["dataset", "model", "train time"],
+        &rows11,
+    );
 
     // Fig. 12 aggregate: mean completion time per dataset × mode.
     let mut rows12 = Vec::new();
@@ -52,12 +70,20 @@ fn main() {
         for class in ["AR", "SSAR"] {
             let t: Vec<f64> = cells
                 .iter()
-                .filter(|c| c.dataset == dataset && c.model_class == class && c.completion_seconds.is_finite())
+                .filter(|c| {
+                    c.dataset == dataset
+                        && c.model_class == class
+                        && c.completion_seconds.is_finite()
+                })
                 .map(|c| c.completion_seconds)
                 .collect();
             let tn: Vec<f64> = cells
                 .iter()
-                .filter(|c| c.dataset == dataset && c.model_class == class && c.completion_nn_seconds.is_finite())
+                .filter(|c| {
+                    c.dataset == dataset
+                        && c.model_class == class
+                        && c.completion_nn_seconds.is_finite()
+                })
                 .map(|c| c.completion_nn_seconds)
                 .collect();
             rows12.push(vec![

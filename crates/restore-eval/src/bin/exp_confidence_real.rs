@@ -2,8 +2,8 @@
 //! categorical attributes of the real-world setups H2, H3, M2, M3, M5.
 
 use restore_eval::experiments::confidence::run_confidence_real;
-use restore_eval::report::{pct, print_table, save_json};
 use restore_eval::parse_args;
+use restore_eval::report::{pct, print_table, save_json};
 
 fn main() {
     let args = parse_args();
@@ -29,5 +29,8 @@ fn main() {
         );
     }
     let covered = cells.iter().filter(|c| c.covered).count();
-    println!("\ncoverage: {covered}/{} cells contain the true fraction", cells.len());
+    println!(
+        "\ncoverage: {covered}/{} cells contain the true fraction",
+        cells.len()
+    );
 }

@@ -3,7 +3,7 @@
 //!
 //! `inspect_query --setup=H2 --query=Q7 [--keep=0.4] [--corr=0.6] [--scale=0.2] [--seed=7]`
 
-use restore_core::{RestoreConfig, ReStore, SelectionStrategy};
+use restore_core::{ReStore, RestoreConfig, SelectionStrategy};
 use restore_data::{build_scenario, setup_by_id};
 use restore_eval::experiments::exp3::query_error;
 use restore_eval::harness::eval_train_config;
@@ -34,16 +34,20 @@ fn main() {
     println!("setup {setup_id}, {query_id}: {}", wq.sql);
 
     let sc = build_scenario(&setup, keep, corr, scale, seed);
-    let mut cfg = RestoreConfig::default();
-    cfg.train = eval_train_config();
-    cfg.strategy = SelectionStrategy::BestValLoss;
-    cfg.max_candidates = 3;
+    let cfg = RestoreConfig {
+        train: eval_train_config(),
+        strategy: SelectionStrategy::BestValLoss,
+        max_candidates: 3,
+        ..RestoreConfig::default()
+    };
     let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
     for t in &sc.incomplete_tables {
         rs.mark_incomplete(t.clone());
-        println!("incomplete table: {t} ({} of {} rows kept)",
+        println!(
+            "incomplete table: {t} ({} of {} rows kept)",
             sc.incomplete.table(t).unwrap().n_rows(),
-            sc.complete.table(t).unwrap().n_rows());
+            sc.complete.table(t).unwrap().n_rows()
+        );
     }
 
     let truth = restore_db::execute(&sc.complete, &wq.query).unwrap();
@@ -71,15 +75,25 @@ fn main() {
         let names: Vec<&str> = out.join.fields().iter().map(|f| f.name.as_str()).collect();
         println!("columns: {names:?}");
         let mut shown = 0;
-        for r in 0..out.join.n_rows() {
-            if any[r] && shown < 3 {
-                println!("syn row {r}: {:?}", out.join.row(r).iter().map(|v| v.to_string()).collect::<Vec<_>>());
+        for (r, &is_syn) in any.iter().enumerate() {
+            if is_syn && shown < 3 {
+                println!(
+                    "syn row {r}: {:?}",
+                    out.join
+                        .row(r)
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                );
                 shown += 1;
             }
         }
     }
 
-    println!("\n{:<24} {:>12} {:>12} {:>12}", "group", "truth", "incomplete", "completed");
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>12}",
+        "group", "truth", "incomplete", "completed"
+    );
     if truth.group_cols == 0 {
         println!(
             "{:<24} {:>12.2} {:>12.2} {:>12.2}",

@@ -28,10 +28,16 @@ fn main() {
             .args(&args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        println!("[{bin} finished in {:.1}s, status {status}]", t.elapsed().as_secs_f64());
+        println!(
+            "[{bin} finished in {:.1}s, status {status}]",
+            t.elapsed().as_secs_f64()
+        );
         if !status.success() {
             eprintln!("warning: {bin} exited with {status}");
         }
     }
-    println!("\nall experiments done in {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

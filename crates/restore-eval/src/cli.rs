@@ -37,7 +37,9 @@ pub fn parse_args() -> EvalArgs {
             continue;
         }
         let Some((key, value)) = arg.split_once('=') else {
-            eprintln!("usage: [--quick] [--scale=0.3] [--seed=7] [--keeps=0.2,0.4] [--corrs=0.2,0.8]");
+            eprintln!(
+                "usage: [--quick] [--scale=0.3] [--seed=7] [--keeps=0.2,0.4] [--corrs=0.2,0.8]"
+            );
             std::process::exit(2);
         };
         match key {

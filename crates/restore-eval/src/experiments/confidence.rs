@@ -2,22 +2,21 @@
 //! 40%), Fig. 13 (synthetic, all correlations) and Fig. 14 (real-world
 //! categorical setups).
 
-use serde::Serialize;
+use restore_util::impl_to_json;
 
 use restore_core::{
-    confidence_interval, CompleterConfig, ConfidenceQuery, RestoreConfig, ReStore,
-    SelectionStrategy,
+    confidence_interval, ConfidenceQuery, ReStore, RestoreConfig, SelectionStrategy,
 };
 use restore_data::{build_scenario, setup_by_id};
 
 use crate::harness::{
-    complete_synthetic, eval_train_config, scenario_stat, synthetic_scenario,
-    train_synthetic_model,
+    complete_synthetic, eval_completer_config, eval_train_config, scenario_stat,
+    synthetic_scenario, train_synthetic_model,
 };
 use crate::parallel::parallel_map;
 
 /// One confidence cell: predicted bounds vs the true fraction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ConfidenceCell {
     pub panel: String,
     pub predictability: f64,
@@ -32,6 +31,19 @@ pub struct ConfidenceCell {
     /// Whether the true fraction falls inside the predicted interval.
     pub covered: bool,
 }
+impl_to_json!(ConfidenceCell {
+    panel,
+    predictability,
+    keep_rate,
+    removal_correlation,
+    ci_lo,
+    ci_hi,
+    estimate,
+    true_fraction,
+    theoretical_min,
+    theoretical_max,
+    covered
+});
 
 /// Runs the synthetic confidence sweep (Figs. 6 and 13).
 pub fn run_confidence_synthetic(
@@ -71,7 +83,7 @@ pub fn run_confidence_synthetic(
         let Ok(model) = train_synthetic_model(&sc, &eval_train_config(), s) else {
             return fail("train");
         };
-        let Ok(out) = complete_synthetic(&sc, &model, CompleterConfig::default(), s) else {
+        let Ok(out) = complete_synthetic(&sc, &model, eval_completer_config(), s) else {
             return fail("complete");
         };
         let q = ConfidenceQuery::CountFraction {
@@ -137,10 +149,13 @@ pub fn run_confidence_real(
             theoretical_max: f64::NAN,
             covered: false,
         };
-        let mut cfg = RestoreConfig::default();
-        cfg.train = eval_train_config();
-        cfg.strategy = SelectionStrategy::BestValLoss;
-        cfg.max_candidates = 2;
+        let cfg = RestoreConfig {
+            train: eval_train_config(),
+            strategy: SelectionStrategy::BestValLoss,
+            max_candidates: 2,
+            completer: eval_completer_config(),
+            ..RestoreConfig::default()
+        };
         let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
         for t in &sc.incomplete_tables {
             rs.mark_incomplete(t.clone());
@@ -150,7 +165,7 @@ pub fn run_confidence_real(
             column: sc.bias.column.clone(),
             value: value.clone(),
         };
-        let ci = match rs.confidence(&[sc.bias.table.clone()], &q, 0.95, s) {
+        let ci = match rs.confidence(std::slice::from_ref(&sc.bias.table), &q, 0.95, s) {
             Ok(ci) => ci,
             Err(e) => return fail(&e.to_string()),
         };

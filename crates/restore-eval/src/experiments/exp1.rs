@@ -2,19 +2,17 @@
 //! reductions vs predictability / skew), Fig. 5b (training loss vs
 //! predictability), Fig. 5c (SSAR vs AR under fan-out predictability).
 
-use serde::Serialize;
-
-use restore_core::CompleterConfig;
+use restore_util::impl_to_json;
 
 use crate::harness::{
-    complete_synthetic, eval_train_config, eval_train_config_ssar, scenario_stat,
-    synthetic_scenario, train_synthetic_model,
+    complete_synthetic, eval_completer_config, eval_train_config, eval_train_config_ssar,
+    scenario_stat, synthetic_scenario, train_synthetic_model,
 };
 use crate::metrics::bias_reduction;
 use crate::parallel::parallel_map;
 
 /// One cell of Fig. 5a / 5b.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Exp1Cell {
     /// Panel: `predictability=0.6` or `zipf=1.5`.
     pub panel: String,
@@ -26,6 +24,14 @@ pub struct Exp1Cell {
     /// Final training loss.
     pub train_loss: f32,
 }
+impl_to_json!(Exp1Cell {
+    panel,
+    keep_rate,
+    removal_correlation,
+    bias_reduction,
+    val_loss,
+    train_loss
+});
 
 /// Configuration of the Fig. 5a sweep.
 #[derive(Clone, Debug)]
@@ -98,7 +104,7 @@ pub fn run_exp1(cfg: &Exp1Config) -> Vec<Exp1Cell> {
             Ok(m) => m,
             Err(_) => return cell(f64::NAN, f32::NAN, f32::NAN),
         };
-        let out = match complete_synthetic(&sc, &model, CompleterConfig::default(), seed) {
+        let out = match complete_synthetic(&sc, &model, eval_completer_config(), seed) {
             Ok(o) => o,
             Err(_) => return cell(f64::NAN, model.target_val_loss(), f32::NAN),
         };
@@ -114,7 +120,7 @@ pub fn run_exp1(cfg: &Exp1Config) -> Vec<Exp1Cell> {
 }
 
 /// One point of Fig. 5c.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FanoutCell {
     pub fanout_predictability: f64,
     pub ar_bias_reduction: f64,
@@ -122,6 +128,12 @@ pub struct FanoutCell {
     /// `ssar − ar` — the y-axis of Fig. 5c.
     pub improvement: f64,
 }
+impl_to_json!(FanoutCell {
+    fanout_predictability,
+    ar_bias_reduction,
+    ssar_bias_reduction,
+    improvement
+});
 
 /// Runs the Fig. 5c sweep: `B` follows a latent per-parent group value that
 /// only self-evidence (available siblings) reveals; plain AR models cannot
@@ -140,7 +152,7 @@ pub fn run_exp1_fanout(coherences: &[f64], n_parent: usize, seed: u64) -> Vec<Fa
             let Ok(model) = train_synthetic_model(&sc, train, *s) else {
                 return f64::NAN;
             };
-            let Ok(out) = complete_synthetic(&sc, &model, CompleterConfig::default(), *s) else {
+            let Ok(out) = complete_synthetic(&sc, &model, eval_completer_config(), *s) else {
                 return f64::NAN;
             };
             bias_reduction(truth, inc, scenario_stat(&sc, &out.join, true))

@@ -6,17 +6,17 @@
 //! completion paths and reports the best completion; the test-loss
 //! selection is evaluated separately in Fig. 10.
 
-use serde::Serialize;
+use restore_util::impl_to_json;
 
-use restore_core::{RestoreConfig, ReStore, SelectionStrategy};
+use restore_core::{ReStore, RestoreConfig, SelectionStrategy};
 use restore_data::{build_scenario, Setup};
 
-use crate::harness::{eval_train_config, stat_of};
+use crate::harness::{eval_completer_config, eval_train_config, stat_of};
 use crate::metrics::{bias_reduction, cardinality_correction};
 use crate::parallel::parallel_map;
 
 /// One cell of Fig. 7a/7b.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Exp2Cell {
     pub setup: String,
     pub keep_rate: f64,
@@ -30,6 +30,16 @@ pub struct Exp2Cell {
     pub per_path: Vec<(String, f64)>,
     pub error: Option<String>,
 }
+impl_to_json!(Exp2Cell {
+    setup,
+    keep_rate,
+    removal_correlation,
+    bias_reduction,
+    cardinality_correction,
+    path,
+    per_path,
+    error
+});
 
 /// Runs the Fig. 7 sweep over the given setups × keep rates × correlations.
 pub fn run_exp2(
@@ -51,7 +61,14 @@ pub fn run_exp2(
         }
     }
     parallel_map(jobs, |(setup, keep, corr, id)| {
-        run_exp2_cell(setup, *keep, *corr, scale, seed.wrapping_add(id.wrapping_mul(7919)), ssar)
+        run_exp2_cell(
+            setup,
+            *keep,
+            *corr,
+            scale,
+            seed.wrapping_add(id.wrapping_mul(7919)),
+            ssar,
+        )
     })
 }
 
@@ -77,9 +94,16 @@ pub fn run_exp2_cell(
         error: None,
     };
 
-    let mut cfg = RestoreConfig::default();
-    cfg.train = if ssar { eval_train_config().ssar() } else { eval_train_config() };
-    cfg.strategy = SelectionStrategy::Shortest;
+    let cfg = RestoreConfig {
+        train: if ssar {
+            eval_train_config().ssar()
+        } else {
+            eval_train_config()
+        },
+        strategy: SelectionStrategy::Shortest,
+        completer: eval_completer_config(),
+        ..RestoreConfig::default()
+    };
     let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
     for t in &sc.incomplete_tables {
         rs.mark_incomplete(t.clone());

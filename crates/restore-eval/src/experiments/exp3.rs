@@ -1,19 +1,19 @@
 //! Exp. 3 — end-to-end query processing (§7.4): the Table 1 workload and
 //! the Fig. 8 relative-error improvements.
 
-use serde::Serialize;
+use restore_util::impl_to_json;
 
-use restore_core::{RestoreConfig, ReStore, SelectionStrategy};
+use restore_core::{ReStore, RestoreConfig, SelectionStrategy};
 use restore_data::{build_scenario, Setup};
 use restore_db::QueryResult;
 
-use crate::harness::eval_train_config;
+use crate::harness::{eval_completer_config, eval_train_config};
 use crate::metrics::{group_relative_error, relative_error};
 use crate::parallel::parallel_map;
 use crate::queries::queries_for_setup;
 
 /// One (query, keep rate, removal correlation) cell of Fig. 8.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Exp3Cell {
     pub dataset: String,
     pub setup: String,
@@ -29,6 +29,18 @@ pub struct Exp3Cell {
     pub improvement: f64,
     pub error: Option<String>,
 }
+impl_to_json!(Exp3Cell {
+    dataset,
+    setup,
+    query,
+    sql,
+    keep_rate,
+    removal_correlation,
+    err_incomplete,
+    err_completed,
+    improvement,
+    error
+});
 
 /// Relative error of a query result against the ground truth: plain for
 /// scalar aggregates, averaged over true groups for group-by queries.
@@ -63,7 +75,13 @@ pub fn run_exp3(
         }
     }
     let results: Vec<Vec<Exp3Cell>> = parallel_map(jobs, |(setup, keep, corr, id)| {
-        run_exp3_cell(setup, *keep, *corr, scale, seed.wrapping_add(id.wrapping_mul(104729)))
+        run_exp3_cell(
+            setup,
+            *keep,
+            *corr,
+            scale,
+            seed.wrapping_add(id.wrapping_mul(104729)),
+        )
     });
     results.into_iter().flatten().collect()
 }
@@ -71,12 +89,19 @@ pub fn run_exp3(
 /// Runs both Table 1 queries of one setup on one scenario.
 pub fn run_exp3_cell(setup: &Setup, keep: f64, corr: f64, scale: f64, seed: u64) -> Vec<Exp3Cell> {
     let sc = build_scenario(setup, keep, corr, scale, seed);
-    let dataset = if setup.id.starts_with('H') { "Housing" } else { "Movies" };
+    let dataset = if setup.id.starts_with('H') {
+        "Housing"
+    } else {
+        "Movies"
+    };
 
-    let mut cfg = RestoreConfig::default();
-    cfg.train = eval_train_config();
-    cfg.strategy = SelectionStrategy::BestValLoss;
-    cfg.max_candidates = 3;
+    let cfg = RestoreConfig {
+        train: eval_train_config(),
+        strategy: SelectionStrategy::BestValLoss,
+        max_candidates: 3,
+        completer: eval_completer_config(),
+        ..RestoreConfig::default()
+    };
     let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
     for t in &sc.incomplete_tables {
         rs.mark_incomplete(t.clone());

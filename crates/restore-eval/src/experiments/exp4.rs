@@ -4,28 +4,32 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use restore_util::impl_to_json;
 
 use restore_core::{
-    enumerate_paths, CompleterConfig, Completer, CompletionModel, ReplacementMode,
+    enumerate_paths, Completer, CompleterConfig, CompletionModel, ReplacementMode,
     SchemaAnnotation, TrainConfig,
 };
 use restore_data::{build_scenario, Scenario, Setup};
 
-use crate::harness::{eval_train_config, stat_of};
+use crate::harness::{eval_completer_config, eval_train_config, stat_of};
 use crate::metrics::bias_reduction;
 use crate::parallel::parallel_map;
 
 /// One completed candidate: setup × model class × correlation → bias red.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9Cell {
     pub setup: String,
     pub model_class: String,
     pub removal_correlation: f64,
     pub bias_reduction: f64,
 }
+impl_to_json!(Fig9Cell {
+    setup,
+    model_class,
+    removal_correlation,
+    bias_reduction
+});
 
 /// Trains a model on a scenario path and measures the bias reduction of
 /// the completed biased attribute. Returns `(bias_reduction, model)`.
@@ -36,10 +40,12 @@ fn complete_and_score(
     replacement: ReplacementMode,
 ) -> f64 {
     let ann = SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
-    let cfg = CompleterConfig { replacement, ..CompleterConfig::default() };
+    let cfg = CompleterConfig {
+        replacement,
+        ..eval_completer_config()
+    };
     let completer = Completer::new(&sc.incomplete, &ann).with_config(cfg);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xf19);
-    let Ok(out) = completer.complete(model, &mut rng) else {
+    let Ok(out) = completer.complete(model, seed ^ 0xf19) else {
         return f64::NAN;
     };
     let target = &sc.bias.table;
@@ -81,7 +87,11 @@ pub fn run_fig9(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<F
     parallel_map(jobs, |(setup, corr, ssar, id)| {
         let s = seed.wrapping_add(id.wrapping_mul(6151));
         let sc = build_scenario(setup, 0.4, *corr, scale, s);
-        let train = if *ssar { eval_train_config().ssar() } else { eval_train_config() };
+        let train = if *ssar {
+            eval_train_config().ssar()
+        } else {
+            eval_train_config()
+        };
         let br = first_path_model(&sc, &train, 5, s)
             .map(|m| complete_and_score(&sc, &m, s, ReplacementMode::Auto))
             .unwrap_or(f64::NAN);
@@ -95,7 +105,7 @@ pub fn run_fig9(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<F
 }
 
 /// One Fig. 10 cell: all candidate models plus the two selection answers.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Cell {
     pub setup: String,
     pub removal_correlation: f64,
@@ -108,6 +118,14 @@ pub struct Fig10Cell {
     /// The best candidate in hindsight (oracle).
     pub best: f64,
 }
+impl_to_json!(Fig10Cell {
+    setup,
+    removal_correlation,
+    all_models,
+    selected,
+    selected_suspected,
+    best
+});
 
 /// Runs the Fig. 10 selection-quality sweep (keep rate fixed at 40%).
 pub fn run_fig10(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<Fig10Cell> {
@@ -130,8 +148,11 @@ pub fn run_fig10(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<
         // Statistics for the suspected-bias score: the removal depletes the
         // biased attribute, so the completion should *raise* it.
         let value = sc.bias_value.as_deref();
-        let inc_stat =
-            stat_of(sc.incomplete.table(&sc.bias.table).unwrap(), &sc.bias.column, value);
+        let inc_stat = stat_of(
+            sc.incomplete.table(&sc.bias.table).unwrap(),
+            &sc.bias.column,
+            value,
+        );
 
         let mut all = Vec::new();
         let mut by_val_loss: Option<(f32, f64)> = None;
@@ -145,27 +166,31 @@ pub fn run_fig10(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<
                 continue;
             }
             // Suspected-bias score: shift of the statistic upwards.
-            let ann2 = SchemaAnnotation::with_incomplete(
-                sc.incomplete_tables.iter().map(String::as_str),
-            );
+            let ann2 =
+                SchemaAnnotation::with_incomplete(sc.incomplete_tables.iter().map(String::as_str));
             let completer = Completer::new(&sc.incomplete, &ann2);
-            let mut rng = StdRng::seed_from_u64(s ^ 0x5a5a);
             let shift = completer
-                .complete(&m, &mut rng)
+                .complete(&m, s ^ 0x5a5a)
                 .map(|out| {
-                    stat_of(&out.join, &format!("{}.{}", sc.bias.table, sc.bias.column), value)
-                        - inc_stat
+                    stat_of(
+                        &out.join,
+                        &format!("{}.{}", sc.bias.table, sc.bias.column),
+                        value,
+                    ) - inc_stat
                 })
                 .unwrap_or(f64::NEG_INFINITY);
             all.push((m.path().describe(), br));
-            if by_val_loss.map_or(true, |(v, _)| m.target_val_loss() < v) {
+            if by_val_loss.is_none_or(|(v, _)| m.target_val_loss() < v) {
                 by_val_loss = Some((m.target_val_loss(), br));
             }
-            if by_suspected.map_or(true, |(sc_, _)| shift > sc_) {
+            if by_suspected.is_none_or(|(sc_, _)| shift > sc_) {
                 by_suspected = Some((shift, br));
             }
         }
-        let best = all.iter().map(|(_, b)| *b).fold(f64::NEG_INFINITY, f64::max);
+        let best = all
+            .iter()
+            .map(|(_, b)| *b)
+            .fold(f64::NEG_INFINITY, f64::max);
         Fig10Cell {
             setup: setup.id.to_string(),
             removal_correlation: *corr,
@@ -178,7 +203,7 @@ pub fn run_fig10(setups: &[Setup], corrs: &[f64], scale: f64, seed: u64) -> Vec<
 }
 
 /// One Fig. 11/12 timing row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TimingCell {
     pub dataset: String,
     pub setup: String,
@@ -191,6 +216,16 @@ pub struct TimingCell {
     pub completion_nn_seconds: f64,
     pub synthesized_tuples: usize,
 }
+impl_to_json!(TimingCell {
+    dataset,
+    setup,
+    model_class,
+    path,
+    train_seconds,
+    completion_seconds,
+    completion_nn_seconds,
+    synthesized_tuples
+});
 
 /// Runs the Fig. 11/12 timing measurements: per setup, train AR and SSAR
 /// models and time the completion of one path with and without nearest-
@@ -203,9 +238,17 @@ pub fn run_timings(setups: &[Setup], scale: f64, seed: u64) -> Vec<TimingCell> {
         }
     }
     parallel_map(jobs, |(setup, ssar, s)| {
-        let dataset = if setup.id.starts_with('H') { "Housing" } else { "Movies" };
+        let dataset = if setup.id.starts_with('H') {
+            "Housing"
+        } else {
+            "Movies"
+        };
         let sc = build_scenario(setup, 0.4, 0.4, scale, *s);
-        let train = if *ssar { eval_train_config().ssar() } else { eval_train_config() };
+        let train = if *ssar {
+            eval_train_config().ssar()
+        } else {
+            eval_train_config()
+        };
         let mut cell = TimingCell {
             dataset: dataset.to_string(),
             setup: setup.id.to_string(),
@@ -227,11 +270,13 @@ pub fn run_timings(setups: &[Setup], scale: f64, seed: u64) -> Vec<TimingCell> {
             (ReplacementMode::Never, 0usize),
             (ReplacementMode::Always, 1usize),
         ] {
-            let cfg = CompleterConfig { replacement: mode, ..CompleterConfig::default() };
+            let cfg = CompleterConfig {
+                replacement: mode,
+                ..eval_completer_config()
+            };
             let completer = Completer::new(&sc.incomplete, &ann).with_config(cfg);
-            let mut rng = StdRng::seed_from_u64(*s ^ 0x71e5);
             let started = Instant::now();
-            if let Ok(out) = completer.complete(&model, &mut rng) {
+            if let Ok(out) = completer.complete(&model, *s ^ 0x71e5) {
                 let elapsed = started.elapsed().as_secs_f64();
                 if slot == 0 {
                     cell.completion_seconds = elapsed;

@@ -1,11 +1,8 @@
 //! Shared experiment plumbing: scenario construction, model training with
 //! evaluation-sized defaults, and statistic extraction.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use restore_core::{
-    CompleterConfig, CompletionModel, CompletionOutput, CompletionPath, Completer,
+    Completer, CompleterConfig, CompletionModel, CompletionOutput, CompletionPath,
     SchemaAnnotation, TrainConfig,
 };
 use restore_data::{
@@ -69,6 +66,17 @@ pub fn train_synthetic_model(
     CompletionModel::train(&sc.incomplete, &ann, path, train, seed)
 }
 
+/// Completer configuration for experiment cells: the harness already
+/// fans cells out over the worker pool (`parallel_map`), so the inner
+/// sampling stays single-threaded to avoid a nested ncpu² thread blowup.
+/// Results are identical either way (worker-count invariance).
+pub fn eval_completer_config() -> CompleterConfig {
+    CompleterConfig {
+        workers: 1,
+        ..CompleterConfig::default()
+    }
+}
+
 /// Runs Algorithm 1 for a synthetic model.
 pub fn complete_synthetic(
     sc: &Scenario,
@@ -78,24 +86,30 @@ pub fn complete_synthetic(
 ) -> restore_core::CoreResult<CompletionOutput> {
     let ann = SchemaAnnotation::with_incomplete(["tb"]);
     let completer = Completer::new(&sc.incomplete, &ann).with_config(completer_cfg);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
-    completer.complete(model, &mut rng)
+    completer.complete(model, seed ^ 0xc0ffee)
 }
 
 /// Fraction of rows where `column == value`, or the mean of `column` when
 /// `value` is `None` — the statistic the bias-reduction metric tracks.
 pub fn stat_of(table: &Table, column: &str, value: Option<&str>) -> f64 {
-    let Ok(idx) = table.resolve(column) else { return f64::NAN };
+    let Ok(idx) = table.resolve(column) else {
+        return f64::NAN;
+    };
     let n = table.n_rows();
     if n == 0 {
         return f64::NAN;
     }
     match value {
         Some(v) => {
-            (0..n).filter(|&r| table.value(r, idx).to_string() == v).count() as f64 / n as f64
+            (0..n)
+                .filter(|&r| table.value(r, idx).to_string() == v)
+                .count() as f64
+                / n as f64
         }
         None => {
-            let vals: Vec<f64> = (0..n).filter_map(|r| table.value(r, idx).as_f64()).collect();
+            let vals: Vec<f64> = (0..n)
+                .filter_map(|r| table.value(r, idx).as_f64())
+                .collect();
             if vals.is_empty() {
                 f64::NAN
             } else {
@@ -130,8 +144,10 @@ mod tests {
                 restore_db::Field::new("x", restore_db::DataType::Float),
             ],
         );
-        t.push_row(&[restore_db::Value::str("a"), restore_db::Value::Float(1.0)]).unwrap();
-        t.push_row(&[restore_db::Value::str("b"), restore_db::Value::Float(3.0)]).unwrap();
+        t.push_row(&[restore_db::Value::str("a"), restore_db::Value::Float(1.0)])
+            .unwrap();
+        t.push_row(&[restore_db::Value::str("b"), restore_db::Value::Float(3.0)])
+            .unwrap();
         assert_eq!(stat_of(&t, "c", Some("a")), 0.5);
         assert_eq!(stat_of(&t, "x", None), 2.0);
         assert!(stat_of(&t, "missing", None).is_nan());

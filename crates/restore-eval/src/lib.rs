@@ -29,7 +29,7 @@ pub mod report;
 
 pub use cli::{parse_args, EvalArgs};
 pub use metrics::{
-    bias_reduction, cardinality_correction, error_improvement, group_relative_error, mean,
-    median, relative_error,
+    bias_reduction, cardinality_correction, error_improvement, group_relative_error, mean, median,
+    relative_error,
 };
 pub use parallel::parallel_map;

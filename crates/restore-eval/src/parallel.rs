@@ -1,46 +1,10 @@
-//! Parallel execution of independent experiment cells over a small worker
-//! pool (each cell owns its RNG seed, so results are order-independent and
-//! reproducible).
+//! Parallel execution of independent experiment cells.
+//!
+//! The combinators now live in `restore-util` so the core completion engine
+//! shares the same worker pool and determinism contract; this module
+//! re-exports them for existing callers.
 
-use crossbeam::channel;
-
-/// Maps `f` over `jobs` on `workers` threads, preserving input order.
-pub fn parallel_map<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
-where
-    J: Send + Sync,
-    T: Send,
-    F: Fn(&J) -> T + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(jobs.len().max(1));
-    if workers <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(&f).collect();
-    }
-    let (tx, rx) = channel::unbounded::<(usize, &J)>();
-    for pair in jobs.iter().enumerate() {
-        tx.send(pair).unwrap();
-    }
-    drop(tx);
-    let (out_tx, out_rx) = channel::unbounded::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let out_tx = out_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, job)) = rx.recv() {
-                    let _ = out_tx.send((i, f(job)));
-                }
-            });
-        }
-        drop(out_tx);
-    });
-    let mut results: Vec<(usize, T)> = out_rx.into_iter().collect();
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, t)| t).collect()
-}
+pub use restore_util::{parallel_map, parallel_map_workers};
 
 #[cfg(test)]
 mod tests {

@@ -196,7 +196,11 @@ pub fn movie_queries() -> Vec<WorkloadQuery> {
 
 /// Queries evaluated under a given setup id.
 pub fn queries_for_setup(setup: &str) -> Vec<WorkloadQuery> {
-    let all = if setup.starts_with('H') { housing_queries() } else { movie_queries() };
+    let all = if setup.starts_with('H') {
+        housing_queries()
+    } else {
+        movie_queries()
+    };
     all.into_iter().filter(|q| q.setup == setup).collect()
 }
 

@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use restore_util::json::ToJson;
 
 /// Prints an ASCII table with a title row.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -30,7 +30,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         s
     };
     println!("{sep}");
-    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     println!("{sep}");
     for row in rows {
         println!("{}", line(row));
@@ -55,22 +58,17 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serializes an experiment result to `results/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                println!("[saved {path:?}]");
-            }
-        }
-        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    if let Err(e) = fs::write(&path, value.to_json()) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        println!("[saved {path:?}]");
     }
 }
 

@@ -11,9 +11,10 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::infer::{Forward, InferenceSession};
 use crate::layers::{Embedding, Mlp};
 use crate::params::ParamStore;
-use crate::tape::{Tape, VarId};
+use crate::tensor::Matrix;
 
 /// Configuration of the encoder for one fan-out table.
 #[derive(Clone, Debug)]
@@ -28,7 +29,11 @@ pub struct SetTableSpec {
 
 impl SetTableSpec {
     pub fn new(attr_cards: Vec<usize>, embed_dim: usize, tuple_dim: usize) -> Self {
-        Self { attr_cards, embed_dim, tuple_dim }
+        Self {
+            attr_cards,
+            embed_dim,
+            tuple_dim,
+        }
     }
 }
 
@@ -90,7 +95,11 @@ impl DeepSets {
             .collect::<Vec<_>>();
         let pooled_dim: usize = cfg.tables.iter().map(|t| t.tuple_dim).sum();
         let post = Mlp::new(store, &[pooled_dim, cfg.post_hidden, cfg.ctx_dim], rng);
-        Self { encoders, post, ctx_dim: cfg.ctx_dim }
+        Self {
+            encoders,
+            post,
+            ctx_dim: cfg.ctx_dim,
+        }
     }
 
     pub fn ctx_dim(&self) -> usize {
@@ -98,37 +107,64 @@ impl DeepSets {
     }
 
     /// Encodes the fan-out evidence of `n_rows` evidence tuples into an
-    /// `n_rows × ctx_dim` context on the tape (so gradients flow back into
-    /// the encoders during SSAR training).
-    pub fn forward(
+    /// `n_rows × ctx_dim` context through any [`Forward`] executor — on the
+    /// tape during SSAR training (so gradients flow back into the
+    /// encoders), on the no-grad engine during completion.
+    pub fn forward<F: Forward>(
         &self,
-        tape: &mut Tape,
+        f: &mut F,
         store: &ParamStore,
         batch: &SetBatch,
         n_rows: usize,
-    ) -> VarId {
-        assert_eq!(batch.tables.len(), self.encoders.len(), "table count mismatch");
+    ) -> F::Id {
+        assert_eq!(
+            batch.tables.len(),
+            self.encoders.len(),
+            "table count mismatch"
+        );
         let mut pooled = Vec::with_capacity(self.encoders.len());
         for (enc, set) in self.encoders.iter().zip(&batch.tables) {
-            assert_eq!(set.tokens.len(), enc.embeddings.len(), "attr count mismatch");
+            assert_eq!(
+                set.tokens.len(),
+                enc.embeddings.len(),
+                "attr count mismatch"
+            );
             let n_tuples = set.segments.len();
             for t in &set.tokens {
                 assert_eq!(t.len(), n_tuples, "ragged set tokens");
             }
-            let parts: Vec<VarId> = enc
+            let parts: Vec<F::Id> = enc
                 .embeddings
                 .iter()
                 .zip(&set.tokens)
-                .map(|(emb, toks)| emb.forward(tape, store, Arc::clone(toks)))
+                .map(|(emb, toks)| emb.forward(f, store, toks))
                 .collect();
-            let x = tape.concat_cols(&parts);
-            let enc_tuples = enc.pre.forward(tape, store, x);
-            let act = tape.relu(enc_tuples);
-            let sum = tape.segment_sum(act, Arc::clone(&set.segments), n_rows);
+            let x = f.concat_cols(&parts);
+            let enc_tuples = enc.pre.forward(f, store, x);
+            let act = f.relu(enc_tuples);
+            let sum = f.segment_sum(act, &set.segments, n_rows);
             pooled.push(sum);
         }
-        let joint = if pooled.len() == 1 { pooled[0] } else { tape.concat_cols(&pooled) };
-        self.post.forward(tape, store, joint)
+        let joint = if pooled.len() == 1 {
+            pooled[0]
+        } else {
+            f.concat_cols(&pooled)
+        };
+        self.post.forward(f, store, joint)
+    }
+
+    /// Gradient-free batched encoding into the session's pooled buffers,
+    /// returning a borrow of the `n_rows × ctx_dim` context matrix.
+    pub fn encode_in<'s>(
+        &self,
+        session: &'s mut InferenceSession,
+        store: &'s ParamStore,
+        batch: &SetBatch,
+        n_rows: usize,
+    ) -> &'s Matrix {
+        let mut f = session.ctx(store);
+        let out = self.forward(&mut f, store, batch, n_rows);
+        session.value(store, out)
     }
 }
 
@@ -136,6 +172,7 @@ impl DeepSets {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use crate::tensor::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -152,10 +189,19 @@ mod tests {
         (ds, store)
     }
 
-    fn encode(ds: &DeepSets, store: &ParamStore, tokens: Vec<u32>, segments: Vec<u32>, rows: usize) -> Matrix {
+    fn encode(
+        ds: &DeepSets,
+        store: &ParamStore,
+        tokens: Vec<u32>,
+        segments: Vec<u32>,
+        rows: usize,
+    ) -> Matrix {
         let mut tape = Tape::new();
         let batch = SetBatch {
-            tables: vec![TableSet { tokens: vec![Arc::new(tokens)], segments: Arc::new(segments) }],
+            tables: vec![TableSet {
+                tokens: vec![Arc::new(tokens)],
+                segments: Arc::new(segments),
+            }],
         };
         let out = ds.forward(&mut tape, store, &batch, rows);
         tape.value(out).clone()
@@ -167,7 +213,10 @@ mod tests {
         let a = encode(&ds, &store, vec![0, 1, 2], vec![0, 0, 0], 1);
         let b = encode(&ds, &store, vec![2, 0, 1], vec![0, 0, 0], 1);
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!((x - y).abs() < 1e-5, "set encoding not permutation invariant");
+            assert!(
+                (x - y).abs() < 1e-5,
+                "set encoding not permutation invariant"
+            );
         }
     }
 
@@ -188,7 +237,11 @@ mod tests {
         let (ds, store) = one_table_encoder(3);
         let a = encode(&ds, &store, vec![0, 0], vec![0, 0], 1);
         let b = encode(&ds, &store, vec![3, 3], vec![0, 0], 1);
-        assert!(a.data().iter().zip(b.data()).any(|(x, y)| (x - y).abs() > 1e-4));
+        assert!(a
+            .data()
+            .iter()
+            .zip(b.data())
+            .any(|(x, y)| (x - y).abs() > 1e-4));
     }
 
     #[test]
@@ -208,7 +261,9 @@ mod tests {
         tape.backward(out, Matrix::filled(r, c, 1.0), &mut store);
         adam.step(&mut store);
         let after = store.value(0);
-        assert!(before.data().iter().zip(after.data()).any(|(a, b)| a != b),
-            "embedding table did not move");
+        assert!(
+            before.data().iter().zip(after.data()).any(|(a, b)| a != b),
+            "embedding table did not move"
+        );
     }
 }

@@ -3,14 +3,13 @@
 use std::sync::Arc;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
+use crate::infer::Forward;
 use crate::params::{ParamId, ParamStore};
-use crate::tape::{Tape, VarId};
 use crate::tensor::Matrix;
 
 /// Dense affine layer `y = x·W + b`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Linear {
     w: ParamId,
     b: ParamId,
@@ -20,9 +19,14 @@ pub struct Linear {
 
 impl Linear {
     pub fn new<R: Rng>(store: &mut ParamStore, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
-        let w = store.register(Matrix::kaiming(in_dim, out_dim, rng));
+        let w = store.register(Matrix::glorot(in_dim, out_dim, rng));
         let b = store.register(Matrix::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn in_dim(&self) -> usize {
@@ -33,11 +37,11 @@ impl Linear {
         self.out_dim
     }
 
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: VarId) -> VarId {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        let h = tape.matmul(x, w);
-        tape.add_row(h, b)
+    pub fn forward<F: Forward>(&self, f: &mut F, store: &ParamStore, x: F::Id) -> F::Id {
+        let w = f.param(store, self.w);
+        let b = f.param(store, self.b);
+        let h = f.matmul(x, w);
+        f.add_row(h, b)
     }
 }
 
@@ -53,7 +57,7 @@ pub struct MaskedLinear {
 impl MaskedLinear {
     pub fn new<R: Rng>(store: &mut ParamStore, mask: Arc<Matrix>, rng: &mut R) -> Self {
         let (in_dim, out_dim) = mask.shape();
-        let w = store.register(Matrix::kaiming(in_dim, out_dim, rng));
+        let w = store.register(Matrix::glorot(in_dim, out_dim, rng));
         let b = store.register(Matrix::zeros(1, out_dim));
         Self { w, b, mask }
     }
@@ -62,16 +66,22 @@ impl MaskedLinear {
         &self.mask
     }
 
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: VarId) -> VarId {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        let h = tape.masked_matmul(x, w, Arc::clone(&self.mask));
-        tape.add_row(h, b)
+    /// `(weight, bias)` parameter ids — the inference engine's
+    /// block-restricted output evaluation reads these directly.
+    pub fn param_ids(&self) -> (ParamId, ParamId) {
+        (self.w, self.b)
+    }
+
+    pub fn forward<F: Forward>(&self, f: &mut F, store: &ParamStore, x: F::Id) -> F::Id {
+        let w = f.param(store, self.w);
+        let b = f.param(store, self.b);
+        let h = f.masked_matmul(x, w, &self.mask);
+        f.add_row(h, b)
     }
 }
 
 /// Token embedding table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Embedding {
     table: ParamId,
     cardinality: usize,
@@ -79,9 +89,24 @@ pub struct Embedding {
 }
 
 impl Embedding {
-    pub fn new<R: Rng>(store: &mut ParamStore, cardinality: usize, dim: usize, rng: &mut R) -> Self {
-        let table = store.register(Matrix::rand_uniform(cardinality.max(1), dim, -0.1, 0.1, rng));
-        Self { table, cardinality, dim }
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        cardinality: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.register(Matrix::rand_uniform(
+            cardinality.max(1),
+            dim,
+            -0.1,
+            0.1,
+            rng,
+        ));
+        Self {
+            table,
+            cardinality,
+            dim,
+        }
     }
 
     pub fn cardinality(&self) -> usize {
@@ -92,14 +117,19 @@ impl Embedding {
         self.dim
     }
 
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: Arc<Vec<u32>>) -> VarId {
-        let table = tape.param(store, self.table);
-        tape.gather(table, tokens)
+    pub fn forward<F: Forward>(
+        &self,
+        f: &mut F,
+        store: &ParamStore,
+        tokens: &Arc<Vec<u32>>,
+    ) -> F::Id {
+        let table = f.param(store, self.table);
+        f.gather(table, tokens)
     }
 }
 
 /// Fully connected network with ReLU activations between layers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Mlp {
     layers: Vec<Linear>,
 }
@@ -107,7 +137,10 @@ pub struct Mlp {
 impl Mlp {
     /// `dims = [in, h1, ..., out]`; ReLU after every layer except the last.
     pub fn new<R: Rng>(store: &mut ParamStore, dims: &[usize], rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1], rng))
@@ -123,11 +156,11 @@ impl Mlp {
         self.layers.first().unwrap().in_dim()
     }
 
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: VarId) -> VarId {
+    pub fn forward<F: Forward>(&self, f: &mut F, store: &ParamStore, mut x: F::Id) -> F::Id {
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(tape, store, x);
+            x = layer.forward(f, store, x);
             if i + 1 < self.layers.len() {
-                x = tape.relu(x);
+                x = f.relu(x);
             }
         }
         x
@@ -138,6 +171,7 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -158,7 +192,7 @@ mod tests {
         let mut store = ParamStore::new();
         let emb = Embedding::new(&mut store, 10, 4, &mut rng);
         let mut tape = Tape::new();
-        let y = emb.forward(&mut tape, &store, Arc::new(vec![3, 3, 7]));
+        let y = emb.forward(&mut tape, &store, &Arc::new(vec![3, 3, 7]));
         let v = tape.value(y);
         assert_eq!(v.shape(), (3, 4));
         assert_eq!(v.row(0), v.row(1));

@@ -5,7 +5,10 @@
 //! crate provides the minimal substrate the models need, built from scratch:
 //!
 //! * [`tensor::Matrix`] — dense row-major `f32` matrices;
-//! * [`tape::Tape`] — reverse-mode automatic differentiation;
+//! * [`tape::Tape`] — reverse-mode automatic differentiation (training);
+//! * [`infer`] — the gradient-free batched inference engine (completion):
+//!   the [`infer::Forward`] trait lets one set of layer definitions drive
+//!   both the recorded and the no-grad execution paths;
 //! * [`params::ParamStore`] — parameter/gradient storage;
 //! * [`layers`] — linear, masked linear, embedding, MLP;
 //! * [`masks`] — MADE mask construction with attribute-grouped degrees;
@@ -19,6 +22,7 @@
 //! tabular models (a few hundred thousand parameters).
 
 pub mod deepsets;
+pub mod infer;
 pub mod layers;
 pub mod loss;
 pub mod made;
@@ -29,6 +33,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use deepsets::{DeepSets, DeepSetsConfig, SetBatch, SetTableSpec, TableSet};
+pub use infer::{Forward, InferCtx, InferRef, InferenceSession};
 pub use loss::{block_cross_entropy, kl_divergence, BlockLayout, BlockLoss};
 pub use made::{sample_categorical, AttrSpec, Made, MadeConfig};
 pub use optim::{Adam, Sgd};

@@ -48,7 +48,11 @@ impl BlockLayout {
             offsets.push(total);
             total += c;
         }
-        Self { offsets, cards: cards.to_vec(), total }
+        Self {
+            offsets,
+            cards: cards.to_vec(),
+            total,
+        }
     }
 
     pub fn num_blocks(&self) -> usize {
@@ -95,7 +99,11 @@ pub fn block_cross_entropy(
 ) -> BlockLoss {
     let m = logits.rows();
     assert_eq!(logits.cols(), layout.total_width(), "logits width mismatch");
-    assert_eq!(targets.len(), layout.num_blocks(), "target attr count mismatch");
+    assert_eq!(
+        targets.len(),
+        layout.num_blocks(),
+        "target attr count mismatch"
+    );
 
     let mut dlogits = Matrix::zeros(m, logits.cols());
     let mut total_loss = 0.0f64;
@@ -115,7 +123,10 @@ pub fn block_cross_entropy(
             let row = logits.row(r);
             softmax_into(&row[off..off + card], &mut probs);
             let t = targets[a][r] as usize;
-            assert!(t < card, "target token {t} out of range for attr {a} (card {card})");
+            assert!(
+                t < card,
+                "target token {t} out of range for attr {a} (card {card})"
+            );
             let p = probs[t].max(1e-12);
             let nll = -p.ln();
             total_loss += (w * nll) as f64;
@@ -130,7 +141,11 @@ pub fn block_cross_entropy(
         }
     }
 
-    let norm = if total_weight > 0.0 { 1.0 / total_weight as f32 } else { 0.0 };
+    let norm = if total_weight > 0.0 {
+        1.0 / total_weight as f32
+    } else {
+        0.0
+    };
     dlogits.scale_assign(norm);
     for (p, w) in per_attr.iter_mut().zip(&per_attr_weight) {
         if *w > 0.0 {
@@ -138,7 +153,11 @@ pub fn block_cross_entropy(
         }
     }
     BlockLoss {
-        loss: if total_weight > 0.0 { (total_loss / total_weight) as f32 } else { 0.0 },
+        loss: if total_weight > 0.0 {
+            (total_loss / total_weight) as f32
+        } else {
+            0.0
+        },
         per_attr,
         dlogits,
     }

@@ -7,11 +7,11 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::infer::{Forward, InferenceSession};
 use crate::layers::{Embedding, MaskedLinear};
-use crate::loss::{block_cross_entropy, BlockLayout, BlockLoss};
+use crate::loss::{block_cross_entropy, softmax, softmax_into, BlockLayout, BlockLoss};
 use crate::masks::build_masks;
 use crate::params::ParamStore;
-use crate::tape::{Tape, VarId};
 use crate::tensor::Matrix;
 
 /// One model attribute: its token cardinality and embedding width.
@@ -23,7 +23,10 @@ pub struct AttrSpec {
 
 impl AttrSpec {
     pub fn new(cardinality: usize, embed_dim: usize) -> Self {
-        Self { cardinality, embed_dim }
+        Self {
+            cardinality,
+            embed_dim,
+        }
     }
 }
 
@@ -41,7 +44,12 @@ pub struct MadeConfig {
 
 impl MadeConfig {
     pub fn new(attrs: Vec<AttrSpec>) -> Self {
-        Self { attrs, ctx_dim: 0, hidden: vec![64, 64], residual: true }
+        Self {
+            attrs,
+            ctx_dim: 0,
+            hidden: vec![64, 64],
+            residual: true,
+        }
     }
 
     pub fn with_ctx(mut self, ctx_dim: usize) -> Self {
@@ -70,7 +78,10 @@ pub struct Made {
 impl Made {
     pub fn new<R: Rng>(cfg: MadeConfig, store: &mut ParamStore, rng: &mut R) -> Self {
         assert!(!cfg.attrs.is_empty(), "MADE needs at least one attribute");
-        assert!(cfg.attrs.iter().all(|a| a.cardinality >= 1), "zero-cardinality attribute");
+        assert!(
+            cfg.attrs.iter().all(|a| a.cardinality >= 1),
+            "zero-cardinality attribute"
+        );
         let embed_dims: Vec<usize> = cfg.attrs.iter().map(|a| a.embed_dim).collect();
         let cards: Vec<usize> = cfg.attrs.iter().map(|a| a.cardinality).collect();
         let masks = build_masks(&embed_dims, &cards, cfg.ctx_dim, &cfg.hidden);
@@ -88,7 +99,14 @@ impl Made {
             .collect();
         let output_layer = MaskedLinear::new(store, Arc::clone(&masks.output), rng);
 
-        Self { cfg, embeddings, input_layer, hidden_layers, output_layer, layout: BlockLayout::new(&cards) }
+        Self {
+            cfg,
+            embeddings,
+            input_layer,
+            hidden_layers,
+            output_layer,
+            layout: BlockLayout::new(&cards),
+        }
     }
 
     pub fn num_attrs(&self) -> usize {
@@ -107,16 +125,20 @@ impl Made {
         self.cfg.attrs[attr].cardinality
     }
 
-    /// Forward pass on the tape. `tokens[a]` holds the token of attribute
-    /// `a` for every batch row; `ctx` must be provided iff `ctx_dim > 0`.
-    pub fn forward(
+    /// The shared trunk (embeddings through the last hidden ReLU) of the
+    /// forward pass, generic over the executor.
+    fn trunk<F: Forward>(
         &self,
-        tape: &mut Tape,
+        f: &mut F,
         store: &ParamStore,
         tokens: &[Arc<Vec<u32>>],
-        ctx: Option<VarId>,
-    ) -> VarId {
-        assert_eq!(tokens.len(), self.num_attrs(), "token column count mismatch");
+        ctx: Option<F::Id>,
+    ) -> F::Id {
+        assert_eq!(
+            tokens.len(),
+            self.num_attrs(),
+            "token column count mismatch"
+        );
         let m = tokens.first().map_or(0, |t| t.len());
         for t in tokens {
             assert_eq!(t.len(), m, "ragged token columns");
@@ -125,7 +147,7 @@ impl Made {
         match (self.cfg.ctx_dim, ctx) {
             (0, None) => {}
             (d, Some(c)) => {
-                assert_eq!(tape.value(c).shape(), (m, d), "context shape mismatch");
+                assert_eq!(f.shape(c), (m, d), "context shape mismatch");
                 parts.push(c);
             }
             (d, None) => panic!("model expects a {d}-wide context"),
@@ -133,31 +155,87 @@ impl Made {
             (0, Some(_)) => panic!("model does not take a context"),
         }
         for (emb, toks) in self.embeddings.iter().zip(tokens) {
-            parts.push(emb.forward(tape, store, Arc::clone(toks)));
+            parts.push(emb.forward(f, store, toks));
         }
-        let x = tape.concat_cols(&parts);
-        let mut h = self.input_layer.forward(tape, store, x);
-        h = tape.relu(h);
+        let x = f.concat_cols(&parts);
+        let mut h = self.input_layer.forward(f, store, x);
+        h = f.relu(h);
         for layer in &self.hidden_layers {
-            let pre = layer.forward(tape, store, h);
-            let combined = if self.cfg.residual
-                && tape.value(pre).shape() == tape.value(h).shape()
-            {
-                tape.add(pre, h)
+            let pre = layer.forward(f, store, h);
+            h = if self.cfg.residual && f.shape(pre) == f.shape(h) {
+                f.add_relu(pre, h)
             } else {
-                pre
+                f.relu(pre)
             };
-            h = tape.relu(combined);
         }
-        self.output_layer.forward(tape, store, h)
+        h
     }
 
-    /// Inference-only forward returning the raw logits matrix.
-    pub fn logits(&self, store: &ParamStore, tokens: &[Arc<Vec<u32>>], ctx: Option<&Matrix>) -> Matrix {
-        let mut tape = Tape::new();
-        let ctx_var = ctx.map(|c| tape.input(c.clone()));
-        let out = self.forward(&mut tape, store, tokens, ctx_var);
-        tape.value(out).clone()
+    /// Forward pass through any [`Forward`] executor — a recording
+    /// [`Tape`](crate::tape::Tape) during training, a no-grad
+    /// [`InferCtx`](crate::infer::InferCtx) during inference. `tokens[a]`
+    /// holds the token of attribute `a` for every batch row; `ctx` must be
+    /// provided iff `ctx_dim > 0`.
+    pub fn forward<F: Forward>(
+        &self,
+        f: &mut F,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<F::Id>,
+    ) -> F::Id {
+        let h = self.trunk(f, store, tokens, ctx);
+        self.output_layer.forward(f, store, h)
+    }
+
+    /// Gradient-free forward of the logit block of `attr` only: the trunk
+    /// runs in full, but the output layer evaluates just that attribute's
+    /// columns — the autoregressive sampler never needs the other blocks.
+    /// Returns the `rows × cardinality(attr)` block, bit-identical to the
+    /// corresponding slice of the full logits.
+    pub fn logits_attr_in<'s>(
+        &self,
+        session: &'s mut InferenceSession,
+        store: &'s ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        attr: usize,
+    ) -> &'s Matrix {
+        let (off, card) = self.layout.block(attr);
+        let (w, b) = self.output_layer.param_ids();
+        let mask = Arc::clone(self.output_layer.mask());
+        let mut f = session.ctx(store);
+        let ctx_id = ctx.map(|c| f.input(c));
+        let h = self.trunk(&mut f, store, tokens, ctx_id);
+        let out = f.masked_linear_cols(h, w, &mask, b, off..off + card);
+        session.value(store, out)
+    }
+
+    /// Inference-only forward returning an owned logits matrix (convenience
+    /// wrapper over [`Made::logits_in`] with a throwaway session).
+    pub fn logits(
+        &self,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+    ) -> Matrix {
+        let mut session = InferenceSession::new();
+        self.logits_in(&mut session, store, tokens, ctx).clone()
+    }
+
+    /// Gradient-free batched forward: evaluates the logits for every batch
+    /// row into the session's pooled buffers and returns a borrow of the
+    /// result. Repeated calls with equal batch shapes are allocation-free.
+    pub fn logits_in<'s>(
+        &self,
+        session: &'s mut InferenceSession,
+        store: &'s ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+    ) -> &'s Matrix {
+        let mut f = session.ctx(store);
+        let ctx_id = ctx.map(|c| f.input(c));
+        let out = self.forward(&mut f, store, tokens, ctx_id);
+        session.value(store, out)
     }
 
     /// Evaluates the per-attribute NLL without updating parameters — the
@@ -184,10 +262,9 @@ impl Made {
         ctx: Option<&Matrix>,
         attr: usize,
     ) -> Vec<Vec<f32>> {
-        let logits = self.logits(store, tokens, ctx);
-        (0..logits.rows())
-            .map(|r| self.layout.dist(logits.row(r), attr))
-            .collect()
+        let mut session = InferenceSession::new();
+        let block = self.logits_attr_in(&mut session, store, tokens, ctx, attr);
+        (0..block.rows()).map(|r| softmax(block.row(r))).collect()
     }
 
     /// Iterative forward sampling (§3.1): fills token columns
@@ -209,12 +286,52 @@ impl Made {
 
     /// Like [`Made::sample_suffix`] but stops after attribute `end − 1` —
     /// used by Algorithm 1 to sample one table's attribute block (or a
-    /// single tuple factor) at a time.
+    /// single tuple factor) at a time. Convenience wrapper over
+    /// [`Made::sample_range_in`] with a throwaway session.
     #[allow(clippy::too_many_arguments)]
     pub fn sample_range<R: Rng>(
         &self,
         store: &ParamStore,
         tokens: &mut [Vec<u32>],
+        ctx: Option<&Matrix>,
+        start: usize,
+        end: usize,
+        excluded: &[Option<u32>],
+        rng: &mut R,
+    ) {
+        let mut session = InferenceSession::new();
+        let mut cols: Vec<Arc<Vec<u32>>> = tokens
+            .iter_mut()
+            .map(|t| Arc::new(std::mem::take(t)))
+            .collect();
+        self.sample_range_in(
+            &mut session,
+            store,
+            &mut cols,
+            ctx,
+            start,
+            end,
+            excluded,
+            rng,
+        );
+        for (t, c) in tokens.iter_mut().zip(cols) {
+            *t = Arc::try_unwrap(c).unwrap_or_else(|a| (*a).clone());
+        }
+    }
+
+    /// Batched iterative forward sampling on the no-grad engine: one
+    /// gradient-free forward pass per attribute fills that attribute for
+    /// **all** batch rows at once. Token columns are updated in place
+    /// (`Arc::make_mut` — the session never retains them, so no copies
+    /// happen). Rows are sampled in order, one RNG draw per row per
+    /// attribute, so the draw sequence is a pure function of `(tokens,
+    /// start, end, rng state)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_range_in<R: Rng>(
+        &self,
+        session: &mut InferenceSession,
+        store: &ParamStore,
+        tokens: &mut [Arc<Vec<u32>>],
         ctx: Option<&Matrix>,
         start: usize,
         end: usize,
@@ -228,11 +345,14 @@ impl Made {
         if m == 0 {
             return;
         }
+        let mut dist = Vec::new();
         for attr in start..end {
-            let cols: Vec<Arc<Vec<u32>>> = tokens.iter().map(|t| Arc::new(t.clone())).collect();
-            let logits = self.logits(store, &cols, ctx);
+            let block = self.logits_attr_in(session, store, tokens, ctx, attr);
+            let card = block.cols();
+            let mut sampled = Vec::with_capacity(m);
             for r in 0..m {
-                let mut dist = self.layout.dist(logits.row(r), attr);
+                dist.resize(card, 0.0);
+                softmax_into(block.row(r), &mut dist);
                 if let Some(Some(ex)) = excluded.get(attr) {
                     let ex = *ex as usize;
                     if ex < dist.len() {
@@ -247,13 +367,18 @@ impl Made {
                             // had zero mass; fall back to uniform.
                             let n = dist.len();
                             for (i, d) in dist.iter_mut().enumerate() {
-                                *d = if i == ex { 0.0 } else { 1.0 / (n - 1).max(1) as f32 };
+                                *d = if i == ex {
+                                    0.0
+                                } else {
+                                    1.0 / (n - 1).max(1) as f32
+                                };
                             }
                         }
                     }
                 }
-                tokens[attr][r] = sample_categorical(&dist, rng);
+                sampled.push(sample_categorical(&dist, rng));
             }
+            Arc::make_mut(&mut tokens[attr]).copy_from_slice(&sampled);
         }
     }
 }
@@ -275,6 +400,7 @@ pub fn sample_categorical<R: Rng>(dist: &[f32], rng: &mut R) -> u32 {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -282,7 +408,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let attrs = cards.iter().map(|&c| AttrSpec::new(c, 4)).collect();
-        let cfg = MadeConfig::new(attrs).with_ctx(ctx).with_hidden(vec![32, 32]);
+        let cfg = MadeConfig::new(attrs)
+            .with_ctx(ctx)
+            .with_hidden(vec![32, 32]);
         let made = Made::new(cfg, &mut store, &mut rng);
         (made, store)
     }
@@ -361,7 +489,10 @@ mod tests {
         let mut toks = vec![vec![2u32; 64], vec![0u32; 64]];
         made.sample_suffix(&store, &mut toks, None, 1, &[], &mut rng);
         let right = toks[1].iter().filter(|&&t| t == 3).count();
-        assert!(right > 48, "sampling followed the conditional only {right}/64 times");
+        assert!(
+            right > 48,
+            "sampling followed the conditional only {right}/64 times"
+        );
     }
 
     #[test]
@@ -370,7 +501,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut toks = vec![vec![0u32; 200], vec![0u32; 200]];
         made.sample_suffix(&store, &mut toks, None, 1, &[None, Some(4)], &mut rng);
-        assert!(toks[1].iter().all(|&t| t != 4), "excluded token was sampled");
+        assert!(
+            toks[1].iter().all(|&t| t != 4),
+            "excluded token was sampled"
+        );
     }
 
     #[test]

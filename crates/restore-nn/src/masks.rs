@@ -47,13 +47,16 @@ pub fn build_masks(
     let n = attr_embed_dims.len();
     assert_eq!(n, attr_cards.len(), "embed dims / cards mismatch");
     assert!(n > 0, "MADE needs at least one attribute");
-    assert!(!hidden_sizes.is_empty(), "MADE needs at least one hidden layer");
+    assert!(
+        !hidden_sizes.is_empty(),
+        "MADE needs at least one hidden layer"
+    );
 
     // Input degrees: ctx block (degree 0) then one block per attribute.
     let mut input_degrees = Vec::new();
-    input_degrees.extend(std::iter::repeat(0usize).take(ctx_dim));
+    input_degrees.extend(std::iter::repeat_n(0usize, ctx_dim));
     for (i, &d) in attr_embed_dims.iter().enumerate() {
-        input_degrees.extend(std::iter::repeat(i + 1).take(d));
+        input_degrees.extend(std::iter::repeat_n(i + 1, d));
     }
 
     // Hidden degrees: cycle lo..=n-1. With a context block, degree-0 units
@@ -71,8 +74,8 @@ pub fn build_masks(
     // input -> hidden0: allowed iff d_in <= d_hidden.
     let mut input_mask = Matrix::zeros(input_degrees.len(), h0);
     for (r, &din) in input_degrees.iter().enumerate() {
-        for c in 0..h0 {
-            if din <= hidden_degrees[c] {
+        for (c, &dh) in hidden_degrees.iter().take(h0).enumerate() {
+            if din <= dh {
                 input_mask.set(r, c, 1.0);
             }
         }
@@ -99,8 +102,8 @@ pub fn build_masks(
     let mut output_mask = Matrix::zeros(last_h, total_out);
     let mut offset = 0;
     for (i, &card) in attr_cards.iter().enumerate() {
-        for r in 0..last_h {
-            if hidden_degrees[r] <= i {
+        for (r, &dh) in hidden_degrees.iter().take(last_h).enumerate() {
+            if dh <= i {
                 for c in 0..card {
                     output_mask.set(r, offset + c, 1.0);
                 }

@@ -25,7 +25,16 @@ impl Adam {
             m.push(Matrix::zeros(r, c));
             v.push(Matrix::zeros(r, c));
         }
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m, v }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Builder-style decoupled weight decay (AdamW).

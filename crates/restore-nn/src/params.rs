@@ -6,14 +6,13 @@
 //! flushed back into the store, where the optimizer consumes them.
 
 use crate::tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Index of a parameter inside a [`ParamStore`].
 pub type ParamId = usize;
 
 /// Owns all trainable parameters of a model together with their gradient
 /// accumulators.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParamStore {
     values: Vec<Matrix>,
     grads: Vec<Matrix>,

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use crate::infer::Forward;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Matrix;
 
@@ -24,7 +25,11 @@ enum Op {
     /// `x · w`
     MatMul { x: VarId, w: VarId },
     /// `x · (w ⊙ mask)` — used by MADE masked linear layers.
-    MaskedMatMul { x: VarId, w: VarId, mask: Arc<Matrix> },
+    MaskedMatMul {
+        x: VarId,
+        w: VarId,
+        mask: Arc<Matrix>,
+    },
     /// Broadcast-add a `1 × n` bias row to every row of `x`.
     AddRow { x: VarId, bias: VarId },
     /// Element-wise addition of equally shaped values.
@@ -36,7 +41,11 @@ enum Op {
     /// Gather rows of an embedding matrix: `out[i] = table[idx[i]]`.
     Gather { table: VarId, idx: Arc<Vec<u32>> },
     /// Segment sum: `out[seg[i]] += x[i]`, with `n_segments` output rows.
-    SegmentSum { x: VarId, seg: Arc<Vec<u32>>, n_segments: usize },
+    SegmentSum {
+        x: VarId,
+        seg: Arc<Vec<u32>>,
+        n_segments: usize,
+    },
     /// Scalar multiplication.
     Scale { x: VarId, s: f32 },
 }
@@ -77,7 +86,11 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> VarId {
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         VarId(self.nodes.len() - 1)
     }
 
@@ -159,7 +172,12 @@ impl Tape {
             }
             offset += c;
         }
-        self.push(Op::ConcatCols { parts: parts.to_vec() }, value)
+        self.push(
+            Op::ConcatCols {
+                parts: parts.to_vec(),
+            },
+            value,
+        )
     }
 
     /// Embedding lookup: row `i` of the output is row `idx[i]` of `table`.
@@ -207,7 +225,11 @@ impl Tape {
     /// `seed` (same shape as `root`'s value), then flushes parameter
     /// gradients into `store`.
     pub fn backward(&mut self, root: VarId, seed: Matrix, store: &mut ParamStore) {
-        assert_eq!(self.value(root).shape(), seed.shape(), "seed gradient shape mismatch");
+        assert_eq!(
+            self.value(root).shape(),
+            seed.shape(),
+            "seed gradient shape mismatch"
+        );
         self.accumulate(root, seed);
 
         for i in (0..=root.0).rev() {
@@ -267,7 +289,8 @@ impl Tape {
                         let rows = grad.rows();
                         let mut dp = Matrix::zeros(rows, c);
                         for r in 0..rows {
-                            dp.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + c]);
+                            dp.row_mut(r)
+                                .copy_from_slice(&grad.row(r)[offset..offset + c]);
                         }
                         offset += c;
                         self.accumulate(p, dp);
@@ -307,6 +330,61 @@ impl Tape {
     }
 }
 
+/// The tape records ops instead of just evaluating them; layer definitions
+/// written against [`Forward`] drive training through this impl and
+/// inference through [`crate::infer::InferCtx`].
+impl Forward for Tape {
+    type Id = VarId;
+
+    fn input(&mut self, value: &Matrix) -> VarId {
+        Tape::input(self, value.clone())
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        Tape::param(self, store, id)
+    }
+
+    fn matmul(&mut self, x: VarId, w: VarId) -> VarId {
+        Tape::matmul(self, x, w)
+    }
+
+    fn masked_matmul(&mut self, x: VarId, w: VarId, mask: &Arc<Matrix>) -> VarId {
+        Tape::masked_matmul(self, x, w, Arc::clone(mask))
+    }
+
+    fn add_row(&mut self, x: VarId, bias: VarId) -> VarId {
+        Tape::add_row(self, x, bias)
+    }
+
+    fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        Tape::add(self, a, b)
+    }
+
+    fn relu(&mut self, x: VarId) -> VarId {
+        Tape::relu(self, x)
+    }
+
+    fn scale(&mut self, x: VarId, s: f32) -> VarId {
+        Tape::scale(self, x, s)
+    }
+
+    fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        Tape::concat_cols(self, parts)
+    }
+
+    fn gather(&mut self, table: VarId, idx: &Arc<Vec<u32>>) -> VarId {
+        Tape::gather(self, table, Arc::clone(idx))
+    }
+
+    fn segment_sum(&mut self, x: VarId, seg: &Arc<Vec<u32>>, n_segments: usize) -> VarId {
+        Tape::segment_sum(self, x, Arc::clone(seg), n_segments)
+    }
+
+    fn value(&self, id: VarId) -> &Matrix {
+        Tape::value(self, id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,7 +398,13 @@ mod tests {
         // Scalar-output finite-difference gradient check for a single param.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let pid = store.register(Matrix::rand_uniform(param_shape.0, param_shape.1, -0.8, 0.8, &mut rng));
+        let pid = store.register(Matrix::rand_uniform(
+            param_shape.0,
+            param_shape.1,
+            -0.8,
+            0.8,
+            &mut rng,
+        ));
 
         // Analytic gradient.
         let mut tape = Tape::new();
@@ -360,10 +444,14 @@ mod tests {
     #[test]
     fn matmul_gradient_matches_finite_difference() {
         let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.25, -0.75]]);
-        finite_diff_check((3, 4), move |tape, p| {
-            let xi = tape.input(x.clone());
-            tape.matmul(xi, p)
-        }, 10);
+        finite_diff_check(
+            (3, 4),
+            move |tape, p| {
+                let xi = tape.input(x.clone());
+                tape.matmul(xi, p)
+            },
+            10,
+        );
     }
 
     #[test]
@@ -374,29 +462,41 @@ mod tests {
             &[0.0, 1.0, 1.0, 1.0],
             &[1.0, 1.0, 0.0, 0.0],
         ]));
-        finite_diff_check((3, 4), move |tape, p| {
-            let xi = tape.input(x.clone());
-            tape.masked_matmul(xi, p, Arc::clone(&mask))
-        }, 11);
+        finite_diff_check(
+            (3, 4),
+            move |tape, p| {
+                let xi = tape.input(x.clone());
+                tape.masked_matmul(xi, p, Arc::clone(&mask))
+            },
+            11,
+        );
     }
 
     #[test]
     fn relu_chain_gradient_matches_finite_difference() {
         let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.25]]);
-        finite_diff_check((2, 3), move |tape, p| {
-            let xi = tape.input(x.clone());
-            let h = tape.matmul(xi, p);
-            tape.relu(h)
-        }, 12);
+        finite_diff_check(
+            (2, 3),
+            move |tape, p| {
+                let xi = tape.input(x.clone());
+                let h = tape.matmul(xi, p);
+                tape.relu(h)
+            },
+            12,
+        );
     }
 
     #[test]
     fn bias_gradient_matches_finite_difference() {
         let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[1.5, 0.25, -2.0]]);
-        finite_diff_check((1, 3), move |tape, p| {
-            let xi = tape.input(x.clone());
-            tape.add_row(xi, p)
-        }, 13);
+        finite_diff_check(
+            (1, 3),
+            move |tape, p| {
+                let xi = tape.input(x.clone());
+                tape.add_row(xi, p)
+            },
+            13,
+        );
     }
 
     #[test]

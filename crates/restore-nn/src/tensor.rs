@@ -2,10 +2,9 @@
 //! need. Kept deliberately small: 2-D, contiguous, no views.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -15,12 +14,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -28,7 +35,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer does not match {rows}x{cols}"
+        );
         Self { rows, cols, data }
     }
 
@@ -41,7 +52,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Uniform random matrix in `[lo, hi)`.
@@ -50,9 +65,15 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
-    /// Kaiming-uniform initialization for a `fan_in × fan_out` weight.
-    pub fn kaiming<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
-        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    /// Glorot/Xavier-uniform initialization for a `fan_in × fan_out`
+    /// weight: `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// Replaces the seed's fan-in-only bound (`sqrt(6 / fan_in)`, ReLU-gain
+    /// Kaiming), which was too hot for the layers that do *not* feed a
+    /// ReLU — MADE's logit output layer and the DeepSets context head —
+    /// so the symmetric fan-in + fan-out bound is used for every layer.
+    pub fn glorot<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
         Self::rand_uniform(fan_in, fan_out, -bound, bound, rng)
     }
 
@@ -113,9 +134,49 @@ impl Matrix {
     /// Uses the cache-friendly i-k-j loop order; plenty fast for the model
     /// sizes ReStore trains (hundreds of rows × a few hundred columns).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch {:?}·{:?}", self.shape(), other.shape());
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a preallocated output (resized and
+    /// overwritten) — the no-grad inference path reuses activations this
+    /// way instead of allocating per op.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch {:?}·{:?}",
+            self.shape(),
+            other.shape()
+        );
+        out.resize(self.rows, other.cols);
+        gemm_tiled(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// `self · (w ⊙ mask)` without materializing the masked weight, written
+    /// into a preallocated output. Bit-identical to
+    /// `self.matmul(&w.hadamard(mask))`: the per-element product order
+    /// `a * (w * m)` matches hadamard-then-matmul exactly.
+    pub fn masked_matmul_into(&self, w: &Matrix, mask: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            w.rows,
+            "matmul shape mismatch {:?}·{:?}",
+            self.shape(),
+            w.shape()
+        );
+        assert_eq!(w.shape(), mask.shape(), "mask shape mismatch");
+        out.resize(self.rows, w.cols);
+        out.fill_zero();
+        let n = w.cols;
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -123,13 +184,45 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
+                let w_row = w.row(k);
+                let m_row = mask.row(k);
                 for j in 0..n {
+                    out_row[j] += a * (w_row[j] * m_row[j]);
+                }
+            }
+        }
+    }
+
+    /// Computes only columns `cols` of `self · other` into `out` (shaped
+    /// `self.rows × cols.len()`). Column `j` of the product is the same
+    /// dot-product accumulation as in [`Matrix::matmul_into`], so the
+    /// values are bit-identical to the corresponding slice of the full
+    /// product — the batched sampler uses this to evaluate just the logit
+    /// block of the attribute being sampled.
+    pub fn matmul_cols_into(&self, other: &Matrix, cols: std::ops::Range<usize>, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert!(cols.end <= other.cols, "column range out of bounds");
+        let width = cols.len();
+        out.resize(self.rows, width);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * width..(i + 1) * width];
+            let mut ks = a_row.iter().enumerate();
+            if let Some((k, &a)) = ks.next() {
+                let b_row = &other.row(k)[cols.start..cols.end];
+                for j in 0..width {
+                    out_row[j] = a * b_row[j];
+                }
+            } else {
+                out_row.fill(0.0);
+            }
+            for (k, &a) in ks {
+                let b_row = &other.row(k)[cols.start..cols.end];
+                for j in 0..width {
                     out_row[j] += a * b_row[j];
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -190,7 +283,12 @@ impl Matrix {
     /// Element-wise product (Hadamard), returning a new matrix.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -221,6 +319,84 @@ impl Matrix {
     /// Fills with zeros, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+
+    /// Reshapes in place to `rows × cols`, keeping the allocation when the
+    /// new size fits. Newly exposed elements are zero; retained elements
+    /// keep whatever they held (callers overwrite).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes an element-wise copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+}
+
+/// Register-tiled GEMM microkernel over raw row-major slices: MR×NR
+/// accumulators live in registers across the whole k loop, so each weight
+/// row is streamed once per row-block instead of once per row. For every
+/// `(i, j)` the contributions accumulate in ascending `k`, so the result
+/// is bit-identical to the naive zero-initialized i-k-j loop (zero
+/// activations contribute exact zeros; skipping them is not worth the
+/// branch). Free function over plain slices so LLVM gets clean noalias
+/// information for the output.
+fn gemm_tiled(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, kk: usize, n: usize) {
+    const MR: usize = 4;
+    const NR: usize = 32;
+    let mut i = 0;
+    while i + MR <= rows {
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let mut acc = [[0f32; NR]; MR];
+            for k in 0..kk {
+                let b_tile = &b[k * n + j0..k * n + j0 + NR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * kk + k];
+                    for j in 0..NR {
+                        acc_row[j] += av * b_tile[j];
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(acc_row);
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            let w = n - j0;
+            let mut acc = [[0f32; NR]; MR];
+            for k in 0..kk {
+                let b_tile = &b[k * n + j0..k * n + j0 + w];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * kk + k];
+                    for (j, &bv) in b_tile.iter().enumerate() {
+                        acc_row[j] += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out[(i + r) * n + j0..(i + r) * n + j0 + w].copy_from_slice(&acc_row[..w]);
+            }
+        }
+        i += MR;
+    }
+    for i in i..rows {
+        let a_row = &a[i * kk..(i + 1) * kk];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.fill(0.0);
+        for (k, &av) in a_row.iter().enumerate() {
+            let b_row = &b[k * n..(k + 1) * n];
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
     }
 }
 
@@ -290,10 +466,33 @@ mod tests {
     }
 
     #[test]
-    fn kaiming_respects_bound() {
+    fn glorot_respects_bound() {
         let mut rng = StdRng::seed_from_u64(3);
-        let w = Matrix::kaiming(64, 32, &mut rng);
-        let bound = (6.0f32 / 64.0).sqrt();
+        let w = Matrix::glorot(64, 32, &mut rng);
+        let bound = (6.0f32 / (64.0 + 32.0)).sqrt();
         assert!(w.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn glorot_pins_init_distribution() {
+        // Pin the init contract: bound = sqrt(6 / (fan_in + fan_out)), the
+        // samples fill that support (not a tighter one), and the mean is
+        // near zero. Guards against silent regressions to fan-in-only.
+        let (fan_in, fan_out) = (100usize, 50usize);
+        let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Matrix::glorot(fan_in, fan_out, &mut rng);
+        let max_abs = w.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_abs <= bound, "sample {max_abs} exceeds bound {bound}");
+        assert!(max_abs > 0.95 * bound, "samples do not fill the support");
+        let mean: f32 = w.data().iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05 * bound, "mean {mean} too far from zero");
+        // Uniform variance b²/3 within 10%.
+        let var: f32 = w.data().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let expect = bound * bound / 3.0;
+        assert!(
+            (var - expect).abs() < 0.1 * expect,
+            "variance {var} vs {expect}"
+        );
     }
 }

@@ -1,0 +1,176 @@
+//! Minimal JSON serialization for experiment artifacts.
+//!
+//! The environment cannot pull serde, and the evaluation only ever needs to
+//! *write* flat result records, so this module provides a [`ToJson`] trait
+//! for primitives and containers plus the [`impl_to_json!`] macro that
+//! derives the object encoding for a named-field struct.
+
+/// Serializes a value to a JSON string.
+pub trait ToJson {
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string per RFC 8259.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn float_to_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> String {
+        float_to_json(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> String {
+        float_to_json(*self as f64)
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> String {
+                format!("{self}")
+            }
+        }
+    )*};
+}
+
+int_to_json!(usize, u64, u32, i64, i32);
+
+impl ToJson for bool {
+    fn to_json(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> String {
+        format!("\"{}\"", escape(self))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> String {
+        format!("\"{}\"", escape(self))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(ToJson::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(ToJson::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> String {
+        format!("[{},{}]", self.0.to_json(), self.1.to_json())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+/// Implements [`ToJson`] for a named-field struct by listing its fields:
+///
+/// ```ignore
+/// impl_to_json!(Cell { name, score, errors });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> String {
+                let mut parts: Vec<String> = Vec::new();
+                $(
+                    parts.push(format!(
+                        "\"{}\":{}",
+                        stringify!($field),
+                        $crate::json::ToJson::to_json(&self.$field)
+                    ));
+                )+
+                format!("{{{}}}", parts.join(","))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        name: String,
+        score: f64,
+        tags: Vec<(String, f64)>,
+        err: Option<String>,
+    }
+    crate::impl_to_json!(Demo {
+        name,
+        score,
+        tags,
+        err
+    });
+
+    #[test]
+    fn struct_round_trips_shape() {
+        let d = Demo {
+            name: "a\"b".into(),
+            score: 0.5,
+            tags: vec![("x".into(), 1.0)],
+            err: None,
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"name":"a\"b","score":0.5,"tags":[["x",1]],"err":null}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+    }
+}

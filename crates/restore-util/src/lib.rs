@@ -1,0 +1,109 @@
+//! Shared utilities: a deterministic, order-preserving parallel map over a
+//! small worker pool, stable seed derivation for per-batch RNGs, and a tiny
+//! JSON writer for experiment artifacts.
+//!
+//! Both the evaluation harness (independent experiment cells) and the core
+//! completion engine (batched autoregressive sampling) fan work out over
+//! threads; keeping the combinators here means one implementation with one
+//! determinism contract: results are a pure function of the inputs and the
+//! seeds, never of scheduling.
+
+pub mod json;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `jobs` on up to `available_parallelism()` threads,
+/// preserving input order.
+pub fn parallel_map<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
+where
+    J: Send + Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let workers = default_workers().min(jobs.len().max(1));
+    parallel_map_workers(jobs, workers, f)
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+}
+
+/// [`parallel_map`] with an explicit worker count. `workers <= 1` runs
+/// inline on the calling thread.
+pub fn parallel_map_workers<J, T, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<T>
+where
+    J: Send + Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let workers = workers.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(job));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Derives an independent RNG seed for work unit `index` of a computation
+/// seeded with `base` (SplitMix64 finalizer). Every batch of a batched
+/// sampler gets its own stream, so the sampled values do not depend on how
+/// rows are grouped onto threads — only on `(base, index)`.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<u64> = (0..50).collect();
+        let out = parallel_map(jobs, |&j| j * 2);
+        assert_eq!(out, (0..50).map(|j| j * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, |&j: &u32| j).is_empty());
+        assert_eq!(parallel_map(vec![7u32], |&j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let a = parallel_map_workers(jobs.clone(), 1, |&j| derive_seed(42, j));
+        let b = parallel_map_workers(jobs.clone(), 4, |&j| derive_seed(42, j));
+        let c = parallel_map_workers(jobs, 16, |&j| derive_seed(42, j));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn derive_seed_separates_indices_and_bases() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+    }
+}

@@ -18,7 +18,11 @@ fn main() {
     );
     for predictability in [0.25, 0.5, 0.75, 1.0] {
         let db = generate_synthetic(
-            &SyntheticConfig { n_parent: 300, predictability, ..Default::default() },
+            &SyntheticConfig {
+                n_parent: 300,
+                predictability,
+                ..Default::default()
+            },
             13,
         );
         let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.4, 0.6);

@@ -16,7 +16,12 @@ fn main() {
     // One "national" ground truth; the merged warehouse lost all apartments
     // whose neighborhood lies in an eastern state (odd state index).
     let national = generate_housing(&HousingConfig::scaled(0.3), 99);
-    let east = |state: &str| state[1..].parse::<u32>().map(|s| s % 2 == 1).unwrap_or(false);
+    let east = |state: &str| {
+        state[1..]
+            .parse::<u32>()
+            .map(|s| s % 2 == 1)
+            .unwrap_or(false)
+    };
 
     let mut merged: Database = national.clone();
     let hoods = national.table("neighborhood").unwrap();

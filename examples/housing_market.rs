@@ -35,7 +35,9 @@ fn main() {
     let incomplete = restore.execute_without_completion(&query).unwrap().groups();
     let completed = restore.execute(&query, 7).unwrap().groups();
 
-    println!("SELECT COUNT(*), AVG(price) FROM neighborhood NATURAL JOIN apartment GROUP BY state;\n");
+    println!(
+        "SELECT COUNT(*), AVG(price) FROM neighborhood NATURAL JOIN apartment GROUP BY state;\n"
+    );
     println!(
         "{:<6} {:>13} {:>17} {:>16}",
         "state", "true cnt/avg", "incomplete", "completed"
@@ -43,8 +45,11 @@ fn main() {
     let mut err_inc = 0.0;
     let mut err_comp = 0.0;
     for (state, t) in &truth {
-        let i = incomplete.get(state).map(|v| v.clone()).unwrap_or(vec![0.0, f64::NAN]);
-        let c = completed.get(state).map(|v| v.clone()).unwrap_or(vec![0.0, f64::NAN]);
+        let i = incomplete
+            .get(state)
+            .cloned()
+            .unwrap_or(vec![0.0, f64::NAN]);
+        let c = completed.get(state).cloned().unwrap_or(vec![0.0, f64::NAN]);
         println!(
             "{:<6} {:>6.0}/{:>6.0} {:>9.0}/{:>7.0} {:>8.0}/{:>7.0}",
             state[0], t[0], t[1], i[0], i[1], c[0], c[1]
@@ -63,15 +68,21 @@ fn main() {
     let ci = restore
         .confidence(
             &["apartment".to_string()],
-            &ConfidenceQuery::Avg { table: "apartment".into(), column: "price".into() },
+            &ConfidenceQuery::Avg {
+                table: "apartment".into(),
+                column: "price".into(),
+            },
             0.95,
             7,
         )
         .expect("confidence interval");
-    let truth_avg = execute(&complete, &Query::new(["apartment"]).aggregate(Agg::Avg("price".into())))
-        .unwrap()
-        .scalar()
-        .unwrap();
+    let truth_avg = execute(
+        &complete,
+        &Query::new(["apartment"]).aggregate(Agg::Avg("price".into())),
+    )
+    .unwrap()
+    .scalar()
+    .unwrap();
     println!(
         "\n95% confidence interval for AVG(price): [{:.0}, {:.0}] (estimate {:.0}, truth {:.0})",
         ci.lo, ci.hi, ci.estimate, truth_avg

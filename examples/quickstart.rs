@@ -49,19 +49,31 @@ fn main() {
         .aggregate(Agg::Sum("price".into()));
 
     let truth = execute(&complete, &query).unwrap().scalar().unwrap();
-    let incomplete = restore.execute_without_completion(&query).unwrap().scalar().unwrap();
+    let incomplete = restore
+        .execute_without_completion(&query)
+        .unwrap()
+        .scalar()
+        .unwrap();
     let completed = restore.execute(&query, 42).unwrap().scalar().unwrap();
 
     println!("\nSELECT SUM(price) FROM apartment WHERE room_type='Entire home/apt'");
     println!("  true (complete) answer : {truth:9.2}");
-    println!("  on incomplete data     : {incomplete:9.2}  (rel. err {:5.2}%)", rel(incomplete, truth));
-    println!("  after ReStore          : {completed:9.2}  (rel. err {:5.2}%)", rel(completed, truth));
+    println!(
+        "  on incomplete data     : {incomplete:9.2}  (rel. err {:5.2}%)",
+        rel(incomplete, truth)
+    );
+    println!(
+        "  after ReStore          : {completed:9.2}  (rel. err {:5.2}%)",
+        rel(completed, truth)
+    );
     assert!(
         (completed - truth).abs() < (incomplete - truth).abs(),
         "completion should move the answer towards the truth"
     );
-    println!("\nReStore recovered {:.0}% of the bias.",
-        100.0 * (1.0 - (completed - truth).abs() / (incomplete - truth).abs()));
+    println!(
+        "\nReStore recovered {:.0}% of the bias.",
+        100.0 * (1.0 - (completed - truth).abs() / (incomplete - truth).abs())
+    );
 }
 
 fn rel(est: f64, truth: f64) -> f64 {

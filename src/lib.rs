@@ -39,3 +39,4 @@ pub use restore_data as data;
 pub use restore_db as db;
 pub use restore_eval as eval;
 pub use restore_nn as nn;
+pub use restore_util as util;

@@ -24,7 +24,11 @@ fn quick_config() -> RestoreConfig {
 #[test]
 fn synthetic_count_query_is_debiased() {
     let db = generate_synthetic(
-        &SyntheticConfig { n_parent: 250, predictability: 0.95, ..Default::default() },
+        &SyntheticConfig {
+            n_parent: 250,
+            predictability: 0.95,
+            ..Default::default()
+        },
         501,
     );
     let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.4, 0.6);
@@ -130,7 +134,13 @@ fn queries_on_complete_tables_are_exact() {
 
 #[test]
 fn completed_join_cache_reuses_results() {
-    let db = generate_synthetic(&SyntheticConfig { n_parent: 150, ..Default::default() }, 506);
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 150,
+            ..Default::default()
+        },
+        506,
+    );
     let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.5);
     removal.seed = 506;
     let sc = apply_removal(&db, &removal);
@@ -144,7 +154,10 @@ fn completed_join_cache_reuses_results() {
     let (h0, _) = rs.cache_stats();
     let groups = rs.execute(&q2, 506).unwrap().groups();
     let (h1, _) = rs.cache_stats();
-    assert!(h1 > h0, "second query over the same join path must hit the cache");
+    assert!(
+        h1 > h0,
+        "second query over the same join path must hit the cache"
+    );
     let total: f64 = groups.values().map(|v| v[0]).sum();
     assert_eq!(total, a, "cached join must be consistent across queries");
 }

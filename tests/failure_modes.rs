@@ -5,11 +5,16 @@ use restore::core::{
     CompletionPath, CoreError, ReStore, RestoreConfig, SchemaAnnotation, TrainConfig,
 };
 use restore::data::{apply_removal, generate_synthetic, BiasSpec, RemovalConfig, SyntheticConfig};
-use restore::db::{Agg, Database, DataType, Field, ForeignKey, Query, Table, Value};
+use restore::db::{Agg, DataType, Database, Field, ForeignKey, Query, Table, Value};
 
 fn quick_config() -> RestoreConfig {
     RestoreConfig {
-        train: TrainConfig { epochs: 4, hidden: vec![16, 16], min_steps: 100, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 4,
+            hidden: vec![16, 16],
+            min_steps: 100,
+            ..TrainConfig::default()
+        },
         max_candidates: 1,
         ..RestoreConfig::default()
     }
@@ -17,7 +22,13 @@ fn quick_config() -> RestoreConfig {
 
 #[test]
 fn unknown_table_in_query_errors() {
-    let db = generate_synthetic(&SyntheticConfig { n_parent: 40, ..Default::default() }, 601);
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 40,
+            ..Default::default()
+        },
+        601,
+    );
     let mut rs = ReStore::new(db, quick_config());
     rs.mark_incomplete("tb");
     let q = Query::new(["nonexistent"]).aggregate(Agg::CountStar);
@@ -28,9 +39,16 @@ fn unknown_table_in_query_errors() {
 fn incomplete_table_without_evidence_errors() {
     // A lone table with no FK neighbors has no completion path.
     let mut db = Database::new();
-    let mut t = Table::new("island", vec![Field::new("id", DataType::Int), Field::new("x", DataType::Float)]);
+    let mut t = Table::new(
+        "island",
+        vec![
+            Field::new("id", DataType::Int),
+            Field::new("x", DataType::Float),
+        ],
+    );
     for i in 0..50 {
-        t.push_row(&[Value::Int(i), Value::Float(i as f64)]).unwrap();
+        t.push_row(&[Value::Int(i), Value::Float(i as f64)])
+            .unwrap();
     }
     db.add_table(t);
     let mut rs = ReStore::new(db, quick_config());
@@ -38,14 +56,23 @@ fn incomplete_table_without_evidence_errors() {
     let q = Query::new(["island"]).aggregate(Agg::CountStar);
     let err = rs.execute(&q, 602).unwrap_err();
     assert!(
-        matches!(err, CoreError::NoPath(_) | CoreError::NoModel(_) | CoreError::Invalid(_)),
+        matches!(
+            err,
+            CoreError::NoPath(_) | CoreError::NoModel(_) | CoreError::Invalid(_)
+        ),
         "unexpected error: {err}"
     );
 }
 
 #[test]
 fn nearly_empty_incomplete_table_fails_training_gracefully() {
-    let db = generate_synthetic(&SyntheticConfig { n_parent: 30, ..Default::default() }, 603);
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 30,
+            ..Default::default()
+        },
+        603,
+    );
     let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.02, 0.0);
     removal.seed = 603;
     let sc = apply_removal(&db, &removal);
@@ -65,7 +92,13 @@ fn nearly_empty_incomplete_table_fails_training_gracefully() {
 fn constant_attribute_is_handled() {
     // A degenerate (constant) attribute must not break training/completion.
     let mut db = Database::new();
-    let mut parent = Table::new("p", vec![Field::new("id", DataType::Int), Field::new("a", DataType::Str)]);
+    let mut parent = Table::new(
+        "p",
+        vec![
+            Field::new("id", DataType::Int),
+            Field::new("a", DataType::Str),
+        ],
+    );
     let mut child = Table::new(
         "c",
         vec![
@@ -75,7 +108,9 @@ fn constant_attribute_is_handled() {
         ],
     );
     for i in 0..40 {
-        parent.push_row(&[Value::Int(i), Value::str("same")]).unwrap();
+        parent
+            .push_row(&[Value::Int(i), Value::str("same")])
+            .unwrap();
         for j in 0..3 {
             child
                 .push_row(&[Value::Int(i * 3 + j), Value::Int(i), Value::str("only")])
@@ -84,7 +119,8 @@ fn constant_attribute_is_handled() {
     }
     db.add_table(parent);
     db.add_table(child);
-    db.add_foreign_key(ForeignKey::new("c", "p_id", "p", "id")).unwrap();
+    db.add_foreign_key(ForeignKey::new("c", "p_id", "p", "id"))
+        .unwrap();
     // Remove a third of the children.
     let mut removal = RemovalConfig::new(BiasSpec::categorical("c", "x"), 0.66, 0.3);
     removal.seed = 604;
@@ -93,12 +129,21 @@ fn constant_attribute_is_handled() {
     rs.mark_incomplete("c");
     let q = Query::new(["c"]).aggregate(Agg::CountStar);
     let completed = rs.execute(&q, 604).unwrap().scalar().unwrap();
-    assert!(completed > 70.0, "completion should restore the constant-attr table, got {completed}");
+    assert!(
+        completed > 70.0,
+        "completion should restore the constant-attr table, got {completed}"
+    );
 }
 
 #[test]
 fn nulls_in_evidence_are_tolerated() {
-    let db = generate_synthetic(&SyntheticConfig { n_parent: 80, ..Default::default() }, 605);
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 80,
+            ..Default::default()
+        },
+        605,
+    );
     // Null out some evidence values.
     let mut ta = db.table("ta").unwrap().clone();
     let mut nulled = Table::new("ta", ta.fields().to_vec());
@@ -118,12 +163,21 @@ fn nulls_in_evidence_are_tolerated() {
     let mut rs = ReStore::new(sc.incomplete.clone(), quick_config());
     rs.mark_incomplete("tb");
     let q = Query::new(["tb"]).aggregate(Agg::CountStar);
-    assert!(rs.execute(&q, 605).is_ok(), "NULL evidence must not break completion");
+    assert!(
+        rs.execute(&q, 605).is_ok(),
+        "NULL evidence must not break completion"
+    );
 }
 
 #[test]
-fn forced_path_must_end_at_target()  {
-    let db = generate_synthetic(&SyntheticConfig { n_parent: 40, ..Default::default() }, 606);
+fn forced_path_must_end_at_target() {
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 40,
+            ..Default::default()
+        },
+        606,
+    );
     let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.5);
     removal.seed = 606;
     let sc = apply_removal(&db, &removal);

@@ -1,26 +1,31 @@
-//! Cross-crate property-based tests (proptest) on the invariants the
-//! system relies on: autograd correctness, MADE autoregressiveness,
-//! encoder round-trips, removal accounting, and join/aggregate semantics.
+//! Cross-crate randomized property tests on the invariants the system
+//! relies on: autograd correctness, MADE autoregressiveness, encoder
+//! round-trips, removal accounting, and join/aggregate semantics.
+//!
+//! Written as plain seeded-random sweeps (no proptest in this offline
+//! environment): each property is checked over a fixed number of random
+//! cases drawn from a seeded generator, so failures are reproducible.
 
-use proptest::prelude::*;
 use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use restore::nn::{AttrSpec, Made, MadeConfig, Matrix, ParamStore, Tape};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// d(sum((x·W)·2 + x·W))/dW matches finite differences for random
-    /// shapes (smooth ops only — ReLU's kink makes finite differences
-    /// unreliable and is covered by targeted unit tests in restore-nn).
-    #[test]
-    fn autograd_matches_finite_differences(
-        rows in 1usize..4,
-        inner in 1usize..4,
-        cols in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        use rand::{rngs::StdRng, SeedableRng};
+/// d(sum((x·W)·2 + x·W))/dW matches finite differences for random shapes
+/// (smooth ops only — ReLU's kink makes finite differences unreliable and
+/// is covered by targeted unit tests in restore-nn).
+#[test]
+fn autograd_matches_finite_differences() {
+    let mut meta = StdRng::seed_from_u64(0xa0);
+    for case in 0..CASES {
+        let rows = meta.random_range(1..4usize);
+        let inner = meta.random_range(1..4usize);
+        let cols = meta.random_range(1..4usize);
+        let seed = meta.random_range(0..1000u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::rand_uniform(rows, inner, -1.0, 1.0, &mut rng);
         let mut store = ParamStore::new();
@@ -57,27 +62,30 @@ proptest! {
                 store.value_mut(w).set(i, j, orig);
                 let numeric = (up - down) / (2.0 * eps);
                 let a = analytic.get(i, j);
-                prop_assert!(
+                assert!(
                     (a - numeric).abs() < 0.05 * (1.0 + a.abs().max(numeric.abs())),
-                    "dW[{i}][{j}]: analytic {a} vs numeric {numeric}"
+                    "case {case}: dW[{i}][{j}]: analytic {a} vs numeric {numeric}"
                 );
             }
         }
     }
+}
 
-    /// The MADE autoregressive property holds for random architectures:
-    /// perturbing attribute j never changes the logits of attributes ≤ j.
-    #[test]
-    fn made_is_autoregressive(
-        n_attrs in 2usize..5,
-        card in 2u32..6,
-        hidden in 8usize..24,
-        seed in 0u64..1000,
-    ) {
-        use rand::{rngs::StdRng, SeedableRng};
+/// The MADE autoregressive property holds for random architectures:
+/// perturbing attribute j never changes the logits of attributes ≤ j.
+#[test]
+fn made_is_autoregressive() {
+    let mut meta = StdRng::seed_from_u64(0xa1);
+    for case in 0..CASES {
+        let n_attrs = meta.random_range(2..5usize);
+        let card = meta.random_range(2..6u32);
+        let hidden = meta.random_range(8..24usize);
+        let seed = meta.random_range(0..1000u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let attrs = (0..n_attrs).map(|_| AttrSpec::new(card as usize, 3)).collect();
+        let attrs = (0..n_attrs)
+            .map(|_| AttrSpec::new(card as usize, 3))
+            .collect();
         let cfg = MadeConfig::new(attrs).with_hidden(vec![hidden, hidden]);
         let made = Made::new(cfg, &mut store, &mut rng);
         let base: Vec<Arc<Vec<u32>>> = (0..n_attrs).map(|_| Arc::new(vec![0u32])).collect();
@@ -89,22 +97,28 @@ proptest! {
             for i in 0..=j {
                 let (off, c) = made.layout().block(i);
                 for k in off..off + c {
-                    prop_assert_eq!(
+                    assert_eq!(
                         logits0.get(0, k),
                         logits.get(0, k),
-                        "attr {} depends on attr {}", i, j
+                        "case {case}: attr {i} depends on attr {j}"
                     );
                 }
             }
         }
     }
+}
 
-    /// Encoders round-trip every encodable value onto a representative of
-    /// the same token, and encoding is total on the fitted column.
-    #[test]
-    fn encoder_round_trip(vals in proptest::collection::vec(-1e6f64..1e6, 2..200), bins in 2usize..32) {
-        use restore::core::AttrEncoder;
-        use restore::db::{Column, DataType, Value};
+/// Encoders round-trip every encodable value onto a representative of the
+/// same token, and encoding is total on the fitted column.
+#[test]
+fn encoder_round_trip() {
+    use restore::core::AttrEncoder;
+    use restore::db::{Column, DataType, Value};
+    let mut meta = StdRng::seed_from_u64(0xa2);
+    for case in 0..CASES {
+        let n = meta.random_range(2..200usize);
+        let bins = meta.random_range(2..32usize);
+        let vals: Vec<f64> = (0..n).map(|_| meta.random_range(-1e6..1e6f64)).collect();
         let mut col = Column::new(DataType::Float);
         for &v in &vals {
             col.push(&Value::Float(v)).unwrap();
@@ -112,37 +126,56 @@ proptest! {
         let enc = AttrEncoder::fit(&col, bins);
         for &v in &vals {
             let tok = enc.encode(&Value::Float(v));
-            prop_assert!(tok.is_some(), "fitted value must encode");
+            assert!(tok.is_some(), "case {case}: fitted value must encode");
             let tok = tok.unwrap();
-            prop_assert!((tok as usize) < enc.cardinality());
+            assert!((tok as usize) < enc.cardinality());
             // Decoding then re-encoding is stable (token fixpoint).
             let dec = enc.decode(tok);
-            prop_assert_eq!(enc.encode(&dec), Some(tok));
+            assert_eq!(enc.encode(&dec), Some(tok), "case {case}: token fixpoint");
         }
     }
+}
 
-    /// Biased removal hits the requested keep rate exactly (rounded).
-    #[test]
-    fn removal_keep_rate_is_exact(keep in 0.05f64..0.95, corr in 0.0f64..1.0, seed in 0u64..500) {
-        use restore::data::{apply_removal, BiasSpec, RemovalConfig, SyntheticConfig, generate_synthetic};
-        let db = generate_synthetic(&SyntheticConfig { n_parent: 60, ..Default::default() }, seed);
+/// Biased removal hits the requested keep rate exactly (rounded).
+#[test]
+fn removal_keep_rate_is_exact() {
+    use restore::data::{
+        apply_removal, generate_synthetic, BiasSpec, RemovalConfig, SyntheticConfig,
+    };
+    let mut meta = StdRng::seed_from_u64(0xa3);
+    for case in 0..CASES {
+        let keep = meta.random_range(0.05..0.95f64);
+        let corr = meta.random_range(0.0..1.0f64);
+        let seed = meta.random_range(0..500u64);
+        let db = generate_synthetic(
+            &SyntheticConfig {
+                n_parent: 60,
+                ..Default::default()
+            },
+            seed,
+        );
         let n = db.table("tb").unwrap().n_rows();
         let mut cfg = RemovalConfig::new(BiasSpec::categorical("tb", "b"), keep, corr);
         cfg.seed = seed;
         let sc = apply_removal(&db, &cfg);
-        prop_assert_eq!(
+        assert_eq!(
             sc.incomplete.table("tb").unwrap().n_rows(),
-            (keep * n as f64).round() as usize
+            (keep * n as f64).round() as usize,
+            "case {case}: keep {keep}, corr {corr}, seed {seed}"
         );
     }
+}
 
-    /// Hash join row count equals the nested-loop reference on random data.
-    #[test]
-    fn hash_join_matches_nested_loop(
-        left_keys in proptest::collection::vec(0i64..8, 1..40),
-        right_keys in proptest::collection::vec(0i64..8, 1..40),
-    ) {
-        use restore::db::{hash_join, DataType, Field, Table, Value};
+/// Hash join row count equals the nested-loop reference on random data.
+#[test]
+fn hash_join_matches_nested_loop() {
+    use restore::db::{hash_join, DataType, Field, Table, Value};
+    let mut meta = StdRng::seed_from_u64(0xa4);
+    for case in 0..CASES {
+        let nl = meta.random_range(1..40usize);
+        let nr = meta.random_range(1..40usize);
+        let left_keys: Vec<i64> = (0..nl).map(|_| meta.random_range(0..8i64)).collect();
+        let right_keys: Vec<i64> = (0..nr).map(|_| meta.random_range(0..8i64)).collect();
         let mut l = Table::new("l", vec![Field::new("k", DataType::Int)]);
         for &k in &left_keys {
             l.push_row(&[Value::Int(k)]).unwrap();
@@ -156,19 +189,26 @@ proptest! {
             .iter()
             .map(|lk| right_keys.iter().filter(|rk| *rk == lk).count())
             .sum();
-        prop_assert_eq!(out.table.n_rows(), expect);
+        assert_eq!(out.table.n_rows(), expect, "case {case}");
     }
+}
 
-    /// Grouped COUNT totals the table size for any grouping column.
-    #[test]
-    fn group_counts_partition_the_table(keys in proptest::collection::vec(0i64..5, 1..60)) {
-        use restore::db::{aggregate, Agg, DataType, Field, Table, Value};
+/// Grouped COUNT totals the table size for any grouping column.
+#[test]
+fn group_counts_partition_the_table() {
+    use restore::db::{aggregate, Agg, DataType, Field, Table, Value};
+    let mut meta = StdRng::seed_from_u64(0xa5);
+    for case in 0..CASES {
+        let n = meta.random_range(1..60usize);
+        let keys: Vec<i64> = (0..n).map(|_| meta.random_range(0..5i64)).collect();
         let mut t = Table::new("t", vec![Field::new("g", DataType::Int)]);
         for &k in &keys {
             t.push_row(&[Value::Int(k)]).unwrap();
         }
         let out = aggregate(&t, &["g".to_string()], &[Agg::CountStar]).unwrap();
-        let total: i64 = (0..out.n_rows()).map(|r| out.value(r, 1).as_i64().unwrap()).sum();
-        prop_assert_eq!(total as usize, keys.len());
+        let total: i64 = (0..out.n_rows())
+            .map(|r| out.value(r, 1).as_i64().unwrap())
+            .sum();
+        assert_eq!(total as usize, keys.len(), "case {case}");
     }
 }

@@ -1,0 +1,123 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the bench-definition API the workspace benches use
+//! (`criterion_group!` / `criterion_main!` / `Criterion::benchmark_group` /
+//! `bench_function` / `Bencher::iter`) backed by a simple
+//! warmup-then-sample timing loop that prints mean / min / max per bench.
+//! No statistics engine, no HTML reports — enough to compare variants and
+//! track regressions by eye or script.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {} ==", name.as_ref());
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.default_sample_size, f);
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Times one closure call per sample (after one untimed warmup call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.warmup {
+            std::hint::black_box(f());
+            return;
+        }
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        warmup: true,
+    };
+    f(&mut b);
+    b.warmup = false;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!("{name:<44} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({n} samples)");
+}
+
+/// Re-export matching criterion's `black_box` (benches also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
