@@ -11,7 +11,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use restore_bench::{annotation_of, housing_scenario, trained_model};
+use restore_bench::{
+    annotation_of, housing_scenario, trained_model, write_bench_json, BenchRecord,
+};
 use restore_core::{Completer, CompleterConfig, ReplacementMode};
 use restore_nn::{
     sample_categorical, AttrSpec, InferenceSession, Made, MadeConfig, ParamStore, Tape,
@@ -180,6 +182,25 @@ fn bench_sampling_engines(c: &mut Criterion) {
          batched+parallel {tps_parallel:.0} tuples/s ({:.1}x)",
         tps_batched / tps_single,
         tps_parallel / tps_single
+    );
+    let rec = |engine: &str, workers: usize, tps: f64| BenchRecord {
+        bench: "sampling_engines".into(),
+        engine: engine.into(),
+        workers,
+        steps_per_s: 0.0,
+        tuples_per_s: tps,
+    };
+    write_bench_json(
+        "BENCH_completion.json",
+        &[
+            rec("single_row_tape", 1, tps_single),
+            rec("batched_nograd", 1, tps_batched),
+            rec(
+                "batched_parallel",
+                restore_util::default_workers(),
+                tps_parallel,
+            ),
+        ],
     );
 }
 

@@ -2,12 +2,31 @@
 //! SSAR, on the housing and movies schemas. The paper reports minutes on
 //! their full datasets; at benchmark scale the *ratios* are what carries
 //! over (SSAR > AR; movies > housing).
+//!
+//! Plus the **training-engine comparison**: the PR 1 single-threaded
+//! full-batch path (fresh tape per step, parameters copied into leaf
+//! nodes) vs the data-parallel engine (reusable arena tapes, in-place
+//! parameters, microbatched gradient workers) at several worker counts.
+//! Results land in `results/BENCH_training.json` (steps/s, tuples/s).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::convert::Infallible;
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
-use restore_bench::{annotation_of, bench_train_config, housing_scenario, movies_scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use restore_bench::{
+    annotation_of, bench_train_config, housing_scenario, movies_scenario, write_bench_json,
+    BenchRecord,
+};
 use restore_core::{CompletionModel, CompletionPath};
+use restore_nn::{
+    block_cross_entropy, block_cross_entropy_sums, Adam, AttrSpec, Forward, Made, MadeConfig,
+    ParamStore, Tape, TrainEngine,
+};
 
 fn bench_training(c: &mut Criterion) {
     let housing = housing_scenario(0.15, 1);
@@ -53,6 +72,148 @@ fn bench_training(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    bench_training_engines(c);
+}
+
+/// The tentpole comparison: one gradient step over a housing-shaped MADE,
+/// (a) the PR 1 path — fresh `Tape` every step, full batch, parameter
+/// values copied into leaf nodes — vs (b) the data-parallel engine —
+/// per-worker reusable arena tapes, parameters resolved in place,
+/// microbatched gradients reduced in fixed order — at 1/2/4 workers.
+fn bench_training_engines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let cards = [13usize, 25, 9, 25, 4, 5];
+    let attrs: Vec<AttrSpec> = cards.iter().map(|&card| AttrSpec::new(card, 8)).collect();
+    let made = Made::new(
+        MadeConfig::new(attrs).with_hidden(vec![64, 64]),
+        &mut store,
+        &mut rng,
+    );
+    let batch = 256usize;
+    let tokens: Vec<Vec<u32>> = cards
+        .iter()
+        .map(|&card| (0..batch as u32).map(|r| r % card as u32).collect())
+        .collect();
+    let arc_toks: Vec<Arc<Vec<u32>>> = tokens.iter().cloned().map(Arc::new).collect();
+    let rows: Vec<usize> = (0..batch).collect();
+    let w_total = (cards.len() * batch) as f64;
+    let norm = 1.0 / w_total as f32;
+
+    // (a) PR 1 single-threaded path.
+    let legacy_step = |store: &mut ParamStore, adam: &mut Adam| {
+        let mut tape = Tape::new();
+        let logits = made.forward(&mut tape, store, &arc_toks, None);
+        let loss = block_cross_entropy(tape.value(logits), made.layout(), &tokens, None);
+        tape.backward(logits, loss.dlogits, store);
+        store.clip_grad_norm(5.0);
+        adam.step(store);
+        loss.loss
+    };
+
+    // (b) the data-parallel engine (micro = 256 degenerates to one
+    // full-batch microbatch, isolating the arena-reuse + in-place-param
+    // win from the parallel fan-out).
+    let engine_step =
+        |engine: &mut TrainEngine, store: &mut ParamStore, adam: &mut Adam, micro: usize| {
+            let loss_sum = engine
+                .step(store, &rows, micro, |tape, store, chunk, grads| {
+                    let btoks: Vec<Vec<u32>> = tokens
+                        .iter()
+                        .map(|col| chunk.iter().map(|&r| col[r]).collect())
+                        .collect();
+                    let arc: Vec<Arc<Vec<u32>>> = btoks.iter().cloned().map(Arc::new).collect();
+                    let mut f = tape.ctx(store);
+                    let logits = made.forward(&mut f, store, &arc, None);
+                    let sums =
+                        block_cross_entropy_sums(f.value(logits), made.layout(), &btoks, None);
+                    let mut dl = sums.dlogits;
+                    dl.scale_assign(norm);
+                    tape.backward_with(logits, dl, store, grads);
+                    Ok::<f64, Infallible>(sums.loss_sum)
+                })
+                .unwrap();
+            store.clip_grad_norm(5.0);
+            adam.step(store);
+            (loss_sum / w_total) as f32
+        };
+
+    let mut group = c.benchmark_group("training_engines");
+    group.sample_size(10);
+    group.bench_function("fresh_tape_fullbatch/256", |b| {
+        let mut s = store.clone();
+        let mut adam = Adam::new(&s, 1e-3);
+        b.iter(|| black_box(legacy_step(&mut s, &mut adam)))
+    });
+    group.bench_function("arena_fullbatch/256", |b| {
+        let mut s = store.clone();
+        let mut adam = Adam::new(&s, 1e-3);
+        let mut engine = TrainEngine::new(1);
+        b.iter(|| black_box(engine_step(&mut engine, &mut s, &mut adam, batch)))
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("arena_parallel/w{workers}"), |b| {
+            let mut s = store.clone();
+            let mut adam = Adam::new(&s, 1e-3);
+            let mut engine = TrainEngine::new(workers);
+            b.iter(|| black_box(engine_step(&mut engine, &mut s, &mut adam, 32)))
+        });
+    }
+    group.finish();
+
+    // Throughput summary + machine-readable records.
+    let steps = 30usize;
+    let time_legacy = {
+        let mut s = store.clone();
+        let mut adam = Adam::new(&s, 1e-3);
+        black_box(legacy_step(&mut s, &mut adam)); // warmup
+        let t = Instant::now();
+        for _ in 0..steps {
+            black_box(legacy_step(&mut s, &mut adam));
+        }
+        t.elapsed().as_secs_f64() / steps as f64
+    };
+    let mut records = vec![BenchRecord {
+        bench: "training_engines".into(),
+        engine: "fresh_tape_fullbatch".into(),
+        workers: 1,
+        steps_per_s: 1.0 / time_legacy,
+        tuples_per_s: batch as f64 / time_legacy,
+    }];
+    let mut summary = format!(
+        "\ntraining throughput (batch {batch}): fresh-tape full-batch {:.1} steps/s",
+        1.0 / time_legacy
+    );
+    let mut timed_engine = |label: &str, workers: usize, micro: usize| {
+        let mut s = store.clone();
+        let mut adam = Adam::new(&s, 1e-3);
+        let mut engine = TrainEngine::new(workers);
+        black_box(engine_step(&mut engine, &mut s, &mut adam, micro)); // warmup
+        let t = Instant::now();
+        for _ in 0..steps {
+            black_box(engine_step(&mut engine, &mut s, &mut adam, micro));
+        }
+        let dt = t.elapsed().as_secs_f64() / steps as f64;
+        records.push(BenchRecord {
+            bench: "training_engines".into(),
+            engine: label.into(),
+            workers,
+            steps_per_s: 1.0 / dt,
+            tuples_per_s: batch as f64 / dt,
+        });
+        summary.push_str(&format!(
+            ", {label} w{workers} {:.1} steps/s ({:.2}x)",
+            1.0 / dt,
+            time_legacy / dt
+        ));
+    };
+    timed_engine("arena_fullbatch", 1, batch);
+    for workers in [1usize, 2, 4] {
+        timed_engine("arena_parallel", workers, 32);
+    }
+    println!("{summary}");
+    write_bench_json("BENCH_training.json", &records);
 }
 
 criterion_group!(benches, bench_training);

@@ -1,9 +1,51 @@
 //! Shared setup for the Criterion benches: pre-built scenarios and trained
 //! models so the hot loops measure exactly what the paper's timing figures
-//! measure (Fig. 11: training; Fig. 12: completion per path).
+//! measure (Fig. 11: training; Fig. 12: completion per path) — plus the
+//! machine-readable result records the benches drop under `results/` so
+//! the perf trajectory is tracked across PRs.
 
 use restore_core::{CompletionModel, CompletionPath, SchemaAnnotation, TrainConfig};
 use restore_data::{apply_removal, BiasSpec, RemovalConfig, Scenario};
+use restore_util::impl_to_json;
+use restore_util::json::ToJson;
+
+/// One machine-readable throughput measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Bench group, e.g. `"training_engines"`.
+    pub bench: String,
+    /// Engine / variant label, e.g. `"arena_parallel"`.
+    pub engine: String,
+    /// Worker threads the variant ran with (1 for single-threaded paths).
+    pub workers: usize,
+    /// Gradient steps per second (0 when not applicable).
+    pub steps_per_s: f64,
+    /// Sampled/trained tuples per second.
+    pub tuples_per_s: f64,
+}
+impl_to_json!(BenchRecord {
+    bench,
+    engine,
+    workers,
+    steps_per_s,
+    tuples_per_s
+});
+
+/// Writes bench records as a JSON array to `results/<file>` at the
+/// workspace root (the benches run with the package dir as cwd).
+pub fn write_bench_json(file: &str, records: &[BenchRecord]) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let path = format!("{dir}/{file}");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {dir}: {e}");
+        return;
+    }
+    let body = records.to_json();
+    match std::fs::write(&path, format!("{body}\n")) {
+        Ok(()) => println!("wrote {}", path),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
 
 /// Training configuration used by the timing benches (matches the
 /// evaluation harness defaults).

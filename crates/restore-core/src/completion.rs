@@ -23,7 +23,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use restore_db::{hash_join, Column, Database, Table, Value};
-use restore_util::{default_workers, derive_seed, parallel_map_workers};
+use restore_nn::InferenceSession;
+use restore_util::{default_workers, derive_seed, parallel_map_with};
 
 use crate::ann::AnnIndex;
 use crate::annotation::SchemaAnnotation;
@@ -62,6 +63,12 @@ pub struct CompleterConfig {
     /// Worker threads the sampling batches fan out over (`0` = one per
     /// available hardware thread). Results never depend on this value.
     pub workers: usize,
+    /// Maintain the working join's token encoding incrementally across
+    /// synthesis steps (gather/extend cached columns, re-encode only the
+    /// attributes a step changed) instead of re-encoding the whole join
+    /// every step. Output is bit-identical either way; `false` keeps the
+    /// O(attrs × join) re-encode per step as the reference path.
+    pub incremental_encoding: bool,
 }
 
 impl Default for CompleterConfig {
@@ -73,6 +80,7 @@ impl Default for CompleterConfig {
             replacement: ReplacementMode::Auto,
             batch_size: 256,
             workers: 0,
+            incremental_encoding: true,
         }
     }
 }
@@ -117,10 +125,17 @@ impl CompletionOutput {
 
 /// The working state of Algorithm 1: the join so far plus parallel
 /// provenance arrays that must stay row-aligned through gathers/unions.
+///
+/// `enc` optionally carries the model-token encoding of the working join
+/// (attr-major, row-aligned). Cell values are never rewritten by the walk —
+/// rows are only gathered, duplicated, and unioned — so cached tokens move
+/// with their rows, and a step re-encodes only what it changed: the tuple
+/// factor it resolved and the columns of the table it just joined.
 struct Working {
     table: Table,
     syn: Vec<Vec<bool>>,
     tf: Vec<Vec<Option<i64>>>,
+    enc: Option<Vec<Vec<u32>>>,
 }
 
 impl Working {
@@ -143,6 +158,11 @@ impl Working {
                     }
                 })
                 .collect(),
+            enc: self.enc.as_ref().map(|cols| {
+                cols.iter()
+                    .map(|c| idx.iter().map(|&i| c[i]).collect())
+                    .collect()
+            }),
         }
     }
 
@@ -154,7 +174,48 @@ impl Working {
         for (a, b) in self.tf.iter_mut().zip(other.tf) {
             a.extend(b);
         }
+        match (&mut self.enc, other.enc) {
+            (Some(a), Some(b)) => {
+                for (ac, bc) in a.iter_mut().zip(b) {
+                    ac.extend(bc);
+                }
+            }
+            (enc @ Some(_), None) => *enc = None,
+            _ => {}
+        }
         Ok(self)
+    }
+
+    /// Re-encodes the attribute columns in `range` from the current table
+    /// and tuple factors — called after a step changes what they encode.
+    fn refresh_enc(&mut self, model: &CompletionModel, range: std::ops::Range<usize>) {
+        if self.enc.is_none() {
+            return;
+        }
+        let fresh: Vec<(usize, Vec<u32>)> = range
+            .map(|a| (a, model.encode_attr_column(&self.table, &self.tf, a)))
+            .collect();
+        let enc = self.enc.as_mut().expect("checked above");
+        for (a, col) in fresh {
+            enc[a] = col;
+        }
+    }
+
+    /// Re-encodes the tuple-factor attribute of `step`, if the model has
+    /// one — called right after the step's factors are resolved.
+    fn refresh_tf_enc(&mut self, model: &CompletionModel, step: usize) {
+        if let Some(attr) = model.tf_attr(step) {
+            self.refresh_enc(model, attr..attr + 1);
+        }
+    }
+
+    /// The working join's token encoding: the maintained cache when
+    /// incremental encoding is on, one fresh full encode otherwise.
+    fn encoded(&self, model: &CompletionModel) -> std::borrow::Cow<'_, [Vec<u32>]> {
+        match &self.enc {
+            Some(enc) => std::borrow::Cow::Borrowed(enc.as_slice()),
+            None => std::borrow::Cow::Owned(model.encode_tokens(&self.table, &self.tf)),
+        }
     }
 }
 
@@ -191,7 +252,24 @@ impl<'a> Completer<'a> {
             table: root.qualified(),
             syn: vec![vec![false; n0]],
             tf: vec![Vec::new(); path.steps().len()],
+            enc: None,
         };
+        if self.cfg.incremental_encoding {
+            w.enc = Some(model.encode_tokens(&w.table, &w.tf));
+        }
+        // One inference session per worker, reused across every batch and
+        // step of the walk: parameters are frozen during completion, so
+        // pooled activation buffers and the masked-weight cache stay valid
+        // for the whole join. Which session serves which batch never
+        // affects the output (buffers are fully overwritten per pass).
+        let workers = if self.cfg.workers == 0 {
+            default_workers()
+        } else {
+            self.cfg.workers
+        };
+        let mut sessions: Vec<InferenceSession> = (0..workers.max(1))
+            .map(|_| InferenceSession::new())
+            .collect();
 
         for (i, step) in path.steps().iter().enumerate() {
             let next_name = path.tables()[i + 1].clone();
@@ -211,9 +289,18 @@ impl<'a> Completer<'a> {
             let tf_seed = derive_seed(seed, 2 * i as u64);
             let col_seed = derive_seed(seed, 2 * i as u64 + 1);
             if step.fan_out {
-                w = self.fanout_step(model, w, i, t_next, replace, tf_seed, col_seed)?;
+                w = self.fanout_step(
+                    model,
+                    w,
+                    i,
+                    t_next,
+                    replace,
+                    tf_seed,
+                    col_seed,
+                    &mut sessions,
+                )?;
             } else {
-                w = self.n_to_1_step(model, w, i, t_next, replace, col_seed)?;
+                w = self.n_to_1_step(model, w, i, t_next, replace, col_seed, &mut sessions)?;
             }
         }
 
@@ -226,13 +313,20 @@ impl<'a> Completer<'a> {
     }
 
     /// Splits `rows` into sampling batches, fans them out over the worker
-    /// pool, and returns the per-batch results in input order. Each batch's
-    /// RNG is seeded from `(seed, offset of the batch's first row)` so the
-    /// output is a pure function of `(rows, seed, batch_size)`.
-    fn sample_batches<T, F>(&self, rows: &[usize], seed: u64, f: F) -> CoreResult<Vec<T>>
+    /// pool (each worker reusing its session), and returns the per-batch
+    /// results in input order. Each batch's RNG is seeded from `(seed,
+    /// offset of the batch's first row)` so the output is a pure function
+    /// of `(rows, seed, batch_size)`.
+    fn sample_batches<T, F>(
+        &self,
+        sessions: &mut [InferenceSession],
+        rows: &[usize],
+        seed: u64,
+        f: F,
+    ) -> CoreResult<Vec<T>>
     where
         T: Send,
-        F: Fn(&[usize], &mut StdRng) -> CoreResult<T> + Sync,
+        F: Fn(&mut InferenceSession, &[usize], &mut StdRng) -> CoreResult<T> + Sync,
     {
         let bs = self.cfg.batch_size.max(1);
         let jobs: Vec<(usize, &[usize])> = rows
@@ -240,14 +334,9 @@ impl<'a> Completer<'a> {
             .enumerate()
             .map(|(k, chunk)| (k * bs, chunk))
             .collect();
-        let workers = if self.cfg.workers == 0 {
-            default_workers()
-        } else {
-            self.cfg.workers
-        };
-        parallel_map_workers(jobs, workers, |(offset, chunk)| {
+        parallel_map_with(jobs, sessions, |session, (offset, chunk)| {
             let mut rng = StdRng::seed_from_u64(derive_seed(seed, *offset as u64));
-            f(chunk, &mut rng)
+            f(session, chunk, &mut rng)
         })
         .into_iter()
         .collect()
@@ -265,6 +354,7 @@ impl<'a> Completer<'a> {
         replace: bool,
         tf_seed: u64,
         col_seed: u64,
+        sessions: &mut [InferenceSession],
     ) -> CoreResult<Working> {
         let step = &model.path().steps()[step_idx];
         let parent_key_ref = format!("{}.{}", step.fk.parent, step.fk.parent_col);
@@ -316,12 +406,13 @@ impl<'a> Completer<'a> {
             }
         }
         if !to_predict.is_empty() {
-            // Encode the working join once, then predict factors in
-            // parallel batches.
-            let encoded = model.encode_tokens(&w.table, &w.tf);
-            let batches = self.sample_batches(&to_predict, tf_seed, |chunk, rng| {
-                model.sample_tf_encoded(&w.table, &encoded, step_idx, chunk, rng)
-            })?;
+            // The cached encoding (or one fresh pass) of the working join,
+            // then predict factors in parallel batches.
+            let encoded = w.encoded(model);
+            let batches =
+                self.sample_batches(sessions, &to_predict, tf_seed, |session, chunk, rng| {
+                    model.sample_tf_encoded_in(session, &w.table, &encoded, step_idx, chunk, rng)
+                })?;
             let sampled: Vec<i64> = batches.into_iter().flatten().collect();
             for (&r, v) in to_predict.iter().zip(sampled) {
                 tf_final[r] = v;
@@ -350,6 +441,10 @@ impl<'a> Completer<'a> {
             .iter()
             .map(|&l| Some(tf_final[l]))
             .collect();
+        // The join resolved this step's tuple factor and brought t_next's
+        // real columns into the working join — re-encode exactly those.
+        w_inc.refresh_tf_enc(model, step_idx);
+        w_inc.refresh_enc(model, model.table_attr_range(step_idx + 1));
 
         // Synthesized partners: duplicate each evidence row `missing` times.
         let mut dup_idx = Vec::new();
@@ -360,6 +455,8 @@ impl<'a> Completer<'a> {
         }
         let mut w_syn = w.gather(&dup_idx);
         w_syn.tf[step_idx] = dup_idx.iter().map(|&r| Some(tf_final[r])).collect();
+        // Sampling below conditions on the resolved tuple factor.
+        w_syn.refresh_tf_enc(model, step_idx);
         let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
         let block = self.synthesize_block(
             model,
@@ -369,14 +466,17 @@ impl<'a> Completer<'a> {
             &rows,
             replace,
             col_seed,
+            sessions,
         )?;
         w_syn.table = w_syn.table.hstack(&block, "join")?;
         w_syn.syn.push(vec![true; dup_idx.len()]);
+        w_syn.refresh_enc(model, model.table_attr_range(step_idx + 1));
 
         w_inc.union(w_syn)
     }
 
     /// n:1 step: every working row without a partner gets one synthesized.
+    #[allow(clippy::too_many_arguments)]
     fn n_to_1_step(
         &self,
         model: &CompletionModel,
@@ -385,6 +485,7 @@ impl<'a> Completer<'a> {
         t_next: &Table,
         replace: bool,
         col_seed: u64,
+        sessions: &mut [InferenceSession],
     ) -> CoreResult<Working> {
         let step = &model.path().steps()[step_idx];
         let child_key_ref = format!("{}.{}", step.fk.child, step.fk.child_col);
@@ -400,6 +501,7 @@ impl<'a> Completer<'a> {
         let mut w_inc = w.gather(&jout.left_indices);
         w_inc.table = jout.table;
         w_inc.syn.push(vec![false; w_inc.table.n_rows()]);
+        w_inc.refresh_enc(model, model.table_attr_range(step_idx + 1));
 
         let mut w_syn = w.gather(&unmatched);
         let rows: Vec<usize> = (0..w_syn.table.n_rows()).collect();
@@ -411,9 +513,11 @@ impl<'a> Completer<'a> {
             &rows,
             replace,
             col_seed,
+            sessions,
         )?;
         w_syn.table = w_syn.table.hstack(&block, "join")?;
         w_syn.syn.push(vec![true; unmatched.len()]);
+        w_syn.refresh_enc(model, model.table_attr_range(step_idx + 1));
 
         w_inc.union(w_syn)
     }
@@ -433,13 +537,16 @@ impl<'a> Completer<'a> {
         rows: &[usize],
         replace: bool,
         seed: u64,
+        sessions: &mut [InferenceSession],
     ) -> CoreResult<Table> {
         let sampled = if rows.is_empty() {
             Vec::new()
         } else {
-            let encoded = model.encode_tokens(&w.table, &w.tf);
-            let batches = self.sample_batches(rows, seed, |chunk, rng| {
-                model.sample_table_columns_encoded(&w.table, &encoded, table_idx, chunk, rng)
+            let encoded = w.encoded(model);
+            let batches = self.sample_batches(sessions, rows, seed, |session, chunk, rng| {
+                model.sample_table_columns_encoded_in(
+                    session, &w.table, &encoded, table_idx, chunk, rng,
+                )
             })?;
             // Column-wise concatenation of the per-batch blocks.
             let mut merged: Vec<Vec<Value>> = Vec::new();

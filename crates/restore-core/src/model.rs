@@ -17,9 +17,10 @@ use rand::{Rng, SeedableRng};
 
 use restore_db::{hash_join, partner_counts, Database, Table, Value};
 use restore_nn::{
-    block_cross_entropy, Adam, AttrSpec, DeepSets, DeepSetsConfig, InferenceSession, Made,
-    MadeConfig, Matrix, ParamStore, SetBatch, SetTableSpec, TableSet, Tape,
+    block_cross_entropy_sums, Adam, AttrSpec, DeepSets, DeepSetsConfig, Forward, InferenceSession,
+    Made, MadeConfig, Matrix, ParamStore, SetBatch, SetTableSpec, TableSet, TrainEngine,
 };
+use restore_util::default_workers;
 
 use crate::annotation::{modeled_columns, tf_column_name, SchemaAnnotation};
 use crate::encoding::AttrEncoder;
@@ -50,6 +51,15 @@ pub struct TrainConfig {
     pub min_steps: usize,
     /// Early-stopping patience (epochs without validation improvement).
     pub patience: usize,
+    /// Worker threads for the data-parallel gradient engine (`0` = one per
+    /// available hardware thread). Training results are **bit-identical**
+    /// under any worker count: microbatch gradients are computed
+    /// independently and reduced in a fixed order.
+    pub workers: usize,
+    /// Rows per microbatch — the unit of training parallelism. A pure
+    /// function of the batch (never of `workers`), so it fixes both the
+    /// work split and the gradient reduction tree.
+    pub microbatch: usize,
 }
 
 impl Default for TrainConfig {
@@ -69,6 +79,8 @@ impl Default for TrainConfig {
             max_set_size: 12,
             min_steps: 400,
             patience: 10,
+            workers: 0,
+            microbatch: 32,
         }
     }
 }
@@ -171,6 +183,13 @@ impl CompletionModel {
 
     pub fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    /// The trained parameter store — exposed so the training-determinism
+    /// contract (bit-identical parameters under any worker count) can be
+    /// asserted from outside the crate.
+    pub fn params(&self) -> &ParamStore {
+        &self.store
     }
 
     /// Attr range holding the columns of path table `idx`.
@@ -361,6 +380,14 @@ impl CompletionModel {
         let train_rows = order;
 
         let mut adam = Adam::new(&self.store, self.cfg.lr);
+        // The engine's tapes and gradient-buffer pool live for the whole
+        // training run: after the first epoch every step reuses its arenas.
+        let workers = if self.cfg.workers == 0 {
+            default_workers()
+        } else {
+            self.cfg.workers
+        };
+        let mut engine = TrainEngine::new(workers);
         let bs = self.cfg.batch_size.max(8);
         let batches_per_epoch = train_rows.len().div_ceil(bs).max(1);
         let epochs = self
@@ -378,7 +405,8 @@ impl CompletionModel {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in train_rows.chunks(bs) {
-                let loss = self.train_step(join, &tokens, &weights, chunk, &mut adam)?;
+                let loss =
+                    self.train_step(&mut engine, join, &tokens, &weights, chunk, &mut adam)?;
                 epoch_loss += loss as f64;
                 batches += 1;
             }
@@ -422,36 +450,78 @@ impl CompletionModel {
             .evaluate(&self.store, &arc_toks, ctx_matrix.as_ref(), Some(&bweights)))
     }
 
+    /// One data-parallel gradient step: the batch is split into
+    /// microbatches of `cfg.microbatch` rows, each microbatch's forward +
+    /// backward runs on a worker with its own arena tape and gradient
+    /// buffer, and the buffers reduce into the store in ascending
+    /// microbatch order. Per-microbatch `dlogits` are normalized by the
+    /// *whole batch's* target weight, so the reduced gradient equals the
+    /// full-batch gradient regardless of the split — and is bit-identical
+    /// under any worker count.
     fn train_step(
         &mut self,
+        engine: &mut TrainEngine,
         join: &Table,
         tokens: &[Vec<u32>],
         weights: &[Vec<f32>],
         rows: &[usize],
         adam: &mut Adam,
     ) -> CoreResult<f32> {
-        let (btoks, bweights) = gather_batch(tokens, weights, rows);
-        let arc_toks: Vec<Arc<Vec<u32>>> = btoks.iter().cloned().map(Arc::new).collect();
-        let mut tape = Tape::new();
-        let ctx_var = if let Some(ds) = &self.deepsets {
-            let batch = self.build_set_batch(join, rows, true)?;
-            Some(ds.forward(&mut tape, &self.store, &batch, rows.len()))
-        } else {
-            None
-        };
-        let logits = self
-            .made
-            .forward(&mut tape, &self.store, &arc_toks, ctx_var);
-        let loss = block_cross_entropy(
-            tape.value(logits),
-            self.made.layout(),
-            &btoks,
-            Some(&bweights),
-        );
-        tape.backward(logits, loss.dlogits, &mut self.store);
+        let mut w_total = 0.0f64;
+        for col in weights {
+            for &r in rows {
+                w_total += col[r] as f64;
+            }
+        }
+        if w_total == 0.0 {
+            return Ok(0.0);
+        }
+        let norm = 1.0 / w_total as f32;
+
+        // Disjoint field borrows: the closure reads the model parts while
+        // the engine mutates the store.
+        let made = &self.made;
+        let deepsets = self.deepsets.as_ref();
+        let ctx_tables = &self.ctx;
+        let max_set_size = self.cfg.max_set_size;
+
+        let loss_sum = engine.step(
+            &mut self.store,
+            rows,
+            self.cfg.microbatch,
+            |tape, store, chunk, grads| -> CoreResult<f64> {
+                let (btoks, bweights) = gather_batch(tokens, weights, chunk);
+                let arc_toks: Vec<Arc<Vec<u32>>> = btoks.iter().cloned().map(Arc::new).collect();
+                let set_batch = match deepsets {
+                    Some(_) => Some(assemble_set_batch(
+                        ctx_tables,
+                        max_set_size,
+                        join,
+                        chunk,
+                        true,
+                    )?),
+                    None => None,
+                };
+                let mut f = tape.ctx(store);
+                let ctx_var = deepsets
+                    .zip(set_batch.as_ref())
+                    .map(|(ds, batch)| ds.forward(&mut f, store, batch, chunk.len()));
+                let logits = made.forward(&mut f, store, &arc_toks, ctx_var);
+                let sums = block_cross_entropy_sums(
+                    f.value(logits),
+                    made.layout(),
+                    &btoks,
+                    Some(&bweights),
+                );
+                let mut dlogits = sums.dlogits;
+                dlogits.scale_assign(norm);
+                tape.backward_with(logits, dlogits, store, grads);
+                Ok(sums.loss_sum)
+            },
+        )?;
         self.store.clip_grad_norm(self.cfg.clip_norm);
         adam.step(&mut self.store);
-        Ok(loss.loss)
+        Ok((loss_sum / w_total) as f32)
     }
 
     /// DeepSets context matrix for specific join rows (inference path —
@@ -462,13 +532,24 @@ impl CompletionModel {
         rows: &[usize],
         exclude_self: bool,
     ) -> CoreResult<Option<Matrix>> {
+        let mut session = InferenceSession::new();
+        self.context_matrix_in(&mut session, join, rows, exclude_self)
+    }
+
+    /// [`CompletionModel::context_matrix`] over a caller-owned session.
+    fn context_matrix_in(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        rows: &[usize],
+        exclude_self: bool,
+    ) -> CoreResult<Option<Matrix>> {
         let Some(ds) = &self.deepsets else {
             return Ok(None);
         };
         let batch = self.build_set_batch(join, rows, exclude_self)?;
-        let mut session = InferenceSession::new();
         Ok(Some(
-            ds.encode_in(&mut session, &self.store, &batch, rows.len())
+            ds.encode_in(session, &self.store, &batch, rows.len())
                 .clone(),
         ))
     }
@@ -480,53 +561,7 @@ impl CompletionModel {
         rows: &[usize],
         exclude_self: bool,
     ) -> CoreResult<SetBatch> {
-        let mut tables = Vec::with_capacity(self.ctx.len());
-        for ct in &self.ctx {
-            let anchor_ref = format!("{}.{}", ct.anchor, ct.anchor_key);
-            let anchor_idx = join.resolve(&anchor_ref).ok();
-            // Self-evidence exclusion: match the set tuple's id against the
-            // join row's target id.
-            let self_id_idx = if exclude_self && ct.self_evidence {
-                join.resolve(&format!("{}.id", ct.table)).ok()
-            } else {
-                None
-            };
-            let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); ct.columns.len()];
-            let mut segments = Vec::new();
-            if let Some(aidx) = anchor_idx {
-                for (pos, &r) in rows.iter().enumerate() {
-                    let key = join.value(r, aidx);
-                    if key.is_null() {
-                        continue;
-                    }
-                    let Some(members) = ct.index.get(&key) else {
-                        continue;
-                    };
-                    let self_id = self_id_idx.map(|i| join.value(r, i));
-                    let mut taken = 0usize;
-                    for &m in members {
-                        if taken >= self.cfg.max_set_size {
-                            break;
-                        }
-                        if let (Some(sid), Some(ids)) = (&self_id, &ct.row_ids) {
-                            if !sid.is_null() && &ids[m] == sid {
-                                continue;
-                            }
-                        }
-                        for (a, col) in tokens.iter_mut().enumerate() {
-                            col.push(ct.tokens[a][m]);
-                        }
-                        segments.push(pos as u32);
-                        taken += 1;
-                    }
-                }
-            }
-            tables.push(TableSet {
-                tokens: tokens.into_iter().map(Arc::new).collect(),
-                segments: Arc::new(segments),
-            });
-        }
-        Ok(SetBatch { tables })
+        assemble_set_batch(&self.ctx, self.cfg.max_set_size, join, rows, exclude_self)
     }
 
     /// Encodes the columns of a (partial) completed join into model tokens.
@@ -534,42 +569,51 @@ impl CompletionModel {
     /// NULL) get the MASK token. Tuple-factor attrs are filled from
     /// `tf_values[step]` where available.
     pub fn encode_tokens(&self, join: &Table, tf_values: &[Vec<Option<i64>>]) -> Vec<Vec<u32>> {
+        (0..self.attrs.len())
+            .map(|a| self.encode_attr_column(join, tf_values, a))
+            .collect()
+    }
+
+    /// Encodes one attribute's token column for every row of `join` — the
+    /// unit of the completion engine's incremental encoding cache, which
+    /// re-encodes only the attributes a synthesis step actually changed.
+    pub fn encode_attr_column(
+        &self,
+        join: &Table,
+        tf_values: &[Vec<Option<i64>>],
+        attr_idx: usize,
+    ) -> Vec<u32> {
         let n = join.n_rows();
-        let mut out = Vec::with_capacity(self.attrs.len());
-        for attr in &self.attrs {
-            let mut col = Vec::with_capacity(n);
-            match &attr.kind {
-                AttrKind::Column { table, column } => {
-                    match join.resolve(&format!("{table}.{column}")) {
-                        Ok(idx) => {
-                            for r in 0..n {
-                                let v = join.value(r, idx);
-                                col.push(
-                                    attr.encoder.encode(&v).unwrap_or(attr.encoder.mask_token()),
-                                );
-                            }
+        let attr = &self.attrs[attr_idx];
+        let mut col = Vec::with_capacity(n);
+        match &attr.kind {
+            AttrKind::Column { table, column } => {
+                match join.resolve(&format!("{table}.{column}")) {
+                    Ok(idx) => {
+                        for r in 0..n {
+                            let v = join.value(r, idx);
+                            col.push(attr.encoder.encode(&v).unwrap_or(attr.encoder.mask_token()));
                         }
-                        Err(_) => col.resize(n, attr.encoder.mask_token()),
+                    }
+                    Err(_) => col.resize(n, attr.encoder.mask_token()),
+                }
+            }
+            AttrKind::TupleFactor { step } => match tf_values.get(*step) {
+                Some(vals) if vals.len() == n => {
+                    for v in vals {
+                        col.push(match v {
+                            Some(x) => attr
+                                .encoder
+                                .encode(&Value::Int(*x))
+                                .unwrap_or(attr.encoder.mask_token()),
+                            None => attr.encoder.mask_token(),
+                        });
                     }
                 }
-                AttrKind::TupleFactor { step } => match tf_values.get(*step) {
-                    Some(vals) if vals.len() == n => {
-                        for v in vals {
-                            col.push(match v {
-                                Some(x) => attr
-                                    .encoder
-                                    .encode(&Value::Int(*x))
-                                    .unwrap_or(attr.encoder.mask_token()),
-                                None => attr.encoder.mask_token(),
-                            });
-                        }
-                    }
-                    _ => col.resize(n, attr.encoder.mask_token()),
-                },
-            }
-            out.push(col);
+                _ => col.resize(n, attr.encoder.mask_token()),
+            },
         }
-        out
+        col
     }
 
     /// Predicts the tuple factor of `step` for the given join rows,
@@ -602,9 +646,26 @@ impl CompletionModel {
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<i64>> {
+        let mut session = InferenceSession::new();
+        self.sample_tf_encoded_in(&mut session, join, encoded, step, rows, rng)
+    }
+
+    /// [`CompletionModel::sample_tf_encoded`] over a caller-owned session —
+    /// each completion worker keeps one session warm across batches and
+    /// path steps (parameters are frozen at completion time, so the
+    /// session's masked-weight cache stays valid for the whole walk).
+    pub fn sample_tf_encoded_in(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        step: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<i64>> {
         let attr_idx = self.tf_attrs[step]
             .ok_or_else(|| CoreError::Invalid(format!("step {step} has no tuple factor")))?;
-        let dists = self.conditional_dist_encoded(join, encoded, attr_idx, rows)?;
+        let dists = self.conditional_dist_encoded_in(session, join, encoded, attr_idx, rows)?;
         let enc = &self.attrs[attr_idx].encoder;
         Ok(dists
             .into_iter()
@@ -645,11 +706,26 @@ impl CompletionModel {
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<Vec<Value>>> {
+        let mut session = InferenceSession::new();
+        self.sample_table_columns_encoded_in(&mut session, join, encoded, table_idx, rows, rng)
+    }
+
+    /// [`CompletionModel::sample_table_columns_encoded`] over a
+    /// caller-owned session (see [`CompletionModel::sample_tf_encoded_in`]).
+    pub fn sample_table_columns_encoded_in(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        table_idx: usize,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> CoreResult<Vec<Vec<Value>>> {
         let range = self.table_attr_range(table_idx);
         if range.is_empty() {
             return Ok(Vec::new());
         }
-        let sampled = self.sample_attr_block(join, encoded, range.clone(), rows, rng)?;
+        let sampled = self.sample_attr_block(session, join, encoded, range.clone(), rows, rng)?;
         Ok(sampled
             .into_iter()
             .enumerate()
@@ -668,6 +744,7 @@ impl CompletionModel {
     /// attribute.
     fn sample_attr_block(
         &self,
+        session: &mut InferenceSession,
         join: &Table,
         encoded: &[Vec<u32>],
         attr_range: Range<usize>,
@@ -678,15 +755,14 @@ impl CompletionModel {
             .iter()
             .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
             .collect();
-        let ctx = self.context_matrix(join, rows, false)?;
+        let ctx = self.context_matrix_in(session, join, rows, false)?;
         let excluded: Vec<Option<u32>> = self
             .attrs
             .iter()
             .map(|a| Some(a.encoder.mask_token()))
             .collect();
-        let mut session = InferenceSession::new();
         self.made.sample_range_in(
-            &mut session,
+            session,
             &self.store,
             &mut batch,
             ctx.as_ref(),
@@ -722,14 +798,28 @@ impl CompletionModel {
         attr_idx: usize,
         rows: &[usize],
     ) -> CoreResult<Vec<Vec<f32>>> {
+        let mut session = InferenceSession::new();
+        self.conditional_dist_encoded_in(&mut session, join, encoded, attr_idx, rows)
+    }
+
+    /// [`CompletionModel::conditional_dist_encoded`] over a caller-owned
+    /// session.
+    pub fn conditional_dist_encoded_in(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        attr_idx: usize,
+        rows: &[usize],
+    ) -> CoreResult<Vec<Vec<f32>>> {
         let batch: Vec<Arc<Vec<u32>>> = encoded
             .iter()
             .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
             .collect();
-        let ctx = self.context_matrix(join, rows, false)?;
-        let dists = self
-            .made
-            .conditional_dists(&self.store, &batch, ctx.as_ref(), attr_idx);
+        let ctx = self.context_matrix_in(session, join, rows, false)?;
+        let dists =
+            self.made
+                .conditional_dists_in(session, &self.store, &batch, ctx.as_ref(), attr_idx);
         // Drop the MASK token and renormalize.
         let card = self.attrs[attr_idx].encoder.cardinality();
         Ok(dists
@@ -781,6 +871,65 @@ impl CompletionModel {
             matches!(&a.kind, AttrKind::Column { table: t, column: c } if t == table && c == column)
         })
     }
+}
+
+/// Assembles the fan-out evidence sets for a batch of join rows — a free
+/// function over the context tables so the training closure can capture it
+/// disjointly from the parameter store.
+fn assemble_set_batch(
+    ctx: &[CtxTable],
+    max_set_size: usize,
+    join: &Table,
+    rows: &[usize],
+    exclude_self: bool,
+) -> CoreResult<SetBatch> {
+    let mut tables = Vec::with_capacity(ctx.len());
+    for ct in ctx {
+        let anchor_ref = format!("{}.{}", ct.anchor, ct.anchor_key);
+        let anchor_idx = join.resolve(&anchor_ref).ok();
+        // Self-evidence exclusion: match the set tuple's id against the
+        // join row's target id.
+        let self_id_idx = if exclude_self && ct.self_evidence {
+            join.resolve(&format!("{}.id", ct.table)).ok()
+        } else {
+            None
+        };
+        let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); ct.columns.len()];
+        let mut segments = Vec::new();
+        if let Some(aidx) = anchor_idx {
+            for (pos, &r) in rows.iter().enumerate() {
+                let key = join.value(r, aidx);
+                if key.is_null() {
+                    continue;
+                }
+                let Some(members) = ct.index.get(&key) else {
+                    continue;
+                };
+                let self_id = self_id_idx.map(|i| join.value(r, i));
+                let mut taken = 0usize;
+                for &m in members {
+                    if taken >= max_set_size {
+                        break;
+                    }
+                    if let (Some(sid), Some(ids)) = (&self_id, &ct.row_ids) {
+                        if !sid.is_null() && &ids[m] == sid {
+                            continue;
+                        }
+                    }
+                    for (a, col) in tokens.iter_mut().enumerate() {
+                        col.push(ct.tokens[a][m]);
+                    }
+                    segments.push(pos as u32);
+                    taken += 1;
+                }
+            }
+        }
+        tables.push(TableSet {
+            tokens: tokens.into_iter().map(Arc::new).collect(),
+            segments: Arc::new(segments),
+        });
+    }
+    Ok(SetBatch { tables })
 }
 
 /// Joins the path tables over the available (incomplete) data.

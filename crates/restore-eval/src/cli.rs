@@ -10,6 +10,10 @@ pub struct EvalArgs {
     pub corrs: Vec<f64>,
     /// `--quick` halves the grid for smoke runs.
     pub quick: bool,
+    /// Worker threads per training run (`--train-workers=N`, `0` = one per
+    /// hardware thread). Defaults to 1: the harness parallelizes over
+    /// experiment cells, and training results never depend on this value.
+    pub train_workers: usize,
 }
 
 impl Default for EvalArgs {
@@ -20,6 +24,7 @@ impl Default for EvalArgs {
             keeps: vec![0.2, 0.4, 0.6, 0.8],
             corrs: vec![0.2, 0.4, 0.6, 0.8],
             quick: false,
+            train_workers: 1,
         }
     }
 }
@@ -38,7 +43,7 @@ pub fn parse_args() -> EvalArgs {
         }
         let Some((key, value)) = arg.split_once('=') else {
             eprintln!(
-                "usage: [--quick] [--scale=0.3] [--seed=7] [--keeps=0.2,0.4] [--corrs=0.2,0.8]"
+                "usage: [--quick] [--scale=0.3] [--seed=7] [--keeps=0.2,0.4] [--corrs=0.2,0.8] [--train-workers=1]"
             );
             std::process::exit(2);
         };
@@ -47,6 +52,7 @@ pub fn parse_args() -> EvalArgs {
             "--seed" => args.seed = value.parse().unwrap_or(args.seed),
             "--keeps" => args.keeps = parse_list(value),
             "--corrs" => args.corrs = parse_list(value),
+            "--train-workers" => args.train_workers = value.parse().unwrap_or(args.train_workers),
             _ => {
                 eprintln!("unknown flag {key}");
                 std::process::exit(2);
@@ -57,6 +63,7 @@ pub fn parse_args() -> EvalArgs {
         args.keeps = vec![0.2, 0.8];
         args.corrs = vec![0.2, 0.8];
     }
+    crate::harness::set_train_workers(args.train_workers);
     args
 }
 

@@ -10,6 +10,27 @@ use restore_data::{
 };
 use restore_db::Table;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads each *training run* may use (the data-parallel gradient
+/// engine). Defaults to 1 because the harness already fans experiment
+/// cells out over the worker pool — same nested-ncpu² reasoning as
+/// [`eval_completer_config`] — and training results are worker-count
+/// invariant anyway. `--train-workers=N` raises it for single-model runs
+/// (timing sweeps, `exp4_timing`).
+static TRAIN_WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the per-training-run worker count used by [`eval_train_config`]
+/// (`0` = one per hardware thread).
+pub fn set_train_workers(workers: usize) {
+    TRAIN_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// The current per-training-run worker count.
+pub fn train_workers() -> usize {
+    TRAIN_WORKERS.load(Ordering::Relaxed)
+}
+
 /// Training configuration sized for the evaluation sweeps (hundreds of
 /// models on a laptop).
 pub fn eval_train_config() -> TrainConfig {
@@ -19,6 +40,7 @@ pub fn eval_train_config() -> TrainConfig {
         hidden: vec![48, 48],
         embed_dim: 8,
         max_train_rows: 8_000,
+        workers: train_workers(),
         ..TrainConfig::default()
     }
 }

@@ -16,7 +16,9 @@
 //! * [`deepsets::DeepSets`] — permutation-invariant tree embeddings
 //!   (SSAR conditioning);
 //! * [`loss`] — per-attribute softmax cross-entropy and KL divergence;
-//! * [`optim`] — Adam / SGD.
+//! * [`optim`] — Adam / SGD;
+//! * [`train`] — the data-parallel gradient engine (per-worker arena
+//!   tapes, per-microbatch gradient buffers, order-pinned reduction).
 //!
 //! Everything is deterministic given a seed and sized for laptop-scale
 //! tabular models (a few hundred thousand parameters).
@@ -31,12 +33,17 @@ pub mod optim;
 pub mod params;
 pub mod tape;
 pub mod tensor;
+pub mod train;
 
 pub use deepsets::{DeepSets, DeepSetsConfig, SetBatch, SetTableSpec, TableSet};
 pub use infer::{Forward, InferCtx, InferRef, InferenceSession};
-pub use loss::{block_cross_entropy, kl_divergence, BlockLayout, BlockLoss};
+pub use loss::{
+    block_cross_entropy, block_cross_entropy_sums, kl_divergence, BlockLayout, BlockLoss,
+    BlockLossSums,
+};
 pub use made::{sample_categorical, AttrSpec, Made, MadeConfig};
 pub use optim::{Adam, Sgd};
-pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, VarId};
+pub use params::{GradBuffer, ParamId, ParamStore};
+pub use tape::{Tape, TapeCtx, VarId};
 pub use tensor::Matrix;
+pub use train::TrainEngine;

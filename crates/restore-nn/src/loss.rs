@@ -85,18 +85,38 @@ pub struct BlockLoss {
     pub dlogits: Matrix,
 }
 
-/// Softmax cross-entropy over attribute blocks.
+/// Unnormalized result of [`block_cross_entropy_sums`]: weighted *sums*
+/// instead of means, so microbatch losses can be combined exactly — the
+/// data-parallel training engine normalizes by the whole batch's weight,
+/// making the reduced gradient equal to the full-batch gradient no matter
+/// how the batch was split.
+pub struct BlockLossSums {
+    /// Σ w·nll over all targets of this (micro)batch.
+    pub loss_sum: f64,
+    /// Σ w over all targets of this (micro)batch.
+    pub weight_sum: f64,
+    /// Per-attribute Σ w·nll.
+    pub per_attr: Vec<f32>,
+    /// Per-attribute Σ w.
+    pub per_attr_weight: Vec<f32>,
+    /// **Unnormalized** gradient w.r.t. the logits (softmax − one-hot,
+    /// weighted); scale by `1 / total_weight` before seeding backward.
+    pub dlogits: Matrix,
+}
+
+/// Softmax cross-entropy over attribute blocks, returning unnormalized
+/// weighted sums (see [`BlockLossSums`]).
 ///
 /// * `logits` — `m × layout.total_width()`.
 /// * `targets[a][r]` — token of attribute `a` in row `r`.
 /// * `weights` — optional per-attribute, per-row loss weights (`0` skips the
 ///   row for that attribute, e.g. when the value is unknown/masked).
-pub fn block_cross_entropy(
+pub fn block_cross_entropy_sums(
     logits: &Matrix,
     layout: &BlockLayout,
     targets: &[Vec<u32>],
     weights: Option<&[Vec<f32>]>,
-) -> BlockLoss {
+) -> BlockLossSums {
     let m = logits.rows();
     assert_eq!(logits.cols(), layout.total_width(), "logits width mismatch");
     assert_eq!(
@@ -106,8 +126,8 @@ pub fn block_cross_entropy(
     );
 
     let mut dlogits = Matrix::zeros(m, logits.cols());
-    let mut total_loss = 0.0f64;
-    let mut total_weight = 0.0f64;
+    let mut loss_sum = 0.0f64;
+    let mut weight_sum = 0.0f64;
     let mut per_attr = vec![0.0f32; layout.num_blocks()];
     let mut per_attr_weight = vec![0.0f32; layout.num_blocks()];
     let mut probs = Vec::new();
@@ -129,8 +149,8 @@ pub fn block_cross_entropy(
             );
             let p = probs[t].max(1e-12);
             let nll = -p.ln();
-            total_loss += (w * nll) as f64;
-            total_weight += w as f64;
+            loss_sum += (w * nll) as f64;
+            weight_sum += w as f64;
             per_attr[a] += w * nll;
             per_attr_weight[a] += w;
             let drow = dlogits.row_mut(r);
@@ -141,25 +161,43 @@ pub fn block_cross_entropy(
         }
     }
 
-    let norm = if total_weight > 0.0 {
-        1.0 / total_weight as f32
+    BlockLossSums {
+        loss_sum,
+        weight_sum,
+        per_attr,
+        per_attr_weight,
+        dlogits,
+    }
+}
+
+/// Softmax cross-entropy over attribute blocks — the mean-normalized
+/// convenience form of [`block_cross_entropy_sums`].
+pub fn block_cross_entropy(
+    logits: &Matrix,
+    layout: &BlockLayout,
+    targets: &[Vec<u32>],
+    weights: Option<&[Vec<f32>]>,
+) -> BlockLoss {
+    let mut sums = block_cross_entropy_sums(logits, layout, targets, weights);
+    let norm = if sums.weight_sum > 0.0 {
+        1.0 / sums.weight_sum as f32
     } else {
         0.0
     };
-    dlogits.scale_assign(norm);
-    for (p, w) in per_attr.iter_mut().zip(&per_attr_weight) {
+    sums.dlogits.scale_assign(norm);
+    for (p, w) in sums.per_attr.iter_mut().zip(&sums.per_attr_weight) {
         if *w > 0.0 {
             *p /= w;
         }
     }
     BlockLoss {
-        loss: if total_weight > 0.0 {
-            (total_loss / total_weight) as f32
+        loss: if sums.weight_sum > 0.0 {
+            (sums.loss_sum / sums.weight_sum) as f32
         } else {
             0.0
         },
-        per_attr,
-        dlogits,
+        per_attr: sums.per_attr,
+        dlogits: sums.dlogits,
     }
 }
 

@@ -263,7 +263,20 @@ impl Made {
         attr: usize,
     ) -> Vec<Vec<f32>> {
         let mut session = InferenceSession::new();
-        let block = self.logits_attr_in(&mut session, store, tokens, ctx, attr);
+        self.conditional_dists_in(&mut session, store, tokens, ctx, attr)
+    }
+
+    /// [`Made::conditional_dists`] over a caller-owned session — the
+    /// completion engine keeps one session per worker warm across batches.
+    pub fn conditional_dists_in(
+        &self,
+        session: &mut InferenceSession,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        attr: usize,
+    ) -> Vec<Vec<f32>> {
+        let block = self.logits_attr_in(session, store, tokens, ctx, attr);
         (0..block.rows()).map(|r| softmax(block.row(r))).collect()
     }
 

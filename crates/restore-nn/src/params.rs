@@ -1,21 +1,91 @@
 //! Parameter storage shared by all layers of a model.
 //!
 //! Layers allocate parameters in a [`ParamStore`] and keep only the returned
-//! [`ParamId`]s. During a forward pass the tape copies the current parameter
-//! values into leaf nodes; after `backward` the accumulated gradients are
-//! flushed back into the store, where the optimizer consumes them.
+//! [`ParamId`]s. Values and gradients are split: the store owns the values
+//! plus one resident [`GradBuffer`] the optimizer consumes, while the
+//! data-parallel training engine hands each microbatch its *own*
+//! `GradBuffer` to accumulate into, reducing them back into the store in a
+//! fixed order so training stays bit-identical under any worker count.
 
 use crate::tensor::Matrix;
 
 /// Index of a parameter inside a [`ParamStore`].
 pub type ParamId = usize;
 
-/// Owns all trainable parameters of a model together with their gradient
-/// accumulators.
+/// A gradient accumulator shaped like a [`ParamStore`]'s parameters.
+///
+/// Buffers are cheap to reuse: [`GradBuffer::zero`] keeps every allocation.
+/// The training engine holds a pool of them, one in flight per microbatch.
+#[derive(Clone, Debug, Default)]
+pub struct GradBuffer {
+    grads: Vec<Matrix>,
+}
+
+impl GradBuffer {
+    /// A zeroed buffer matching `store`'s parameter shapes.
+    pub fn new(store: &ParamStore) -> Self {
+        Self {
+            grads: store
+                .values
+                .iter()
+                .map(|v| Matrix::zeros(v.rows(), v.cols()))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id]
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        self.grads[id].add_assign(delta);
+    }
+
+    /// Mutable access for in-place accumulation kernels.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id]
+    }
+
+    /// Element-wise `self += other` over all gradients.
+    pub fn add_from(&mut self, other: &GradBuffer) {
+        assert_eq!(self.grads.len(), other.grads.len(), "buffer size mismatch");
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Clears all accumulators, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Owns all trainable parameters of a model together with the resident
+/// gradient buffer the optimizer consumes.
 #[derive(Clone, Debug, Default)]
 pub struct ParamStore {
     values: Vec<Matrix>,
-    grads: Vec<Matrix>,
+    grads: GradBuffer,
 }
 
 impl ParamStore {
@@ -27,7 +97,7 @@ impl ParamStore {
     pub fn register(&mut self, value: Matrix) -> ParamId {
         let (r, c) = value.shape();
         self.values.push(value);
-        self.grads.push(Matrix::zeros(r, c));
+        self.grads.grads.push(Matrix::zeros(r, c));
         self.values.len() - 1
     }
 
@@ -53,28 +123,43 @@ impl ParamStore {
     }
 
     pub fn grad(&self, id: ParamId) -> &Matrix {
-        &self.grads[id]
+        self.grads.grad(id)
     }
 
-    /// Accumulates `delta` into the gradient of `id`.
+    /// Accumulates `delta` into the resident gradient of `id`.
     pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
-        self.grads[id].add_assign(delta);
+        self.grads.accumulate(id, delta);
+    }
+
+    /// Reduces a detached buffer into the resident gradients. The training
+    /// engine calls this once per microbatch, in ascending microbatch
+    /// order, which pins the floating-point reduction tree independently of
+    /// the worker count.
+    pub fn accumulate_from(&mut self, other: &GradBuffer) {
+        self.grads.add_from(other);
+    }
+
+    /// Detaches the resident gradient buffer (leaving an empty one) — used
+    /// by [`Tape::backward`](crate::tape::Tape::backward) to flush into the
+    /// store while reading parameter values from it.
+    pub fn take_grads(&mut self) -> GradBuffer {
+        std::mem::take(&mut self.grads)
+    }
+
+    /// Re-attaches a buffer detached with [`ParamStore::take_grads`].
+    pub fn put_grads(&mut self, grads: GradBuffer) {
+        debug_assert_eq!(grads.len(), self.values.len(), "buffer size mismatch");
+        self.grads = grads;
     }
 
     /// Clears all gradient accumulators (keeping allocations).
     pub fn zero_grads(&mut self) {
-        for g in &mut self.grads {
-            g.fill_zero();
-        }
+        self.grads.zero();
     }
 
     /// Global L2 norm over all gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.grads
-            .iter()
-            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
-            .sum::<f32>()
-            .sqrt()
+        self.grads.norm()
     }
 
     /// Scales every gradient so the global norm does not exceed `max_norm`.
@@ -82,7 +167,7 @@ impl ParamStore {
         let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
-            for g in &mut self.grads {
+            for g in &mut self.grads.grads {
                 g.scale_assign(s);
             }
         }
@@ -93,7 +178,7 @@ impl ParamStore {
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &Matrix)> {
         self.values
             .iter_mut()
-            .zip(self.grads.iter())
+            .zip(self.grads.grads.iter())
             .enumerate()
             .map(|(id, (v, g))| (id, v, g))
     }
@@ -134,5 +219,30 @@ mod tests {
         store.accumulate_grad(id, &Matrix::from_rows(&[&[0.3, 0.4]]));
         store.clip_grad_norm(1.0);
         assert!((store.grad(id).get(0, 1) - 0.4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detached_buffers_reduce_into_the_store() {
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::zeros(2, 2));
+        let mut a = GradBuffer::new(&store);
+        let mut b = GradBuffer::new(&store);
+        a.accumulate(id, &Matrix::filled(2, 2, 1.0));
+        b.accumulate(id, &Matrix::filled(2, 2, 2.0));
+        store.accumulate_from(&a);
+        store.accumulate_from(&b);
+        assert_eq!(store.grad(id).get(0, 0), 3.0);
+        a.zero();
+        assert_eq!(a.grad(id).get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn take_and_put_grads_round_trip() {
+        let mut store = ParamStore::new();
+        let id = store.register(Matrix::zeros(1, 1));
+        let mut g = store.take_grads();
+        g.accumulate(id, &Matrix::filled(1, 1, 5.0));
+        store.put_grads(g);
+        assert_eq!(store.grad(id).get(0, 0), 5.0);
     }
 }

@@ -225,6 +225,93 @@ impl Matrix {
         }
     }
 
+    /// `out += self · otherᵀ` — the gradient-accumulation form of
+    /// [`Matrix::matmul_t`], writing into a caller-owned accumulator so the
+    /// backward pass allocates nothing.
+    pub fn matmul_t_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "accumulator shape mismatch"
+        );
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * other.rows + j] += acc;
+            }
+        }
+    }
+
+    /// `out += selfᵀ · other` — accumulation form of [`Matrix::t_matmul`].
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "accumulator shape mismatch"
+        );
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+    }
+
+    /// `out += (selfᵀ · other) ⊙ mask` — the masked-linear weight gradient.
+    /// Each term is gated by the mask entry as it is accumulated; for the
+    /// binary masks MADE uses this equals masking the finished product.
+    pub fn t_matmul_masked_acc(&self, other: &Matrix, mask: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "accumulator shape mismatch"
+        );
+        assert_eq!(mask.shape(), out.shape(), "mask shape mismatch");
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let m_row = mask.row(i);
+                for j in 0..n {
+                    out_row[j] += a * b_row[j] * m_row[j];
+                }
+            }
+        }
+    }
+
+    /// `out += column sums of self` (`out` is `1 × cols`) — the bias
+    /// gradient, in accumulation form.
+    pub fn col_sums_acc(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (1, self.cols), "accumulator shape mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (o, v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+
     /// `selfᵀ · other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
@@ -449,6 +536,44 @@ mod tests {
         for (x, y) in expect.data().iter().zip(got.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn acc_kernels_match_allocating_forms() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+        let g = Matrix::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+
+        let mut acc = Matrix::zeros(3, 4);
+        a.t_matmul_acc(&b, &mut acc);
+        assert_eq!(acc, a.t_matmul(&b));
+        // Accumulates rather than overwrites (per-term, so only
+        // approximately equal to product-then-add).
+        a.t_matmul_acc(&b, &mut acc);
+        let mut twice = a.t_matmul(&b);
+        twice.add_assign(&a.t_matmul(&b));
+        for (x, y) in acc.data().iter().zip(twice.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let mut acc = Matrix::zeros(5, 5);
+        g.matmul_t_acc(&b, &mut acc);
+        assert_eq!(acc, g.matmul_t(&b));
+
+        let mut mask = Matrix::zeros(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                mask.set(r, c, ((r + c) % 2) as f32);
+            }
+        }
+        let mut acc = Matrix::zeros(3, 4);
+        a.t_matmul_masked_acc(&b, &mask, &mut acc);
+        assert_eq!(acc, a.t_matmul(&b).hadamard(&mask));
+
+        let mut acc = Matrix::zeros(1, 4);
+        b.col_sums_acc(&mut acc);
+        assert_eq!(acc, b.col_sums());
     }
 
     #[test]

@@ -40,21 +40,54 @@ where
     T: Send,
     F: Fn(&J) -> T + Sync,
 {
-    if workers <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(&f).collect();
+    let mut scratch = vec![(); workers.min(jobs.len()).max(1)];
+    parallel_map_with(jobs, &mut scratch, |_, j| f(j))
+}
+
+/// Order-preserving parallel map where every worker owns a reusable
+/// scratch object for the duration of the call — and, because the caller
+/// supplies the scratch slice, across *calls* too.
+///
+/// One worker thread is spawned per `scratch` element (capped at the job
+/// count); each worker pulls jobs off a shared counter and runs
+/// `f(&mut scratch_i, &job)`. The scratch a job lands on is a scheduling
+/// accident, so `f` must not let results depend on scratch *contents* —
+/// scratch is for reusable capacity (tapes, sessions, buffers), not state.
+/// With a single scratch slot the whole map runs inline on the caller.
+///
+/// This is what lets the training engine keep one arena tape per worker
+/// and the completion engine one `InferenceSession` per worker, both warm
+/// across batches.
+pub fn parallel_map_with<J, T, S, F>(jobs: Vec<J>, scratch: &mut [S], f: F) -> Vec<T>
+where
+    J: Send + Sync,
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, &J) -> T + Sync,
+{
+    assert!(
+        !scratch.is_empty(),
+        "parallel_map_with needs at least one scratch slot"
+    );
+    if scratch.len() == 1 || jobs.len() <= 1 {
+        let s = &mut scratch[0];
+        return jobs.iter().map(|j| f(s, j)).collect();
     }
-    let workers = workers.min(jobs.len());
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(f(job));
-            });
-        }
-    });
+    let n_jobs = jobs.len();
+    {
+        let (next, slots, jobs, f) = (&next, &slots, &jobs, &f);
+        std::thread::scope(|scope| {
+            for s in scratch.iter_mut().take(n_jobs) {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    *slots[i].lock().unwrap() = Some(f(s, job));
+                });
+            }
+        });
+    }
     slots
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
@@ -98,6 +131,41 @@ mod tests {
         let c = parallel_map_workers(jobs, 16, |&j| derive_seed(42, j));
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn with_scratch_preserves_order_and_reuses_state() {
+        // Scratch is a counter: each worker reuses its own across jobs, so
+        // the counters sum to the job count while results stay in order.
+        let jobs: Vec<u64> = (0..40).collect();
+        let mut scratch = vec![0usize; 4];
+        let out = parallel_map_with(jobs, &mut scratch, |s, &j| {
+            *s += 1;
+            j * 3
+        });
+        assert_eq!(out, (0..40).map(|j| j * 3).collect::<Vec<u64>>());
+        assert_eq!(scratch.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn with_scratch_is_invariant_to_scratch_count() {
+        let jobs: Vec<u64> = (0..32).collect();
+        let mut one = vec![(); 1];
+        let mut four = vec![(); 4];
+        let a = parallel_map_with(jobs.clone(), &mut one, |_, &j| derive_seed(3, j));
+        let b = parallel_map_with(jobs, &mut four, |_, &j| derive_seed(3, j));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_scratch_persists_across_calls() {
+        let mut scratch = vec![Vec::<u64>::new(); 2];
+        for round in 0..3u64 {
+            let jobs: Vec<u64> = (0..8).collect();
+            parallel_map_with(jobs, &mut scratch, |s, &j| s.push(round * 100 + j));
+        }
+        let total: usize = scratch.iter().map(Vec::len).sum();
+        assert_eq!(total, 24, "scratch state should survive across calls");
     }
 
     #[test]
