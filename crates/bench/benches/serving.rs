@@ -1,0 +1,141 @@
+//! **Serving throughput** — N client threads × M queries over one shared,
+//! sealed [`Snapshot`]. This is the workload the concurrent serving engine
+//! exists for: every thread calls `Snapshot::execute(&self, …)` on the
+//! same `Arc`, the completed-join cache answers warm paths lock-light, and
+//! single-flight collapses cold-path races.
+//!
+//! Results land in `results/BENCH_serving.json` (`{threads, queries/s}`)
+//! with a trend diff against the previous run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use restore_bench::{serving_workload as workload, write_bench_json, ServingRecord};
+use restore_core::{CompleterConfig, ReStore, RestoreConfig, Snapshot, TrainConfig};
+use restore_data::{apply_removal, generate_synthetic, BiasSpec, RemovalConfig, SyntheticConfig};
+
+fn build_snapshot() -> Arc<Snapshot> {
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            predictability: 0.9,
+            n_parent: 300,
+            ..Default::default()
+        },
+        21,
+    );
+    let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.5);
+    removal.seed = 21;
+    let sc = apply_removal(&db, &removal);
+    let mut cfg = RestoreConfig {
+        train: TrainConfig {
+            epochs: 8,
+            hidden: vec![32, 32],
+            min_steps: 200,
+            workers: 1,
+            ..TrainConfig::default()
+        },
+        // Client threads are the parallelism axis here; keep the inner
+        // sampling single-threaded (nested-ncpu² reasoning).
+        completer: CompleterConfig {
+            workers: 1,
+            ..CompleterConfig::default()
+        },
+        max_candidates: 1,
+        ..RestoreConfig::default()
+    };
+    cfg.train.batch_size = 128;
+    let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
+    rs.mark_incomplete("tb");
+    rs.train(21).expect("train");
+    for q in workload() {
+        rs.ensure_query_models(&q.tables, 21).expect("ensure");
+    }
+    Arc::new(rs.seal(21))
+}
+
+/// Executes `per_thread` queries on each of `threads` client threads over
+/// the shared snapshot; returns total queries per second.
+fn run_clients(snap: &Arc<Snapshot>, threads: usize, per_thread: usize) -> f64 {
+    let queries = Arc::new(workload());
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let (snap, queries, barrier) =
+            (Arc::clone(snap), Arc::clone(&queries), Arc::clone(&barrier));
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..per_thread {
+                let q = &queries[i % queries.len()];
+                // Distinct per-(thread, iteration) seeds: real clients
+                // don't share query seeds.
+                let r = snap
+                    .execute(q, (t * per_thread + i) as u64)
+                    .expect("execute");
+                black_box(r.table.n_rows());
+            }
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let dt = started.elapsed().as_secs_f64();
+    (threads * per_thread) as f64 / dt
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let snap = build_snapshot();
+    // Warm the cache: every distinct chain synthesized once up front, so
+    // the timed section measures serving, not synthesis.
+    for q in workload() {
+        snap.execute(&q, 0).expect("warmup");
+    }
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(5);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("warm_cache/t{threads}"), |b| {
+            b.iter(|| black_box(run_clients(&snap, threads, 20)))
+        });
+    }
+    group.finish();
+
+    // Machine-readable throughput records + trend diff.
+    let mut records = Vec::new();
+    let mut summary = String::from("\nserving throughput (warm cache)");
+    for threads in [1usize, 2, 4, 8] {
+        run_clients(&snap, threads, 10); // warmup
+        let qps = run_clients(&snap, threads, 40);
+        records.push(ServingRecord {
+            bench: "serving".into(),
+            engine: "warm_cache".into(),
+            threads,
+            queries_per_s: qps,
+        });
+        summary.push_str(&format!(", t{threads} {qps:.0} q/s"));
+    }
+    // One cold-cache record: distinct chains synthesized under
+    // single-flight while all threads hammer them.
+    let cold = build_snapshot();
+    let qps_cold = run_clients(&cold, 4, 10);
+    records.push(ServingRecord {
+        bench: "serving".into(),
+        engine: "cold_cache".into(),
+        threads: 4,
+        queries_per_s: qps_cold,
+    });
+    summary.push_str(&format!(", cold t4 {qps_cold:.0} q/s"));
+    println!("{summary}");
+    let stats = cold.full_cache_stats();
+    println!(
+        "cold-cache single-flight: {} syntheses, {} hits, {} waits",
+        stats.misses, stats.hits, stats.waits
+    );
+    write_bench_json("BENCH_serving.json", &records);
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

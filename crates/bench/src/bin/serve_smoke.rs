@@ -1,0 +1,119 @@
+//! CI smoke for the concurrent serving engine: builds one tiny sealed
+//! [`Snapshot`], executes a query workload serially, then again from 4
+//! threads over the shared snapshot, and asserts the answers are
+//! bit-identical — plus that single-flight held (synthesis count ==
+//! distinct completion paths, not requests). Exits non-zero on any
+//! divergence, so the workflow catches serving-determinism regressions
+//! without paying for the full bench suite.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use restore_bench::{result_fingerprint as fingerprint, serving_workload as workload};
+use restore_core::{CompleterConfig, ReStore, RestoreConfig, Snapshot, TrainConfig};
+use restore_data::{apply_removal, generate_synthetic, BiasSpec, RemovalConfig, SyntheticConfig};
+
+fn build() -> Arc<Snapshot> {
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            n_parent: 150,
+            ..Default::default()
+        },
+        9,
+    );
+    let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.5);
+    removal.seed = 9;
+    let sc = apply_removal(&db, &removal);
+    let cfg = RestoreConfig {
+        train: TrainConfig {
+            epochs: 2,
+            min_steps: 50,
+            hidden: vec![24, 24],
+            max_train_rows: 2_000,
+            workers: 1,
+            ..TrainConfig::default()
+        },
+        completer: CompleterConfig {
+            workers: 1,
+            ..CompleterConfig::default()
+        },
+        max_candidates: 1,
+        ..RestoreConfig::default()
+    };
+    let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
+    rs.mark_incomplete("tb");
+    rs.train(9).expect("train");
+    for q in workload() {
+        rs.ensure_query_models(&q.tables, 9).expect("ensure models");
+    }
+    Arc::new(rs.seal(9))
+}
+
+fn main() {
+    let queries = workload();
+    let seeds: Vec<u64> = (0..4).collect();
+
+    // Serial reference over a fresh snapshot.
+    let serial_snap = build();
+    let mut serial = Vec::new();
+    for q in &queries {
+        for &s in &seeds {
+            serial.push(fingerprint(
+                &serial_snap.execute(q, s).expect("serial execute"),
+            ));
+        }
+    }
+
+    // Concurrent pass over another fresh snapshot: 4 threads, each runs
+    // the whole workload in a different order.
+    let snap = build();
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let (snap, queries, seeds) = (Arc::clone(&snap), queries.clone(), seeds.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut results = vec![String::new(); queries.len() * seeds.len()];
+            for k in 0..results.len() {
+                let idx = (k + t * 3) % results.len(); // per-thread order
+                let (qi, si) = (idx / seeds.len(), idx % seeds.len());
+                results[idx] = fingerprint(
+                    &snap
+                        .execute(&queries[qi], seeds[si])
+                        .expect("concurrent execute"),
+                );
+            }
+            results
+        }));
+    }
+    let concurrent: Vec<Vec<String>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    for (t, results) in concurrent.iter().enumerate() {
+        assert_eq!(
+            results, &serial,
+            "thread {t} diverged from the serial reference"
+        );
+    }
+
+    // Single-flight accounting: syntheses == distinct completion chains.
+    let stats = snap.full_cache_stats();
+    let distinct_paths = snap.cached_completions().len() as u64;
+    assert_eq!(
+        stats.misses, distinct_paths,
+        "synthesis count must equal distinct paths (single-flight)"
+    );
+    let total_queries = 4 * queries.len() * seeds.len();
+    println!(
+        "serve smoke OK: {total_queries} queries from 4 threads in {elapsed:.2}s \
+         ({:.0} q/s), bit-identical to serial; {} syntheses for {} distinct paths \
+         ({} hits, {} waits)",
+        total_queries as f64 / elapsed.max(1e-9),
+        stats.misses,
+        distinct_paths,
+        stats.hits,
+        stats.waits,
+    );
+}

@@ -6,8 +6,9 @@
 
 use restore_core::{CompletionModel, CompletionPath, SchemaAnnotation, TrainConfig};
 use restore_data::{apply_removal, BiasSpec, RemovalConfig, Scenario};
+use restore_db::{Agg, Query, QueryResult};
 use restore_util::impl_to_json;
-use restore_util::json::ToJson;
+use restore_util::json::{parse, JsonValue, ToJson};
 
 /// One machine-readable throughput measurement.
 #[derive(Clone, Debug)]
@@ -31,19 +32,109 @@ impl_to_json!(BenchRecord {
     tuples_per_s
 });
 
+/// One serving-throughput measurement (the `serving` bench).
+#[derive(Clone, Debug)]
+pub struct ServingRecord {
+    /// Bench group, e.g. `"serving"`.
+    pub bench: String,
+    /// Variant label, e.g. `"warm_cache"`.
+    pub engine: String,
+    /// Client threads executing queries over the shared snapshot.
+    pub threads: usize,
+    /// Queries answered per second across all threads.
+    pub queries_per_s: f64,
+}
+impl_to_json!(ServingRecord {
+    bench,
+    engine,
+    threads,
+    queries_per_s
+});
+
 /// Writes bench records as a JSON array to `results/<file>` at the
-/// workspace root (the benches run with the package dir as cwd).
-pub fn write_bench_json(file: &str, records: &[BenchRecord]) {
+/// workspace root (the benches run with the package dir as cwd), then
+/// prints a **trend report**: per record, the delta of every numeric field
+/// against the matching record of the previous run's file.
+pub fn write_bench_json<T: ToJson>(file: &str, records: &[T]) {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     let path = format!("{dir}/{file}");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: could not create {dir}: {e}");
         return;
     }
+    let previous = std::fs::read_to_string(&path).ok().and_then(|s| parse(&s));
     let body = records.to_json();
     match std::fs::write(&path, format!("{body}\n")) {
         Ok(()) => println!("wrote {}", path),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    let current = parse(&body).expect("records serialize to valid JSON");
+    match previous {
+        Some(prev) => print_trend(file, &prev, &current),
+        None => println!("trend {file}: no previous run to compare against"),
+    }
+}
+
+/// True for the fields that *identify* a record (as opposed to measuring
+/// it): strings, bools, and the integer-valued axis knobs.
+fn is_identity_field(key: &str, value: &JsonValue) -> bool {
+    matches!(value, JsonValue::Str(_) | JsonValue::Bool(_))
+        || matches!(key, "workers" | "threads" | "batch" | "seed")
+}
+
+/// Record identity = all identity fields, rendered.
+fn record_key(rec: &JsonValue) -> String {
+    rec.fields()
+        .iter()
+        .filter(|(k, v)| is_identity_field(k, v))
+        .map(|(k, v)| match v {
+            JsonValue::Str(s) => format!("{k}={s}"),
+            JsonValue::Bool(b) => format!("{k}={b}"),
+            JsonValue::Num(n) => format!("{k}={n}"),
+            _ => format!("{k}=?"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Prints per-record numeric deltas between two parsed bench files —
+/// the cross-PR perf trajectory in one glance. Records are matched on
+/// their identity fields; unmatched records are reported as new/dropped.
+pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
+    let (Some(prev_recs), Some(cur_recs)) = (prev.as_array(), cur.as_array()) else {
+        println!("trend {label}: previous file not comparable");
+        return;
+    };
+    let mut seen_prev = vec![false; prev_recs.len()];
+    for rec in cur_recs {
+        let key = record_key(rec);
+        let old = prev_recs.iter().enumerate().find_map(|(i, p)| {
+            (record_key(p) == key).then(|| {
+                seen_prev[i] = true;
+                p
+            })
+        });
+        let mut parts = Vec::new();
+        for (k, v) in rec.fields() {
+            let (Some(new), false) = (v.as_f64(), is_identity_field(k, v)) else {
+                continue;
+            };
+            match old.and_then(|o| o.get(k)).and_then(JsonValue::as_f64) {
+                Some(oldv) if oldv != 0.0 => {
+                    let pct = (new - oldv) / oldv * 100.0;
+                    parts.push(format!("{k} {oldv:.1} → {new:.1} ({pct:+.1}%)"));
+                }
+                _ => parts.push(format!("{k} {new:.1} (new)")),
+            }
+        }
+        if !parts.is_empty() {
+            println!("trend {label}: {key}: {}", parts.join(", "));
+        }
+    }
+    for (i, p) in prev_recs.iter().enumerate() {
+        if !seen_prev[i] {
+            println!("trend {label}: {} dropped from this run", record_key(p));
+        }
     }
 }
 
@@ -115,6 +206,37 @@ pub fn trained_model(sc: &Scenario, ssar: bool, seed: u64) -> CompletionModel {
     panic!("no trainable path for {}", sc.bias.table);
 }
 
+/// The serving query mix over the synthetic `ta → tb` schema: repeated
+/// shapes (cache reuse) and distinct shapes, like a dashboard hammering
+/// one database. Shared by the `serving` bench, the `serve_smoke` CI bin
+/// and the concurrent-serving test suite, so they all check the same
+/// workload.
+pub fn serving_workload() -> Vec<Query> {
+    vec![
+        Query::new(["tb"]).aggregate(Agg::CountStar),
+        Query::new(["ta", "tb"]).aggregate(Agg::CountStar),
+        Query::new(["ta", "tb"])
+            .group_by(["b"])
+            .aggregate(Agg::CountStar),
+        Query::new(["tb"]).group_by(["b"]).aggregate(Agg::CountStar),
+        Query::new(["ta"]).aggregate(Agg::CountStar),
+    ]
+}
+
+/// Bit-stable rendering of a query result (group keys + f64 bit patterns)
+/// — the unit of the serial-vs-concurrent equality checks.
+pub fn result_fingerprint(r: &QueryResult) -> String {
+    let mut out = String::new();
+    for (key, vals) in r.groups() {
+        out.push_str(&format!("{key:?}:"));
+        for v in vals {
+            out.push_str(&format!("{:016x},", v.to_bits()));
+        }
+        out.push(';');
+    }
+    out
+}
+
 /// A short housing path used by micro-benches.
 pub fn housing_path(sc: &Scenario) -> CompletionPath {
     CompletionPath::from_tables(
@@ -122,4 +244,46 @@ pub fn housing_path(sc: &Scenario) -> CompletionPath {
         &["neighborhood".to_string(), "apartment".to_string()],
     )
     .expect("housing path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_matches_records_on_identity_fields() {
+        let prev = parse(
+            r#"[{"bench":"training_engines","engine":"arena_parallel","workers":2,"steps_per_s":100.0,"tuples_per_s":25600.0},
+                {"bench":"training_engines","engine":"gone","workers":1,"steps_per_s":5.0,"tuples_per_s":10.0}]"#,
+        )
+        .unwrap();
+        let cur = parse(
+            r#"[{"bench":"training_engines","engine":"arena_parallel","workers":2,"steps_per_s":110.0,"tuples_per_s":28160.0},
+                {"bench":"serving","engine":"warm_cache","threads":4,"queries_per_s":1234.5}]"#,
+        )
+        .unwrap();
+        let recs = cur.as_array().unwrap();
+        // Same identity → matched; measurement fields excluded from keys.
+        assert_eq!(
+            record_key(&recs[0]),
+            record_key(&prev.as_array().unwrap()[0])
+        );
+        assert!(record_key(&recs[1]).contains("threads=4"));
+        assert!(!record_key(&recs[0]).contains("steps_per_s"));
+        // Smoke the printer over matched, new and dropped records.
+        print_trend("TEST.json", &prev, &cur);
+    }
+
+    #[test]
+    fn serving_record_serializes_requested_fields() {
+        let rec = ServingRecord {
+            bench: "serving".into(),
+            engine: "warm_cache".into(),
+            threads: 8,
+            queries_per_s: 42.5,
+        };
+        let j = rec.to_json();
+        assert!(j.contains("\"threads\":8"));
+        assert!(j.contains("\"queries_per_s\":42.5"));
+    }
 }

@@ -121,6 +121,19 @@ impl CompletionOutput {
     pub fn n_synthesized(&self) -> usize {
         self.any_synthesized().iter().filter(|&&b| b).count()
     }
+
+    /// Approximate resident size in bytes — what one cached completion
+    /// costs the serving cache's memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self.tables.iter().map(String::len).sum();
+        let syn: usize = self.syn.iter().map(Vec::len).sum();
+        let tf: usize = self
+            .tf
+            .iter()
+            .map(|v| v.len() * std::mem::size_of::<Option<i64>>())
+            .sum();
+        self.join.approx_bytes() + names + syn + tf
+    }
 }
 
 /// The working state of Algorithm 1: the join so far plus parallel

@@ -13,8 +13,9 @@
 //!   replacement of Fig. 3;
 //! * [`selection`] — model & path selection (§5);
 //! * [`confidence`] — completion confidence intervals (§6);
-//! * [`cache`] — completed-join reuse (§4.5);
-//! * [`restore`] — the [`ReStore`] facade tying everything together.
+//! * [`cache`] — completed-join reuse (§4.5): single-flight, budgeted;
+//! * [`restore`] — the [`ReStore`] build facade tying everything together;
+//! * [`snapshot`] — the immutable, concurrent serving [`Snapshot`].
 
 pub mod ann;
 pub mod annotation;
@@ -28,12 +29,13 @@ pub mod model;
 pub mod paths;
 pub mod restore;
 pub mod selection;
+pub mod snapshot;
 
 pub use ann::AnnIndex;
 pub use annotation::{
     is_key_column, is_tf_column, modeled_columns, tf_column_name, SchemaAnnotation,
 };
-pub use cache::JoinCache;
+pub use cache::{CacheStats, JoinCache};
 pub use completion::{Completer, CompleterConfig, CompletionOutput, ReplacementMode};
 pub use confidence::{confidence_interval, ConfidenceInterval, ConfidenceQuery};
 pub use encoding::AttrEncoder;
@@ -46,3 +48,4 @@ pub use selection::{
     basic_filter, select_model, BiasDirection, CandidateScore, SelectionOutcome, SelectionStrategy,
     SuspectedBias,
 };
+pub use snapshot::{query_focus_columns, Snapshot};

@@ -397,7 +397,9 @@ impl CompletionModel {
 
         // Early stopping on the held-out split: small training joins (a few
         // hundred rows) overfit quickly, which would both hurt the
-        // completion and corrupt the §5 test-loss selection signal.
+        // completion and corrupt the §5 test-loss selection signal. Best
+        // parameters are double-buffered: one buffer allocated on the first
+        // improvement, value-copied in place on every later one.
         let mut best_val = f32::INFINITY;
         let mut best_store: Option<ParamStore> = None;
         let mut stale = 0usize;
@@ -415,7 +417,10 @@ impl CompletionModel {
             let val = self.validate(join, &tokens, &weights, &val_rows)?.loss;
             if val < best_val - 1e-4 {
                 best_val = val;
-                best_store = Some(self.store.clone());
+                match &mut best_store {
+                    Some(buf) => buf.copy_values_from(&self.store),
+                    None => best_store = Some(self.store.clone()),
+                }
                 stale = 0;
             } else {
                 stale += 1;
@@ -424,8 +429,8 @@ impl CompletionModel {
                 }
             }
         }
-        if let Some(store) = best_store {
-            self.store = store;
+        if let Some(best) = &best_store {
+            self.store.copy_values_from(best);
         }
 
         let loss = self.validate(join, &tokens, &weights, &val_rows)?;

@@ -1,5 +1,12 @@
 //! The [`ReStore`] facade: annotate → train → complete → query (Fig. 1).
 //!
+//! [`ReStore`] is the *build phase* of the lifecycle: it owns the mutable
+//! state (annotations, bias hints, on-demand model training) and answers
+//! queries by training whatever candidate models the query needs first,
+//! then delegating to the serving logic. [`ReStore::seal`] freezes the
+//! build into an immutable [`Snapshot`] whose serving methods all take
+//! `&self` — that is the type to share across threads in a server.
+//!
 //! Queries over incomplete tables are answered by (1) building an
 //! *execution chain* — the selected completion path of the incomplete
 //! table, extended by the remaining query tables, (2) running Algorithm 1
@@ -11,19 +18,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use restore_db::{execute_on_join, Database, Query, QueryResult, Table, Value};
+use restore_db::{Database, Query, QueryResult, Table};
 
 use crate::annotation::{modeled_columns, SchemaAnnotation};
-use crate::cache::JoinCache;
-use crate::completion::{Completer, CompleterConfig, CompletionOutput};
-use crate::confidence::{confidence_interval, ConfidenceInterval, ConfidenceQuery};
+use crate::cache::{CacheStats, JoinCache};
+use crate::completion::{CompleterConfig, CompletionOutput};
+use crate::confidence::{ConfidenceInterval, ConfidenceQuery};
 use crate::error::{CoreError, CoreResult};
 use crate::model::{CompletionModel, TrainConfig};
 use crate::paths::CompletionPath;
 use crate::selection::{select_model, CandidateScore, SelectionStrategy, SuspectedBias};
+use crate::snapshot::Snapshot;
 
 /// Configuration of the ReStore facade.
 #[derive(Clone, Debug)]
@@ -35,6 +40,15 @@ pub struct RestoreConfig {
     /// Maximum candidate paths trained during selection.
     pub max_candidates: usize,
     pub strategy: SelectionStrategy,
+    /// Approximate memory budget of the **sealed** snapshot's
+    /// completed-join cache in bytes; least-recently-used completions are
+    /// evicted beyond it (`0` = unbounded). Sized from
+    /// [`CompletionOutput::approx_bytes`]. The build facade's own cache is
+    /// always unbounded: its synthesis seeds follow the caller's query
+    /// seed, so evicting would make repeated queries
+    /// eviction-order-dependent — only sealed snapshots (whose synthesis
+    /// seeds are path-derived, hence resynthesis-stable) can evict safely.
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for RestoreConfig {
@@ -45,6 +59,7 @@ impl Default for RestoreConfig {
             max_path_len: 5,
             max_candidates: 3,
             strategy: SelectionStrategy::default(),
+            cache_budget_bytes: 1 << 30,
         }
     }
 }
@@ -69,46 +84,49 @@ pub struct TrainReport {
     pub candidates: HashMap<String, Vec<CandidateScore>>,
 }
 
-/// The ReStore system: an incomplete database plus trained completion
+/// The ReStore build phase: an incomplete database plus trained completion
 /// models, ready to answer aggregate queries as if the data were complete.
+///
+/// Serving methods (`execute`, `completed_table`, `complete_join`,
+/// `confidence`) train missing candidate models on demand and therefore
+/// take `&mut self`; [`ReStore::seal`] produces the immutable, shareable
+/// [`Snapshot`] for concurrent serving.
 pub struct ReStore {
-    db: Database,
-    annotation: SchemaAnnotation,
-    config: RestoreConfig,
+    inner: Snapshot,
     suspected: Vec<SuspectedBias>,
-    models: HashMap<Vec<String>, Arc<CompletionModel>>,
-    selected: HashMap<String, Vec<String>>,
-    /// Paths explicitly forced via [`ReStore::set_selected_path`].
-    forced: HashMap<String, Vec<String>>,
-    cache: JoinCache,
 }
 
 impl ReStore {
     pub fn new(db: Database, config: RestoreConfig) -> Self {
+        // Unbounded on purpose — see `RestoreConfig::cache_budget_bytes`.
+        let cache = JoinCache::new();
         Self {
-            db,
-            annotation: SchemaAnnotation::new(),
-            config,
+            inner: Snapshot {
+                db: Arc::new(db),
+                annotation: SchemaAnnotation::new(),
+                config,
+                models: HashMap::new(),
+                selected: HashMap::new(),
+                forced: HashMap::new(),
+                cache,
+                base_seed: None,
+            },
             suspected: Vec::new(),
-            models: HashMap::new(),
-            selected: HashMap::new(),
-            forced: HashMap::new(),
-            cache: JoinCache::new(),
         }
     }
 
     pub fn db(&self) -> &Database {
-        &self.db
+        &self.inner.db
     }
 
     pub fn annotation(&self) -> &SchemaAnnotation {
-        &self.annotation
+        &self.inner.annotation
     }
 
     /// Annotates a table as incomplete (§2.2, step 1).
     pub fn mark_incomplete(&mut self, table: impl Into<String>) {
-        self.annotation.mark_incomplete(table);
-        self.cache.invalidate();
+        self.inner.annotation.mark_incomplete(table);
+        self.inner.cache.invalidate();
     }
 
     /// Registers a suspected bias hint used by
@@ -119,17 +137,51 @@ impl ReStore {
 
     /// Cache statistics `(hits, misses)` (§4.5 instrumentation).
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.stats()
+        self.inner.cache_stats()
+    }
+
+    /// Full cache counters including single-flight waits and evictions.
+    pub fn full_cache_stats(&self) -> CacheStats {
+        self.inner.full_cache_stats()
     }
 
     /// All completed joins currently cached (diagnostics).
     pub fn cached_completions(&self) -> Vec<(Vec<String>, Arc<CompletionOutput>)> {
-        self.cache.entries()
+        self.inner.cached_completions()
     }
 
     /// All models trained so far (diagnostics).
     pub fn trained_models(&self) -> Vec<Arc<CompletionModel>> {
-        self.models.values().cloned().collect()
+        self.inner.trained_models()
+    }
+
+    /// Seals the build into an immutable [`Snapshot`] for concurrent
+    /// serving: models, selected paths and annotation are carried over;
+    /// synthesis seeds derive from `serve_seed` so results are a pure
+    /// function of `(snapshot, query, seed)` no matter how many threads
+    /// execute. Chains the build phase completed (e.g. via
+    /// [`ReStore::precompute_pairs`]) are **re-synthesized** under the
+    /// serve-derived seed rather than carried verbatim — build-time
+    /// entries used legacy query-derived seeds, and carrying them would
+    /// let eviction state leak into sealed results. The facade remains
+    /// usable — further training affects only future seals.
+    pub fn seal(&self, serve_seed: u64) -> Snapshot {
+        let snapshot = Snapshot {
+            db: Arc::clone(&self.inner.db),
+            annotation: self.inner.annotation.clone(),
+            config: self.inner.config.clone(),
+            models: self.inner.models.clone(),
+            selected: self.inner.selected.clone(),
+            forced: self.inner.forced.clone(),
+            cache: JoinCache::with_budget(self.inner.config.cache_budget_bytes),
+            base_seed: Some(serve_seed),
+        };
+        for (chain, _) in self.inner.cache.entries() {
+            // Seed argument is unused on sealed snapshots; chains whose
+            // model was dropped are simply not pre-warmed.
+            let _ = snapshot.complete_join(&chain, serve_seed);
+        }
+        snapshot
     }
 
     /// Selects completion paths and trains models for every incomplete
@@ -138,25 +190,26 @@ impl ReStore {
     pub fn train(&mut self, seed: u64) -> CoreResult<TrainReport> {
         let mut report = TrainReport::default();
         let targets: Vec<String> = self
+            .inner
             .annotation
             .incomplete_tables()
             .map(str::to_string)
             .collect();
         for (i, target) in targets.iter().enumerate() {
-            let table = self.db.table(target)?;
+            let table = self.inner.db.table(target)?;
             if modeled_columns(table).is_empty() {
                 continue;
             }
             let suspected = self.suspected.iter().find(|s| &s.table == target).cloned();
             let outcome = select_model(
-                &self.db,
-                &self.annotation,
+                &self.inner.db,
+                &self.inner.annotation,
                 target,
-                self.config.max_path_len,
-                self.config.max_candidates,
-                &self.config.strategy,
+                self.inner.config.max_path_len,
+                self.inner.config.max_candidates,
+                &self.inner.config.strategy,
                 suspected.as_ref(),
-                &self.config.train,
+                &self.inner.config.train,
                 seed.wrapping_add(i as u64 * 7919),
             )?;
             let model = Arc::new(outcome.model);
@@ -170,9 +223,12 @@ impl ReStore {
                 parameters: model.num_parameters(),
             });
             report.candidates.insert(target.clone(), outcome.candidates);
-            self.selected
+            self.inner
+                .selected
                 .insert(target.clone(), model.path().tables().to_vec());
-            self.models.insert(model.path().tables().to_vec(), model);
+            self.inner
+                .models
+                .insert(model.path().tables().to_vec(), model);
         }
         Ok(report)
     }
@@ -183,25 +239,26 @@ impl ReStore {
         tables: &[String],
         seed: u64,
     ) -> CoreResult<Arc<CompletionModel>> {
-        if let Some(m) = self.models.get(tables) {
+        if let Some(m) = self.inner.models.get(tables) {
             return Ok(Arc::clone(m));
         }
-        let path = CompletionPath::from_tables(&self.db, tables)?;
+        let path = CompletionPath::from_tables(&self.inner.db, tables)?;
         let model = Arc::new(CompletionModel::train(
-            &self.db,
-            &self.annotation,
+            &self.inner.db,
+            &self.inner.annotation,
             path,
-            &self.config.train,
+            &self.inner.config.train,
             seed,
         )?);
-        self.models.insert(tables.to_vec(), Arc::clone(&model));
+        self.inner
+            .models
+            .insert(tables.to_vec(), Arc::clone(&model));
         Ok(model)
     }
 
     /// The model selected for an incomplete table, if trained.
     pub fn selected_model(&self, table: &str) -> Option<Arc<CompletionModel>> {
-        let path = self.selected.get(table)?;
-        self.models.get(path).cloned()
+        self.inner.selected_model(table)
     }
 
     /// Forces the completion path used for `table` (training the model on
@@ -221,14 +278,16 @@ impl ReStore {
                 model.path().describe()
             )));
         }
-        self.selected.insert(table.to_string(), tables.to_vec());
-        self.forced.insert(table.to_string(), tables.to_vec());
+        self.inner
+            .selected
+            .insert(table.to_string(), tables.to_vec());
+        self.inner.forced.insert(table.to_string(), tables.to_vec());
         Ok(())
     }
 
     /// Candidate completion paths for an incomplete table.
     pub fn candidate_paths(&self, table: &str) -> Vec<CompletionPath> {
-        crate::paths::enumerate_paths(&self.db, &self.annotation, table, self.config.max_path_len)
+        self.inner.candidate_paths(table)
     }
 
     /// §4.5 offline completion: without workload knowledge, pre-completes
@@ -237,20 +296,21 @@ impl ReStore {
     /// generating data at query time. Returns the number of cached joins.
     pub fn precompute_pairs(&mut self, seed: u64) -> CoreResult<usize> {
         let incomplete: Vec<String> = self
+            .inner
             .annotation
             .incomplete_tables()
             .map(str::to_string)
             .collect();
         let mut cached = 0;
         for target in incomplete {
-            let table = self.db.table(&target)?;
+            let table = self.inner.db.table(&target)?;
             if modeled_columns(table).is_empty() {
                 continue;
             }
-            for step in self.db.neighbors(&target) {
+            for step in self.inner.db.neighbors(&target) {
                 // The evidence side is the FK neighbor; it must be complete.
                 let other = step.to_table().to_string();
-                if self.annotation.is_incomplete(&other) {
+                if self.inner.annotation.is_incomplete(&other) {
                     continue;
                 }
                 let chain = vec![other, target.clone()];
@@ -263,27 +323,48 @@ impl ReStore {
     }
 
     /// Completes the join over an ordered table chain (Algorithm 1) with
-    /// §4.5 caching.
+    /// §4.5 caching, training the path's model on demand.
     pub fn complete_join(
         &mut self,
         tables: &[String],
         seed: u64,
     ) -> CoreResult<Arc<CompletionOutput>> {
-        if let Some(cached) = self.cache.get(tables) {
-            return Ok(cached);
+        self.model_for_path(tables, seed)?;
+        self.inner.complete_join(tables, seed)
+    }
+
+    /// Trains (on demand) the models for every candidate execution chain
+    /// covering `query_tables`, so the chains are servable from `&self` —
+    /// this is what [`ReStore::execute`] runs before delegating to the
+    /// serving logic, and what a server calls per expected query shape
+    /// before [`ReStore::seal`]. Individual candidates that fail to train
+    /// are skipped (the serving-side selection scores the survivors);
+    /// returns the last training error for diagnostics.
+    pub fn ensure_query_models(
+        &mut self,
+        query_tables: &[String],
+        seed: u64,
+    ) -> CoreResult<Option<CoreError>> {
+        if !query_tables
+            .iter()
+            .any(|t| self.inner.annotation.is_incomplete(t))
+        {
+            // Nothing to complete — nothing to train.
+            return Ok(None);
         }
-        let model = self.model_for_path(tables, seed)?;
-        let completer =
-            Completer::new(&self.db, &self.annotation).with_config(self.config.completer.clone());
-        let out = Arc::new(completer.complete(&model, seed ^ 0xc0de)?);
-        self.cache.put(tables.to_vec(), Arc::clone(&out));
-        Ok(out)
+        let (chains, mut last_err) = self.inner.candidate_chains(query_tables)?;
+        for chain in chains {
+            if let Err(e) = self.model_for_path(&chain, seed) {
+                last_err = Some(e);
+            }
+        }
+        Ok(last_err)
     }
 
     /// Executes a query over the incomplete data as-is (the baseline the
     /// paper compares against).
     pub fn execute_without_completion(&self, query: &Query) -> CoreResult<QueryResult> {
-        restore_db::execute(&self.db, query).map_err(CoreError::from)
+        self.inner.execute_without_completion(query)
     }
 
     /// Executes a query with data completion: the ReStore answer.
@@ -291,36 +372,21 @@ impl ReStore {
         let needs_completion = query
             .tables
             .iter()
-            .any(|t| self.annotation.is_incomplete(t));
+            .any(|t| self.inner.annotation.is_incomplete(t));
         if !needs_completion {
             return self.execute_without_completion(query);
         }
-        let focus = query_focus_columns(query);
-        // Single-table queries get the completed relation directly (all
-        // real rows plus reweighted synthesized ones).
-        if query.tables.len() == 1 {
-            let completed = self.completed_table_focused(&query.tables[0], &focus, seed)?;
-            return execute_on_join(&completed, query).map_err(CoreError::from);
-        }
-        let chain = self.execution_chain(&query.tables, &focus, seed)?;
-        let out = self.complete_join(&chain, seed)?;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
-        let projected = self.project_completed(&out, &query.tables, &mut rng)?;
-        execute_on_join(&projected, query).map_err(CoreError::from)
+        let train_err = self.ensure_query_models(&query.tables, seed)?;
+        recover(self.inner.execute(query, seed), train_err)
     }
 
     /// Completes a single incomplete table and returns it in the table's
-    /// own schema: all real rows survive as-is, synthesized rows are taken
-    /// from the completed chain join and thinned by the evidence
-    /// multiplicity (the §4.4 reweighting — an n:1 evidence step visits a
-    /// target tuple once per evidence row).
+    /// own schema — see [`Snapshot::completed_table`].
     pub fn completed_table(&mut self, table: &str, seed: u64) -> CoreResult<Table> {
         self.completed_table_focused(table, &[], seed)
     }
 
-    /// [`ReStore::completed_table`] with query-aware path selection: the
-    /// candidate whose held-out NLL on the `focus` attributes is lowest
-    /// wins (§5 — the significance of evidence depends on the query).
+    /// [`ReStore::completed_table`] with query-aware path selection (§5).
     pub fn completed_table_focused(
         &mut self,
         table: &str,
@@ -328,54 +394,11 @@ impl ReStore {
         seed: u64,
     ) -> CoreResult<Table> {
         let tname = table.to_string();
-        let chain = self.execution_chain(std::slice::from_ref(&tname), focus, seed)?;
-        let out = self.complete_join(&chain, seed)?;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x517e);
-
-        let base = self.db.table(table)?;
-        let mut result = base.clone();
-        let join = &out.join;
-        let syn = out
-            .synthesized_for(table)
-            .ok_or_else(|| CoreError::Invalid(format!("{table} not on completed chain")))?;
-
-        // Evidence multiplicity from real (non-synthesized) rows: how often
-        // does one real target tuple appear in the chain join?
-        let multiplicity = match join.resolve(&format!("{table}.id")) {
-            Ok(id_idx) => {
-                let mut distinct = std::collections::HashSet::new();
-                let mut real = 0usize;
-                for (r, &s) in syn.iter().enumerate() {
-                    let v = join.value(r, id_idx);
-                    if !s && !v.is_null() {
-                        real += 1;
-                        distinct.insert(v.to_string());
-                    }
-                }
-                (real as f64 / distinct.len().max(1) as f64).max(1.0)
-            }
-            Err(_) => 1.0,
-        };
-        let p_keep = 1.0 / multiplicity;
-
-        for (r, &s) in syn.iter().enumerate() {
-            if !s || rand::Rng::random::<f64>(&mut rng) >= p_keep {
-                continue;
-            }
-            let row: Vec<Value> = base
-                .fields()
-                .iter()
-                .map(|f| {
-                    let bare = f.name.rsplit('.').next().unwrap_or(&f.name);
-                    match join.resolve(&format!("{table}.{bare}")) {
-                        Ok(i) => crate::completion::coerce(&join.value(r, i), f.dtype),
-                        Err(_) => Value::Null,
-                    }
-                })
-                .collect();
-            result.push_row(&row)?;
-        }
-        Ok(result)
+        let train_err = self.ensure_query_models(std::slice::from_ref(&tname), seed)?;
+        recover(
+            self.inner.completed_table_focused(table, focus, seed),
+            train_err,
+        )
     }
 
     /// §6 confidence interval for an aggregate over the completed join of
@@ -387,241 +410,20 @@ impl ReStore {
         level: f64,
         seed: u64,
     ) -> CoreResult<ConfidenceInterval> {
-        let focus = match query {
-            ConfidenceQuery::CountFraction { column, .. }
-            | ConfidenceQuery::Avg { column, .. }
-            | ConfidenceQuery::Sum { column, .. } => vec![column.clone()],
-        };
-        let chain = self.execution_chain(query_tables, &focus, seed)?;
-        let out = self.complete_join(&chain, seed)?;
-        let model = self.model_for_path(&chain, seed)?;
-        confidence_interval(&model, &self.db, &out, query, level)
-    }
-
-    /// Builds the execution chain for a set of query tables: a candidate
-    /// completion path of an incomplete query table, extended with the
-    /// remaining query tables along FK edges. Among all viable chains the
-    /// one whose model best predicts the `focus` attributes (held-out NLL)
-    /// wins — the significance of evidence depends on the query (§5).
-    fn execution_chain(
-        &mut self,
-        query_tables: &[String],
-        focus: &[String],
-        seed: u64,
-    ) -> CoreResult<Vec<String>> {
-        let incomplete: Vec<String> = query_tables
-            .iter()
-            .filter(|t| self.annotation.is_incomplete(t))
-            .cloned()
-            .collect();
-        if incomplete.is_empty() {
-            return Err(CoreError::Invalid("no incomplete table in query".into()));
-        }
-        let mut best: Option<(f32, Vec<String>)> = None;
-        let mut last_err: Option<CoreError> = None;
-        for anchor in &incomplete {
-            let table = self.db.table(anchor)?;
-            if modeled_columns(table).is_empty() {
-                continue;
-            }
-            // A forced path short-circuits candidate enumeration.
-            let candidates: Vec<Vec<String>> = match self.forced.get(anchor) {
-                Some(forced) => vec![forced.clone()],
-                None => self
-                    .candidate_paths(anchor)
-                    .into_iter()
-                    .take(self.config.max_candidates.max(1))
-                    .map(|p| p.tables().to_vec())
-                    .collect(),
-            };
-            for mut chain in candidates {
-                let mut remaining: Vec<String> = query_tables
-                    .iter()
-                    .filter(|t| !chain.contains(t))
-                    .cloned()
-                    .collect();
-                // Greedily append tables connected to the chain's end.
-                while !remaining.is_empty() {
-                    let end = chain.last().unwrap().clone();
-                    match remaining
-                        .iter()
-                        .position(|t| self.db.edge_between(&end, t).is_some())
-                    {
-                        Some(i) => chain.push(remaining.remove(i)),
-                        None => break,
-                    }
-                }
-                if !remaining.is_empty() {
-                    last_err = Some(CoreError::Invalid(format!(
-                        "cannot extend chain {chain:?} with {remaining:?}"
-                    )));
-                    continue;
-                }
-                match self.model_for_path(&chain, seed) {
-                    Ok(model) => {
-                        // Every chain table outside the query adds evidence
-                        // multiplicity (and reweighting noise, §4.4), so
-                        // near-ties go to the leaner chain.
-                        let extras = chain.iter().filter(|t| !query_tables.contains(t)).count();
-                        // §4.4 reweighting for extra evidence tables is far
-                        // noisier than the completion itself, so covering
-                        // chains win unless their evidence is much weaker.
-                        let score = focus_loss(&model, focus, &self.annotation, query_tables)
-                            + 0.3 * extras as f32;
-                        if best.as_ref().is_none_or(|(b, _)| score < *b) {
-                            best = Some((score, chain));
-                        }
-                    }
-                    Err(e) => last_err = Some(e),
-                }
-            }
-        }
-        best.map(|(_, c)| c).ok_or_else(|| {
-            last_err.unwrap_or_else(|| {
-                CoreError::NoPath(format!("no execution chain covers {query_tables:?}"))
-            })
-        })
-    }
-
-    /// Projects a completed chain join onto the query tables, correcting
-    /// row multiplicity introduced by additional evidence tables (§4.4).
-    fn project_completed(
-        &self,
-        out: &CompletionOutput,
-        query_tables: &[String],
-        rng: &mut StdRng,
-    ) -> CoreResult<Table> {
-        let chain = &out.tables;
-        let extras: Vec<&String> = chain.iter().filter(|t| !query_tables.contains(t)).collect();
-        if extras.is_empty() {
-            return Ok(out.join.clone());
-        }
-        // Keep only the query tables' columns — evidence columns would
-        // shadow query attributes (e.g. actor.gender vs director.gender).
-        let query_cols: Vec<String> = out
-            .join
-            .fields()
-            .iter()
-            .map(|f| f.name.clone())
-            .filter(|name| {
-                name.split_once('.')
-                    .is_some_and(|(t, _)| query_tables.iter().any(|q| q == t))
-            })
-            .collect();
-        // The extras form the evidence prefix; the pivot is the first chain
-        // table that belongs to the query.
-        let pivot_idx = chain
-            .iter()
-            .position(|t| query_tables.contains(t))
-            .ok_or_else(|| CoreError::Invalid("query tables not on chain".into()))?;
-        let join = &out.join;
-        let n = join.n_rows();
-
-        // Row keys: id columns of the pivot and all downstream query tables.
-        let key_cols: Vec<usize> = chain[pivot_idx..]
-            .iter()
-            .filter(|t| query_tables.contains(t))
-            .filter_map(|t| join.resolve(&format!("{t}.id")).ok())
-            .collect();
-        if key_cols.is_empty() {
-            // No identity available; project columns and return as-is.
-            let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
-            return join.project(&refs).map_err(CoreError::from);
-        }
-
-        // A row is synthetic when any *query-table* part of it was
-        // synthesized — euclidean replacement may have given it real keys
-        // (Fig. 3), so null-ness of the key is not the right signal.
-        let relevant: Vec<usize> = (0..chain.len())
-            .filter(|&i| query_tables.contains(&chain[i]))
-            .collect();
-        let is_syn = |r: usize| relevant.iter().any(|&i| out.syn[i][r]);
-
-        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
-        let mut real_rows = 0usize;
-        let mut keep = vec![false; n];
-        let mut syn_rows: Vec<usize> = Vec::new();
-        for (r, keep_slot) in keep.iter_mut().enumerate() {
-            if is_syn(r) {
-                syn_rows.push(r);
-                continue;
-            }
-            let key: Vec<Value> = key_cols.iter().map(|&c| join.value(r, c)).collect();
-            if key.iter().any(Value::is_null) {
-                // Real parts but no identity — keep conservatively.
-                *keep_slot = true;
-                continue;
-            }
-            real_rows += 1;
-            if seen.insert(key) {
-                *keep_slot = true;
-            }
-        }
-        // Multiplicity of real keys → thinning factor for synthesized rows.
-        let distinct = seen.len().max(1);
-        let multiplicity = (real_rows as f64 / distinct as f64).max(1.0);
-        let p_keep = 1.0 / multiplicity;
-        for &r in &syn_rows {
-            if rand::Rng::random::<f64>(rng) < p_keep {
-                keep[r] = true;
-            }
-        }
-        let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
-        join.filter(&keep).project(&refs).map_err(CoreError::from)
+        let train_err = self.ensure_query_models(query_tables, seed)?;
+        recover(
+            self.inner.confidence(query_tables, query, level, seed),
+            train_err,
+        )
     }
 }
 
-/// Bare (unqualified) column names a query reads: filter references,
-/// group-by columns and aggregate inputs.
-pub fn query_focus_columns(query: &Query) -> Vec<String> {
-    let mut cols = Vec::new();
-    if let Some(f) = &query.filter {
-        f.collect_columns(&mut cols);
-    }
-    cols.extend(query.group_by.iter().cloned());
-    for agg in &query.aggregates {
-        if let Some(c) = agg.input_column() {
-            cols.push(c.to_string());
-        }
-    }
-    let mut bare: Vec<String> = cols
-        .into_iter()
-        .map(|c| c.rsplit('.').next().unwrap_or(&c).to_string())
-        .collect();
-    bare.sort();
-    bare.dedup();
-    bare
-}
-
-/// Mean held-out NLL of a model on the attributes the query needs to be
-/// synthesized: attributes of *incomplete query tables*, preferring the
-/// focus columns. Restricting to query tables keeps the score comparable
-/// across chains with different evidence prefixes.
-fn focus_loss(
-    model: &CompletionModel,
-    focus: &[String],
-    annotation: &SchemaAnnotation,
-    query_tables: &[String],
-) -> f32 {
-    let mut focus_vals = Vec::new();
-    let mut all_vals = Vec::new();
-    for (i, attr) in model.attrs().iter().enumerate() {
-        if let crate::model::AttrKind::Column { table, column } = &attr.kind {
-            if annotation.is_incomplete(table) && query_tables.iter().any(|q| q == table) {
-                all_vals.push(model.val_per_attr[i]);
-                if focus.iter().any(|f| f == column) {
-                    focus_vals.push(model.val_per_attr[i]);
-                }
-            }
-        }
-    }
-    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-    if !focus_vals.is_empty() {
-        mean(&focus_vals)
-    } else if !all_vals.is_empty() {
-        mean(&all_vals)
-    } else {
-        model.target_val_loss()
+/// Surfaces the build-time training error when serving failed only because
+/// a model is missing — "training failed because X" beats "no model".
+fn recover<T>(result: CoreResult<T>, train_err: Option<CoreError>) -> CoreResult<T> {
+    match (result, train_err) {
+        (Err(CoreError::NoModel(_)), Some(e)) => Err(e),
+        (r, _) => r,
     }
 }
 
@@ -743,5 +545,36 @@ mod tests {
             err(&completed),
             err(&incomplete)
         );
+    }
+
+    #[test]
+    fn sealed_snapshot_serves_like_the_facade() {
+        let (_, mut rs) = restore_on_synthetic(57);
+        rs.train(57).unwrap();
+        let q = Query::new(["ta", "tb"]).aggregate(Agg::CountStar);
+        rs.ensure_query_models(&q.tables, 57).unwrap();
+        let snap = Arc::new(rs.seal(57));
+        let a = snap.execute(&q, 57).unwrap().scalar().unwrap();
+        let b = snap.execute(&q, 57).unwrap().scalar().unwrap();
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "snapshot serving is deterministic"
+        );
+        // The snapshot answers from frozen models only.
+        let unknown = Query::new(["tb"]).aggregate(Agg::CountStar);
+        assert!(snap.execute(&unknown, 57).is_ok());
+    }
+
+    #[test]
+    fn sealed_snapshot_rejects_untrained_paths() {
+        let (_, rs) = restore_on_synthetic(58);
+        // Sealed before training: no models at all.
+        let snap = rs.seal(58);
+        let q = Query::new(["ta", "tb"]).aggregate(Agg::CountStar);
+        assert!(matches!(
+            snap.execute(&q, 58),
+            Err(CoreError::NoModel(_) | CoreError::NoPath(_))
+        ));
     }
 }

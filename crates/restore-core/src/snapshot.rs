@@ -1,0 +1,537 @@
+//! The serving half of the ReStore lifecycle: an immutable, shareable
+//! [`Snapshot`] of everything the system learned at build time.
+//!
+//! After annotate → train → select, nothing mutates — the database, the
+//! trained models, and the selected paths are all frozen. [`Snapshot`]
+//! captures that frozen state so *every* serving method takes `&self` and
+//! is safe to call from any number of threads over one `Arc<Snapshot>`.
+//! The only interior mutability is the [`JoinCache`], which is thread-safe
+//! and single-flight: concurrent queries needing the same cold completion
+//! path block on one synthesis instead of racing duplicates.
+//!
+//! **Determinism contract.** A query's result is a pure function of
+//! `(snapshot, query, seed)` — never of scheduling or of what other
+//! threads are executing. Two ingredients make this hold:
+//!
+//! 1. every per-query random choice (row thinning, projection) draws from
+//!    an RNG seeded only by the query seed, and
+//! 2. the synthesis seed of a completion path is derived from the
+//!    snapshot's fixed serve seed and the path itself — so whichever
+//!    thread happens to populate the cache, the cached join is the same.
+//!
+//! (The legacy [`ReStore`](crate::restore::ReStore) facade instead seeds
+//! synthesis from the caller's query seed — serially deterministic, which
+//! is all the single-client build phase needs.)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use restore_db::{execute_on_join, Database, Query, QueryResult, Table, Value};
+use restore_util::derive_seed;
+
+use crate::annotation::{modeled_columns, SchemaAnnotation};
+use crate::cache::{CacheStats, JoinCache};
+use crate::completion::{Completer, CompletionOutput};
+use crate::confidence::{confidence_interval, ConfidenceInterval, ConfidenceQuery};
+use crate::error::{CoreError, CoreResult};
+use crate::model::CompletionModel;
+use crate::paths::CompletionPath;
+use crate::restore::RestoreConfig;
+
+/// Stable fingerprint of an ordered table chain (FNV-1a over the names) —
+/// the per-path component of the sealed synthesis seed.
+fn path_fingerprint(tables: &[String]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for name in tables {
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ["ab"] and ["a","b"] differ.
+        h = (h ^ 0x1f).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An immutable, `Arc`-shareable serving snapshot: incomplete database +
+/// trained models + selected paths + annotation, with a thread-safe
+/// single-flight completion cache. Every serving method takes `&self`.
+pub struct Snapshot {
+    pub(crate) db: Arc<Database>,
+    pub(crate) annotation: SchemaAnnotation,
+    pub(crate) config: RestoreConfig,
+    pub(crate) models: HashMap<Vec<String>, Arc<CompletionModel>>,
+    pub(crate) selected: HashMap<String, Vec<String>>,
+    /// Paths explicitly forced at build time.
+    pub(crate) forced: HashMap<String, Vec<String>>,
+    pub(crate) cache: JoinCache,
+    /// `Some(serve_seed)` once sealed: synthesis seeds derive from
+    /// `(serve_seed, path)`. `None` inside the build facade: synthesis
+    /// seeds follow the caller's query seed (legacy behavior).
+    pub(crate) base_seed: Option<u64>,
+}
+
+impl Snapshot {
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn annotation(&self) -> &SchemaAnnotation {
+        &self.annotation
+    }
+
+    pub fn config(&self) -> &RestoreConfig {
+        &self.config
+    }
+
+    /// The serve seed this snapshot was sealed with, if sealed.
+    pub fn serve_seed(&self) -> Option<u64> {
+        self.base_seed
+    }
+
+    /// Cache statistics `(hits, misses)` (§4.5 instrumentation).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Full cache counters including single-flight waits and evictions.
+    pub fn full_cache_stats(&self) -> CacheStats {
+        self.cache.full_stats()
+    }
+
+    /// All completed joins currently cached (diagnostics).
+    pub fn cached_completions(&self) -> Vec<(Vec<String>, Arc<CompletionOutput>)> {
+        self.cache.entries()
+    }
+
+    /// All models frozen into the snapshot.
+    pub fn trained_models(&self) -> Vec<Arc<CompletionModel>> {
+        self.models.values().cloned().collect()
+    }
+
+    /// The model selected for an incomplete table, if trained.
+    pub fn selected_model(&self, table: &str) -> Option<Arc<CompletionModel>> {
+        let path = self.selected.get(table)?;
+        self.models.get(path).cloned()
+    }
+
+    /// The frozen model for an exact path. Serving never trains: a path
+    /// nobody trained at build time is a [`CoreError::NoModel`].
+    pub fn model_for_path(&self, tables: &[String]) -> CoreResult<Arc<CompletionModel>> {
+        self.models.get(tables).cloned().ok_or_else(|| {
+            CoreError::NoModel(format!(
+                "no trained model for path {tables:?} (train it before sealing the snapshot)"
+            ))
+        })
+    }
+
+    /// Candidate completion paths for an incomplete table.
+    pub fn candidate_paths(&self, table: &str) -> Vec<CompletionPath> {
+        crate::paths::enumerate_paths(&self.db, &self.annotation, table, self.config.max_path_len)
+    }
+
+    /// Executes a query over the incomplete data as-is (the baseline the
+    /// paper compares against).
+    pub fn execute_without_completion(&self, query: &Query) -> CoreResult<QueryResult> {
+        restore_db::execute(&self.db, query).map_err(CoreError::from)
+    }
+
+    /// Executes a query with data completion: the ReStore answer.
+    pub fn execute(&self, query: &Query, seed: u64) -> CoreResult<QueryResult> {
+        let needs_completion = query
+            .tables
+            .iter()
+            .any(|t| self.annotation.is_incomplete(t));
+        if !needs_completion {
+            return self.execute_without_completion(query);
+        }
+        let focus = query_focus_columns(query);
+        // Single-table queries get the completed relation directly (all
+        // real rows plus reweighted synthesized ones).
+        if query.tables.len() == 1 {
+            let completed = self.completed_table_focused(&query.tables[0], &focus, seed)?;
+            return execute_on_join(&completed, query).map_err(CoreError::from);
+        }
+        let chain = self.execution_chain(&query.tables, &focus)?;
+        let out = self.complete_join(&chain, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let projected = self.project_completed(&out, &query.tables, &mut rng)?;
+        execute_on_join(&projected, query).map_err(CoreError::from)
+    }
+
+    /// Completes the join over an ordered table chain (Algorithm 1) with
+    /// §4.5 caching and single-flight deduplication.
+    pub fn complete_join(&self, tables: &[String], seed: u64) -> CoreResult<Arc<CompletionOutput>> {
+        // Sealed snapshots derive the synthesis seed from (serve seed,
+        // path) so the cached join never depends on which query — or which
+        // thread — populated the cache; the build facade keeps the legacy
+        // query-seeded behavior.
+        let synth_seed = match self.base_seed {
+            Some(base) => derive_seed(base, path_fingerprint(tables)),
+            None => seed,
+        };
+        self.cache.get_or_compute(tables, || {
+            let model = self.model_for_path(tables)?;
+            let completer = Completer::new(&self.db, &self.annotation)
+                .with_config(self.config.completer.clone());
+            Ok(Arc::new(completer.complete(&model, synth_seed ^ 0xc0de)?))
+        })
+    }
+
+    /// Completes a single incomplete table and returns it in the table's
+    /// own schema: all real rows survive as-is, synthesized rows are taken
+    /// from the completed chain join and thinned by the evidence
+    /// multiplicity (the §4.4 reweighting — an n:1 evidence step visits a
+    /// target tuple once per evidence row).
+    pub fn completed_table(&self, table: &str, seed: u64) -> CoreResult<Table> {
+        self.completed_table_focused(table, &[], seed)
+    }
+
+    /// [`Snapshot::completed_table`] with query-aware path selection: the
+    /// candidate whose held-out NLL on the `focus` attributes is lowest
+    /// wins (§5 — the significance of evidence depends on the query).
+    pub fn completed_table_focused(
+        &self,
+        table: &str,
+        focus: &[String],
+        seed: u64,
+    ) -> CoreResult<Table> {
+        let tname = table.to_string();
+        let chain = self.execution_chain(std::slice::from_ref(&tname), focus)?;
+        let out = self.complete_join(&chain, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517e);
+
+        let base = self.db.table(table)?;
+        let mut result = base.clone();
+        let join = &out.join;
+        let syn = out
+            .synthesized_for(table)
+            .ok_or_else(|| CoreError::Invalid(format!("{table} not on completed chain")))?;
+
+        // Evidence multiplicity from real (non-synthesized) rows: how often
+        // does one real target tuple appear in the chain join?
+        let multiplicity = match join.resolve(&format!("{table}.id")) {
+            Ok(id_idx) => {
+                let mut distinct = std::collections::HashSet::new();
+                let mut real = 0usize;
+                for (r, &s) in syn.iter().enumerate() {
+                    let v = join.value(r, id_idx);
+                    if !s && !v.is_null() {
+                        real += 1;
+                        distinct.insert(v.to_string());
+                    }
+                }
+                (real as f64 / distinct.len().max(1) as f64).max(1.0)
+            }
+            Err(_) => 1.0,
+        };
+        let p_keep = 1.0 / multiplicity;
+
+        for (r, &s) in syn.iter().enumerate() {
+            if !s || rand::Rng::random::<f64>(&mut rng) >= p_keep {
+                continue;
+            }
+            let row: Vec<Value> = base
+                .fields()
+                .iter()
+                .map(|f| {
+                    let bare = f.name.rsplit('.').next().unwrap_or(&f.name);
+                    match join.resolve(&format!("{table}.{bare}")) {
+                        Ok(i) => crate::completion::coerce(&join.value(r, i), f.dtype),
+                        Err(_) => Value::Null,
+                    }
+                })
+                .collect();
+            result.push_row(&row)?;
+        }
+        Ok(result)
+    }
+
+    /// §6 confidence interval for an aggregate over the completed join of
+    /// `query_tables`.
+    pub fn confidence(
+        &self,
+        query_tables: &[String],
+        query: &ConfidenceQuery,
+        level: f64,
+        seed: u64,
+    ) -> CoreResult<ConfidenceInterval> {
+        let focus = match query {
+            ConfidenceQuery::CountFraction { column, .. }
+            | ConfidenceQuery::Avg { column, .. }
+            | ConfidenceQuery::Sum { column, .. } => vec![column.clone()],
+        };
+        let chain = self.execution_chain(query_tables, &focus)?;
+        let out = self.complete_join(&chain, seed)?;
+        let model = self.model_for_path(&chain)?;
+        confidence_interval(&model, &self.db, &out, query, level)
+    }
+
+    /// Enumerates candidate execution chains for a set of query tables: a
+    /// candidate completion path of an incomplete query table, extended
+    /// with the remaining query tables along FK edges. Also returns the
+    /// last enumeration error (unextendable chains) for diagnostics.
+    pub(crate) fn candidate_chains(
+        &self,
+        query_tables: &[String],
+    ) -> CoreResult<(Vec<Vec<String>>, Option<CoreError>)> {
+        let incomplete: Vec<String> = query_tables
+            .iter()
+            .filter(|t| self.annotation.is_incomplete(t))
+            .cloned()
+            .collect();
+        if incomplete.is_empty() {
+            return Err(CoreError::Invalid("no incomplete table in query".into()));
+        }
+        let mut chains = Vec::new();
+        let mut last_err = None;
+        for anchor in &incomplete {
+            let table = self.db.table(anchor)?;
+            if modeled_columns(table).is_empty() {
+                continue;
+            }
+            // A forced path short-circuits candidate enumeration.
+            let candidates: Vec<Vec<String>> = match self.forced.get(anchor) {
+                Some(forced) => vec![forced.clone()],
+                None => self
+                    .candidate_paths(anchor)
+                    .into_iter()
+                    .take(self.config.max_candidates.max(1))
+                    .map(|p| p.tables().to_vec())
+                    .collect(),
+            };
+            for mut chain in candidates {
+                let mut remaining: Vec<String> = query_tables
+                    .iter()
+                    .filter(|t| !chain.contains(t))
+                    .cloned()
+                    .collect();
+                // Greedily append tables connected to the chain's end.
+                while !remaining.is_empty() {
+                    let end = chain.last().unwrap().clone();
+                    match remaining
+                        .iter()
+                        .position(|t| self.db.edge_between(&end, t).is_some())
+                    {
+                        Some(i) => chain.push(remaining.remove(i)),
+                        None => break,
+                    }
+                }
+                if !remaining.is_empty() {
+                    last_err = Some(CoreError::Invalid(format!(
+                        "cannot extend chain {chain:?} with {remaining:?}"
+                    )));
+                    continue;
+                }
+                chains.push(chain);
+            }
+        }
+        Ok((chains, last_err))
+    }
+
+    /// Picks the execution chain for a set of query tables among the
+    /// candidates whose model is frozen in the snapshot: the chain whose
+    /// model best predicts the `focus` attributes (held-out NLL) wins —
+    /// the significance of evidence depends on the query (§5).
+    pub(crate) fn execution_chain(
+        &self,
+        query_tables: &[String],
+        focus: &[String],
+    ) -> CoreResult<Vec<String>> {
+        let (chains, mut last_err) = self.candidate_chains(query_tables)?;
+        let mut best: Option<(f32, Vec<String>)> = None;
+        for chain in chains {
+            match self.models.get(&chain) {
+                Some(model) => {
+                    // Every chain table outside the query adds evidence
+                    // multiplicity (and reweighting noise, §4.4), so
+                    // near-ties go to the leaner chain.
+                    let extras = chain.iter().filter(|t| !query_tables.contains(t)).count();
+                    // §4.4 reweighting for extra evidence tables is far
+                    // noisier than the completion itself, so covering
+                    // chains win unless their evidence is much weaker.
+                    let score = focus_loss(model, focus, &self.annotation, query_tables)
+                        + 0.3 * extras as f32;
+                    if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                        best = Some((score, chain));
+                    }
+                }
+                None => {
+                    last_err = Some(CoreError::NoModel(format!(
+                        "no trained model for chain {chain:?}"
+                    )));
+                }
+            }
+        }
+        best.map(|(_, c)| c).ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                CoreError::NoPath(format!("no execution chain covers {query_tables:?}"))
+            })
+        })
+    }
+
+    /// Projects a completed chain join onto the query tables, correcting
+    /// row multiplicity introduced by additional evidence tables (§4.4).
+    fn project_completed(
+        &self,
+        out: &CompletionOutput,
+        query_tables: &[String],
+        rng: &mut StdRng,
+    ) -> CoreResult<Table> {
+        let chain = &out.tables;
+        let extras: Vec<&String> = chain.iter().filter(|t| !query_tables.contains(t)).collect();
+        if extras.is_empty() {
+            return Ok(out.join.clone());
+        }
+        // Keep only the query tables' columns — evidence columns would
+        // shadow query attributes (e.g. actor.gender vs director.gender).
+        let query_cols: Vec<String> = out
+            .join
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .filter(|name| {
+                name.split_once('.')
+                    .is_some_and(|(t, _)| query_tables.iter().any(|q| q == t))
+            })
+            .collect();
+        // The extras form the evidence prefix; the pivot is the first chain
+        // table that belongs to the query.
+        let pivot_idx = chain
+            .iter()
+            .position(|t| query_tables.contains(t))
+            .ok_or_else(|| CoreError::Invalid("query tables not on chain".into()))?;
+        let join = &out.join;
+        let n = join.n_rows();
+
+        // Row keys: id columns of the pivot and all downstream query tables.
+        let key_cols: Vec<usize> = chain[pivot_idx..]
+            .iter()
+            .filter(|t| query_tables.contains(t))
+            .filter_map(|t| join.resolve(&format!("{t}.id")).ok())
+            .collect();
+        if key_cols.is_empty() {
+            // No identity available; project columns and return as-is.
+            let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
+            return join.project(&refs).map_err(CoreError::from);
+        }
+
+        // A row is synthetic when any *query-table* part of it was
+        // synthesized — euclidean replacement may have given it real keys
+        // (Fig. 3), so null-ness of the key is not the right signal.
+        let relevant: Vec<usize> = (0..chain.len())
+            .filter(|&i| query_tables.contains(&chain[i]))
+            .collect();
+        let is_syn = |r: usize| relevant.iter().any(|&i| out.syn[i][r]);
+
+        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+        let mut real_rows = 0usize;
+        let mut keep = vec![false; n];
+        let mut syn_rows: Vec<usize> = Vec::new();
+        for (r, keep_slot) in keep.iter_mut().enumerate() {
+            if is_syn(r) {
+                syn_rows.push(r);
+                continue;
+            }
+            let key: Vec<Value> = key_cols.iter().map(|&c| join.value(r, c)).collect();
+            if key.iter().any(Value::is_null) {
+                // Real parts but no identity — keep conservatively.
+                *keep_slot = true;
+                continue;
+            }
+            real_rows += 1;
+            if seen.insert(key) {
+                *keep_slot = true;
+            }
+        }
+        // Multiplicity of real keys → thinning factor for synthesized rows.
+        let distinct = seen.len().max(1);
+        let multiplicity = (real_rows as f64 / distinct as f64).max(1.0);
+        let p_keep = 1.0 / multiplicity;
+        for &r in &syn_rows {
+            if rand::Rng::random::<f64>(rng) < p_keep {
+                keep[r] = true;
+            }
+        }
+        let refs: Vec<&str> = query_cols.iter().map(String::as_str).collect();
+        join.filter(&keep).project(&refs).map_err(CoreError::from)
+    }
+}
+
+/// Bare (unqualified) column names a query reads: filter references,
+/// group-by columns and aggregate inputs.
+pub fn query_focus_columns(query: &Query) -> Vec<String> {
+    let mut cols = Vec::new();
+    if let Some(f) = &query.filter {
+        f.collect_columns(&mut cols);
+    }
+    cols.extend(query.group_by.iter().cloned());
+    for agg in &query.aggregates {
+        if let Some(c) = agg.input_column() {
+            cols.push(c.to_string());
+        }
+    }
+    let mut bare: Vec<String> = cols
+        .into_iter()
+        .map(|c| c.rsplit('.').next().unwrap_or(&c).to_string())
+        .collect();
+    bare.sort();
+    bare.dedup();
+    bare
+}
+
+/// Mean held-out NLL of a model on the attributes the query needs to be
+/// synthesized: attributes of *incomplete query tables*, preferring the
+/// focus columns. Restricting to query tables keeps the score comparable
+/// across chains with different evidence prefixes.
+fn focus_loss(
+    model: &CompletionModel,
+    focus: &[String],
+    annotation: &SchemaAnnotation,
+    query_tables: &[String],
+) -> f32 {
+    let mut focus_vals = Vec::new();
+    let mut all_vals = Vec::new();
+    for (i, attr) in model.attrs().iter().enumerate() {
+        if let crate::model::AttrKind::Column { table, column } = &attr.kind {
+            if annotation.is_incomplete(table) && query_tables.iter().any(|q| q == table) {
+                all_vals.push(model.val_per_attr[i]);
+                if focus.iter().any(|f| f == column) {
+                    focus_vals.push(model.val_per_attr[i]);
+                }
+            }
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    if !focus_vals.is_empty() {
+        mean(&focus_vals)
+    } else if !all_vals.is_empty() {
+        mean(&all_vals)
+    } else {
+        model.target_val_loss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<Arc<Snapshot>>();
+    }
+
+    #[test]
+    fn path_fingerprint_separates_paths() {
+        let ab = path_fingerprint(&["a".into(), "b".into()]);
+        let ba = path_fingerprint(&["b".into(), "a".into()]);
+        let joined = path_fingerprint(&["ab".into()]);
+        assert_ne!(ab, ba);
+        assert_ne!(ab, joined);
+        assert_eq!(ab, path_fingerprint(&["a".into(), "b".into()]));
+    }
+}

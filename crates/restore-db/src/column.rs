@@ -190,6 +190,24 @@ impl Column {
             Column::Str { codes, .. } => codes.iter().filter(|x| x.is_none()).count(),
         }
     }
+
+    /// Approximate resident size in bytes — row storage plus, for string
+    /// columns, the dictionary payload. Used by the serving cache's memory
+    /// budget; an estimate (allocator slack and map overhead are not
+    /// modeled), not an exact accounting.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+            Column::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+            Column::Str { dict, codes } => {
+                let strings: usize = (0..dict.len())
+                    .map(|c| dict.value(c as u32).len() + std::mem::size_of::<Arc<str>>())
+                    .sum();
+                // Interned strings are held twice (value vec + index map).
+                codes.len() * std::mem::size_of::<Option<u32>>() + 2 * strings
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,14 @@ impl Table {
         self.n_rows
     }
 
+    /// Approximate resident size in bytes (sum of the columns' estimates
+    /// plus field-name payload) — see [`Column::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        let cols: usize = self.columns.iter().map(Column::approx_bytes).sum();
+        let names: usize = self.fields.iter().map(|f| f.name.len() + 48).sum();
+        cols + names
+    }
+
     pub fn n_cols(&self) -> usize {
         self.fields.len()
     }

@@ -107,9 +107,23 @@ pub fn run_exp3_cell(setup: &Setup, keep: f64, corr: f64, scale: f64, seed: u64)
         rs.mark_incomplete(t.clone());
     }
 
-    queries_for_setup(setup.id)
+    // Build phase: train the candidate models every workload query needs,
+    // then seal into an immutable snapshot — queries are then served
+    // through the same `&self` path a concurrent server would use.
+    let queries = queries_for_setup(setup.id);
+    let train_errors: Vec<Option<String>> = queries
+        .iter()
+        .map(|wq| match rs.ensure_query_models(&wq.query.tables, seed) {
+            Ok(last) => last.map(|e| e.to_string()),
+            Err(e) => Some(e.to_string()),
+        })
+        .collect();
+    let snap = rs.seal(seed);
+
+    queries
         .into_iter()
-        .map(|wq| {
+        .zip(train_errors)
+        .map(|(wq, train_err)| {
             let mut cell = Exp3Cell {
                 dataset: dataset.to_string(),
                 setup: setup.id.to_string(),
@@ -129,7 +143,7 @@ pub fn run_exp3_cell(setup: &Setup, keep: f64, corr: f64, scale: f64, seed: u64)
                     return cell;
                 }
             };
-            let incomplete = match rs.execute_without_completion(&wq.query) {
+            let incomplete = match snap.execute_without_completion(&wq.query) {
                 Ok(r) => r,
                 Err(e) => {
                     cell.error = Some(format!("incomplete: {e}"));
@@ -137,12 +151,20 @@ pub fn run_exp3_cell(setup: &Setup, keep: f64, corr: f64, scale: f64, seed: u64)
                 }
             };
             cell.err_incomplete = query_error(&truth, &incomplete);
-            match rs.execute(&wq.query, seed) {
+            match snap.execute(&wq.query, seed) {
                 Ok(r) => {
                     cell.err_completed = query_error(&truth, &r);
                     cell.improvement = cell.err_incomplete - cell.err_completed;
                 }
-                Err(e) => cell.error = Some(format!("completed: {e}")),
+                Err(e) => {
+                    // Only a missing model is explained by a build-time
+                    // training failure; other errors stand on their own.
+                    let msg = match (&e, train_err) {
+                        (restore_core::CoreError::NoModel(_), Some(t)) => t,
+                        _ => e.to_string(),
+                    };
+                    cell.error = Some(format!("completed: {msg}"));
+                }
             }
             cell
         })

@@ -173,6 +173,18 @@ impl ParamStore {
         }
     }
 
+    /// Copies every parameter *value* from `other` in place, reusing this
+    /// store's allocations (gradients are untouched). This is the
+    /// double-buffered early-stopping primitive: training keeps one
+    /// best-params buffer alive and refreshes it on improved epochs
+    /// instead of cloning the whole store each time.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.values.len(), other.values.len(), "store size mismatch");
+        for (dst, src) in self.values.iter_mut().zip(&other.values) {
+            dst.copy_from(src);
+        }
+    }
+
     /// Iterates over `(id, value, grad)` triples, mutably — used by
     /// optimizers.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &Matrix)> {

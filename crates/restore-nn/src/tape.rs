@@ -792,6 +792,48 @@ mod tests {
     }
 
     #[test]
+    fn matmul_backward_is_bit_identical_to_naive_kernels() {
+        // The backward pass runs on the register-tiled accumulate kernels;
+        // this pins the tape's gradients against the naive reference loops
+        // bit-for-bit (shapes chosen to exercise tile remainders, zeros
+        // from ReLU-like sparsity included).
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut x = Matrix::rand_uniform(9, 6, -1.0, 1.0, &mut rng);
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                if (i + j) % 3 == 0 {
+                    x.set(i, j, 0.0);
+                }
+            }
+        }
+        let w_val = Matrix::rand_uniform(6, 11, -1.0, 1.0, &mut rng);
+        let seed_grad = Matrix::rand_uniform(9, 11, -1.0, 1.0, &mut rng);
+
+        let mut store = ParamStore::new();
+        let pid = store.register(w_val.clone());
+        let mut tape = Tape::new();
+        let xi = tape.input(x.clone());
+        let w = tape.param(&store, pid);
+        let out = tape.matmul(xi, w);
+        store.zero_grads();
+        tape.backward(out, seed_grad.clone(), &mut store);
+
+        // dW = xᵀ · g, dx = g · wᵀ — via the naive reference kernels.
+        let mut dw = Matrix::zeros(6, 11);
+        x.t_matmul_acc_naive(&seed_grad, &mut dw);
+        let mut dx = Matrix::zeros(9, 6);
+        seed_grad.matmul_t_acc_naive(&w_val, &mut dx);
+
+        for (a, b) in store.grad(pid).data().iter().zip(dw.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dW diverged from naive");
+        }
+        let got_dx = tape.grad(xi).expect("input grad");
+        for (a, b) in got_dx.data().iter().zip(dx.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dx diverged from naive");
+        }
+    }
+
+    #[test]
     fn matmul_gradient_matches_finite_difference() {
         let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.25, -0.75]]);
         finite_diff_check(

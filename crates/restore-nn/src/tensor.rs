@@ -228,7 +228,82 @@ impl Matrix {
     /// `out += self · otherᵀ` — the gradient-accumulation form of
     /// [`Matrix::matmul_t`], writing into a caller-owned accumulator so the
     /// backward pass allocates nothing.
+    ///
+    /// Register-tiled like the forward GEMM: an MR×NR accumulator block
+    /// lives in registers across the whole k loop. Per `(i, j)` the dot
+    /// product still accumulates from zero in ascending `k` and lands in
+    /// `out[i][j]` with one final add — the exact floating-point sequence
+    /// of [`Matrix::matmul_t_acc_naive`], so the results are bit-identical
+    /// (pinned by the kernel and tape equality tests).
     pub fn matmul_t_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "accumulator shape mismatch"
+        );
+        const MR: usize = 4;
+        const NR: usize = 4;
+        let (rows, kk, n) = (self.rows, self.cols, other.rows);
+        let mut i = 0;
+        while i + MR <= rows {
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                let mut acc = [[0f32; NR]; MR];
+                for k in 0..kk {
+                    let mut a_tile = [0f32; MR];
+                    for (r, a) in a_tile.iter_mut().enumerate() {
+                        *a = self.data[(i + r) * kk + k];
+                    }
+                    let mut b_tile = [0f32; NR];
+                    for (j, b) in b_tile.iter_mut().enumerate() {
+                        *b = other.data[(j0 + j) * kk + k];
+                    }
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        for j in 0..NR {
+                            acc_row[j] += a_tile[r] * b_tile[j];
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let out_row = &mut out.data[(i + r) * n + j0..(i + r) * n + j0 + NR];
+                    for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                        *o += a;
+                    }
+                }
+                j0 += NR;
+            }
+            // Remainder columns of this row block: naive per (i, j).
+            for r in i..i + MR {
+                let a_row = self.row(r);
+                for j in j0..n {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0;
+                    for k in 0..kk {
+                        acc += a_row[k] * b_row[k];
+                    }
+                    out.data[r * n + j] += acc;
+                }
+            }
+            i += MR;
+        }
+        // Remainder rows: naive.
+        for i in i..rows {
+            let a_row = self.row(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for k in 0..kk {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * n + j] += acc;
+            }
+        }
+    }
+
+    /// Reference (naive i-j-k loop) form of [`Matrix::matmul_t_acc`] — the
+    /// bit-equality contract of the tiled kernel is defined against this.
+    pub fn matmul_t_acc_naive(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         assert_eq!(
             out.shape(),
@@ -249,7 +324,90 @@ impl Matrix {
     }
 
     /// `out += selfᵀ · other` — accumulation form of [`Matrix::t_matmul`].
+    ///
+    /// Register-tiled: an MR×NR block of `out` is loaded into registers,
+    /// accumulated across the whole contraction (row) loop, and stored
+    /// once — instead of streaming `out` through memory once per row. Per
+    /// element the adds happen in ascending row order with the same
+    /// `a == 0` skip as [`Matrix::t_matmul_acc_naive`], so results are
+    /// bit-identical to the naive loop (zero activations are common — ReLU
+    /// outputs, one-hot embeddings — and the skip also sidesteps
+    /// `0 · b` edge cases for non-finite `b`).
     pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "accumulator shape mismatch"
+        );
+        const MR: usize = 4;
+        const NR: usize = 8;
+        let (rows, m, n) = (self.rows, self.cols, other.cols);
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                // out tile → registers.
+                let mut acc = [[0f32; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let out_row = &out.data[(i + r) * n + j0..(i + r) * n + j0 + NR];
+                    acc_row.copy_from_slice(out_row);
+                }
+                for r in 0..rows {
+                    let a_tile = &self.data[r * m + i..r * m + i + MR];
+                    let b_tile = &other.data[r * n + j0..r * n + j0 + NR];
+                    for (acc_row, &a) in acc.iter_mut().zip(a_tile) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in acc_row.iter_mut().zip(b_tile) {
+                            *o += a * b;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    out.data[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(acc_row);
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                // Remainder columns of this row block, same tile walk.
+                for r in 0..rows {
+                    let a_tile = &self.data[r * m + i..r * m + i + MR];
+                    let b_row = other.row(r);
+                    for (ri, &a) in a_tile.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out.data[(i + ri) * n + j0..(i + ri) * n + n];
+                        for (o, &b) in out_row.iter_mut().zip(&b_row[j0..]) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+            i += MR;
+        }
+        // Remainder rows of `out` (columns of `self`): naive.
+        for r in 0..rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (ri, &a) in a_row.iter().enumerate().skip(i) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[ri * n..(ri + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Reference (naive row-outer loop) form of [`Matrix::t_matmul_acc`] —
+    /// the bit-equality contract of the tiled kernel is defined against
+    /// this.
+    pub fn t_matmul_acc_naive(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         assert_eq!(
             out.shape(),
@@ -574,6 +732,89 @@ mod tests {
         let mut acc = Matrix::zeros(1, 4);
         b.col_sums_acc(&mut acc);
         assert_eq!(acc, b.col_sums());
+    }
+
+    /// Random matrix with planted exact zeros and negative zeros, so the
+    /// tiled kernels hit the `a == 0` skip and signed-zero accumulation
+    /// paths the bit-equality contract has to preserve.
+    fn tricky(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        let mut m = Matrix::rand_uniform(rows, cols, -1.0, 1.0, rng);
+        for i in 0..rows {
+            for j in 0..cols {
+                match (i * cols + j) % 7 {
+                    0 => m.set(i, j, 0.0),
+                    3 => m.set(i, j, -0.0),
+                    _ => {}
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn tiled_acc_kernels_are_bit_identical_to_naive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes straddling the tile sizes: exact multiples, remainders in
+        // both dimensions, and degenerate single rows/cols.
+        let shapes = [
+            (8usize, 8usize, 8usize),
+            (9, 5, 11),
+            (4, 32, 4),
+            (1, 3, 1),
+            (13, 1, 17),
+            (6, 64, 33),
+        ];
+        for &(m, k, n) in &shapes {
+            // matmul_t_acc: (m × k) · (n × k)ᵀ += (m × n)
+            let a = tricky(m, k, &mut rng);
+            let b = tricky(n, k, &mut rng);
+            let init = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init.clone();
+            a.matmul_t_acc(&b, &mut tiled);
+            a.matmul_t_acc_naive(&b, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul_t_acc {m}x{k}x{n}");
+            }
+
+            // t_matmul_acc: (k × m)ᵀ · (k × n) += (m × n)
+            let a = tricky(k, m, &mut rng);
+            let b = tricky(k, n, &mut rng);
+            let init = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init.clone();
+            a.t_matmul_acc(&b, &mut tiled);
+            a.t_matmul_acc_naive(&b, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_acc {k}x{m}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_acc_kernels_accumulate_repeatedly() {
+        // Repeated accumulation into the same buffer (how the backward
+        // pass uses these) must also track the naive sequence bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = tricky(7, 10, &mut rng);
+        let b = tricky(5, 10, &mut rng);
+        let mut tiled = Matrix::zeros(7, 5);
+        let mut naive = Matrix::zeros(7, 5);
+        for _ in 0..3 {
+            a.matmul_t_acc(&b, &mut tiled);
+            a.matmul_t_acc_naive(&b, &mut naive);
+        }
+        assert_eq!(tiled, naive);
+
+        let a = tricky(10, 7, &mut rng);
+        let b = tricky(10, 5, &mut rng);
+        let mut tiled = Matrix::zeros(7, 5);
+        let mut naive = Matrix::zeros(7, 5);
+        for _ in 0..3 {
+            a.t_matmul_acc(&b, &mut tiled);
+            a.t_matmul_acc_naive(&b, &mut naive);
+        }
+        assert_eq!(tiled, naive);
     }
 
     #[test]

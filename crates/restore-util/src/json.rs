@@ -137,6 +137,213 @@ macro_rules! impl_to_json {
     };
 }
 
+/// A parsed JSON value — the read side of this module, used by the bench
+/// trend report to diff freshly written `results/BENCH_*.json` records
+/// against the previous run's.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object fields in document order.
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        match self {
+            JsonValue::Obj(fields) => fields,
+            _ => &[],
+        }
+    }
+}
+
+/// Parses a JSON document. Returns `None` on any syntax error or trailing
+/// garbage — callers treat unreadable files as "no previous data".
+pub fn parse(input: &str) -> Option<JsonValue> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos).map(JsonValue::Str),
+        b't' => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", JsonValue::Null),
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Option<JsonValue> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(JsonValue::Num)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    eat(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(*pos + 1..*pos + 5)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        // Surrogate pairs are not rebuilt — the writer in
+                        // this module never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(JsonValue::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        eat(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(JsonValue::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +379,50 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!(f64::INFINITY.to_json(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let d = Demo {
+            name: "a\"b\\c\nd".into(),
+            score: -1.25e3,
+            tags: vec![("x".into(), 1.0), ("y".into(), 0.5)],
+            err: None,
+        };
+        let parsed = parse(&d.to_json()).expect("parse");
+        assert_eq!(
+            parsed.get("name").and_then(JsonValue::as_str),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(
+            parsed.get("score").and_then(JsonValue::as_f64),
+            Some(-1250.0)
+        );
+        assert_eq!(parsed.get("err"), Some(&JsonValue::Null));
+        let tags = parsed.get("tags").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(tags[1].as_array().unwrap()[0].as_str(), Some("y"));
+    }
+
+    #[test]
+    fn parse_handles_scalars_arrays_and_ws() {
+        assert_eq!(parse(" true "), Some(JsonValue::Bool(true)));
+        assert_eq!(parse("[]"), Some(JsonValue::Arr(vec![])));
+        assert_eq!(parse("{}"), Some(JsonValue::Obj(vec![])));
+        assert_eq!(
+            parse("[1, 2,\n3]"),
+            Some(JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0),
+                JsonValue::Num(3.0)
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse("{"), None);
+        assert_eq!(parse("[1,]"), None);
+        assert_eq!(parse("12 34"), None);
+        assert_eq!(parse("nope"), None);
     }
 }

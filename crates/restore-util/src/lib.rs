@@ -9,6 +9,9 @@
 //! seeds, never of scheduling.
 
 pub mod json;
+pub mod singleflight;
+
+pub use singleflight::{Flight, SingleFlight};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
