@@ -1,0 +1,11 @@
+//! Prints every record of every `results/BENCH_*.json` — the consolidated
+//! bench report CI runs after the smoke/bench steps so per-PR performance
+//! is visible in the job log (the per-run *deltas* are printed by
+//! `write_bench_json` when each bench writes its file; this binary shows
+//! the absolute numbers the artifacts carry).
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let files = restore_bench::print_results_report(dir);
+    println!("bench report: {files} bench file(s) under {dir}");
+}

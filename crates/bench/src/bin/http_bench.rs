@@ -1,0 +1,132 @@
+//! HTTP serving throughput: N client threads, each with its own keep-alive
+//! connection, hammer the `restore-serve` front-end over loopback sockets
+//! with the serving workload. Measures end-to-end request latency (parse +
+//! registry lookup + AQP execution + wire encoding + TCP) and writes
+//! `results/BENCH_http.json` records `{threads, queries/s, p50/p99 ms}`
+//! with a trend diff against the previous run.
+//!
+//! `--quick` shrinks the sweep for CI; the full run also measures a
+//! reconnect-per-request variant (connection-setup overhead) at 4 threads.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use restore_bench::{
+    percentile, sealed_synthetic_snapshot, serving_workload as workload, write_bench_json,
+    HttpRecord,
+};
+use restore_core::wire::QueryRequest;
+use restore_core::SnapshotRegistry;
+use restore_serve::{HttpClient, ServeConfig, Server};
+
+/// Runs `per_thread` requests on each of `threads` keep-alive connections;
+/// returns (queries/s, per-request latencies in ms).
+fn run_clients(
+    addr: std::net::SocketAddr,
+    threads: usize,
+    per_thread: usize,
+    reconnect: bool,
+) -> (f64, Vec<f64>) {
+    let bodies: Arc<Vec<String>> = Arc::new(
+        workload()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q.clone(), i as u64).to_json())
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(threads * per_thread)));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let (bodies, barrier, latencies) = (
+            Arc::clone(&bodies),
+            Arc::clone(&barrier),
+            Arc::clone(&latencies),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            barrier.wait();
+            let mut local = Vec::with_capacity(per_thread);
+            for i in 0..per_thread {
+                if reconnect {
+                    client = HttpClient::connect(addr).expect("reconnect");
+                }
+                let body = &bodies[(t + i) % bodies.len()];
+                let started = Instant::now();
+                let (status, response) = client
+                    .post("/v1/synthetic/query", body)
+                    .expect("query request");
+                local.push(started.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(status, 200, "bench query failed: {response}");
+            }
+            latencies
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(local);
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let latencies = Arc::try_unwrap(latencies)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_default();
+    ((threads * per_thread) as f64 / elapsed, latencies)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (thread_sweep, per_thread): (&[usize], usize) = if quick {
+        (&[1, 2, 4], 30)
+    } else {
+        (&[1, 2, 4, 8], 150)
+    };
+
+    let snapshot = sealed_synthetic_snapshot(21, 21);
+    // Warm every chain up front so the sweep measures serving, not
+    // synthesis (the cold path is covered by the `serving` bench).
+    for q in workload() {
+        snapshot.execute(&q, 0).expect("warmup");
+    }
+    let registry = Arc::new(SnapshotRegistry::new());
+    registry.publish("synthetic", snapshot);
+    let server = Server::bind("127.0.0.1:0", registry, ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut records = Vec::new();
+    let mut summary = String::from("http serving (warm cache, keep-alive)");
+    for &threads in thread_sweep {
+        run_clients(addr, threads, per_thread / 3 + 1, false); // warmup
+        let (qps, latencies) = run_clients(addr, threads, per_thread, false);
+        let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+        records.push(HttpRecord {
+            bench: "http".into(),
+            engine: "warm_keepalive".into(),
+            threads,
+            queries_per_s: qps,
+            p50_ms: p50,
+            p99_ms: p99,
+        });
+        summary.push_str(&format!(
+            ", t{threads} {qps:.0} q/s (p50 {p50:.2}ms p99 {p99:.2}ms)"
+        ));
+    }
+    if !quick {
+        let (qps, latencies) = run_clients(addr, 4, per_thread, true);
+        records.push(HttpRecord {
+            bench: "http".into(),
+            engine: "warm_reconnect".into(),
+            threads: 4,
+            queries_per_s: qps,
+            p50_ms: percentile(&latencies, 0.5),
+            p99_ms: percentile(&latencies, 0.99),
+        });
+        summary.push_str(&format!(", reconnect t4 {qps:.0} q/s"));
+    }
+    println!("{summary}");
+    write_bench_json("BENCH_http.json", &records);
+    assert!(server.shutdown(), "server must drain after the bench");
+}

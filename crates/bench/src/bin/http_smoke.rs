@@ -1,0 +1,128 @@
+//! CI smoke for the HTTP serving front-end: publishes one sealed snapshot
+//! into a [`SnapshotRegistry`], starts the `restore-serve` server on a
+//! loopback port, fires the serving workload from a client thread over
+//! real sockets, and asserts every HTTP response body is **byte-identical**
+//! to the wire encoding of direct `Snapshot::execute` — then checks
+//! `/healthz`, `/metrics`, the completed-table endpoint, and a clean
+//! graceful shutdown. Exits non-zero on any divergence (the workflow
+//! checks the exit code).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use restore_bench::{sealed_synthetic_snapshot, serving_workload as workload};
+use restore_core::wire::{self, QueryRequest};
+use restore_core::SnapshotRegistry;
+use restore_serve::{HttpClient, ServeConfig, Server};
+use restore_util::json::{parse, JsonValue};
+
+fn main() {
+    let snapshot = sealed_synthetic_snapshot(9, 9);
+    let registry = Arc::new(SnapshotRegistry::new());
+    registry.publish("synthetic", Arc::clone(&snapshot));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Query bit-equality from a dedicated client thread (like CI's other
+    // smokes, the comparison is exact, not approximate).
+    let expected: Vec<(String, String)> = workload()
+        .iter()
+        .flat_map(|q| {
+            (0..3u64).map(|seed| {
+                let body = QueryRequest::new(q.clone(), seed).to_json();
+                let direct =
+                    wire::query_response_json(&snapshot.execute(q, seed).expect("direct"), None);
+                (body, direct)
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let client = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for (request_body, direct) in &expected {
+            let (status, body) = client
+                .post("/v1/synthetic/query", request_body)
+                .expect("query request");
+            assert_eq!(status, 200, "query must succeed: {body}");
+            assert_eq!(
+                &body, direct,
+                "HTTP response must be byte-identical to direct execution"
+            );
+        }
+        expected.len()
+    });
+    let queries = client.join().expect("client thread");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut client = HttpClient::connect(addr).expect("reconnect");
+
+    // Completed-table endpoint: byte-identical to the direct call.
+    let (status, table_body) = client
+        .get("/v1/synthetic/tables/tb?seed=1")
+        .expect("table request");
+    assert_eq!(status, 200, "table fetch must succeed: {table_body}");
+    assert_eq!(
+        table_body,
+        wire::table_json(&snapshot.completed_table("tb", 1).expect("direct table")),
+        "completed-table response must be byte-identical"
+    );
+
+    // Liveness + counters.
+    let (status, health) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"synthetic\""),
+        "healthz lists tenants: {health}"
+    );
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let doc = parse(&metrics).expect("metrics is valid JSON");
+    let requests = doc
+        .get("requests")
+        .and_then(|r| r.get("total"))
+        .and_then(JsonValue::as_f64)
+        .expect("requests.total");
+    assert!(
+        requests >= queries as f64,
+        "metrics counted requests: {metrics}"
+    );
+    let tenant_queries = doc
+        .get("tenants")
+        .and_then(|t| t.get("synthetic"))
+        .and_then(|t| t.get("queries"))
+        .and_then(JsonValue::as_f64)
+        .expect("per-tenant queries");
+    assert!(tenant_queries >= queries as f64);
+    let cache_misses = doc
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(JsonValue::as_f64)
+        .expect("cache.misses");
+    assert!(
+        cache_misses >= 1.0,
+        "served queries synthesized at least one chain"
+    );
+
+    // Unknown tenants and routes fail cleanly, connection stays usable.
+    let (status, _) = client.post("/v1/nope/query", "{}").expect("unknown tenant");
+    assert_eq!(status, 404);
+    let (status, _) = client.get("/nowhere").expect("unknown route");
+    assert_eq!(status, 404);
+
+    // Graceful shutdown: drains (idle keep-alive connections included) and
+    // stops accepting.
+    drop(client);
+    assert!(server.shutdown(), "server must drain cleanly");
+    assert!(
+        HttpClient::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+
+    println!(
+        "http smoke OK: {queries} HTTP queries in {elapsed:.2}s ({:.0} q/s), \
+         byte-identical to direct Snapshot::execute; healthz/metrics/tables live; \
+         graceful shutdown drained",
+        queries as f64 / elapsed.max(1e-9),
+    );
+}

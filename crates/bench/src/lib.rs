@@ -4,8 +4,15 @@
 //! machine-readable result records the benches drop under `results/` so
 //! the perf trajectory is tracked across PRs.
 
-use restore_core::{CompletionModel, CompletionPath, SchemaAnnotation, TrainConfig};
-use restore_data::{apply_removal, BiasSpec, RemovalConfig, Scenario};
+use std::sync::Arc;
+
+use restore_core::{
+    CompleterConfig, CompletionModel, CompletionPath, ReStore, RestoreConfig, SchemaAnnotation,
+    Snapshot, TrainConfig,
+};
+use restore_data::{
+    apply_removal, generate_synthetic, BiasSpec, RemovalConfig, Scenario, SyntheticConfig,
+};
 use restore_db::{Agg, Query, QueryResult};
 use restore_util::impl_to_json;
 use restore_util::json::{parse, JsonValue, ToJson};
@@ -51,12 +58,60 @@ impl_to_json!(ServingRecord {
     queries_per_s
 });
 
+/// One HTTP serving measurement (the `http_bench` binary): throughput plus
+/// tail latency over real sockets.
+#[derive(Clone, Debug)]
+pub struct HttpRecord {
+    /// Bench group, e.g. `"http"`.
+    pub bench: String,
+    /// Variant label, e.g. `"warm_keepalive"`.
+    pub engine: String,
+    /// Client threads, each with its own keep-alive connection.
+    pub threads: usize,
+    /// Requests answered per second across all threads.
+    pub queries_per_s: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+impl_to_json!(HttpRecord {
+    bench,
+    engine,
+    threads,
+    queries_per_s,
+    p50_ms,
+    p99_ms
+});
+
+/// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted sample, in the
+/// sample's own unit. Returns 0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank]
+}
+
 /// Writes bench records as a JSON array to `results/<file>` at the
 /// workspace root (the benches run with the package dir as cwd), then
 /// prints a **trend report**: per record, the delta of every numeric field
 /// against the matching record of the previous run's file.
 pub fn write_bench_json<T: ToJson>(file: &str, records: &[T]) {
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    write_bench_json_to(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"),
+        file,
+        records,
+    )
+}
+
+/// [`write_bench_json`] against an explicit results directory, which is
+/// created (including parents) when missing — a fresh checkout or a wiped
+/// `results/` must never make a bench run error out.
+pub fn write_bench_json_to<T: ToJson>(dir: &str, file: &str, records: &[T]) {
     let path = format!("{dir}/{file}");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: could not create {dir}: {e}");
@@ -136,6 +191,91 @@ pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
             println!("trend {label}: {} dropped from this run", record_key(p));
         }
     }
+}
+
+/// Prints every record of every `BENCH_*.json` under `dir` — the
+/// consolidated bench report CI runs so per-PR perf numbers are visible in
+/// the job log without checking out the branch. Returns the number of
+/// bench files reported.
+pub fn print_results_report(dir: &str) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        println!("bench report: no results directory at {dir}");
+        return 0;
+    };
+    let mut files: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    files.sort();
+    for name in &files {
+        let parsed = std::fs::read_to_string(format!("{dir}/{name}"))
+            .ok()
+            .and_then(|s| parse(&s));
+        let Some(records) = parsed.as_ref().and_then(JsonValue::as_array) else {
+            println!("bench report {name}: unreadable");
+            continue;
+        };
+        for rec in records {
+            let measurements: Vec<String> = rec
+                .fields()
+                .iter()
+                .filter(|(k, v)| !is_identity_field(k, v))
+                .filter_map(|(k, v)| v.as_f64().map(|n| format!("{k} {n:.1}")))
+                .collect();
+            println!(
+                "bench report {name}: {}: {}",
+                record_key(rec),
+                measurements.join(", ")
+            );
+        }
+    }
+    files.len()
+}
+
+/// A sealed snapshot over the synthetic `ta → tb` schema with every
+/// [`serving_workload`] model trained and warmed — the shared fixture of
+/// the HTTP smoke binary and the HTTP serving tests. `data_seed` controls
+/// the generated data and removal; `serve_seed` controls sealed synthesis,
+/// so two snapshots over the same data with different serve seeds give the
+/// hot-swap tests observably different (but individually deterministic)
+/// responses.
+pub fn sealed_synthetic_snapshot(data_seed: u64, serve_seed: u64) -> Arc<Snapshot> {
+    let db = generate_synthetic(
+        &SyntheticConfig {
+            predictability: 0.9,
+            n_parent: 150,
+            ..Default::default()
+        },
+        data_seed,
+    );
+    let mut removal = RemovalConfig::new(BiasSpec::categorical("tb", "b"), 0.5, 0.5);
+    removal.seed = data_seed;
+    let sc = apply_removal(&db, &removal);
+    let cfg = RestoreConfig {
+        train: TrainConfig {
+            epochs: 3,
+            min_steps: 60,
+            hidden: vec![24, 24],
+            max_train_rows: 2_000,
+            workers: 1,
+            ..TrainConfig::default()
+        },
+        completer: CompleterConfig {
+            workers: 1,
+            ..CompleterConfig::default()
+        },
+        max_candidates: 1,
+        ..RestoreConfig::default()
+    };
+    let mut rs = ReStore::new(sc.incomplete.clone(), cfg);
+    rs.mark_incomplete("tb");
+    rs.train(data_seed).expect("train");
+    for q in serving_workload() {
+        rs.ensure_query_models(&q.tables, data_seed)
+            .expect("ensure");
+    }
+    Arc::new(rs.seal(serve_seed))
 }
 
 /// Training configuration used by the timing benches (matches the
@@ -272,6 +412,54 @@ mod tests {
         assert!(!record_key(&recs[0]).contains("steps_per_s"));
         // Smoke the printer over matched, new and dropped records.
         print_trend("TEST.json", &prev, &cur);
+    }
+
+    #[test]
+    fn write_bench_json_creates_missing_results_dir() {
+        // Fresh-checkout regression: the results dir (and parents) must be
+        // created on demand, never be a precondition.
+        let dir = std::env::temp_dir().join(format!(
+            "restore-bench-fresh-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("deep").join("results");
+        let nested = nested.to_str().expect("utf-8 temp path");
+        let rec = HttpRecord {
+            bench: "http".into(),
+            engine: "warm_keepalive".into(),
+            threads: 2,
+            queries_per_s: 100.0,
+            p50_ms: 1.5,
+            p99_ms: 9.0,
+        };
+        write_bench_json_to(nested, "BENCH_test.json", std::slice::from_ref(&rec));
+        let written =
+            std::fs::read_to_string(format!("{nested}/BENCH_test.json")).expect("file written");
+        let parsed = parse(&written).expect("valid JSON");
+        assert_eq!(
+            parsed.as_array().unwrap()[0]
+                .get("p99_ms")
+                .and_then(JsonValue::as_f64),
+            Some(9.0)
+        );
+        // Second write diffs against the first (smoke the trend path) and
+        // the consolidated report sees the file.
+        write_bench_json_to(nested, "BENCH_test.json", &[rec]);
+        assert_eq!(print_results_report(nested), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.5), 51.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 
     #[test]

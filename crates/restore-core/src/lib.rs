@@ -15,7 +15,10 @@
 //! * [`confidence`] — completion confidence intervals (§6);
 //! * [`cache`] — completed-join reuse (§4.5): single-flight, budgeted;
 //! * [`restore`] — the [`ReStore`] build facade tying everything together;
-//! * [`snapshot`] — the immutable, concurrent serving [`Snapshot`].
+//! * [`snapshot`] — the immutable, concurrent serving [`Snapshot`];
+//! * [`registry`] — multi-tenant snapshot registry with atomic hot swap;
+//! * [`wire`] — the serializable JSON query surface the HTTP front-end
+//!   (`restore-serve`) speaks.
 
 pub mod ann;
 pub mod annotation;
@@ -27,9 +30,11 @@ pub mod error;
 pub mod merge;
 pub mod model;
 pub mod paths;
+pub mod registry;
 pub mod restore;
 pub mod selection;
 pub mod snapshot;
+pub mod wire;
 
 pub use ann::AnnIndex;
 pub use annotation::{
@@ -43,9 +48,11 @@ pub use error::{CoreError, CoreResult};
 pub use merge::{merge_tasks, CompletionTask, MergedModelSpec};
 pub use model::{AttrKind, CompletionModel, ModelAttr, TrainConfig};
 pub use paths::{enumerate_paths, CompletionPath};
+pub use registry::{RegistryView, SnapshotRegistry};
 pub use restore::{ModelSummary, ReStore, RestoreConfig, TrainReport};
 pub use selection::{
     basic_filter, select_model, BiasDirection, CandidateScore, SelectionOutcome, SelectionStrategy,
     SuspectedBias,
 };
 pub use snapshot::{query_focus_columns, Snapshot};
+pub use wire::{ConfidenceSpec, QueryRequest, WireError};

@@ -1,0 +1,144 @@
+//! A minimal blocking HTTP/1.1 client for the serving API — just enough
+//! for the integration tests, the `http_smoke` CI binary, and the HTTP
+//! throughput bench to drive the server without external dependencies.
+//! Keep-alive by default: one [`HttpClient`] issues many requests over one
+//! TCP connection, like a real dashboard client.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A keep-alive connection to the server.
+pub struct HttpClient {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issues one request and reads the full response `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: restore\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            if let Some((status, body, consumed)) = parse_response(&self.carry)? {
+                self.carry.drain(..consumed);
+                return Ok((status, body));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ))
+                }
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Parses a complete `(status, body, consumed)` response off the front of
+/// `buf`, or `Ok(None)` if more bytes are needed.
+fn parse_response(buf: &[u8]) -> std::io::Result<Option<(u16, String, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(&format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok(Some((status, body, body_start + content_length)))
+}
+
+/// One-shot convenience: connect, issue a single request, disconnect.
+pub fn one_shot(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    HttpClient::connect(addr)?.request(method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses_incrementally() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4\r\n\r\nbodyHTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        assert!(parse_response(&raw[..10]).unwrap().is_none());
+        let (status, body, consumed) = parse_response(raw).unwrap().expect("complete");
+        assert_eq!((status, body.as_str()), (200, "body"));
+        let (status2, body2, consumed2) =
+            parse_response(&raw[consumed..]).unwrap().expect("second");
+        assert_eq!((status2, body2.as_str()), (404, ""));
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        assert!(parse_response(b"whatever\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing — `std` only,
+//! in the spirit of `restore-util`'s JSON module. Just enough of the
+//! protocol for the serving API: request line + headers + `Content-Length`
+//! bodies, percent-decoded paths and query strings, keep-alive by default.
+//! No chunked transfer encoding, no TLS, no HTTP/2.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Parse-time limits; oversized inputs answer 413 instead of buffering
+/// without bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    pub max_head_bytes: usize,
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request. Header names are lowercased; path and query values are
+/// percent-decoded.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Path segments with the leading slash stripped: `/v1/t/query` →
+    /// `["v1", "t", "query"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// What [`read_request`] produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF (or poll-abort while idle) — close quietly.
+    Closed,
+    /// The head or body exceeded the limits → 413.
+    TooLarge,
+    /// Unparseable input → 400 with the message.
+    Malformed(String),
+    /// I/O error mid-request.
+    Io(std::io::Error),
+}
+
+/// Decodes `%XX` escapes (and `+` as space in query strings).
+fn percent_decode(s: &str, plus_is_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+/// `Ok(Some((request, consumed)))` on success; `Ok(None)` when more bytes
+/// are needed; `Err` on protocol violations.
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, ReadOutcome> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > limits.max_head_bytes {
+            return Err(ReadOutcome::TooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(ReadOutcome::TooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadOutcome::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut rl = request_line.split(' ');
+    let (method, target, version) = match (rl.next(), rl.next(), rl.next(), rl.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ReadOutcome::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadOutcome::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadOutcome::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadOutcome::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadOutcome::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ReadOutcome::TooLarge);
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+                    None => (percent_decode(kv, true), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let request = Request {
+        method: method.to_string(),
+        path: percent_decode(raw_path, false),
+        query,
+        headers,
+        body,
+    };
+    Ok(Some((request, body_start + content_length)))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request from `stream`, carrying pipelined leftovers in
+/// `carry` across calls. The stream must have a read timeout set; on each
+/// poll tick `abort()` is consulted — when it returns true the read gives
+/// up with [`ReadOutcome::Closed`], partial bytes included (a
+/// half-received request is not in-flight work; graceful drain must not
+/// wait on a stalled sender). Independently, once request bytes start
+/// arriving the full request must land within `deadline`, or the
+/// connection is cut — a stalled or slow-dripping client cannot pin a
+/// connection thread forever.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+    deadline: Duration,
+    abort: &dyn Fn() -> bool,
+) -> ReadOutcome {
+    let mut chunk = [0u8; 8 * 1024];
+    let mut partial_since: Option<std::time::Instant> = None;
+    loop {
+        match try_parse(carry, limits) {
+            Ok(Some((request, consumed))) => {
+                carry.drain(..consumed);
+                return ReadOutcome::Request(request);
+            }
+            Ok(None) => {}
+            Err(outcome) => return outcome,
+        }
+        if !carry.is_empty() {
+            let since = *partial_since.get_or_insert_with(std::time::Instant::now);
+            if since.elapsed() > deadline {
+                return ReadOutcome::Malformed("request did not complete in time".into());
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if carry.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request".into())
+                };
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if abort() {
+                    return ReadOutcome::Closed;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadOutcome::Io(e),
+        }
+    }
+}
+
+/// An outgoing response; the body is always JSON here.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// A [`error_body`] response.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(status, error_body(message))
+    }
+}
+
+/// The one `{"error": …}` envelope every error response uses, message
+/// JSON-escaped.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", restore_util::json::escape(message))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response; `close` controls the `Connection` header.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Sets the per-read poll interval used by [`read_request`]'s abort checks
+/// and a write timeout so a client that stops reading its socket cannot
+/// block a connection thread forever (and with it, graceful drain). Also
+/// forces blocking mode: sockets accepted from a non-blocking listener
+/// inherit non-blocking on some platforms.
+pub fn configure_stream(
+    stream: &TcpStream,
+    poll: Duration,
+    write_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(poll))?;
+    stream.set_write_timeout(Some(write_timeout))?;
+    stream.set_nodelay(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(raw: &str) -> Request {
+        let (req, consumed) = try_parse(raw.as_bytes(), &Limits::default())
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(consumed, raw.len());
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let raw = "POST /v1/my%20db/query?seed=7&x=a+b HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\nContent-Type: application/json\r\n\r\n{\"seed\":1}\n";
+        let req = parse_ok(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/my db/query");
+        assert_eq!(req.segments(), vec!["v1", "my db", "query"]);
+        assert_eq!(req.query_param("seed"), Some("7"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.body, "{\"seed\":1}\n");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_pipelined_requests_one_at_a_time() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, consumed) = try_parse(raw.as_bytes(), &Limits::default())
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(first.path, "/healthz");
+        let rest = &raw.as_bytes()[consumed..];
+        let (second, consumed2) = try_parse(rest, &Limits::default())
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(second.path, "/metrics");
+        assert!(second.wants_close());
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn incomplete_requests_wait_for_more_bytes() {
+        let full = "POST /q HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in [3, 20, full.len() - 1] {
+            assert!(
+                try_parse(&full.as_bytes()[..cut], &Limits::default())
+                    .expect("no error")
+                    .is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        assert!(try_parse(full.as_bytes(), &Limits::default())
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_input() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        assert!(matches!(
+            try_parse(b"NOT A REQUEST\r\n\r\n", &limits),
+            Err(ReadOutcome::Malformed(_))
+        ));
+        assert!(matches!(
+            try_parse(b"GET / FTP/1.0\r\n\r\n", &limits),
+            Err(ReadOutcome::Malformed(_))
+        ));
+        assert!(matches!(
+            try_parse(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", &limits),
+            Err(ReadOutcome::TooLarge)
+        ));
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(
+            try_parse(long_head.as_bytes(), &limits),
+            Err(ReadOutcome::TooLarge)
+        ));
+        assert!(matches!(
+            try_parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                &limits
+            ),
+            Err(ReadOutcome::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_junk() {
+        assert_eq!(percent_decode("a%2Fb%20c", false), "a/b c");
+        assert_eq!(percent_decode("100%", false), "100%");
+        assert_eq!(percent_decode("a+b", true), "a b");
+        assert_eq!(percent_decode("a+b", false), "a+b");
+    }
+}

@@ -1,0 +1,81 @@
+//! # restore-serve — the network serving front-end
+//!
+//! Turns a set of sealed [`Snapshot`](restore_core::Snapshot)s into a
+//! deployable service: a `std`-only, thread-per-connection TCP/HTTP 1.1
+//! server (hand-rolled request parsing, no external dependencies) over a
+//! hot-swappable, multi-tenant [`SnapshotRegistry`](restore_core::SnapshotRegistry).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use restore_core::SnapshotRegistry;
+//! use restore_serve::{ServeConfig, Server};
+//!
+//! let registry = Arc::new(SnapshotRegistry::new());
+//! // registry.publish("housing", Arc::new(restore.seal(7)));
+//! let server = Server::bind("127.0.0.1:8080", Arc::clone(&registry), ServeConfig::default())?;
+//! println!("serving on {}", server.local_addr());
+//! // … later: registry.publish("housing", v2)  — hot swap, zero downtime
+//! server.shutdown();                           // graceful drain
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! ## API
+//!
+//! Execute an AQP query (optionally with a §6 confidence interval) against
+//! tenant `housing`:
+//!
+//! ```text
+//! curl -s localhost:8080/v1/housing/query -d '{
+//!   "tables": ["neighborhood", "apartment"],
+//!   "filter": {"cmp": ["ge", {"col": "rent"}, {"lit": 2000}]},
+//!   "group_by": ["state"],
+//!   "aggregates": [{"fn": "avg", "col": "rent"}],
+//!   "seed": 7,
+//!   "confidence": {"kind": "avg", "table": "apartment",
+//!                  "column": "rent", "level": 0.95}
+//! }'
+//! # → {"group_cols":1,"columns":["state","avg_rent"],"rows":[["CA",2066.66…]],
+//! #    "scalar":null,"confidence":{"lo":…,"hi":…,"estimate":…,"theoretical":null}}
+//! ```
+//!
+//! Fetch a completed table (all real rows + reweighted synthesized rows):
+//!
+//! ```text
+//! curl -s 'localhost:8080/v1/housing/tables/apartment?seed=1'
+//! # → {"name":"apartment","n_rows":1234,"columns":[{"name":"id","dtype":"INT"},…],
+//! #    "rows":[[1,…],…]}
+//! ```
+//!
+//! Liveness and counters:
+//!
+//! ```text
+//! curl -s localhost:8080/healthz   # {"status":"ok","tenants":["housing"]}
+//! curl -s localhost:8080/metrics   # cache hits/misses, in-flight, per-tenant q/s
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Bit-stable responses** — a response body is a pure function of
+//!   `(snapshot, request body)`: execution inherits the snapshot's
+//!   determinism contract and the wire encoding renders floats with
+//!   shortest-round-trip precision (`tests/http_serving.rs` pins HTTP
+//!   bodies byte-identical to direct [`Snapshot::execute`](restore_core::Snapshot::execute)).
+//! * **Hot swap without downtime** — `publish(tenant, v2)` swaps the
+//!   registry atomically; in-flight requests finish on v1 under their own
+//!   `Arc`, new requests see v2, and no request ever observes a torn
+//!   registry.
+//! * **Panic containment** — a panicking handler (including a poisoned
+//!   single-flight follower) answers 500 on its own connection and leaves
+//!   every other connection serving.
+//! * **Graceful shutdown** — stop accepting, drain in-flight connections
+//!   (idle keep-alive sockets are released at the next poll tick), then
+//!   return; built on `restore-util`'s [`Shutdown`](restore_util::Shutdown)
+//!   accounting.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{one_shot, HttpClient};
+pub use http::{Limits, Request, Response};
+pub use server::{ServeConfig, Server};

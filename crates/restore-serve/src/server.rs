@@ -1,0 +1,491 @@
+//! The serving front-end: a thread-per-connection TCP/HTTP 1.1 server over
+//! a shared [`SnapshotRegistry`].
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//!  accept loop ──► connection thread (one per socket, ConnectionGuard held)
+//!      │               loop: read_request (poll ticks check shutdown)
+//!      │                 │
+//!      │                 ▼ route — resolves ONE registry view per request
+//!      │               POST /v1/{t}/query   GET /v1/{t}/tables/{n}
+//!      │               GET /healthz         GET /metrics
+//!      │                 │
+//!      │                 ▼ catch_unwind: a panicking handler answers 500
+//!      │               write_response (keep-alive unless asked to close)
+//!      ▼
+//!  Server::shutdown(): Shutdown::trigger → wake accept → drain guards
+//! ```
+//!
+//! **Hot swap / drain semantics.** A request resolves its tenant against
+//! one [`SnapshotRegistry::view`] and keeps the resulting `Arc<Snapshot>`
+//! for its whole lifetime; `publish(tenant, v2)` makes v2 visible to the
+//! *next* request while v1 drains under the in-flight `Arc` refs, and
+//! `retire(tenant)` 404s new requests without disturbing running ones.
+//!
+//! **Cold-path dedupe.** Identical concurrent `POST …/query` bodies for
+//! the same tenant *and the same snapshot version* share one execution via
+//! `restore-util`'s [`SingleFlight`] — the snapshot's own single-flight
+//! `JoinCache` already collapses concurrent synthesis of a chain; this
+//! outer layer also collapses the (cheaper) filter/aggregate tail. A
+//! leader panic poisons the flight: followers answer 500 instead of
+//! hanging, and the next request computes afresh.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use restore_core::wire::{self, QueryRequest};
+use restore_core::{CoreError, SnapshotRegistry};
+use restore_util::json::ToJson;
+use restore_util::{ConnectionGuard, Shutdown, SingleFlight};
+
+use crate::http::{
+    configure_stream, error_body, read_request, write_response, Limits, ReadOutcome, Request,
+    Response,
+};
+
+/// Server knobs. Defaults are sized for tests and modest deployments.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub limits: Limits,
+    /// Poll interval at which idle keep-alive connections re-check the
+    /// shutdown signal.
+    pub read_poll: Duration,
+    /// Once request bytes start arriving, the complete request must land
+    /// within this window — stalled or slow-dripping clients are cut.
+    pub request_deadline: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight connections.
+    pub drain_timeout: Duration,
+    /// Enables `GET /debug/panic/{key}`, a fault-injection route whose
+    /// handler panics inside the shared single-flight — **test only**; the
+    /// serving tests use it to prove a panicking handler cannot wedge
+    /// other connections.
+    pub panic_route: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            limits: Limits::default(),
+            read_poll: Duration::from_millis(100),
+            request_deadline: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            panic_route: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    queries: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Serving counters surfaced by `GET /metrics`.
+struct Metrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    requests_in_flight: AtomicU64,
+    panics_caught: AtomicU64,
+    per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            requests_in_flight: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            per_tenant: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantCounters> {
+        let mut map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+}
+
+/// Decrements the in-flight gauge even when the handler panics.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl<'a> InFlight<'a> {
+    fn enter(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self(gauge)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Single-flight key: tenant, snapshot generation (pointer identity), and
+/// the raw request body (`Arc<str>` so the leader's key clone into the
+/// in-flight map is a refcount bump, not a second body copy). Including
+/// the generation means a hot swap never lets a request share a result
+/// computed on the previous snapshot.
+type QueryKey = (String, usize, Arc<str>);
+/// Status + body, cheaply cloneable to every follower.
+type QueryOutcome = (u16, Arc<String>);
+
+struct Shared {
+    registry: Arc<SnapshotRegistry>,
+    config: ServeConfig,
+    shutdown: Shutdown,
+    metrics: Metrics,
+    queries: SingleFlight<QueryKey, QueryOutcome>,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// accepting and drains in-flight connections.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `registry` on `addr` (use port 0 for an
+    /// ephemeral port; read it back via [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<SnapshotRegistry>,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            shutdown: Shutdown::new(),
+            metrics: Metrics::new(),
+            queries: SingleFlight::new(),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.shared.registry
+    }
+
+    /// Connections currently being served.
+    pub fn connections_active(&self) -> usize {
+        self.shared.shutdown.active()
+    }
+
+    /// Stops accepting, wakes the accept loop, and waits up to the
+    /// configured drain timeout for in-flight connections to finish.
+    /// Returns `true` when fully drained.
+    pub fn shutdown(mut self) -> bool {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> bool {
+        let Some(accept) = self.accept.take() else {
+            return true;
+        };
+        // The accept loop polls a non-blocking listener, so triggering the
+        // signal is enough — it exits within one poll tick, with nothing to
+        // wake and therefore nothing that can fail to wake it.
+        self.shared.shutdown.trigger();
+        let _ = accept.join();
+        self.shared.shutdown.drain(self.shared.config.drain_timeout)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Non-blocking accept polled on a short tick: shutdown needs no
+    // wake-up connection (which could itself fail and hang the join), and
+    // transient accept errors (fd exhaustion under a connection flood)
+    // back off on the same tick instead of busy-spinning.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutdown.is_triggered() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // The guard rides into the connection thread; a refused guard
+        // means shutdown won the race — drop the socket.
+        let Some(guard) = shared.shutdown.begin() else {
+            return;
+        };
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || handle_connection(shared, stream, guard));
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream, guard: ConnectionGuard) {
+    let _guard = guard;
+    if configure_stream(
+        &stream,
+        shared.config.read_poll,
+        shared.config.request_deadline,
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut carry = Vec::new();
+    let shutdown = shared.shutdown.clone();
+    loop {
+        let outcome = read_request(
+            &mut stream,
+            &mut carry,
+            &shared.config.limits,
+            shared.config.request_deadline,
+            &|| shutdown.is_triggered(),
+        );
+        match outcome {
+            ReadOutcome::Request(request) => {
+                shared
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let handled = {
+                    let _in_flight = InFlight::enter(&shared.metrics.requests_in_flight);
+                    catch_unwind(AssertUnwindSafe(|| route(&shared, &request)))
+                };
+                let (response, close) = match handled {
+                    Ok(response) => {
+                        let close = request.wants_close() || shutdown.is_triggered();
+                        (response, close)
+                    }
+                    Err(_) => {
+                        // A handler panic (own or a poisoned single-flight
+                        // follower's) answers 500 and closes this
+                        // connection; every other connection is unaffected.
+                        shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                        (
+                            Response::error(500, "internal error: handler panicked"),
+                            true,
+                        )
+                    }
+                };
+                if write_response(&mut stream, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => {
+                let _ = write_response(
+                    &mut stream,
+                    &Response::error(413, "request too large"),
+                    true,
+                );
+                return;
+            }
+            ReadOutcome::Malformed(msg) => {
+                let _ = write_response(&mut stream, &Response::error(400, &msg), true);
+                return;
+            }
+            ReadOutcome::Io(_) => return,
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["metrics"]) => metrics(shared),
+        ("GET", ["debug", "panic", key]) if shared.config.panic_route => {
+            // Fault injection: panic inside the shared single-flight so
+            // tests can prove leader-panic poisoning surfaces as 500s, not
+            // hangs. The key namespace cannot collide with query keys
+            // (their middle element is a live Arc pointer, never 0).
+            let key: QueryKey = (format!("__panic__/{key}"), 0, Arc::from(""));
+            let ((status, body), _) = shared
+                .queries
+                .run(&key, || panic!("injected panic for {key:?}"));
+            Response::json(status, body.as_str())
+        }
+        ("POST", ["v1", tenant, "query"]) => query(shared, tenant, &request.body),
+        ("GET", ["v1", tenant, "tables", table]) => completed_table(shared, tenant, table, request),
+        (_, ["v1", _, "query"]) | (_, ["v1", _, "tables", _]) | (_, ["healthz" | "metrics"]) => {
+            Response::error(405, &format!("method {} not allowed here", request.method))
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"tenants\":{}}}",
+            shared.registry.tenants().to_json()
+        ),
+    )
+}
+
+fn query(shared: &Shared, tenant: &str, body: &str) -> Response {
+    let Some(snapshot) = shared.registry.view().get(tenant).cloned() else {
+        return Response::error(404, &format!("unknown tenant {tenant:?}"));
+    };
+    let counters = shared.metrics.tenant(tenant);
+    counters.queries.fetch_add(1, Ordering::Relaxed);
+    let key: QueryKey = (
+        tenant.to_string(),
+        Arc::as_ptr(&snapshot) as usize,
+        Arc::from(body),
+    );
+    let ((status, response_body), _leader) = shared.queries.run(&key, || {
+        let (status, body) = execute_query(&snapshot, body);
+        (status, Arc::new(body))
+    });
+    if status >= 400 {
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    Response::json(status, response_body.as_str())
+}
+
+/// Parses and executes one query body against a snapshot. Pure — safe to
+/// share its result across single-flight followers.
+fn execute_query(snapshot: &restore_core::Snapshot, body: &str) -> (u16, String) {
+    let request = match QueryRequest::from_json(body) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let result = match snapshot.execute(&request.query, request.seed) {
+        Ok(r) => r,
+        Err(e) => return (core_error_status(&e), error_body(&e.to_string())),
+    };
+    let interval = match &request.confidence {
+        None => None,
+        Some(spec) => {
+            match snapshot.confidence(&request.query.tables, &spec.query, spec.level, request.seed)
+            {
+                Ok(ci) => Some(ci),
+                Err(e) => return (core_error_status(&e), error_body(&e.to_string())),
+            }
+        }
+    };
+    (200, wire::query_response_json(&result, interval.as_ref()))
+}
+
+fn completed_table(shared: &Shared, tenant: &str, table: &str, request: &Request) -> Response {
+    let Some(snapshot) = shared.registry.view().get(tenant).cloned() else {
+        return Response::error(404, &format!("unknown tenant {tenant:?}"));
+    };
+    let counters = shared.metrics.tenant(tenant);
+    counters.queries.fetch_add(1, Ordering::Relaxed);
+    let seed = match request.query_param("seed") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::error(400, &format!("bad seed {raw:?}"));
+            }
+        },
+    };
+    match snapshot.completed_table(table, seed) {
+        Ok(completed) => Response::json(200, wire::table_json(&completed)),
+        Err(e) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            Response::error(core_error_status(&e), &e.to_string())
+        }
+    }
+}
+
+/// Client-visible status for an execution error: unknown tables and other
+/// relational errors are 404-ish lookups; everything else is a valid
+/// request the snapshot cannot serve (no model, no path, …) → 422.
+fn core_error_status(e: &CoreError) -> u16 {
+    match e {
+        CoreError::Db(_) => 404,
+        _ => 422,
+    }
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let uptime = shared.metrics.started.elapsed().as_secs_f64().max(1e-9);
+    let tenants: Vec<String> = {
+        let map = shared
+            .metrics
+            .per_tenant
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(name, c)| {
+                let queries = c.queries.load(Ordering::Relaxed);
+                format!(
+                    "\"{}\":{{\"queries\":{},\"errors\":{},\"queries_per_s\":{}}}",
+                    restore_util::json::escape(name),
+                    queries,
+                    c.errors.load(Ordering::Relaxed),
+                    (queries as f64 / uptime).to_json()
+                )
+            })
+            .collect()
+    };
+    // Aggregate completion-cache counters over the *current* registry view;
+    // retired snapshots drop out of the aggregate as they drain.
+    let view = shared.registry.view();
+    let (mut hits, mut misses, mut waits, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+    let (mut bytes, mut entries) = (0usize, 0usize);
+    for snapshot in view.values() {
+        let stats = snapshot.full_cache_stats();
+        hits += stats.hits;
+        misses += stats.misses;
+        waits += stats.waits;
+        evictions += stats.evictions;
+        bytes += stats.bytes;
+        entries += stats.entries;
+    }
+    let body = format!(
+        "{{\"uptime_s\":{},\
+           \"connections\":{{\"total\":{},\"active\":{}}},\
+           \"requests\":{{\"total\":{},\"in_flight\":{},\"panics_caught\":{}}},\
+           \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"waits\":{waits},\
+                       \"evictions\":{evictions},\"bytes\":{bytes},\"entries\":{entries}}},\
+           \"tenants\":{{{}}}}}",
+        uptime.to_json(),
+        shared.shutdown.total_started(),
+        shared.shutdown.active(),
+        shared.metrics.requests_total.load(Ordering::Relaxed),
+        shared.metrics.requests_in_flight.load(Ordering::Relaxed),
+        shared.metrics.panics_caught.load(Ordering::Relaxed),
+        tenants.join(",")
+    );
+    Response::json(200, body)
+}

@@ -189,6 +189,32 @@ impl JsonValue {
     }
 }
 
+/// The write side of [`JsonValue`]: renders the tree back to a compact
+/// document, inverse of [`parse`]. Handy for canonicalizing bodies in
+/// tests and for building dynamic documents (the HTTP wire surface builds
+/// responses this way).
+impl ToJson for JsonValue {
+    fn to_json(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_json(),
+            JsonValue::Num(v) => v.to_json(),
+            JsonValue::Str(s) => s.to_json(),
+            JsonValue::Arr(items) => {
+                let parts: Vec<String> = items.iter().map(ToJson::to_json).collect();
+                format!("[{}]", parts.join(","))
+            }
+            JsonValue::Obj(fields) => {
+                let parts: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.to_json()))
+                    .collect();
+                format!("{{{}}}", parts.join(","))
+            }
+        }
+    }
+}
+
 /// Parses a JSON document. Returns `None` on any syntax error or trailing
 /// garbage — callers treat unreadable files as "no previous data".
 pub fn parse(input: &str) -> Option<JsonValue> {
@@ -416,6 +442,14 @@ mod tests {
                 JsonValue::Num(3.0)
             ]))
         );
+    }
+
+    #[test]
+    fn jsonvalue_writer_round_trips() {
+        let doc = r#"{"a":[1,true,null,"x\ny"],"b":{"c":-2.5},"d":""}"#;
+        let parsed = parse(doc).expect("parse");
+        assert_eq!(parsed.to_json(), doc);
+        assert_eq!(parse(&parsed.to_json()), Some(parsed));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! seeds, never of scheduling.
 
 pub mod json;
+pub mod shutdown;
 pub mod singleflight;
 
+pub use shutdown::{ConnectionGuard, Shutdown};
 pub use singleflight::{Flight, SingleFlight};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

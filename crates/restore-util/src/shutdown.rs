@@ -1,0 +1,183 @@
+//! Graceful shutdown with connection accounting: a cloneable [`Shutdown`]
+//! handle that a server triggers once, plus RAII [`ConnectionGuard`]s that
+//! count the work still in flight so the server can *drain* — stop
+//! accepting, let accepted connections finish, and only then return.
+//!
+//! This is the primitive under `restore-serve`'s hot-swap semantics too:
+//! replacing a tenant snapshot never interrupts in-flight requests, it
+//! only changes what *new* requests see; the old snapshot drains under its
+//! existing `Arc` refs exactly like connections drain under their guards.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Default)]
+struct State {
+    /// Set once by [`Shutdown::trigger`]; never cleared.
+    stopping: bool,
+    /// Live [`ConnectionGuard`]s.
+    active: usize,
+    /// Guards ever issued (connection accounting for metrics).
+    total: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    state: Mutex<State>,
+    changed: Condvar,
+}
+
+/// A cloneable shutdown signal + in-flight counter. All clones share one
+/// state; any clone may trigger, account, or drain.
+#[derive(Clone, Default)]
+pub struct Shutdown {
+    inner: Arc<Inner>,
+}
+
+impl Shutdown {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the signal (idempotent) and wakes drain waiters. New
+    /// [`Shutdown::begin`] calls fail from this point on.
+    pub fn trigger(&self) {
+        let mut st = lock(&self.inner.state);
+        st.stopping = true;
+        self.inner.changed.notify_all();
+    }
+
+    pub fn is_triggered(&self) -> bool {
+        lock(&self.inner.state).stopping
+    }
+
+    /// Registers one unit of in-flight work. Returns `None` once shutdown
+    /// has been triggered — the caller must refuse the connection.
+    pub fn begin(&self) -> Option<ConnectionGuard> {
+        let mut st = lock(&self.inner.state);
+        if st.stopping {
+            return None;
+        }
+        st.active += 1;
+        st.total += 1;
+        Some(ConnectionGuard {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Guards currently alive.
+    pub fn active(&self) -> usize {
+        lock(&self.inner.state).active
+    }
+
+    /// Guards ever issued.
+    pub fn total_started(&self) -> u64 {
+        lock(&self.inner.state).total
+    }
+
+    /// Triggers shutdown and blocks until every guard has dropped or the
+    /// timeout elapses. Returns `true` when fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.trigger();
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner.state);
+        while st.active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .changed
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        true
+    }
+}
+
+/// RAII token for one in-flight connection/request; dropping it (including
+/// by panic) decrements the active count and wakes drain waiters.
+pub struct ConnectionGuard {
+    inner: Arc<Inner>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner.state);
+        st.active -= 1;
+        self.inner.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_tracks_guard_lifetimes() {
+        let sd = Shutdown::new();
+        assert_eq!(sd.active(), 0);
+        let a = sd.begin().expect("open");
+        let b = sd.begin().expect("open");
+        assert_eq!(sd.active(), 2);
+        assert_eq!(sd.total_started(), 2);
+        drop(a);
+        assert_eq!(sd.active(), 1);
+        drop(b);
+        assert_eq!(sd.active(), 0);
+        assert_eq!(sd.total_started(), 2, "total is monotonic");
+    }
+
+    #[test]
+    fn begin_fails_after_trigger() {
+        let sd = Shutdown::new();
+        sd.trigger();
+        assert!(sd.is_triggered());
+        assert!(sd.begin().is_none());
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_work() {
+        let sd = Shutdown::new();
+        let guard = sd.begin().expect("open");
+        let worker = {
+            let sd = sd.clone();
+            std::thread::spawn(move || {
+                // Work finishes shortly after shutdown is triggered.
+                while !sd.is_triggered() {
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(Duration::from_millis(20));
+                drop(guard);
+            })
+        };
+        assert!(sd.drain(Duration::from_secs(5)), "must drain");
+        assert_eq!(sd.active(), 0);
+        worker.join().expect("worker");
+    }
+
+    #[test]
+    fn drain_times_out_while_work_is_stuck() {
+        let sd = Shutdown::new();
+        let _stuck = sd.begin().expect("open");
+        assert!(!sd.drain(Duration::from_millis(30)));
+        assert_eq!(sd.active(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sd = Shutdown::new();
+        let other = sd.clone();
+        let _g = other.begin().expect("open");
+        assert_eq!(sd.active(), 1);
+        sd.trigger();
+        assert!(other.is_triggered());
+        assert!(other.begin().is_none());
+    }
+}

@@ -19,6 +19,8 @@
 //!   incompleteness joins, model selection, confidence intervals).
 //! * [`eval`] — metrics and experiment runners reproducing the paper's
 //!   evaluation.
+//! * [`serve`] — network serving front-end: multi-tenant HTTP server over
+//!   a hot-swappable snapshot registry.
 //!
 //! ## Quickstart
 //!
@@ -39,4 +41,5 @@ pub use restore_data as data;
 pub use restore_db as db;
 pub use restore_eval as eval;
 pub use restore_nn as nn;
+pub use restore_serve as serve;
 pub use restore_util as util;
