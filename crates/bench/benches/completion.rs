@@ -1,23 +1,18 @@
 //! **Fig. 12** — time required for completing one path, AR vs SSAR, with
 //! and without the euclidean nearest-neighbor replacement — plus the
 //! sampling-engine comparison: single-row tape-driven sampling (the old
-//! inference path) vs batched no-grad sampling (the `InferenceSession`
-//! engine), reported in sampled tuples per second.
+//! inference path) vs batched no-grad sampling with the full-trunk
+//! recompute vs the band-incremental sweep (see
+//! `restore_bench::sampling`), reported in sampled tuples per second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Instant;
 
-use restore_bench::{
-    annotation_of, housing_scenario, trained_model, write_bench_json, BenchRecord,
-};
+use restore_bench::{annotation_of, housing_scenario, sampling::SamplingBench, trained_model};
 use restore_core::{Completer, CompleterConfig, ReplacementMode};
-use restore_nn::{
-    sample_categorical, AttrSpec, InferenceSession, Made, MadeConfig, ParamStore, Tape,
-};
+use restore_nn::InferenceSession;
 
 fn bench_completion(c: &mut Criterion) {
     let sc = housing_scenario(0.15, 2);
@@ -50,158 +45,40 @@ fn bench_completion(c: &mut Criterion) {
     bench_sampling_engines(c);
 }
 
-/// The tentpole comparison: iterative forward sampling of the same MADE
-/// model, (a) one row at a time through the training tape — the seed's
-/// inference path — vs (b) the whole batch through the gradient-free
-/// engine. Prints tuples/sec for both plus the speedup.
+/// The sampling-engine comparison: iterative forward sampling of the same
+/// MADE model, (a) one row at a time through the training tape — the
+/// seed's inference path — vs the whole batch through the gradient-free
+/// engine with (b) the full-trunk recompute per attribute and (c) the
+/// band-incremental sweep, plus (d) the sweep fanned out over the worker
+/// pool. The shared measurement harness (`restore_bench::sampling`) then
+/// records tuples/sec for all engines into `results/BENCH_completion.json`.
 fn bench_sampling_engines(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(5);
-    let mut store = ParamStore::new();
-    let cards = [13usize, 25, 9, 25, 4, 5];
-    let attrs: Vec<AttrSpec> = cards.iter().map(|&card| AttrSpec::new(card, 8)).collect();
-    let made = Made::new(
-        MadeConfig::new(attrs).with_hidden(vec![64, 64]),
-        &mut store,
-        &mut rng,
-    );
-    let n_rows = 256usize;
-    let start_attr = 2;
-    let base: Vec<Vec<u32>> = cards
-        .iter()
-        .map(|&card| (0..n_rows as u32).map(|r| r % card as u32).collect())
-        .collect();
-
-    // (a) single-row, tape-driven: per row, per attribute, record a full
-    // tape forward and sample from the logits (what the seed's
-    // `Made::logits` did for every conditional).
-    let sample_single_row_tape = |rng: &mut StdRng| {
-        let mut toks = base.clone();
-        for r in 0..n_rows {
-            for attr in start_attr..cards.len() {
-                let cols: Vec<Arc<Vec<u32>>> = toks.iter().map(|t| Arc::new(vec![t[r]])).collect();
-                let mut tape = Tape::new();
-                let out = made.forward(&mut tape, &store, &cols, None);
-                let dist = made.layout().dist(tape.value(out).row(0), attr);
-                toks[attr][r] = sample_categorical(&dist, rng);
-            }
-        }
-        toks
-    };
-
-    // (b) batched, no-grad engine: one forward pass per attribute fills
-    // all rows; activation buffers are pooled across passes.
-    let sample_batched = |rng: &mut StdRng| {
-        let mut cols: Vec<Arc<Vec<u32>>> = base.iter().map(|t| Arc::new(t.clone())).collect();
-        let mut session = InferenceSession::new();
-        made.sample_range_in(
-            &mut session,
-            &store,
-            &mut cols,
-            None,
-            start_attr,
-            cards.len(),
-            &[],
-            rng,
-        );
-        cols
-    };
-
-    // (c) batched + parallel: what `Completer` runs by default — batches
-    // of B rows fanned out over the worker pool, one session and one
-    // derived RNG stream per batch.
-    let batch_size = 64usize;
-    let sample_batched_parallel = |seed: u64| {
-        let chunks: Vec<(usize, Vec<usize>)> = (0..n_rows)
-            .collect::<Vec<_>>()
-            .chunks(batch_size)
-            .enumerate()
-            .map(|(k, c)| (k * batch_size, c.to_vec()))
-            .collect();
-        restore_util::parallel_map(chunks, |(offset, rows)| {
-            let mut rng = StdRng::seed_from_u64(restore_util::derive_seed(seed, *offset as u64));
-            let mut cols: Vec<Arc<Vec<u32>>> = base
-                .iter()
-                .map(|t| Arc::new(rows.iter().map(|&r| t[r]).collect::<Vec<u32>>()))
-                .collect();
-            let mut session = InferenceSession::new();
-            made.sample_range_in(
-                &mut session,
-                &store,
-                &mut cols,
-                None,
-                start_attr,
-                cards.len(),
-                &[],
-                &mut rng,
-            );
-            cols
-        })
-    };
-
+    let fixture = SamplingBench::new();
     let mut group = c.benchmark_group("sampling_engines");
     group.sample_size(10);
     group.bench_function("single_row_tape/256", |b| {
         let mut rng = StdRng::seed_from_u64(6);
-        b.iter(|| black_box(sample_single_row_tape(&mut rng)))
+        b.iter(|| black_box(fixture.sample_single_row_tape(&mut rng)))
     });
-    group.bench_function("batched_nograd/256", |b| {
+    group.bench_function("batched_full_trunk/256", |b| {
         let mut rng = StdRng::seed_from_u64(6);
-        b.iter(|| black_box(sample_batched(&mut rng)))
+        let mut session = InferenceSession::new();
+        b.iter(|| black_box(fixture.sample_batched(&mut session, false, &mut rng)))
+    });
+    group.bench_function("batched_sweep/256", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut session = InferenceSession::new();
+        b.iter(|| black_box(fixture.sample_batched(&mut session, true, &mut rng)))
     });
     group.bench_function("batched_parallel/256", |b| {
-        b.iter(|| black_box(sample_batched_parallel(6)))
+        let mut sessions: Vec<InferenceSession> = (0..restore_util::default_workers().max(1))
+            .map(|_| InferenceSession::new())
+            .collect();
+        b.iter(|| black_box(fixture.sample_batched_parallel(&mut sessions, 6)))
     });
     group.finish();
 
-    // Throughput summary (tuples/sec) for CHANGES.md-style reporting.
-    fn time_of<T>(f: impl Fn(&mut StdRng) -> T, reps: usize) -> f64 {
-        let mut rng = StdRng::seed_from_u64(7);
-        black_box(f(&mut rng)); // warmup
-        let t = Instant::now();
-        for _ in 0..reps {
-            black_box(f(&mut rng));
-        }
-        t.elapsed().as_secs_f64() / reps as f64
-    }
-    let t_single = time_of(sample_single_row_tape, 3);
-    let t_batched = time_of(sample_batched, 20);
-    let t_parallel = {
-        black_box(sample_batched_parallel(7));
-        let t = Instant::now();
-        for _ in 0..20 {
-            black_box(sample_batched_parallel(7));
-        }
-        t.elapsed().as_secs_f64() / 20.0
-    };
-    let tps_single = n_rows as f64 / t_single;
-    let tps_batched = n_rows as f64 / t_batched;
-    let tps_parallel = n_rows as f64 / t_parallel;
-    println!(
-        "\nsampling throughput: single-row tape {tps_single:.0} tuples/s, \
-         batched no-grad {tps_batched:.0} tuples/s ({:.1}x), \
-         batched+parallel {tps_parallel:.0} tuples/s ({:.1}x)",
-        tps_batched / tps_single,
-        tps_parallel / tps_single
-    );
-    let rec = |engine: &str, workers: usize, tps: f64| BenchRecord {
-        bench: "sampling_engines".into(),
-        engine: engine.into(),
-        workers,
-        steps_per_s: 0.0,
-        tuples_per_s: tps,
-    };
-    write_bench_json(
-        "BENCH_completion.json",
-        &[
-            rec("single_row_tape", 1, tps_single),
-            rec("batched_nograd", 1, tps_batched),
-            rec(
-                "batched_parallel",
-                restore_util::default_workers(),
-                tps_parallel,
-            ),
-        ],
-    );
+    fixture.measure_and_write(false);
 }
 
 criterion_group!(benches, bench_completion);

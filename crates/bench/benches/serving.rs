@@ -113,6 +113,7 @@ fn bench_serving(c: &mut Criterion) {
             bench: "serving".into(),
             engine: "warm_cache".into(),
             threads,
+            hardware_threads: restore_bench::hardware_threads(),
             queries_per_s: qps,
         });
         summary.push_str(&format!(", t{threads} {qps:.0} q/s"));
@@ -125,6 +126,7 @@ fn bench_serving(c: &mut Criterion) {
         bench: "serving".into(),
         engine: "cold_cache".into(),
         threads: 4,
+        hardware_threads: restore_bench::hardware_threads(),
         queries_per_s: qps_cold,
     });
     summary.push_str(&format!(", cold t4 {qps_cold:.0} q/s"));

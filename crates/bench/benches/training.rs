@@ -178,6 +178,7 @@ fn bench_training_engines(c: &mut Criterion) {
         bench: "training_engines".into(),
         engine: "fresh_tape_fullbatch".into(),
         workers: 1,
+        hardware_threads: restore_bench::hardware_threads(),
         steps_per_s: 1.0 / time_legacy,
         tuples_per_s: batch as f64 / time_legacy,
     }];
@@ -199,6 +200,7 @@ fn bench_training_engines(c: &mut Criterion) {
             bench: "training_engines".into(),
             engine: label.into(),
             workers,
+            hardware_threads: restore_bench::hardware_threads(),
             steps_per_s: 1.0 / dt,
             tuples_per_s: batch as f64 / dt,
         });

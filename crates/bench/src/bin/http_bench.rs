@@ -106,6 +106,7 @@ fn main() {
             bench: "http".into(),
             engine: "warm_keepalive".into(),
             threads,
+            hardware_threads: restore_bench::hardware_threads(),
             queries_per_s: qps,
             p50_ms: p50,
             p99_ms: p99,
@@ -120,6 +121,7 @@ fn main() {
             bench: "http".into(),
             engine: "warm_reconnect".into(),
             threads: 4,
+            hardware_threads: restore_bench::hardware_threads(),
             queries_per_s: qps,
             p50_ms: percentile(&latencies, 0.5),
             p99_ms: percentile(&latencies, 0.99),

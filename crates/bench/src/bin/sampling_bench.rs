@@ -1,0 +1,13 @@
+//! CI-runnable sampling-engine bench: times single-row tape sampling vs
+//! the batched no-grad engine (full-trunk recompute vs band-incremental
+//! sweep vs parallel fan-out) and writes `results/BENCH_completion.json`
+//! with a trend diff against the previous run — so a sweep regression
+//! shows up in the job log's trend report before merge.
+//!
+//! `--quick` shrinks the repetition counts for the CI test job (like
+//! `http_bench --quick`); the records keep the same identities either way.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    restore_bench::sampling::SamplingBench::new().measure_and_write(quick);
+}

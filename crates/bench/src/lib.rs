@@ -17,6 +17,15 @@ use restore_db::{Agg, Query, QueryResult};
 use restore_util::impl_to_json;
 use restore_util::json::{parse, JsonValue, ToJson};
 
+pub mod sampling;
+
+/// Hardware threads visible to this process — stamped into every bench
+/// record so the trend report can flag comparisons between runs taken on
+/// differently sized boxes (a 1-core CI container masks thread scaling).
+pub fn hardware_threads() -> usize {
+    restore_util::default_workers()
+}
+
 /// One machine-readable throughput measurement.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
@@ -26,6 +35,8 @@ pub struct BenchRecord {
     pub engine: String,
     /// Worker threads the variant ran with (1 for single-threaded paths).
     pub workers: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
     /// Gradient steps per second (0 when not applicable).
     pub steps_per_s: f64,
     /// Sampled/trained tuples per second.
@@ -35,6 +46,7 @@ impl_to_json!(BenchRecord {
     bench,
     engine,
     workers,
+    hardware_threads,
     steps_per_s,
     tuples_per_s
 });
@@ -48,6 +60,8 @@ pub struct ServingRecord {
     pub engine: String,
     /// Client threads executing queries over the shared snapshot.
     pub threads: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
     /// Queries answered per second across all threads.
     pub queries_per_s: f64,
 }
@@ -55,6 +69,7 @@ impl_to_json!(ServingRecord {
     bench,
     engine,
     threads,
+    hardware_threads,
     queries_per_s
 });
 
@@ -68,6 +83,8 @@ pub struct HttpRecord {
     pub engine: String,
     /// Client threads, each with its own keep-alive connection.
     pub threads: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
     /// Requests answered per second across all threads.
     pub queries_per_s: f64,
     /// Median request latency, milliseconds.
@@ -79,6 +96,7 @@ impl_to_json!(HttpRecord {
     bench,
     engine,
     threads,
+    hardware_threads,
     queries_per_s,
     p50_ms,
     p99_ms
@@ -171,6 +189,12 @@ pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
         });
         let mut parts = Vec::new();
         for (k, v) in rec.fields() {
+            // `hardware_threads` identifies the machine, not the
+            // measurement — it never gets a delta, but a mismatch against
+            // the previous record flags the comparison below.
+            if k == "hardware_threads" {
+                continue;
+            }
             let (Some(new), false) = (v.as_f64(), is_identity_field(k, v)) else {
                 continue;
             };
@@ -180,6 +204,15 @@ pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
                     parts.push(format!("{k} {oldv:.1} → {new:.1} ({pct:+.1}%)"));
                 }
                 _ => parts.push(format!("{k} {new:.1} (new)")),
+            }
+        }
+        let hw = |r: &JsonValue| r.get("hardware_threads").and_then(JsonValue::as_f64);
+        if let (Some(prev_hw), Some(cur_hw)) = (old.and_then(hw), hw(rec)) {
+            if prev_hw != cur_hw {
+                parts.push(format!(
+                    "WARNING: hardware_threads {prev_hw:.0} → {cur_hw:.0} \
+                     (different core count, deltas not comparable)"
+                ));
             }
         }
         if !parts.is_empty() {
@@ -220,7 +253,10 @@ pub fn print_results_report(dir: &str) -> usize {
             let measurements: Vec<String> = rec
                 .fields()
                 .iter()
-                .filter(|(k, v)| !is_identity_field(k, v))
+                // hardware_threads identifies the machine, not the
+                // measurement — excluded here exactly as in the trend
+                // printer's delta loop.
+                .filter(|(k, v)| !is_identity_field(k, v) && k != "hardware_threads")
                 .filter_map(|(k, v)| v.as_f64().map(|n| format!("{k} {n:.1}")))
                 .collect();
             println!(
@@ -415,6 +451,34 @@ mod tests {
     }
 
     #[test]
+    fn trend_flags_cross_core_count_comparisons() {
+        // Matched records taken on different hardware_threads must carry a
+        // warning; equal core counts must not, and hardware_threads never
+        // appears as a delta'd measurement.
+        let prev = parse(
+            r#"[{"bench":"serving","engine":"warm_cache","threads":4,"hardware_threads":1,"queries_per_s":100.0}]"#,
+        )
+        .unwrap();
+        let same = parse(
+            r#"[{"bench":"serving","engine":"warm_cache","threads":4,"hardware_threads":1,"queries_per_s":110.0}]"#,
+        )
+        .unwrap();
+        let moved = parse(
+            r#"[{"bench":"serving","engine":"warm_cache","threads":4,"hardware_threads":8,"queries_per_s":900.0}]"#,
+        )
+        .unwrap();
+        // Identity matching ignores hardware_threads (records still pair up).
+        assert_eq!(
+            record_key(&prev.as_array().unwrap()[0]),
+            record_key(&moved.as_array().unwrap()[0])
+        );
+        assert!(!record_key(&prev.as_array().unwrap()[0]).contains("hardware_threads"));
+        // Smoke the printer over both shapes.
+        print_trend("TEST_same_box.json", &prev, &same);
+        print_trend("TEST_new_box.json", &prev, &moved);
+    }
+
+    #[test]
     fn write_bench_json_creates_missing_results_dir() {
         // Fresh-checkout regression: the results dir (and parents) must be
         // created on demand, never be a precondition.
@@ -430,6 +494,7 @@ mod tests {
             bench: "http".into(),
             engine: "warm_keepalive".into(),
             threads: 2,
+            hardware_threads: hardware_threads(),
             queries_per_s: 100.0,
             p50_ms: 1.5,
             p99_ms: 9.0,
@@ -468,6 +533,7 @@ mod tests {
             bench: "serving".into(),
             engine: "warm_cache".into(),
             threads: 8,
+            hardware_threads: hardware_threads(),
             queries_per_s: 42.5,
         };
         let j = rec.to_json();

@@ -1,0 +1,234 @@
+//! The sampling-engine comparison shared by the `completion` criterion
+//! bench and the `sampling_bench` CI binary: iterative forward sampling of
+//! the same MADE model through (a) a single-row tape-driven loop (the
+//! seed's inference path), (b) the batched no-grad engine with the
+//! full-trunk recompute per attribute (the PR 1 engine, now the escape
+//! hatch), (c) the batched engine on the **band-incremental sweep** (the
+//! default — only the newly needed hidden-degree band is recomputed per
+//! attribute), and (d) the sweep fanned out over the worker pool the way
+//! `Completer` runs it. Writes `results/BENCH_completion.json` with a
+//! trend diff against the previous run; the `batched_nograd` record keeps
+//! its identity across PRs, so the sweep's old-vs-new delta shows up in
+//! the trend report.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use restore_nn::{
+    sample_categorical, AttrSpec, InferenceSession, Made, MadeConfig, ParamStore, Tape,
+};
+
+use crate::{hardware_threads, write_bench_json, BenchRecord};
+
+/// The shared fixture: a housing-shaped MADE model plus a 256-row batch
+/// with the first two attributes given as evidence.
+pub struct SamplingBench {
+    made: Made,
+    /// Same weights, band-incremental sweep disabled.
+    made_full: Made,
+    store: ParamStore,
+    base: Vec<Vec<u32>>,
+    n_attrs: usize,
+    pub n_rows: usize,
+    pub start_attr: usize,
+}
+
+impl Default for SamplingBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SamplingBench {
+    pub fn new() -> Self {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let cards = [13usize, 25, 9, 25, 4, 5];
+        let attrs: Vec<AttrSpec> = cards.iter().map(|&card| AttrSpec::new(card, 8)).collect();
+        let made = Made::new(
+            MadeConfig::new(attrs).with_hidden(vec![64, 64]),
+            &mut store,
+            &mut rng,
+        );
+        let mut made_full = made.clone();
+        made_full.set_incremental_sweep(false);
+        let n_rows = 256usize;
+        let base: Vec<Vec<u32>> = cards
+            .iter()
+            .map(|&card| (0..n_rows as u32).map(|r| r % card as u32).collect())
+            .collect();
+        Self {
+            made,
+            made_full,
+            store,
+            base,
+            n_attrs: cards.len(),
+            n_rows,
+            start_attr: 2,
+        }
+    }
+
+    /// (a) Single-row, tape-driven: per row, per attribute, record a full
+    /// tape forward and sample from the logits (what the seed's
+    /// `Made::logits` did for every conditional).
+    pub fn sample_single_row_tape(&self, rng: &mut StdRng) -> Vec<Vec<u32>> {
+        let mut toks = self.base.clone();
+        for r in 0..self.n_rows {
+            for attr in self.start_attr..self.n_attrs {
+                let cols: Vec<Arc<Vec<u32>>> = toks.iter().map(|t| Arc::new(vec![t[r]])).collect();
+                let mut tape = Tape::new();
+                let out = self.made.forward(&mut tape, &self.store, &cols, None);
+                let dist = self.made.layout().dist(tape.value(out).row(0), attr);
+                toks[attr][r] = sample_categorical(&dist, rng);
+            }
+        }
+        toks
+    }
+
+    /// Batched no-grad engine over a caller-warm session (the deployment
+    /// shape — `Completer` keeps one session warm per worker). `sweep`
+    /// picks the band-incremental engine or the full-trunk recompute.
+    pub fn sample_batched(
+        &self,
+        session: &mut InferenceSession,
+        sweep: bool,
+        rng: &mut StdRng,
+    ) -> Vec<Arc<Vec<u32>>> {
+        let made = if sweep { &self.made } else { &self.made_full };
+        let mut cols: Vec<Arc<Vec<u32>>> = self.base.iter().map(|t| Arc::new(t.clone())).collect();
+        made.sample_range_in(
+            session,
+            &self.store,
+            &mut cols,
+            None,
+            self.start_attr,
+            self.n_attrs,
+            &[],
+            rng,
+        );
+        cols
+    }
+
+    /// (d) Batched + parallel: batches of B rows fanned out over warm
+    /// per-worker sessions, one derived RNG stream per batch — exactly the
+    /// `Completer` wiring.
+    pub fn sample_batched_parallel(
+        &self,
+        sessions: &mut [InferenceSession],
+        seed: u64,
+    ) -> Vec<Vec<Arc<Vec<u32>>>> {
+        let batch_size = 64usize;
+        let chunks: Vec<(usize, Vec<usize>)> = (0..self.n_rows)
+            .collect::<Vec<_>>()
+            .chunks(batch_size)
+            .enumerate()
+            .map(|(k, c)| (k * batch_size, c.to_vec()))
+            .collect();
+        restore_util::parallel_map_with(chunks, sessions, |session, (offset, rows)| {
+            let mut rng = StdRng::seed_from_u64(restore_util::derive_seed(seed, *offset as u64));
+            let mut cols: Vec<Arc<Vec<u32>>> = self
+                .base
+                .iter()
+                .map(|t| Arc::new(rows.iter().map(|&r| t[r]).collect::<Vec<u32>>()))
+                .collect();
+            self.made.sample_range_in(
+                session,
+                &self.store,
+                &mut cols,
+                None,
+                self.start_attr,
+                self.n_attrs,
+                &[],
+                &mut rng,
+            );
+            cols
+        })
+    }
+
+    /// Times every engine, prints the tuples/s summary (with the sweep's
+    /// old-vs-new speedup), and writes `results/BENCH_completion.json`
+    /// plus the trend diff. `quick` shrinks the repetition counts for CI.
+    pub fn measure_and_write(&self, quick: bool) {
+        let (reps_single, reps_batched) = if quick { (1, 8) } else { (3, 20) };
+        fn time_of(mut f: impl FnMut(&mut StdRng), reps: usize) -> f64 {
+            let mut rng = StdRng::seed_from_u64(7);
+            f(&mut rng); // warmup
+            let t = Instant::now();
+            for _ in 0..reps {
+                f(&mut rng);
+            }
+            t.elapsed().as_secs_f64() / reps as f64
+        }
+        let t_single = time_of(
+            |rng| {
+                black_box(self.sample_single_row_tape(rng));
+            },
+            reps_single,
+        );
+        let mut session_full = InferenceSession::new();
+        let t_full = time_of(
+            |rng| {
+                black_box(self.sample_batched(&mut session_full, false, rng));
+            },
+            reps_batched,
+        );
+        let mut session_sweep = InferenceSession::new();
+        let t_sweep = time_of(
+            |rng| {
+                black_box(self.sample_batched(&mut session_sweep, true, rng));
+            },
+            reps_batched,
+        );
+        let workers = restore_util::default_workers();
+        let mut sessions: Vec<InferenceSession> = (0..workers.max(1))
+            .map(|_| InferenceSession::new())
+            .collect();
+        let t_parallel = {
+            black_box(self.sample_batched_parallel(&mut sessions, 7));
+            let t = Instant::now();
+            for _ in 0..reps_batched {
+                black_box(self.sample_batched_parallel(&mut sessions, 7));
+            }
+            t.elapsed().as_secs_f64() / reps_batched as f64
+        };
+
+        let tps = |t: f64| self.n_rows as f64 / t;
+        println!(
+            "\nsampling throughput: single-row tape {:.0} tuples/s, \
+             batched full-trunk {:.0} tuples/s ({:.1}x), \
+             batched sweep {:.0} tuples/s ({:.1}x, {:.2}x over full trunk), \
+             batched+parallel {:.0} tuples/s ({:.1}x)",
+            tps(t_single),
+            tps(t_full),
+            t_single / t_full,
+            tps(t_sweep),
+            t_single / t_sweep,
+            t_full / t_sweep,
+            tps(t_parallel),
+            t_single / t_parallel,
+        );
+        let rec = |engine: &str, workers: usize, tuples_per_s: f64| BenchRecord {
+            bench: "sampling_engines".into(),
+            engine: engine.into(),
+            workers,
+            hardware_threads: hardware_threads(),
+            steps_per_s: 0.0,
+            tuples_per_s,
+        };
+        write_bench_json(
+            "BENCH_completion.json",
+            &[
+                rec("single_row_tape", 1, tps(t_single)),
+                rec("batched_full_trunk", 1, tps(t_full)),
+                // Keeps the PR 4 record's identity: the delta against the
+                // old full-trunk `batched_nograd` number IS the sweep win.
+                rec("batched_nograd", 1, tps(t_sweep)),
+                rec("batched_parallel", workers, tps(t_parallel)),
+            ],
+        );
+    }
+}

@@ -60,6 +60,12 @@ pub struct TrainConfig {
     /// function of the batch (never of `workers`), so it fixes both the
     /// work split and the gradient reduction tree.
     pub microbatch: usize,
+    /// Run autoregressive synthesis through the band-incremental sweep
+    /// (per sampled attribute, recompute only the hidden-degree band the
+    /// MADE masks say changed) instead of one full trunk forward per
+    /// attribute. Completions are **bit-identical** either way; `false`
+    /// keeps the full-recompute reference path.
+    pub incremental_sweep: bool,
 }
 
 impl Default for TrainConfig {
@@ -81,6 +87,7 @@ impl Default for TrainConfig {
             patience: 10,
             workers: 0,
             microbatch: 32,
+            incremental_sweep: true,
         }
     }
 }
@@ -192,6 +199,14 @@ impl CompletionModel {
         &self.store
     }
 
+    /// Toggles the band-incremental synthesis sweep at runtime — the
+    /// escape hatch back to the full-recompute reference path (completions
+    /// are bit-identical either way; see
+    /// [`TrainConfig::incremental_sweep`]).
+    pub fn set_incremental_sweep(&mut self, on: bool) {
+        self.made.set_incremental_sweep(on);
+    }
+
     /// Attr range holding the columns of path table `idx`.
     pub fn table_attr_range(&self, idx: usize) -> Range<usize> {
         self.table_ranges[idx].clone()
@@ -293,7 +308,8 @@ impl CompletionModel {
             .collect();
         let made_cfg = MadeConfig::new(specs)
             .with_ctx(effective_ctx_dim)
-            .with_hidden(cfg.hidden.clone());
+            .with_hidden(cfg.hidden.clone())
+            .with_incremental_sweep(cfg.incremental_sweep);
         let made = Made::new(made_cfg, &mut store, &mut rng);
 
         let deepsets = if ctx.is_empty() {
@@ -670,21 +686,30 @@ impl CompletionModel {
     ) -> CoreResult<Vec<i64>> {
         let attr_idx = self.tf_attrs[step]
             .ok_or_else(|| CoreError::Invalid(format!("step {step} has no tuple factor")))?;
-        let dists = self.conditional_dist_encoded_in(session, join, encoded, attr_idx, rows)?;
-        let enc = &self.attrs[attr_idx].encoder;
-        Ok(dists
-            .into_iter()
-            .map(|d| {
-                let expected: f64 = d
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| p as f64 * enc.decode(i as u32).as_i64().unwrap_or(0) as f64)
-                    .sum();
-                let floor = expected.floor();
-                let frac = expected - floor;
-                floor as i64 + (rng.random::<f64>() < frac) as i64
-            })
-            .collect())
+        // The per-row distributions are consumed in place, so the scratch
+        // rides on the worker's warm session — across batches and steps
+        // these calls reuse the same allocations.
+        let mut dists = session.take_dists();
+        let filled =
+            self.conditional_dists_encoded_into(session, join, encoded, attr_idx, rows, &mut dists);
+        let result = filled.map(|()| {
+            let enc = &self.attrs[attr_idx].encoder;
+            dists
+                .iter()
+                .map(|d| {
+                    let expected: f64 = d
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &p)| p as f64 * enc.decode(i as u32).as_i64().unwrap_or(0) as f64)
+                        .sum();
+                    let floor = expected.floor();
+                    let frac = expected - floor;
+                    floor as i64 + (rng.random::<f64>() < frac) as i64
+                })
+                .collect()
+        });
+        session.store_dists(dists);
+        result
     }
 
     /// Samples all column attributes of path table `table_idx` for the given
@@ -817,29 +842,44 @@ impl CompletionModel {
         attr_idx: usize,
         rows: &[usize],
     ) -> CoreResult<Vec<Vec<f32>>> {
+        let mut dists = Vec::new();
+        self.conditional_dists_encoded_into(session, join, encoded, attr_idx, rows, &mut dists)?;
+        Ok(dists)
+    }
+
+    /// Fills `out` (allocations reused) with the conditional distribution
+    /// of `attr_idx` for the given rows, MASK token dropped and
+    /// renormalized — the buffer-reusing core of
+    /// [`CompletionModel::conditional_dist_encoded_in`].
+    #[allow(clippy::too_many_arguments)]
+    fn conditional_dists_encoded_into(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        attr_idx: usize,
+        rows: &[usize],
+        out: &mut Vec<Vec<f32>>,
+    ) -> CoreResult<()> {
         let batch: Vec<Arc<Vec<u32>>> = encoded
             .iter()
             .map(|col| Arc::new(rows.iter().map(|&r| col[r]).collect::<Vec<u32>>()))
             .collect();
         let ctx = self.context_matrix_in(session, join, rows, false)?;
-        let dists =
-            self.made
-                .conditional_dists_in(session, &self.store, &batch, ctx.as_ref(), attr_idx);
+        self.made
+            .conditional_dists_in(session, &self.store, &batch, ctx.as_ref(), attr_idx, out);
         // Drop the MASK token and renormalize.
         let card = self.attrs[attr_idx].encoder.cardinality();
-        Ok(dists
-            .into_iter()
-            .map(|mut d| {
-                d.truncate(card);
-                let s: f32 = d.iter().sum();
-                if s > 0.0 {
-                    for v in &mut d {
-                        *v /= s;
-                    }
+        for d in out.iter_mut() {
+            d.truncate(card);
+            let s: f32 = d.iter().sum();
+            if s > 0.0 {
+                for v in d.iter_mut() {
+                    *v /= s;
                 }
-                d
-            })
-            .collect())
+            }
+        }
+        Ok(())
     }
 
     /// Marginal (training-data) distribution of an attribute — the

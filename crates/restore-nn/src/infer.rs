@@ -94,6 +94,14 @@ pub struct InferenceSession {
     /// holds because the tape also materializes `w ⊙ mask` before
     /// multiplying.
     masked: std::collections::HashMap<crate::params::ParamId, (usize, Matrix)>,
+    /// State of the band-incremental AR sweep: frozen degree-sorted
+    /// masked-weight caches plus per-layer activation buffers, persistent
+    /// across batches like the pooled buffers above (see
+    /// [`crate::sweep::ArSweep`]).
+    sweep: crate::sweep::ArSweep,
+    /// Per-row conditional-distribution scratch (see
+    /// [`InferenceSession::take_dists`]).
+    dists: Vec<Vec<f32>>,
 }
 
 impl InferenceSession {
@@ -104,6 +112,41 @@ impl InferenceSession {
     /// Number of pooled buffers (diagnostics).
     pub fn pooled_buffers(&self) -> usize {
         self.bufs.len()
+    }
+
+    /// The session's band-incremental sweep state plus the shared
+    /// masked-weight cache, borrowed disjointly — the sweep's output-block
+    /// evaluation reuses the same `w ⊙ mask` products as the full forward
+    /// path instead of materializing its own copies.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn sweep_parts(
+        &mut self,
+    ) -> (
+        &mut crate::sweep::ArSweep,
+        &mut std::collections::HashMap<ParamId, (usize, Matrix)>,
+    ) {
+        (&mut self.sweep, &mut self.masked)
+    }
+
+    /// Number of layers with a degree-banded sweep cache (diagnostics).
+    pub fn sweep_layers_cached(&self) -> usize {
+        self.sweep.banded_layers()
+    }
+
+    /// Takes the session's per-row conditional-distribution scratch — the
+    /// buffer [`Made::conditional_dists_in`](crate::made::Made::conditional_dists_in)
+    /// fills. Taken by value (and returned via
+    /// [`InferenceSession::store_dists`]) because the fill call borrows
+    /// the session too; callers that consume the distributions in place
+    /// hand the allocations back so repeated calls on a warm session
+    /// allocate nothing.
+    pub fn take_dists(&mut self) -> Vec<Vec<f32>> {
+        std::mem::take(&mut self.dists)
+    }
+
+    /// Returns a scratch taken with [`InferenceSession::take_dists`].
+    pub fn store_dists(&mut self, dists: Vec<Vec<f32>>) {
+        self.dists = dists;
     }
 
     /// Starts a forward pass against `store`, rewinding the buffer cursor.
@@ -126,6 +169,28 @@ impl InferenceSession {
             InferRef::Buf(i) => &self.bufs[i],
         }
     }
+}
+
+/// Ensures a session masked-weight cache holds `w ⊙ mask` for `pid`,
+/// materializing it on first use, and returns it. One weight must always
+/// pair with the same mask within a session (true for every layer type).
+/// Shared by [`InferCtx`] and the sweep's output-block evaluation, so both
+/// engines read the same cached product.
+pub(crate) fn masked_weight<'m>(
+    masked: &'m mut std::collections::HashMap<ParamId, (usize, Matrix)>,
+    store: &ParamStore,
+    pid: ParamId,
+    mask: &Arc<Matrix>,
+) -> &'m Matrix {
+    let entry = masked
+        .entry(pid)
+        .or_insert_with(|| (Arc::as_ptr(mask) as usize, store.value(pid).hadamard(mask)));
+    debug_assert_eq!(
+        entry.0,
+        Arc::as_ptr(mask) as usize,
+        "weight {pid} used with two different masks in one session"
+    );
+    &entry.1
 }
 
 /// One in-flight no-grad forward pass over an [`InferenceSession`].
@@ -165,17 +230,7 @@ impl InferCtx<'_> {
     /// materializing it on first use. One weight must always pair with the
     /// same mask within a session (true for every layer type).
     fn masked_weight(&mut self, pid: ParamId, mask: &Arc<Matrix>) {
-        let entry = self.masked.entry(pid).or_insert_with(|| {
-            (
-                Arc::as_ptr(mask) as usize,
-                self.store.value(pid).hadamard(mask),
-            )
-        });
-        debug_assert_eq!(
-            entry.0,
-            Arc::as_ptr(mask) as usize,
-            "weight {pid} used with two different masks in one session"
-        );
+        masked_weight(self.masked, self.store, pid, mask);
     }
 
     /// Block-restricted masked-linear output: computes only columns `cols`

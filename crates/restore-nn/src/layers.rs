@@ -117,6 +117,12 @@ impl Embedding {
         self.dim
     }
 
+    /// The embedding table's parameter id — the incremental AR sweep
+    /// gathers token rows straight out of the store with it.
+    pub fn param_id(&self) -> ParamId {
+        self.table
+    }
+
     pub fn forward<F: Forward>(
         &self,
         f: &mut F,

@@ -13,6 +13,9 @@
 //! * [`layers`] — linear, masked linear, embedding, MLP;
 //! * [`masks`] — MADE mask construction with attribute-grouped degrees;
 //! * [`made::Made`] — the masked autoregressive network (AR backbone);
+//! * [`sweep::ArSweep`] — the band-incremental autoregressive sweep: per
+//!   sampled attribute, recompute only the hidden-degree band the masks
+//!   say changed, bit-identical to full recompute;
 //! * [`deepsets::DeepSets`] — permutation-invariant tree embeddings
 //!   (SSAR conditioning);
 //! * [`loss`] — per-attribute softmax cross-entropy and KL divergence;
@@ -31,6 +34,7 @@ pub mod made;
 pub mod masks;
 pub mod optim;
 pub mod params;
+pub mod sweep;
 pub mod tape;
 pub mod tensor;
 pub mod train;
@@ -44,6 +48,7 @@ pub use loss::{
 pub use made::{sample_categorical, AttrSpec, Made, MadeConfig};
 pub use optim::{Adam, Sgd};
 pub use params::{GradBuffer, ParamId, ParamStore};
+pub use sweep::ArSweep;
 pub use tape::{Tape, TapeCtx, VarId};
 pub use tensor::Matrix;
 pub use train::TrainEngine;

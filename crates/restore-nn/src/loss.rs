@@ -108,13 +108,15 @@ pub struct BlockLossSums {
 /// weighted sums (see [`BlockLossSums`]).
 ///
 /// * `logits` — `m × layout.total_width()`.
-/// * `targets[a][r]` — token of attribute `a` in row `r`.
+/// * `targets[a][r]` — token of attribute `a` in row `r`; any slice-like
+///   column type works (`Vec<u32>`, `&[u32]`), so callers can borrow their
+///   token columns instead of cloning them.
 /// * `weights` — optional per-attribute, per-row loss weights (`0` skips the
 ///   row for that attribute, e.g. when the value is unknown/masked).
-pub fn block_cross_entropy_sums(
+pub fn block_cross_entropy_sums<T: AsRef<[u32]>>(
     logits: &Matrix,
     layout: &BlockLayout,
-    targets: &[Vec<u32>],
+    targets: &[T],
     weights: Option<&[Vec<f32>]>,
 ) -> BlockLossSums {
     let m = logits.rows();
@@ -142,7 +144,7 @@ pub fn block_cross_entropy_sums(
             }
             let row = logits.row(r);
             softmax_into(&row[off..off + card], &mut probs);
-            let t = targets[a][r] as usize;
+            let t = targets[a].as_ref()[r] as usize;
             assert!(
                 t < card,
                 "target token {t} out of range for attr {a} (card {card})"
@@ -172,10 +174,10 @@ pub fn block_cross_entropy_sums(
 
 /// Softmax cross-entropy over attribute blocks — the mean-normalized
 /// convenience form of [`block_cross_entropy_sums`].
-pub fn block_cross_entropy(
+pub fn block_cross_entropy<T: AsRef<[u32]>>(
     logits: &Matrix,
     layout: &BlockLayout,
-    targets: &[Vec<u32>],
+    targets: &[T],
     weights: Option<&[Vec<f32>]>,
 ) -> BlockLoss {
     let mut sums = block_cross_entropy_sums(logits, layout, targets, weights);

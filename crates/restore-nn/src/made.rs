@@ -9,9 +9,10 @@ use rand::Rng;
 
 use crate::infer::{Forward, InferenceSession};
 use crate::layers::{Embedding, MaskedLinear};
-use crate::loss::{block_cross_entropy, softmax, softmax_into, BlockLayout, BlockLoss};
+use crate::loss::{block_cross_entropy, softmax_into, BlockLayout, BlockLoss};
 use crate::masks::build_masks;
 use crate::params::ParamStore;
+use crate::sweep::{ArSweep, SweepNet};
 use crate::tensor::Matrix;
 
 /// One model attribute: its token cardinality and embedding width.
@@ -40,6 +41,12 @@ pub struct MadeConfig {
     /// Hidden layer widths. Equal widths enable residual connections.
     pub hidden: Vec<usize>,
     pub residual: bool,
+    /// Run autoregressive sampling and block-logit evaluation through the
+    /// band-incremental sweep (recompute only the newly needed degree band
+    /// of hidden units per attribute) instead of a full trunk forward per
+    /// attribute. Values are **bit-identical** either way; `false` keeps
+    /// the full-recompute path as the reference/escape hatch.
+    pub incremental_sweep: bool,
 }
 
 impl MadeConfig {
@@ -49,6 +56,7 @@ impl MadeConfig {
             ctx_dim: 0,
             hidden: vec![64, 64],
             residual: true,
+            incremental_sweep: true,
         }
     }
 
@@ -59,6 +67,11 @@ impl MadeConfig {
 
     pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
         self.hidden = hidden;
+        self
+    }
+
+    pub fn with_incremental_sweep(mut self, on: bool) -> Self {
+        self.incremental_sweep = on;
         self
     }
 }
@@ -73,6 +86,12 @@ pub struct Made {
     hidden_layers: Vec<MaskedLinear>,
     output_layer: MaskedLinear,
     layout: BlockLayout,
+    /// Shared hidden-unit degrees (from mask construction) — the band
+    /// boundaries of the incremental sweep.
+    hidden_degrees: Vec<usize>,
+    /// Column offset of each attribute's embedding block inside the trunk
+    /// input (after the `ctx_dim`-wide context block).
+    embed_offsets: Vec<usize>,
 }
 
 impl Made {
@@ -85,6 +104,12 @@ impl Made {
         let embed_dims: Vec<usize> = cfg.attrs.iter().map(|a| a.embed_dim).collect();
         let cards: Vec<usize> = cfg.attrs.iter().map(|a| a.cardinality).collect();
         let masks = build_masks(&embed_dims, &cards, cfg.ctx_dim, &cfg.hidden);
+        let mut embed_offsets = Vec::with_capacity(embed_dims.len());
+        let mut offset = cfg.ctx_dim;
+        for &d in &embed_dims {
+            embed_offsets.push(offset);
+            offset += d;
+        }
 
         let embeddings = cfg
             .attrs
@@ -106,7 +131,22 @@ impl Made {
             hidden_layers,
             output_layer,
             layout: BlockLayout::new(&cards),
+            hidden_degrees: masks.hidden_degrees,
+            embed_offsets,
         }
+    }
+
+    /// Whether sampling/block-logit evaluation runs through the
+    /// band-incremental sweep (see [`MadeConfig::incremental_sweep`]).
+    pub fn incremental_sweep(&self) -> bool {
+        self.cfg.incremental_sweep
+    }
+
+    /// Toggles the band-incremental sweep at runtime — the escape hatch
+    /// back to the full-recompute reference path (values are bit-identical
+    /// either way).
+    pub fn set_incremental_sweep(&mut self, on: bool) {
+        self.cfg.incremental_sweep = on;
     }
 
     pub fn num_attrs(&self) -> usize {
@@ -125,15 +165,11 @@ impl Made {
         self.cfg.attrs[attr].cardinality
     }
 
-    /// The shared trunk (embeddings through the last hidden ReLU) of the
-    /// forward pass, generic over the executor.
-    fn trunk<F: Forward>(
-        &self,
-        f: &mut F,
-        store: &ParamStore,
-        tokens: &[Arc<Vec<u32>>],
-        ctx: Option<F::Id>,
-    ) -> F::Id {
+    /// Validates a batch against the model shape — column count, ragged
+    /// columns, context presence and shape — and returns the row count.
+    /// Shared by the trunk and the sweep so both paths reject the same
+    /// bad inputs identically.
+    fn check_batch(&self, tokens: &[Arc<Vec<u32>>], ctx_shape: Option<(usize, usize)>) -> usize {
         assert_eq!(
             tokens.len(),
             self.num_attrs(),
@@ -143,16 +179,29 @@ impl Made {
         for t in tokens {
             assert_eq!(t.len(), m, "ragged token columns");
         }
-        let mut parts = Vec::with_capacity(self.num_attrs() + 1);
-        match (self.cfg.ctx_dim, ctx) {
+        match (self.cfg.ctx_dim, ctx_shape) {
             (0, None) => {}
-            (d, Some(c)) => {
-                assert_eq!(f.shape(c), (m, d), "context shape mismatch");
-                parts.push(c);
-            }
+            (d, Some(shape)) => assert_eq!(shape, (m, d), "context shape mismatch"),
             (d, None) => panic!("model expects a {d}-wide context"),
             #[allow(unreachable_patterns)]
             (0, Some(_)) => panic!("model does not take a context"),
+        }
+        m
+    }
+
+    /// The shared trunk (embeddings through the last hidden ReLU) of the
+    /// forward pass, generic over the executor.
+    fn trunk<F: Forward>(
+        &self,
+        f: &mut F,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<F::Id>,
+    ) -> F::Id {
+        self.check_batch(tokens, ctx.map(|c| f.shape(c)));
+        let mut parts = Vec::with_capacity(self.num_attrs() + 1);
+        if let Some(c) = ctx {
+            parts.push(c);
         }
         for (emb, toks) in self.embeddings.iter().zip(tokens) {
             parts.push(emb.forward(f, store, toks));
@@ -187,12 +236,35 @@ impl Made {
         self.output_layer.forward(f, store, h)
     }
 
-    /// Gradient-free forward of the logit block of `attr` only: the trunk
-    /// runs in full, but the output layer evaluates just that attribute's
-    /// columns — the autoregressive sampler never needs the other blocks.
-    /// Returns the `rows × cardinality(attr)` block, bit-identical to the
-    /// corresponding slice of the full logits.
+    /// Gradient-free forward of the logit block of `attr` only — the
+    /// autoregressive sampler never needs the other blocks. Returns the
+    /// `rows × cardinality(attr)` block, bit-identical to the
+    /// corresponding slice of the full logits. With
+    /// [`MadeConfig::incremental_sweep`] on (the default) only the hidden
+    /// bands of degree `≤ attr` are evaluated (everything the block can
+    /// see); the escape hatch runs the full trunk.
     pub fn logits_attr_in<'s>(
+        &self,
+        session: &'s mut InferenceSession,
+        store: &'s ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        attr: usize,
+    ) -> &'s Matrix {
+        if self.cfg.incremental_sweep {
+            let net = self.sweep_net();
+            let (sweep, masked) = session.sweep_parts();
+            self.sweep_begin(&net, sweep, store, tokens, ctx, attr);
+            let (off, card) = self.layout.block(attr);
+            sweep.output_block(masked, store, &self.output_layer, off..off + card);
+            return &sweep.logits;
+        }
+        self.logits_attr_full_in(session, store, tokens, ctx, attr)
+    }
+
+    /// The full-trunk reference form of [`Made::logits_attr_in`]: one
+    /// complete trunk forward, then the block-restricted output.
+    fn logits_attr_full_in<'s>(
         &self,
         session: &'s mut InferenceSession,
         store: &'s ParamStore,
@@ -208,6 +280,44 @@ impl Made {
         let h = self.trunk(&mut f, store, tokens, ctx_id);
         let out = f.masked_linear_cols(h, w, &mask, b, off..off + card);
         session.value(store, out)
+    }
+
+    /// The sweep's view of the masked trunk.
+    fn sweep_net(&self) -> SweepNet<'_> {
+        let mut layers = Vec::with_capacity(1 + self.hidden_layers.len());
+        layers.push(&self.input_layer);
+        layers.extend(self.hidden_layers.iter());
+        SweepNet {
+            layers,
+            degrees: &self.hidden_degrees,
+            n_attrs: self.num_attrs(),
+            residual: self.cfg.residual,
+        }
+    }
+
+    /// Starts a sweep: validates the batch (same checks as the trunk),
+    /// assembles the trunk input (context block + every attribute's
+    /// embedding block under the current tokens) and computes all hidden
+    /// bands of degree `≤ upto`, after which any logit block `attr ≤ upto`
+    /// can be evaluated.
+    fn sweep_begin(
+        &self,
+        net: &SweepNet,
+        sweep: &mut ArSweep,
+        store: &ParamStore,
+        tokens: &[Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        upto: usize,
+    ) {
+        let m = self.check_batch(tokens, ctx.map(|c| c.shape()));
+        sweep.begin(store, net, m);
+        if let Some(c) = ctx {
+            sweep.set_x_block(0, c);
+        }
+        for (a, (emb, toks)) in self.embeddings.iter().zip(tokens).enumerate() {
+            sweep.gather_x_block(self.embed_offsets[a], store.value(emb.param_id()), toks);
+        }
+        sweep.compute(net, 0..upto + 1);
     }
 
     /// Inference-only forward returning an owned logits matrix (convenience
@@ -239,7 +349,8 @@ impl Made {
     }
 
     /// Evaluates the per-attribute NLL without updating parameters — the
-    /// "test loss" used for basic model selection (§5).
+    /// "test loss" used for basic model selection (§5). Targets are
+    /// borrowed straight from the token columns, never cloned.
     pub fn evaluate(
         &self,
         store: &ParamStore,
@@ -248,7 +359,7 @@ impl Made {
         weights: Option<&[Vec<f32>]>,
     ) -> BlockLoss {
         let logits = self.logits(store, tokens, ctx);
-        let targets: Vec<Vec<u32>> = tokens.iter().map(|t| t.as_ref().clone()).collect();
+        let targets: Vec<&[u32]> = tokens.iter().map(|t| t.as_slice()).collect();
         block_cross_entropy(&logits, &self.layout, &targets, weights)
     }
 
@@ -263,11 +374,17 @@ impl Made {
         attr: usize,
     ) -> Vec<Vec<f32>> {
         let mut session = InferenceSession::new();
-        self.conditional_dists_in(&mut session, store, tokens, ctx, attr)
+        let mut out = Vec::new();
+        self.conditional_dists_in(&mut session, store, tokens, ctx, attr, &mut out);
+        out
     }
 
-    /// [`Made::conditional_dists`] over a caller-owned session — the
-    /// completion engine keeps one session per worker warm across batches.
+    /// [`Made::conditional_dists`] over a caller-owned session *and* output
+    /// buffer — the completion engine keeps one session per worker warm
+    /// across batches, and `out` is resized and refilled in place (inner
+    /// vectors reused) instead of allocating per-row softmax results on
+    /// every call.
+    #[allow(clippy::too_many_arguments)]
     pub fn conditional_dists_in(
         &self,
         session: &mut InferenceSession,
@@ -275,9 +392,15 @@ impl Made {
         tokens: &[Arc<Vec<u32>>],
         ctx: Option<&Matrix>,
         attr: usize,
-    ) -> Vec<Vec<f32>> {
+        out: &mut Vec<Vec<f32>>,
+    ) {
         let block = self.logits_attr_in(session, store, tokens, ctx, attr);
-        (0..block.rows()).map(|r| softmax(block.row(r))).collect()
+        let card = block.cols();
+        out.resize_with(block.rows(), Vec::new);
+        for (r, d) in out.iter_mut().enumerate() {
+            d.resize(card, 0.0);
+            softmax_into(block.row(r), d);
+        }
     }
 
     /// Iterative forward sampling (§3.1): fills token columns
@@ -333,12 +456,19 @@ impl Made {
     }
 
     /// Batched iterative forward sampling on the no-grad engine: one
-    /// gradient-free forward pass per attribute fills that attribute for
-    /// **all** batch rows at once. Token columns are updated in place
-    /// (`Arc::make_mut` — the session never retains them, so no copies
-    /// happen). Rows are sampled in order, one RNG draw per row per
+    /// gradient-free logit-block evaluation per attribute fills that
+    /// attribute for **all** batch rows at once. Token columns are updated
+    /// in place (`Arc::make_mut` — the session never retains them, so no
+    /// copies happen). Rows are sampled in order, one RNG draw per row per
     /// attribute, so the draw sequence is a pure function of `(tokens,
     /// start, end, rng state)`.
+    ///
+    /// With [`MadeConfig::incremental_sweep`] on (the default) the
+    /// attribute loop runs on the band-incremental sweep: the trunk is
+    /// evaluated up to degree `start` once, and each step recomputes only
+    /// the hidden band whose degree equals the attribute being sampled —
+    /// bit-identical to the full-recompute escape-hatch path below, at
+    /// roughly one trunk forward's GEMM cost for the whole range.
     #[allow(clippy::too_many_arguments)]
     pub fn sample_range_in<R: Rng>(
         &self,
@@ -355,44 +485,120 @@ impl Made {
         assert!(end <= self.num_attrs() && start <= end);
         assert!(excluded.is_empty() || excluded.len() == self.num_attrs());
         let m = tokens.first().map_or(0, |t| t.len());
-        if m == 0 {
+        if m == 0 || start == end {
             return;
         }
+        if self.cfg.incremental_sweep {
+            return self.sample_range_sweep(session, store, tokens, ctx, start, end, excluded, rng);
+        }
+        // Full-recompute reference path (escape hatch): one complete trunk
+        // forward per attribute. Sampling scratch is hoisted out of the
+        // attribute loop.
         let mut dist = Vec::new();
+        let mut sampled = Vec::new();
         for attr in start..end {
-            let block = self.logits_attr_in(session, store, tokens, ctx, attr);
-            let card = block.cols();
-            let mut sampled = Vec::with_capacity(m);
-            for r in 0..m {
-                dist.resize(card, 0.0);
-                softmax_into(block.row(r), &mut dist);
-                if let Some(Some(ex)) = excluded.get(attr) {
-                    let ex = *ex as usize;
-                    if ex < dist.len() {
-                        dist[ex] = 0.0;
-                        let s: f32 = dist.iter().sum();
-                        if s > 0.0 {
-                            for d in &mut dist {
-                                *d /= s;
-                            }
-                        } else {
-                            // Degenerate: everything but the excluded token
-                            // had zero mass; fall back to uniform.
-                            let n = dist.len();
-                            for (i, d) in dist.iter_mut().enumerate() {
-                                *d = if i == ex {
-                                    0.0
-                                } else {
-                                    1.0 / (n - 1).max(1) as f32
-                                };
-                            }
-                        }
-                    }
-                }
-                sampled.push(sample_categorical(&dist, rng));
-            }
+            let block = self.logits_attr_full_in(session, store, tokens, ctx, attr);
+            sample_block_rows(
+                block,
+                excluded.get(attr).copied().flatten(),
+                &mut dist,
+                &mut sampled,
+                rng,
+            );
             Arc::make_mut(&mut tokens[attr]).copy_from_slice(&sampled);
         }
+    }
+
+    /// The band-incremental form of [`Made::sample_range_in`]: a setup
+    /// pass computes all hidden bands of degree `≤ start`, then step
+    /// `attr` refreshes the just-sampled attribute's embedding block in
+    /// the cached trunk input and computes only the degree-`attr` band per
+    /// layer before evaluating that attribute's logit block.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_range_sweep<R: Rng>(
+        &self,
+        session: &mut InferenceSession,
+        store: &ParamStore,
+        tokens: &mut [Arc<Vec<u32>>],
+        ctx: Option<&Matrix>,
+        start: usize,
+        end: usize,
+        excluded: &[Option<u32>],
+        rng: &mut R,
+    ) {
+        let net = self.sweep_net();
+        let (sweep, masked) = session.sweep_parts();
+        self.sweep_begin(&net, sweep, store, tokens, ctx, start);
+        for attr in start..end {
+            if attr > start {
+                let prev = attr - 1;
+                sweep.gather_x_block(
+                    self.embed_offsets[prev],
+                    store.value(self.embeddings[prev].param_id()),
+                    &tokens[prev],
+                );
+                sweep.compute(&net, attr..attr + 1);
+            }
+            let (off, card) = self.layout.block(attr);
+            sweep.output_block(masked, store, &self.output_layer, off..off + card);
+            let ArSweep {
+                logits,
+                dist,
+                sampled,
+                ..
+            } = &mut *sweep;
+            sample_block_rows(
+                logits,
+                excluded.get(attr).copied().flatten(),
+                dist,
+                sampled,
+                rng,
+            );
+            Arc::make_mut(&mut tokens[attr]).copy_from_slice(sampled);
+        }
+    }
+}
+
+/// Samples one token per row from a logits block: per row, in order, a
+/// softmax into `dist`, optional excluded-token renormalization, then one
+/// categorical draw. `dist` and `sampled` are caller-owned scratch —
+/// hoisted out of the per-attribute loop so steady-state sampling
+/// allocates nothing.
+fn sample_block_rows<R: Rng>(
+    block: &Matrix,
+    excluded: Option<u32>,
+    dist: &mut Vec<f32>,
+    sampled: &mut Vec<u32>,
+    rng: &mut R,
+) {
+    dist.resize(block.cols(), 0.0);
+    sampled.clear();
+    for r in 0..block.rows() {
+        softmax_into(block.row(r), dist);
+        if let Some(ex) = excluded {
+            let ex = ex as usize;
+            if ex < dist.len() {
+                dist[ex] = 0.0;
+                let s: f32 = dist.iter().sum();
+                if s > 0.0 {
+                    for d in dist.iter_mut() {
+                        *d /= s;
+                    }
+                } else {
+                    // Degenerate: everything but the excluded token had
+                    // zero mass; fall back to uniform.
+                    let n = dist.len();
+                    for (i, d) in dist.iter_mut().enumerate() {
+                        *d = if i == ex {
+                            0.0
+                        } else {
+                            1.0 / (n - 1).max(1) as f32
+                        };
+                    }
+                }
+            }
+        }
+        sampled.push(sample_categorical(dist, rng));
     }
 }
 

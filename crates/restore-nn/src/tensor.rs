@@ -194,35 +194,43 @@ impl Matrix {
     }
 
     /// Computes only columns `cols` of `self · other` into `out` (shaped
-    /// `self.rows × cols.len()`). Column `j` of the product is the same
-    /// dot-product accumulation as in [`Matrix::matmul_into`], so the
-    /// values are bit-identical to the corresponding slice of the full
-    /// product — the batched sampler uses this to evaluate just the logit
-    /// block of the attribute being sampled.
-    pub fn matmul_cols_into(&self, other: &Matrix, cols: std::ops::Range<usize>, out: &mut Matrix) {
+    /// `self.rows × cols.len()`) with the tiled kernel's zero-initialized
+    /// ascending-`k` accumulation — the exact per-element add sequence of
+    /// [`Matrix::matmul_into`], so every value is bit-identical to the
+    /// corresponding entry of the full product. This is the band-restricted
+    /// GEMM of the incremental AR sweep: each degree band of hidden units
+    /// is a contiguous column range of the degree-sorted masked weight.
+    pub fn matmul_col_band_into(
+        &self,
+        other: &Matrix,
+        cols: std::ops::Range<usize>,
+        out: &mut Matrix,
+    ) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         assert!(cols.end <= other.cols, "column range out of bounds");
         let width = cols.len();
         out.resize(self.rows, width);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * width..(i + 1) * width];
-            let mut ks = a_row.iter().enumerate();
-            if let Some((k, &a)) = ks.next() {
-                let b_row = &other.row(k)[cols.start..cols.end];
-                for j in 0..width {
-                    out_row[j] = a * b_row[j];
-                }
-            } else {
-                out_row.fill(0.0);
-            }
-            for (k, &a) in ks {
-                let b_row = &other.row(k)[cols.start..cols.end];
-                for j in 0..width {
-                    out_row[j] += a * b_row[j];
-                }
-            }
-        }
+        gemm_tiled_cols(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            cols.start,
+            width,
+        );
+    }
+
+    /// Computes only columns `cols` of `self · other` into `out` (shaped
+    /// `self.rows × cols.len()`). Per element this is the tiled kernel's
+    /// zero-initialized ascending-`k` dot product — exactly the sequence
+    /// [`Matrix::matmul_into`] runs — so the values are bit-identical to
+    /// the corresponding slice of the full product. The batched sampler
+    /// uses this to evaluate just the logit block of the attribute being
+    /// sampled.
+    pub fn matmul_cols_into(&self, other: &Matrix, cols: std::ops::Range<usize>, out: &mut Matrix) {
+        self.matmul_col_band_into(other, cols, out)
     }
 
     /// `out += self · otherᵀ` — the gradient-accumulation form of
@@ -593,55 +601,101 @@ impl Matrix {
 /// branch). Free function over plain slices so LLVM gets clean noalias
 /// information for the output.
 fn gemm_tiled(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, kk: usize, n: usize) {
+    gemm_tiled_cols(a, b, out, rows, kk, n, 0, n)
+}
+
+/// Column-band generalization of [`gemm_tiled`]: computes only columns
+/// `c0..c0 + w` of `a · b` (where `b` is `kk × bn` row-major) into `out`
+/// (`rows × w`, row-major). Per `(i, j)` the dot product still accumulates
+/// from zero in ascending `k`, so each computed value is bit-identical to
+/// the corresponding entry of the full product — the incremental AR sweep
+/// relies on this to recompute one degree band per step.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiled_cols(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    kk: usize,
+    bn: usize,
+    c0: usize,
+    w: usize,
+) {
     const MR: usize = 4;
-    const NR: usize = 32;
     let mut i = 0;
     while i + MR <= rows {
+        // Hierarchical fixed-width column tiles: narrow outputs (the degree
+        // bands of the incremental sweep are ~width/n_attrs columns) keep
+        // their accumulators in registers instead of falling into a
+        // variable-length remainder loop. Tile width only groups columns —
+        // each `(i, j)` is still an independent zero-init ascending-k dot
+        // product, so the result does not depend on the tiling.
         let mut j0 = 0;
-        while j0 + NR <= n {
-            let mut acc = [[0f32; NR]; MR];
-            for k in 0..kk {
-                let b_tile = &b[k * n + j0..k * n + j0 + NR];
-                for (r, acc_row) in acc.iter_mut().enumerate() {
-                    let av = a[(i + r) * kk + k];
-                    for j in 0..NR {
-                        acc_row[j] += av * b_tile[j];
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                out[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(acc_row);
-            }
-            j0 += NR;
+        while j0 + 32 <= w {
+            mul_tile::<32>(a, b, out, i, kk, bn, c0, w, j0);
+            j0 += 32;
         }
-        if j0 < n {
-            let w = n - j0;
-            let mut acc = [[0f32; NR]; MR];
-            for k in 0..kk {
-                let b_tile = &b[k * n + j0..k * n + j0 + w];
-                for (r, acc_row) in acc.iter_mut().enumerate() {
-                    let av = a[(i + r) * kk + k];
-                    for (j, &bv) in b_tile.iter().enumerate() {
-                        acc_row[j] += av * bv;
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                out[(i + r) * n + j0..(i + r) * n + j0 + w].copy_from_slice(&acc_row[..w]);
-            }
+        while j0 + 8 <= w {
+            mul_tile::<8>(a, b, out, i, kk, bn, c0, w, j0);
+            j0 += 8;
+        }
+        while j0 + 4 <= w {
+            mul_tile::<4>(a, b, out, i, kk, bn, c0, w, j0);
+            j0 += 4;
+        }
+        while j0 + 2 <= w {
+            mul_tile::<2>(a, b, out, i, kk, bn, c0, w, j0);
+            j0 += 2;
+        }
+        while j0 < w {
+            mul_tile::<1>(a, b, out, i, kk, bn, c0, w, j0);
+            j0 += 1;
         }
         i += MR;
     }
     for i in i..rows {
         let a_row = &a[i * kk..(i + 1) * kk];
-        let out_row = &mut out[i * n..(i + 1) * n];
+        let out_row = &mut out[i * w..(i + 1) * w];
         out_row.fill(0.0);
         for (k, &av) in a_row.iter().enumerate() {
-            let b_row = &b[k * n..(k + 1) * n];
-            for j in 0..n {
+            let b_row = &b[k * bn + c0..k * bn + c0 + w];
+            for j in 0..w {
                 out_row[j] += av * b_row[j];
             }
         }
+    }
+}
+
+/// One `4 × NR` register tile of [`gemm_tiled_cols`]: columns
+/// `j0..j0 + NR` (offset by `c0` inside `b`) for rows `i..i + 4`,
+/// accumulated from zero in ascending `k`. Monomorphized per tile width so
+/// the accumulator array stays in registers.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn mul_tile<const NR: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kk: usize,
+    bn: usize,
+    c0: usize,
+    w: usize,
+    j0: usize,
+) {
+    const MR: usize = 4;
+    let mut acc = [[0f32; NR]; MR];
+    for k in 0..kk {
+        let b_tile = &b[k * bn + c0 + j0..k * bn + c0 + j0 + NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[(i + r) * kk + k];
+            for (o, &bv) in acc_row.iter_mut().zip(b_tile) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[(i + r) * w + j0..(i + r) * w + j0 + NR].copy_from_slice(acc_row);
     }
 }
 
@@ -787,6 +841,44 @@ mod tests {
             a.t_matmul_acc_naive(&b, &mut naive);
             for (x, y) in tiled.data().iter().zip(naive.data()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_acc {k}x{m}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_band_matmul_is_bit_identical_to_full_product() {
+        // Every column band of the product — tile-aligned, straddling, and
+        // degenerate single columns — must match the full GEMM bit for bit,
+        // including planted exact/negative zeros in both operands.
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m, k, n) in &[
+            (9usize, 5usize, 70usize),
+            (4, 32, 33),
+            (1, 3, 5),
+            (6, 1, 64),
+        ] {
+            let a = tricky(m, k, &mut rng);
+            let b = tricky(k, n, &mut rng);
+            let full = a.matmul(&b);
+            let bands = [
+                0..n,
+                0..1.min(n),
+                n / 3..(2 * n / 3).max(n / 3 + 1),
+                n - 1..n,
+            ];
+            for band in bands {
+                let mut out = Matrix::zeros(0, 0);
+                a.matmul_col_band_into(&b, band.clone(), &mut out);
+                assert_eq!(out.shape(), (m, band.len()));
+                for i in 0..m {
+                    for (jj, j) in band.clone().enumerate() {
+                        assert_eq!(
+                            out.get(i, jj).to_bits(),
+                            full.get(i, j).to_bits(),
+                            "band {band:?} ({m}x{k}x{n}) diverged at ({i}, {j})"
+                        );
+                    }
+                }
             }
         }
     }
