@@ -114,6 +114,8 @@ fn bench_serving(c: &mut Criterion) {
             engine: "warm_cache".into(),
             threads,
             hardware_threads: restore_bench::hardware_threads(),
+            lane_width: restore_bench::lane_width(),
+            target_feature: restore_bench::target_feature(),
             queries_per_s: qps,
         });
         summary.push_str(&format!(", t{threads} {qps:.0} q/s"));
@@ -127,6 +129,8 @@ fn bench_serving(c: &mut Criterion) {
         engine: "cold_cache".into(),
         threads: 4,
         hardware_threads: restore_bench::hardware_threads(),
+        lane_width: restore_bench::lane_width(),
+        target_feature: restore_bench::target_feature(),
         queries_per_s: qps_cold,
     });
     summary.push_str(&format!(", cold t4 {qps_cold:.0} q/s"));

@@ -179,6 +179,8 @@ fn bench_training_engines(c: &mut Criterion) {
         engine: "fresh_tape_fullbatch".into(),
         workers: 1,
         hardware_threads: restore_bench::hardware_threads(),
+        lane_width: restore_bench::lane_width(),
+        target_feature: restore_bench::target_feature(),
         steps_per_s: 1.0 / time_legacy,
         tuples_per_s: batch as f64 / time_legacy,
     }];
@@ -201,6 +203,8 @@ fn bench_training_engines(c: &mut Criterion) {
             engine: label.into(),
             workers,
             hardware_threads: restore_bench::hardware_threads(),
+            lane_width: restore_bench::lane_width(),
+            target_feature: restore_bench::target_feature(),
             steps_per_s: 1.0 / dt,
             tuples_per_s: batch as f64 / dt,
         });

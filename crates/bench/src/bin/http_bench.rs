@@ -107,6 +107,8 @@ fn main() {
             engine: "warm_keepalive".into(),
             threads,
             hardware_threads: restore_bench::hardware_threads(),
+            lane_width: restore_bench::lane_width(),
+            target_feature: restore_bench::target_feature(),
             queries_per_s: qps,
             p50_ms: p50,
             p99_ms: p99,
@@ -122,6 +124,8 @@ fn main() {
             engine: "warm_reconnect".into(),
             threads: 4,
             hardware_threads: restore_bench::hardware_threads(),
+            lane_width: restore_bench::lane_width(),
+            target_feature: restore_bench::target_feature(),
             queries_per_s: qps,
             p50_ms: percentile(&latencies, 0.5),
             p99_ms: percentile(&latencies, 0.99),

@@ -1,0 +1,17 @@
+//! CI guard: asserts the build selected a real vector lane width. The
+//! kernels fall back to lane width 1 when no SIMD target feature is
+//! enabled — numerically identical but silently scalar, which would make
+//! every perf record on that runner incomparable. Failing loudly here
+//! catches a dead autovectorization path (e.g. a lost `target-cpu` flag)
+//! before it poisons the bench trend.
+
+fn main() {
+    let (width, feature) = (restore_bench::lane_width(), restore_bench::target_feature());
+    println!("kernel_smoke: lane_width={width} target_feature={feature}");
+    assert!(
+        width > 1,
+        "scalar kernel fallback selected (target_feature={feature}) — \
+         check the build's target-cpu/target-feature flags"
+    );
+    println!("kernel_smoke: OK");
+}

@@ -1,0 +1,15 @@
+//! Kernel micro-bench runner: times each wide (lane-tiled) GEMM kernel
+//! against its naive reference across band widths and writes
+//! `results/BENCH_kernels.json` (plus the trend delta against the previous
+//! run). `--quick` trims repetitions for CI.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "kernels_bench: lane_width={} target_feature={} ({})",
+        restore_bench::lane_width(),
+        restore_bench::target_feature(),
+        if quick { "quick" } else { "full" },
+    );
+    restore_bench::kernels::run(quick);
+}

@@ -1,0 +1,161 @@
+//! Kernel micro-bench: wide (lane-tiled) vs naive reference throughput
+//! for each hot GEMM kernel, across band widths shaped like the AR
+//! sweep's degree bands — ragged, lane-aligned, and full-trunk. Drops
+//! `results/BENCH_kernels.json` so the per-kernel speedups ride the same
+//! trend report as the end-to-end benches.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use restore_nn::Matrix;
+use restore_util::impl_to_json;
+
+use crate::{hardware_threads, lane_width, target_feature, write_bench_json};
+
+/// One wide-vs-naive kernel measurement.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    /// Bench group, always `"kernels"`.
+    pub bench: String,
+    /// Kernel entry point, e.g. `"matmul_col_band_into"`.
+    pub kernel: String,
+    /// Problem shape label, e.g. `"256x64x64"` or `"band_w17"` — part of
+    /// the record identity, so widths compare like-for-like across runs.
+    pub shape: String,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
+    /// Lane-tiled kernel throughput, giga multiply-accumulates per second.
+    pub wide_gmacs_per_s: f64,
+    /// Naive reference-loop throughput on the same problem.
+    pub naive_gmacs_per_s: f64,
+    /// `wide / naive`.
+    pub speedup: f64,
+}
+impl_to_json!(KernelRecord {
+    bench,
+    kernel,
+    shape,
+    hardware_threads,
+    lane_width,
+    target_feature,
+    wide_gmacs_per_s,
+    naive_gmacs_per_s,
+    speedup
+});
+
+/// Times `f` over `reps` runs (after one warm-up) and returns throughput
+/// in giga multiply-accumulates per second for a problem of `macs` MACs.
+fn gmacs_per_s(macs: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    macs as f64 * reps as f64 / t.elapsed().as_secs_f64() / 1e9
+}
+
+fn record(kernel: &str, shape: String, wide: f64, naive: f64) -> KernelRecord {
+    let rec = KernelRecord {
+        bench: "kernels".into(),
+        kernel: kernel.into(),
+        shape,
+        hardware_threads: hardware_threads(),
+        lane_width: lane_width(),
+        target_feature: target_feature(),
+        wide_gmacs_per_s: wide,
+        naive_gmacs_per_s: naive,
+        speedup: wide / naive,
+    };
+    println!(
+        "kernels: {} {}: wide {:.2} GMAC/s, naive {:.2} GMAC/s ({:.2}x)",
+        rec.kernel, rec.shape, rec.wide_gmacs_per_s, rec.naive_gmacs_per_s, rec.speedup
+    );
+    rec
+}
+
+/// Runs the micro-bench and writes `BENCH_kernels.json`. `quick` trims
+/// repetitions for the CI smoke path; the measured shapes are identical,
+/// so quick and full runs produce the same record identities.
+pub fn run(quick: bool) {
+    let reps = if quick { 60 } else { 2000 };
+    let mut rng = StdRng::seed_from_u64(7);
+    // Trunk-sized operands: a 256-row batch through a 64-unit layer, like
+    // the completion sweep's hidden GEMMs.
+    let (m, k, n) = (256usize, 64usize, 64usize);
+    let a = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+    let mut out = Matrix::zeros(m, n);
+    let mut records = Vec::new();
+
+    let wide = gmacs_per_s(m * k * n, reps, || a.matmul_into(&b, black_box(&mut out)));
+    let naive = gmacs_per_s(m * k * n, reps, || {
+        a.matmul_into_naive(&b, black_box(&mut out))
+    });
+    records.push(record("matmul_into", format!("{m}x{k}x{n}"), wide, naive));
+
+    // Band widths like the sweep's degree bands: ragged sub-lane, exactly
+    // one lane (post-padding common case), ragged multi-lane, and wide.
+    let wide_b = Matrix::rand_uniform(k, 256, -1.0, 1.0, &mut rng);
+    for w in [7usize, 16, 17, 33, 64] {
+        let band = 64..64 + w;
+        let wide = gmacs_per_s(m * k * w, reps, || {
+            a.matmul_col_band_into(&wide_b, band.clone(), black_box(&mut out))
+        });
+        let naive = gmacs_per_s(m * k * w, reps, || {
+            a.matmul_col_band_into_naive(&wide_b, band.clone(), black_box(&mut out))
+        });
+        records.push(record(
+            "matmul_col_band_into",
+            format!("band_w{w}"),
+            wide,
+            naive,
+        ));
+    }
+
+    // Backward accumulators at training shapes. Accumulating across reps
+    // is fine for timing — the add sequence per rep is what's measured.
+    let gb = Matrix::rand_uniform(n, k, -1.0, 1.0, &mut rng);
+    let mut acc = Matrix::zeros(m, n);
+    let wide = gmacs_per_s(m * k * n, reps, || a.matmul_t_acc(&gb, black_box(&mut acc)));
+    let naive = gmacs_per_s(m * k * n, reps, || {
+        a.matmul_t_acc_naive(&gb, black_box(&mut acc))
+    });
+    records.push(record("matmul_t_acc", format!("{m}x{k}x{n}"), wide, naive));
+
+    let ta = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+    let tb = Matrix::rand_uniform(m, n, -1.0, 1.0, &mut rng);
+    let mut tacc = Matrix::zeros(k, n);
+    let wide = gmacs_per_s(m * k * n, reps, || {
+        ta.t_matmul_acc(&tb, black_box(&mut tacc))
+    });
+    let naive = gmacs_per_s(m * k * n, reps, || {
+        ta.t_matmul_acc_naive(&tb, black_box(&mut tacc))
+    });
+    records.push(record("t_matmul_acc", format!("{m}x{k}x{n}"), wide, naive));
+
+    let mut mask = Matrix::rand_uniform(k, n, 0.0, 1.0, &mut rng);
+    for v in mask.data_mut() {
+        *v = if *v < 0.5 { 0.0 } else { 1.0 };
+    }
+    let mut macc = Matrix::zeros(k, n);
+    let wide = gmacs_per_s(m * k * n, reps, || {
+        ta.t_matmul_masked_acc(&tb, &mask, black_box(&mut macc))
+    });
+    let naive = gmacs_per_s(m * k * n, reps, || {
+        ta.t_matmul_masked_acc_naive(&tb, &mask, black_box(&mut macc))
+    });
+    records.push(record(
+        "t_matmul_masked_acc",
+        format!("{m}x{k}x{n}"),
+        wide,
+        naive,
+    ));
+
+    write_bench_json("BENCH_kernels.json", &records);
+}

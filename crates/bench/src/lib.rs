@@ -17,6 +17,7 @@ use restore_db::{Agg, Query, QueryResult};
 use restore_util::impl_to_json;
 use restore_util::json::{parse, JsonValue, ToJson};
 
+pub mod kernels;
 pub mod sampling;
 
 /// Hardware threads visible to this process — stamped into every bench
@@ -24,6 +25,20 @@ pub mod sampling;
 /// differently sized boxes (a 1-core CI container masks thread scaling).
 pub fn hardware_threads() -> usize {
     restore_util::default_workers()
+}
+
+/// SIMD lane width the kernels were compiled for — stamped into every
+/// bench record next to [`hardware_threads`], so the trend report can flag
+/// comparisons between runs built for different vector widths (a scalar
+/// fallback build would otherwise read as a perf regression).
+pub fn lane_width() -> usize {
+    restore_nn::lane::WIDTH
+}
+
+/// Target-feature label behind [`lane_width`] (e.g. `"avx512f"`,
+/// `"scalar"`).
+pub fn target_feature() -> String {
+    restore_nn::lane::TARGET_FEATURE.to_string()
 }
 
 /// One machine-readable throughput measurement.
@@ -37,6 +52,10 @@ pub struct BenchRecord {
     pub workers: usize,
     /// Hardware threads of the machine the record was taken on.
     pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
     /// Gradient steps per second (0 when not applicable).
     pub steps_per_s: f64,
     /// Sampled/trained tuples per second.
@@ -47,6 +66,8 @@ impl_to_json!(BenchRecord {
     engine,
     workers,
     hardware_threads,
+    lane_width,
+    target_feature,
     steps_per_s,
     tuples_per_s
 });
@@ -62,6 +83,10 @@ pub struct ServingRecord {
     pub threads: usize,
     /// Hardware threads of the machine the record was taken on.
     pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
     /// Queries answered per second across all threads.
     pub queries_per_s: f64,
 }
@@ -70,6 +95,8 @@ impl_to_json!(ServingRecord {
     engine,
     threads,
     hardware_threads,
+    lane_width,
+    target_feature,
     queries_per_s
 });
 
@@ -85,6 +112,10 @@ pub struct HttpRecord {
     pub threads: usize,
     /// Hardware threads of the machine the record was taken on.
     pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
     /// Requests answered per second across all threads.
     pub queries_per_s: f64,
     /// Median request latency, milliseconds.
@@ -97,6 +128,8 @@ impl_to_json!(HttpRecord {
     engine,
     threads,
     hardware_threads,
+    lane_width,
+    target_feature,
     queries_per_s,
     p50_ms,
     p99_ms
@@ -148,11 +181,35 @@ pub fn write_bench_json_to<T: ToJson>(dir: &str, file: &str, records: &[T]) {
     }
 }
 
+/// Fields that describe the machine/build *context* of a run rather than
+/// identifying or measuring a record: they never enter record identity
+/// (the same logical record must pair up across boxes and builds), never
+/// get a delta, but a mismatch against the previous run puts a warning on
+/// the comparison.
+const CONTEXT_FIELDS: [&str; 3] = ["hardware_threads", "lane_width", "target_feature"];
+
+fn is_context_field(key: &str) -> bool {
+    CONTEXT_FIELDS.contains(&key)
+}
+
 /// True for the fields that *identify* a record (as opposed to measuring
-/// it): strings, bools, and the integer-valued axis knobs.
+/// it): strings, bools, and the integer-valued axis knobs — context
+/// fields excluded.
 fn is_identity_field(key: &str, value: &JsonValue) -> bool {
-    matches!(value, JsonValue::Str(_) | JsonValue::Bool(_))
-        || matches!(key, "workers" | "threads" | "batch" | "seed")
+    !is_context_field(key)
+        && (matches!(value, JsonValue::Str(_) | JsonValue::Bool(_))
+            || matches!(key, "workers" | "threads" | "batch" | "seed"))
+}
+
+/// Context-field value rendered for the mismatch warning (numbers without
+/// a fraction, strings verbatim).
+fn render_context(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Str(s) => s.clone(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Bool(b) => format!("{b}"),
+        _ => "?".to_string(),
+    }
 }
 
 /// Record identity = all identity fields, rendered.
@@ -189,10 +246,11 @@ pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
         });
         let mut parts = Vec::new();
         for (k, v) in rec.fields() {
-            // `hardware_threads` identifies the machine, not the
-            // measurement — it never gets a delta, but a mismatch against
-            // the previous record flags the comparison below.
-            if k == "hardware_threads" {
+            // Context fields (machine size, kernel lane width) describe
+            // the run, not the measurement — they never get a delta, but a
+            // mismatch against the previous record flags the comparison
+            // below.
+            if is_context_field(k) {
                 continue;
             }
             let (Some(new), false) = (v.as_f64(), is_identity_field(k, v)) else {
@@ -206,13 +264,15 @@ pub fn print_trend(label: &str, prev: &JsonValue, cur: &JsonValue) {
                 _ => parts.push(format!("{k} {new:.1} (new)")),
             }
         }
-        let hw = |r: &JsonValue| r.get("hardware_threads").and_then(JsonValue::as_f64);
-        if let (Some(prev_hw), Some(cur_hw)) = (old.and_then(hw), hw(rec)) {
-            if prev_hw != cur_hw {
-                parts.push(format!(
-                    "WARNING: hardware_threads {prev_hw:.0} → {cur_hw:.0} \
-                     (different core count, deltas not comparable)"
-                ));
+        for ctx in CONTEXT_FIELDS {
+            let rendered = |r: &JsonValue| r.get(ctx).map(render_context);
+            if let (Some(prev_v), Some(cur_v)) = (old.and_then(rendered), rendered(rec)) {
+                if prev_v != cur_v {
+                    parts.push(format!(
+                        "WARNING: {ctx} {prev_v} → {cur_v} \
+                         (different machine/build context, deltas not comparable)"
+                    ));
+                }
             }
         }
         if !parts.is_empty() {
@@ -253,10 +313,10 @@ pub fn print_results_report(dir: &str) -> usize {
             let measurements: Vec<String> = rec
                 .fields()
                 .iter()
-                // hardware_threads identifies the machine, not the
+                // Context fields describe the machine/build, not the
                 // measurement — excluded here exactly as in the trend
                 // printer's delta loop.
-                .filter(|(k, v)| !is_identity_field(k, v) && k != "hardware_threads")
+                .filter(|(k, v)| !is_identity_field(k, v) && !is_context_field(k))
                 .filter_map(|(k, v)| v.as_f64().map(|n| format!("{k} {n:.1}")))
                 .collect();
             println!(
@@ -479,6 +539,26 @@ mod tests {
     }
 
     #[test]
+    fn trend_flags_cross_lane_width_comparisons() {
+        // lane_width / target_feature are context fields like
+        // hardware_threads: excluded from record identity (a scalar CI
+        // build still pairs with a vector build of the same record, so the
+        // warning can fire), never delta'd, mismatches warned.
+        let prev = parse(
+            r#"[{"bench":"k","kernel":"matmul","lane_width":16,"target_feature":"avx512f","hardware_threads":8,"gmacs_per_s":25.0}]"#,
+        )
+        .unwrap();
+        let moved = parse(
+            r#"[{"bench":"k","kernel":"matmul","lane_width":1,"target_feature":"scalar","hardware_threads":8,"gmacs_per_s":3.0}]"#,
+        )
+        .unwrap();
+        let key = record_key(&prev.as_array().unwrap()[0]);
+        assert_eq!(key, record_key(&moved.as_array().unwrap()[0]));
+        assert!(!key.contains("lane_width") && !key.contains("target_feature"));
+        print_trend("TEST_new_lanes.json", &prev, &moved);
+    }
+
+    #[test]
     fn write_bench_json_creates_missing_results_dir() {
         // Fresh-checkout regression: the results dir (and parents) must be
         // created on demand, never be a precondition.
@@ -495,6 +575,8 @@ mod tests {
             engine: "warm_keepalive".into(),
             threads: 2,
             hardware_threads: hardware_threads(),
+            lane_width: lane_width(),
+            target_feature: target_feature(),
             queries_per_s: 100.0,
             p50_ms: 1.5,
             p99_ms: 9.0,
@@ -534,6 +616,8 @@ mod tests {
             engine: "warm_cache".into(),
             threads: 8,
             hardware_threads: hardware_threads(),
+            lane_width: lane_width(),
+            target_feature: target_feature(),
             queries_per_s: 42.5,
         };
         let j = rec.to_json();

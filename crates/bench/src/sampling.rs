@@ -216,6 +216,8 @@ impl SamplingBench {
             engine: engine.into(),
             workers,
             hardware_threads: hardware_threads(),
+            lane_width: crate::lane_width(),
+            target_feature: crate::target_feature(),
             steps_per_s: 0.0,
             tuples_per_s,
         };

@@ -355,6 +355,36 @@ impl<'a> Completer<'a> {
         .collect()
     }
 
+    /// RNG-free sibling of [`Completer::sample_batches`] for
+    /// row-independent evaluations: fans `rows` out in a few *large* fused
+    /// chunks — about one per worker, at least one sampling batch and at
+    /// most 16 of them each (to bound the per-chunk logits footprint) — so
+    /// the sweep's degree-≤-step setup bands run once per fused chunk
+    /// instead of once per sampling batch. Each row's result must depend
+    /// only on that row (no RNG, no cross-row coupling), which is exactly
+    /// what makes the chunking invisible in the output. Results come back
+    /// flattened in input order.
+    fn eval_batches<T, F>(
+        &self,
+        sessions: &mut [InferenceSession],
+        rows: &[usize],
+        f: F,
+    ) -> CoreResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut InferenceSession, &[usize]) -> CoreResult<Vec<T>> + Sync,
+    {
+        let bs = self.cfg.batch_size.max(1);
+        let per_worker = rows.len().div_ceil(sessions.len().max(1));
+        let chunk = per_worker.clamp(bs, 16 * bs);
+        let jobs: Vec<&[usize]> = rows.chunks(chunk).collect();
+        let out: CoreResult<Vec<Vec<T>>> =
+            parallel_map_with(jobs, sessions, |session, chunk| f(session, chunk))
+                .into_iter()
+                .collect();
+        Ok(out?.into_iter().flatten().collect())
+    }
+
     /// 1:n step: predict tuple factors, join existing children, duplicate
     /// evidence rows for the missing ones and synthesize their attributes.
     #[allow(clippy::too_many_arguments)]
@@ -419,14 +449,22 @@ impl<'a> Completer<'a> {
             }
         }
         if !to_predict.is_empty() {
-            // The cached encoding (or one fresh pass) of the working join,
-            // then predict factors in parallel batches.
+            // The cached encoding (or one fresh pass) of the working join.
+            // Expectation evaluation is RNG-free and row-independent, so
+            // it runs in a few large fused chunks; stochastic rounding
+            // then replays the exact per-sampling-batch RNG streams of
+            // `sample_batches`, so the predicted factors are bit-identical
+            // to the unfused path and invariant to worker count.
             let encoded = w.encoded(model);
-            let batches =
-                self.sample_batches(sessions, &to_predict, tf_seed, |session, chunk, rng| {
-                    model.sample_tf_encoded_in(session, &w.table, &encoded, step_idx, chunk, rng)
-                })?;
-            let sampled: Vec<i64> = batches.into_iter().flatten().collect();
+            let expectations = self.eval_batches(sessions, &to_predict, |session, chunk| {
+                model.tf_expectations_encoded_in(session, &w.table, &encoded, step_idx, chunk)
+            })?;
+            let bs = self.cfg.batch_size.max(1);
+            let mut sampled = Vec::with_capacity(to_predict.len());
+            for (k, chunk) in expectations.chunks(bs).enumerate() {
+                let mut rng = StdRng::seed_from_u64(derive_seed(tf_seed, (k * bs) as u64));
+                sampled.extend(CompletionModel::round_tf_expectations(chunk, &mut rng));
+            }
             for (&r, v) in to_predict.iter().zip(sampled) {
                 tf_final[r] = v;
             }

@@ -684,6 +684,24 @@ impl CompletionModel {
         rows: &[usize],
         rng: &mut StdRng,
     ) -> CoreResult<Vec<i64>> {
+        let expectations = self.tf_expectations_encoded_in(session, join, encoded, step, rows)?;
+        Ok(Self::round_tf_expectations(&expectations, rng))
+    }
+
+    /// The RNG-free evaluation half of
+    /// [`CompletionModel::sample_tf_encoded_in`]: the per-row *expected*
+    /// tuple factor under the conditional distribution. Each row's value
+    /// depends only on that row's tokens, so the completion engine fuses
+    /// rows into a few large chunks (one sweep setup pass per chunk
+    /// instead of one per sampling batch) without changing any value.
+    pub fn tf_expectations_encoded_in(
+        &self,
+        session: &mut InferenceSession,
+        join: &Table,
+        encoded: &[Vec<u32>],
+        step: usize,
+        rows: &[usize],
+    ) -> CoreResult<Vec<f64>> {
         let attr_idx = self.tf_attrs[step]
             .ok_or_else(|| CoreError::Invalid(format!("step {step} has no tuple factor")))?;
         // The per-row distributions are consumed in place, so the scratch
@@ -697,19 +715,31 @@ impl CompletionModel {
             dists
                 .iter()
                 .map(|d| {
-                    let expected: f64 = d
-                        .iter()
+                    d.iter()
                         .enumerate()
                         .map(|(i, &p)| p as f64 * enc.decode(i as u32).as_i64().unwrap_or(0) as f64)
-                        .sum();
-                    let floor = expected.floor();
-                    let frac = expected - floor;
-                    floor as i64 + (rng.random::<f64>() < frac) as i64
+                        .sum()
                 })
                 .collect()
         });
         session.store_dists(dists);
         result
+    }
+
+    /// The stochastic-rounding half of
+    /// [`CompletionModel::sample_tf_encoded_in`]: exactly one draw per row
+    /// (unconditionally, so the stream position depends only on the row
+    /// count), keeping completed cardinalities unbiased without sampling
+    /// variance turning the `max(tf, existing)` clamp into overshoot.
+    pub fn round_tf_expectations(expectations: &[f64], rng: &mut StdRng) -> Vec<i64> {
+        expectations
+            .iter()
+            .map(|&expected| {
+                let floor = expected.floor();
+                let frac = expected - floor;
+                floor as i64 + (rng.random::<f64>() < frac) as i64
+            })
+            .collect()
     }
 
     /// Samples all column attributes of path table `table_idx` for the given

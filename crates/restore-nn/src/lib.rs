@@ -50,5 +50,5 @@ pub use optim::{Adam, Sgd};
 pub use params::{GradBuffer, ParamId, ParamStore};
 pub use sweep::ArSweep;
 pub use tape::{Tape, TapeCtx, VarId};
-pub use tensor::Matrix;
+pub use tensor::{lane, Matrix};
 pub use train::TrainEngine;

@@ -314,7 +314,14 @@ impl Made {
         if let Some(c) = ctx {
             sweep.set_x_block(0, c);
         }
-        for (a, (emb, toks)) in self.embeddings.iter().zip(tokens).enumerate() {
+        // Only attributes `< upto` feed the bands computed here or later:
+        // band degree `d` reads attribute blocks `< d`, the setup pass
+        // covers degrees `≤ upto`, and every later step re-gathers the
+        // attribute it just sampled before the first band that reads it.
+        // Blocks `≥ upto` are never read (their band weights are zero and
+        // the k-limited GEMM skips their rows entirely), so their stale
+        // contents are irrelevant.
+        for (a, (emb, toks)) in self.embeddings.iter().zip(tokens).enumerate().take(upto) {
             sweep.gather_x_block(self.embed_offsets[a], store.value(emb.param_id()), toks);
         }
         sweep.compute(net, 0..upto + 1);

@@ -27,13 +27,28 @@
 //! naive path computes, just computed once; units of degree `> a` are
 //! masked out of everything evaluated so far and stay at their zeroed
 //! placeholder.
+//!
+//! Lane alignment: every nonzero degree band in the frozen cache is padded
+//! to a multiple of [`lane::WIDTH`] with zero-weight, zero-bias columns
+//! (the real units' sort permutation is unchanged), so each band GEMM is
+//! lane-aligned and runs full-width tiles with no ragged tail. A padding
+//! column's dot product lands in the band scratch and is discarded — it
+//! never touches a real unit's value, keeping the bit-identity contract
+//! intact. The output layer is unaffected: [`ArSweep::output_block`] goes
+//! through the session's shared *unpadded* masked-weight cache.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::layers::MaskedLinear;
 use crate::params::{ParamId, ParamStore};
-use crate::tensor::Matrix;
+use crate::tensor::{lane, Matrix};
+
+/// Sentinel in [`BandedLayer::perm`] marking a zero-weight padding column
+/// appended to a degree band to round its width up to a lane multiple. A
+/// padding column has all-zero weight and zero bias, so it never changes a
+/// real unit's dot product; the compute epilogue skips it on scatter-back.
+const PAD: usize = usize::MAX;
 
 /// The masked trunk of a MADE network, as the sweep sees it: the input
 /// layer followed by the hidden layers, the shared hidden-unit degree
@@ -59,16 +74,28 @@ struct BandedLayer {
     /// weight being reused under a different mask, like the session's
     /// masked-weight cache).
     mask_ptr: usize,
-    /// `w ⊙ mask`, columns permuted by `perm`.
+    /// `w ⊙ mask`, columns permuted by `perm`; padding columns are all
+    /// zero.
     wm: Matrix,
-    /// Bias entries permuted identically.
+    /// Bias entries permuted identically; padding entries are zero.
     bias: Vec<f32>,
-    /// Sorted position → original unit index.
+    /// Sorted position → original unit index, or [`PAD`] for a zero
+    /// padding column.
     perm: Vec<usize>,
     /// `starts[d]..starts[d + 1]` is the sorted-column range of the
     /// degree-`d` band; units of degree `≤ d` occupy `0..starts[d + 1]`.
-    /// Length `n_attrs + 1`.
+    /// Every nonzero band's width is rounded up to a multiple of
+    /// [`lane::WIDTH`] with zero-weight padding columns, so band GEMMs
+    /// start aligned and run full lane tiles. Length `n_attrs + 1`.
     starts: Vec<usize>,
+    /// `k_hi[d]` is one past the highest input row with a nonzero mask
+    /// entry over the degree-`d` band's columns (0 for an empty band).
+    /// Rows `≥ k_hi[d]` contribute exact zero weights, so the band GEMM
+    /// contracts only `k < k_hi[d]` — for the first masked layer, whose
+    /// input degrees ascend with the attribute layout, this skips the
+    /// embedding blocks of attributes the band cannot read. Length
+    /// `n_attrs`.
+    k_hi: Vec<usize>,
 }
 
 impl BandedLayer {
@@ -82,33 +109,67 @@ impl BandedLayer {
     ) -> Self {
         let (k, width) = mask.shape();
         debug_assert_eq!(degrees.len(), width, "degree vector width mismatch");
-        let mut perm: Vec<usize> = (0..width).collect();
-        perm.sort_by_key(|&j| degrees[j]); // stable: within a band, original order
-        let mut starts = vec![0usize; n_attrs + 1];
-        for &j in &perm {
-            starts[degrees[j] + 1] += 1;
+        let mut sorted: Vec<usize> = (0..width).collect();
+        sorted.sort_by_key(|&j| degrees[j]); // stable: within a band, original order
+        let mut counts = vec![0usize; n_attrs];
+        for &j in &sorted {
+            counts[degrees[j]] += 1;
         }
+        // Pad every nonzero band to a lane multiple; empty bands stay
+        // zero-width. The sort permutation of the real units is unchanged
+        // — padding only shifts where the next band starts.
+        const L: usize = lane::WIDTH;
+        let mut starts = vec![0usize; n_attrs + 1];
         for d in 0..n_attrs {
-            starts[d + 1] += starts[d];
+            let padded = if counts[d] == 0 {
+                0
+            } else {
+                counts[d].div_ceil(L) * L
+            };
+            starts[d + 1] = starts[d] + padded;
+        }
+        let mut perm = vec![PAD; starts[n_attrs]];
+        let mut next = 0;
+        for d in 0..n_attrs {
+            for slot in 0..counts[d] {
+                perm[starts[d] + slot] = sorted[next];
+                next += 1;
+            }
+        }
+        // One past the highest mask-visible input row per band: the band
+        // GEMM skips the all-zero-weight rows above it.
+        let mut k_hi = vec![0usize; n_attrs];
+        for (j, &d) in degrees.iter().enumerate() {
+            for r in (k_hi[d]..k).rev() {
+                if mask.get(r, j) != 0.0 {
+                    k_hi[d] = k_hi[d].max(r + 1);
+                    break;
+                }
+            }
         }
         let wv = store.value(w);
         let bv = store.value(b);
         debug_assert_eq!(wv.shape(), (k, width), "weight/mask shape mismatch");
-        let mut wm = Matrix::zeros(k, width);
+        let mut wm = Matrix::zeros(k, starts[n_attrs]);
+        let mut bias = vec![0f32; starts[n_attrs]];
         for (js, &orig) in perm.iter().enumerate() {
+            if orig == PAD {
+                continue;
+            }
             for r in 0..k {
                 // Same element order as `Matrix::hadamard` (w * mask), so
                 // cached values match the session's masked-weight cache.
                 wm.set(r, js, wv.get(r, orig) * mask.get(r, orig));
             }
+            bias[js] = bv.get(0, orig);
         }
-        let bias = perm.iter().map(|&orig| bv.get(0, orig)).collect();
         Self {
             mask_ptr: Arc::as_ptr(mask) as usize,
             wm,
             bias,
             perm,
             starts,
+            k_hi,
         }
     }
 }
@@ -232,7 +293,16 @@ impl ArSweep {
                 let (head, tail) = acts.split_at_mut(l);
                 (&head[l - 1], &mut tail[0])
             };
-            prev.matmul_col_band_into(&band.wm, j0..j1, pre);
+            // Highest mask-visible input row across the requested bands:
+            // all rows above it carry exact zero weights for every column
+            // in `j0..j1`, so the contraction skips them (bit-identical
+            // for the finite activations the trunk produces).
+            let klim = band.k_hi[degrees.clone()]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(prev.cols());
+            prev.matmul_col_band_limited_into(&band.wm, j0..j1, klim, pre);
             // The trunk applies residual skips only between equally shaped
             // hidden layers; the input layer (l == 0) never has one.
             let residual = l > 0 && net.residual && prev.cols() == act.cols();
@@ -242,6 +312,9 @@ impl ArSweep {
                 let act_row = act.row_mut(i);
                 for (jj, js) in (j0..j1).enumerate() {
                     let orig = band.perm[js];
+                    if orig == PAD {
+                        continue;
+                    }
                     let mut v = pre_row[jj] + band.bias[js];
                     if residual {
                         v += prev_row[orig];
@@ -308,30 +381,76 @@ mod tests {
         });
         let band = BandedLayer::build(&store, w, b, &mask, degrees, 4);
         assert_eq!(band.starts[0], 0);
-        assert_eq!(*band.starts.last().unwrap(), 10);
+        // Every nonzero band is padded to a lane multiple; empty bands
+        // stay zero-width.
+        let mut counts = [0usize; 4];
+        for &d in degrees.iter().take(10) {
+            counts[d] += 1;
+        }
+        for (d, &cnt) in counts.iter().enumerate() {
+            let w = band.starts[d + 1] - band.starts[d];
+            let expect = if cnt == 0 {
+                0
+            } else {
+                cnt.div_ceil(lane::WIDTH) * lane::WIDTH
+            };
+            assert_eq!(w, expect, "band {d} not padded to a lane multiple");
+        }
+        assert_eq!(*band.starts.last().unwrap(), band.perm.len());
+        assert_eq!(band.wm.cols(), band.perm.len());
         // perm is sorted by degree, stable within a band.
-        for win in band.perm.windows(2) {
+        let real: Vec<usize> = band.perm.iter().copied().filter(|&o| o != PAD).collect();
+        assert_eq!(real.len(), 10, "all real units present exactly once");
+        for win in real.windows(2) {
             let (a, b) = (win[0], win[1]);
             assert!(
                 degrees[a] < degrees[b] || (degrees[a] == degrees[b] && a < b),
                 "perm not a stable degree sort"
             );
         }
-        // Band d holds exactly the units of degree d.
-        for d in 0..4 {
-            for js in band.starts[d]..band.starts[d + 1] {
-                assert_eq!(degrees[band.perm[js]], d);
+        // Band d holds exactly the units of degree d, front-packed, then
+        // padding sentinels.
+        for (d, &cnt) in counts.iter().enumerate() {
+            for (slot, js) in (band.starts[d]..band.starts[d + 1]).enumerate() {
+                let orig = band.perm[js];
+                if slot < cnt {
+                    assert_eq!(degrees[orig], d);
+                } else {
+                    assert_eq!(orig, PAD, "padding slot holds a real unit");
+                }
             }
         }
-        // Sorted columns carry the masked weight of their original unit.
+        // k_hi[d] is one past the highest input row with a nonzero mask
+        // entry in any column of degree d (0 for empty bands) — the rows
+        // the k-limited band GEMM is allowed to skip.
+        for (d, &got) in band.k_hi.iter().enumerate() {
+            let mut expect = 0;
+            for r in 0..10 {
+                for (c, &deg) in degrees.iter().take(10).enumerate() {
+                    if deg == d && mask.get(r, c) != 0.0 {
+                        expect = expect.max(r + 1);
+                    }
+                }
+            }
+            assert_eq!(got, expect, "k_hi wrong for band {d}");
+        }
+        // Sorted columns carry the masked weight of their original unit;
+        // padding columns are all zero with zero bias.
         for (js, &orig) in band.perm.iter().enumerate() {
             for r in 0..10 {
-                assert_eq!(
-                    band.wm.get(r, js).to_bits(),
-                    (store.value(w).get(r, orig) * mask.get(r, orig)).to_bits()
-                );
+                let expect = if orig == PAD {
+                    0.0
+                } else {
+                    store.value(w).get(r, orig) * mask.get(r, orig)
+                };
+                assert_eq!(band.wm.get(r, js).to_bits(), expect.to_bits());
             }
-            assert_eq!(band.bias[js], store.value(b).get(0, orig));
+            let expect_b = if orig == PAD {
+                0.0
+            } else {
+                store.value(b).get(0, orig)
+            };
+            assert_eq!(band.bias[js], expect_b);
         }
     }
 }

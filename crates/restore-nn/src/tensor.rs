@@ -3,6 +3,71 @@
 
 use rand::Rng;
 
+/// Build-time SIMD lane-width selection for the wide `f32` kernels.
+///
+/// The tiled GEMM kernels below keep fixed-width `[f32; N]` accumulator
+/// blocks that the autovectorizer maps onto whole vector registers; `N`
+/// (one or two lanes' worth of `f32`s) is picked **at build time** from
+/// the target features the compiler is allowed to use, with a scalar
+/// fallback of 1 for targets without packed `f32` math. No `unsafe`, no
+/// intrinsics, no runtime dispatch: the selection only shapes the tiles,
+/// and every tile accumulates each output element from zero in ascending
+/// `k`, so the kernels stay bit-identical to their naive references on
+/// every target (the lane width changes *speed*, never *values*).
+pub mod lane {
+    /// `f32` lanes in the widest vector register the build may use.
+    #[cfg(target_feature = "avx512f")]
+    pub const WIDTH: usize = 16;
+    /// `f32` lanes in the widest vector register the build may use.
+    #[cfg(all(not(target_feature = "avx512f"), target_feature = "avx"))]
+    pub const WIDTH: usize = 8;
+    /// `f32` lanes in the widest vector register the build may use.
+    #[cfg(all(
+        not(target_feature = "avx512f"),
+        not(target_feature = "avx"),
+        any(target_feature = "sse2", target_feature = "neon")
+    ))]
+    pub const WIDTH: usize = 4;
+    /// `f32` lanes in the widest vector register the build may use.
+    #[cfg(not(any(
+        target_feature = "avx512f",
+        target_feature = "avx",
+        target_feature = "sse2",
+        target_feature = "neon"
+    )))]
+    pub const WIDTH: usize = 1;
+
+    /// The target feature [`WIDTH`] was derived from (bench-record label).
+    #[cfg(target_feature = "avx512f")]
+    pub const TARGET_FEATURE: &str = "avx512f";
+    /// The target feature [`WIDTH`] was derived from (bench-record label).
+    #[cfg(all(not(target_feature = "avx512f"), target_feature = "avx"))]
+    pub const TARGET_FEATURE: &str = "avx";
+    /// The target feature [`WIDTH`] was derived from (bench-record label).
+    #[cfg(all(
+        not(target_feature = "avx512f"),
+        not(target_feature = "avx"),
+        target_feature = "sse2"
+    ))]
+    pub const TARGET_FEATURE: &str = "sse2";
+    /// The target feature [`WIDTH`] was derived from (bench-record label).
+    #[cfg(all(
+        not(target_feature = "avx512f"),
+        not(target_feature = "avx"),
+        not(target_feature = "sse2"),
+        target_feature = "neon"
+    ))]
+    pub const TARGET_FEATURE: &str = "neon";
+    /// The target feature [`WIDTH`] was derived from (bench-record label).
+    #[cfg(not(any(
+        target_feature = "avx512f",
+        target_feature = "avx",
+        target_feature = "sse2",
+        target_feature = "neon"
+    )))]
+    pub const TARGET_FEATURE: &str = "scalar";
+}
+
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Matrix {
@@ -161,6 +226,33 @@ impl Matrix {
         );
     }
 
+    /// Reference (naive i-k-j loop) form of [`Matrix::matmul_into`] — the
+    /// bit-equality oracle of the lane-tiled forward GEMM: per `(i, j)` the
+    /// output accumulates from zero in ascending `k`, the exact sequence
+    /// the tiled kernel runs.
+    pub fn matmul_into_naive(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch {:?}·{:?}",
+            self.shape(),
+            other.shape()
+        );
+        out.resize(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            out_row.fill(0.0);
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_row = other.row(k);
+                for j in 0..n {
+                    out_row[j] += av * b_row[j];
+                }
+            }
+        }
+    }
+
     /// `self · (w ⊙ mask)` without materializing the masked weight, written
     /// into a preallocated output. Bit-identical to
     /// `self.matmul(&w.hadamard(mask))`: the per-element product order
@@ -206,8 +298,29 @@ impl Matrix {
         cols: std::ops::Range<usize>,
         out: &mut Matrix,
     ) {
+        self.matmul_col_band_limited_into(other, cols, self.cols, out)
+    }
+
+    /// [`Matrix::matmul_col_band_into`] contracting only `k < k_limit`
+    /// instead of the full inner dimension. The caller guarantees every
+    /// skipped `other` row is zero over `cols`; each skipped naive-loop
+    /// term is then an exact `a · 0.0 = ±0.0` whose addition cannot change
+    /// any accumulator bit (the accumulators start at `+0.0` and
+    /// `x + ±0.0` preserves `x`'s bits for every finite `x`), so results
+    /// stay bit-identical to the full-`k` product for finite activations.
+    /// The AR sweep uses this to skip input rows a band's mask zeroes out
+    /// — e.g. a degree-`d` first-layer band never reads the embedding
+    /// blocks of attributes `≥ d`.
+    pub fn matmul_col_band_limited_into(
+        &self,
+        other: &Matrix,
+        cols: std::ops::Range<usize>,
+        k_limit: usize,
+        out: &mut Matrix,
+    ) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         assert!(cols.end <= other.cols, "column range out of bounds");
+        assert!(k_limit <= self.cols, "k_limit out of bounds");
         let width = cols.len();
         out.resize(self.rows, width);
         gemm_tiled_cols(
@@ -216,10 +329,36 @@ impl Matrix {
             &mut out.data,
             self.rows,
             self.cols,
+            k_limit,
             other.cols,
             cols.start,
             width,
         );
+    }
+
+    /// Reference (naive loop) form of [`Matrix::matmul_col_band_into`] —
+    /// the bit-equality oracle of the lane-tiled band GEMM.
+    pub fn matmul_col_band_into_naive(
+        &self,
+        other: &Matrix,
+        cols: std::ops::Range<usize>,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert!(cols.end <= other.cols, "column range out of bounds");
+        let (c0, w) = (cols.start, cols.len());
+        out.resize(self.rows, w);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * w..(i + 1) * w];
+            out_row.fill(0.0);
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_row = &other.row(k)[c0..c0 + w];
+                for j in 0..w {
+                    out_row[j] += av * b_row[j];
+                }
+            }
+        }
     }
 
     /// Computes only columns `cols` of `self · other` into `out` (shaped
@@ -251,7 +390,10 @@ impl Matrix {
             "accumulator shape mismatch"
         );
         const MR: usize = 4;
-        const NR: usize = 4;
+        // Lane-derived tile width: the NR `j` lanes are independent
+        // ascending-k dot products, so widening the tile only amortizes the
+        // strided `b` gathers and the `a` loads — values are unchanged.
+        const NR: usize = if lane::WIDTH > 4 { lane::WIDTH } else { 4 };
         let (rows, kk, n) = (self.rows, self.cols, other.rows);
         let mut i = 0;
         while i + MR <= rows {
@@ -333,14 +475,13 @@ impl Matrix {
 
     /// `out += selfᵀ · other` — accumulation form of [`Matrix::t_matmul`].
     ///
-    /// Register-tiled: an MR×NR block of `out` is loaded into registers,
-    /// accumulated across the whole contraction (row) loop, and stored
-    /// once — instead of streaming `out` through memory once per row. Per
-    /// element the adds happen in ascending row order with the same
-    /// `a == 0` skip as [`Matrix::t_matmul_acc_naive`], so results are
-    /// bit-identical to the naive loop (zero activations are common — ReLU
-    /// outputs, one-hot embeddings — and the skip also sidesteps
-    /// `0 · b` edge cases for non-finite `b`).
+    /// The same per-element math as [`Matrix::t_matmul_acc_naive`] — each
+    /// `out` element's terms are added in ascending row order with the
+    /// same `a == 0` skip, so results are bit-identical — but
+    /// [`t_acc_rows`] register-blocks [`T_ACC_RB`] source rows per pass,
+    /// loading and storing each `out` element once per block instead of
+    /// once per row (the skip on zero activations — ReLU outputs, one-hot
+    /// embeddings — also sidesteps `0 · b` edge cases for non-finite `b`).
     pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         assert_eq!(
@@ -348,68 +489,14 @@ impl Matrix {
             (self.cols, other.cols),
             "accumulator shape mismatch"
         );
-        const MR: usize = 4;
-        const NR: usize = 8;
-        let (rows, m, n) = (self.rows, self.cols, other.cols);
-        let mut i = 0;
-        while i + MR <= m {
-            let mut j0 = 0;
-            while j0 + NR <= n {
-                // out tile → registers.
-                let mut acc = [[0f32; NR]; MR];
-                for (r, acc_row) in acc.iter_mut().enumerate() {
-                    let out_row = &out.data[(i + r) * n + j0..(i + r) * n + j0 + NR];
-                    acc_row.copy_from_slice(out_row);
-                }
-                for r in 0..rows {
-                    let a_tile = &self.data[r * m + i..r * m + i + MR];
-                    let b_tile = &other.data[r * n + j0..r * n + j0 + NR];
-                    for (acc_row, &a) in acc.iter_mut().zip(a_tile) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        for (o, &b) in acc_row.iter_mut().zip(b_tile) {
-                            *o += a * b;
-                        }
-                    }
-                }
-                for (r, acc_row) in acc.iter().enumerate() {
-                    out.data[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(acc_row);
-                }
-                j0 += NR;
-            }
-            if j0 < n {
-                // Remainder columns of this row block, same tile walk.
-                for r in 0..rows {
-                    let a_tile = &self.data[r * m + i..r * m + i + MR];
-                    let b_row = other.row(r);
-                    for (ri, &a) in a_tile.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let out_row = &mut out.data[(i + ri) * n + j0..(i + ri) * n + n];
-                        for (o, &b) in out_row.iter_mut().zip(&b_row[j0..]) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-            i += MR;
-        }
-        // Remainder rows of `out` (columns of `self`): naive.
-        for r in 0..rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (ri, &a) in a_row.iter().enumerate().skip(i) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[ri * n..(ri + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        t_acc_rows(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// Reference (naive row-outer loop) form of [`Matrix::t_matmul_acc`] —
@@ -441,7 +528,34 @@ impl Matrix {
     /// `out += (selfᵀ · other) ⊙ mask` — the masked-linear weight gradient.
     /// Each term is gated by the mask entry as it is accumulated; for the
     /// binary masks MADE uses this equals masking the finished product.
+    ///
+    /// Same structure as [`Matrix::t_matmul_acc`]: per-element math of
+    /// [`Matrix::t_matmul_masked_acc_naive`] (ascending-row adds per
+    /// element, `a == 0` skip — bit-identical), register-blocked over
+    /// [`T_ACC_RB`] source rows by [`t_acc_rows_masked`].
     pub fn t_matmul_masked_acc(&self, other: &Matrix, mask: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "accumulator shape mismatch"
+        );
+        assert_eq!(mask.shape(), out.shape(), "mask shape mismatch");
+        t_acc_rows_masked(
+            &self.data,
+            &other.data,
+            &mask.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// Reference (naive row-outer loop) form of
+    /// [`Matrix::t_matmul_masked_acc`] — the bit-equality contract of the
+    /// tiled kernel is defined against this.
+    pub fn t_matmul_masked_acc_naive(&self, other: &Matrix, mask: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         assert_eq!(
             out.shape(),
@@ -478,42 +592,28 @@ impl Matrix {
         }
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
+    /// `selfᵀ · other` without materializing the transpose — delegates to
+    /// [`Matrix::t_matmul_acc`] over a zeroed accumulator, so there is
+    /// exactly one implementation of this kernel shape. Accumulating into
+    /// `+0.0` is the same add sequence the old allocating loop ran, so the
+    /// delegation is bit-preserving.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
-                }
-            }
-        }
+        self.t_matmul_acc(other, &mut out);
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose — delegates to
+    /// [`Matrix::matmul_t_acc`] over a zeroed accumulator, so there is
+    /// exactly one implementation of this kernel shape. Bit-preserving:
+    /// each element is a zero-init ascending-`k` dot product `acc` landing
+    /// via `0.0 + acc`, and an accumulation started from `+0.0` can never
+    /// produce `-0.0`, so the final add is exact.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        self.matmul_t_acc(other, &mut out);
         out
     }
 
@@ -552,15 +652,12 @@ impl Matrix {
         }
     }
 
-    /// Sum of each column as a `1 × cols` matrix.
+    /// Sum of each column as a `1 × cols` matrix — delegates to
+    /// [`Matrix::col_sums_acc`] over a zeroed accumulator (one
+    /// implementation per kernel shape).
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for (o, v) in out.data.iter_mut().zip(row) {
-                *o += v;
-            }
-        }
+        self.col_sums_acc(&mut out);
         out
     }
 
@@ -601,15 +698,18 @@ impl Matrix {
 /// branch). Free function over plain slices so LLVM gets clean noalias
 /// information for the output.
 fn gemm_tiled(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, kk: usize, n: usize) {
-    gemm_tiled_cols(a, b, out, rows, kk, n, 0, n)
+    gemm_tiled_cols(a, b, out, rows, kk, kk, n, 0, n)
 }
 
 /// Column-band generalization of [`gemm_tiled`]: computes only columns
 /// `c0..c0 + w` of `a · b` (where `b` is `kk × bn` row-major) into `out`
-/// (`rows × w`, row-major). Per `(i, j)` the dot product still accumulates
-/// from zero in ascending `k`, so each computed value is bit-identical to
-/// the corresponding entry of the full product — the incremental AR sweep
-/// relies on this to recompute one degree band per step.
+/// (`rows × w`, row-major), contracting only `k < klim` (`a`'s row stride
+/// stays `kk`; callers pass `klim == kk` for the full product). Per
+/// `(i, j)` the dot product still accumulates from zero in ascending `k`,
+/// so each computed value is bit-identical to the corresponding entry of
+/// the full product whenever the skipped `b` rows are zero — the
+/// incremental AR sweep relies on this to recompute one degree band per
+/// step without touching input rows its mask zeroes out.
 #[allow(clippy::too_many_arguments)]
 fn gemm_tiled_cols(
     a: &[f32],
@@ -617,44 +717,75 @@ fn gemm_tiled_cols(
     out: &mut [f32],
     rows: usize,
     kk: usize,
+    klim: usize,
     bn: usize,
     c0: usize,
     w: usize,
 ) {
     const MR: usize = 4;
+    const L: usize = lane::WIDTH;
     let mut i = 0;
     while i + MR <= rows {
-        // Hierarchical fixed-width column tiles: narrow outputs (the degree
-        // bands of the incremental sweep are ~width/n_attrs columns) keep
-        // their accumulators in registers instead of falling into a
+        // Hierarchical fixed-width column tiles, widths derived from the
+        // build-time lane width: two-lane and one-lane tiles first (whole
+        // vector registers the autovectorizer cannot miss), then
+        // power-of-two sub-lane tails. Narrow outputs (the degree bands of
+        // the incremental sweep are ~width/n_attrs columns) keep their
+        // accumulators in registers instead of falling into a
         // variable-length remainder loop. Tile width only groups columns —
         // each `(i, j)` is still an independent zero-init ascending-k dot
-        // product, so the result does not depend on the tiling.
+        // product, so the result does not depend on the tiling (or the
+        // lane width). The constant-condition branches below fold away at
+        // compile time.
         let mut j0 = 0;
-        while j0 + 32 <= w {
-            mul_tile::<32>(a, b, out, i, kk, bn, c0, w, j0);
-            j0 += 32;
-        }
-        while j0 + 8 <= w {
-            mul_tile::<8>(a, b, out, i, kk, bn, c0, w, j0);
-            j0 += 8;
-        }
-        while j0 + 4 <= w {
-            mul_tile::<4>(a, b, out, i, kk, bn, c0, w, j0);
-            j0 += 4;
+        if L == 1 {
+            // Scalar fallback: fixed register tiles still buy ILP.
+            while j0 + 32 <= w {
+                mul_tile::<32>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                j0 += 32;
+            }
+            while j0 + 8 <= w {
+                mul_tile::<8>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                j0 += 8;
+            }
+            while j0 + 4 <= w {
+                mul_tile::<4>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                j0 += 4;
+            }
+        } else {
+            while j0 + 2 * L <= w {
+                mul_tile::<{ 2 * L }>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                j0 += 2 * L;
+            }
+            while j0 + L <= w {
+                mul_tile::<L>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                j0 += L;
+            }
+            if L > 8 {
+                while j0 + 8 <= w {
+                    mul_tile::<8>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                    j0 += 8;
+                }
+            }
+            if L > 4 {
+                while j0 + 4 <= w {
+                    mul_tile::<4>(a, b, out, i, kk, klim, bn, c0, w, j0);
+                    j0 += 4;
+                }
+            }
         }
         while j0 + 2 <= w {
-            mul_tile::<2>(a, b, out, i, kk, bn, c0, w, j0);
+            mul_tile::<2>(a, b, out, i, kk, klim, bn, c0, w, j0);
             j0 += 2;
         }
         while j0 < w {
-            mul_tile::<1>(a, b, out, i, kk, bn, c0, w, j0);
+            mul_tile::<1>(a, b, out, i, kk, klim, bn, c0, w, j0);
             j0 += 1;
         }
         i += MR;
     }
     for i in i..rows {
-        let a_row = &a[i * kk..(i + 1) * kk];
+        let a_row = &a[i * kk..i * kk + klim];
         let out_row = &mut out[i * w..(i + 1) * w];
         out_row.fill(0.0);
         for (k, &av) in a_row.iter().enumerate() {
@@ -666,10 +797,146 @@ fn gemm_tiled_cols(
     }
 }
 
+/// Fixed block width for the axpy-style kernels: two lanes (so the update
+/// Source rows register-blocked per [`t_acc_rows`] pass. The `aᵀ · b`
+/// accumulators are out-row load/store bound when updated one source row
+/// at a time; folding `T_ACC_RB` rows into one pass amortizes that
+/// traffic by 4× without reordering any element's add sequence.
+const T_ACC_RB: usize = 4;
+
+/// `out[j] += Σ_t avs[t] * brs[t][j]`, accumulated left-to-right in
+/// registers. Per element this is the same ascending-`t` add sequence the
+/// one-row-at-a-time naive loop performs through memory, so results are
+/// bit-identical; only the intermediate load/store round-trips disappear.
+#[inline(always)]
+fn axpy_rows<const R: usize>(avs: [f32; R], brs: [&[f32]; R], out: &mut [f32]) {
+    let n = out.len();
+    // Pin every operand row to the output length so the inner-loop bounds
+    // checks hoist and the `j` loop vectorizes cleanly.
+    let mut rows: [&[f32]; R] = brs;
+    for (t, row) in rows.iter_mut().enumerate() {
+        *row = &brs[t][..n];
+    }
+    for j in 0..n {
+        let mut acc = out[j];
+        for t in 0..R {
+            acc += avs[t] * rows[t][j];
+        }
+        out[j] = acc;
+    }
+}
+
+/// Masked form of [`axpy_rows`]: every term is additionally gated by the
+/// (out-shaped) mask row, `out[j] += Σ_t avs[t] * brs[t][j] * m[j]`.
+#[inline(always)]
+fn axpy_rows_masked<const R: usize>(avs: [f32; R], brs: [&[f32]; R], m: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let m = &m[..n];
+    let mut rows: [&[f32]; R] = brs;
+    for (t, row) in rows.iter_mut().enumerate() {
+        *row = &brs[t][..n];
+    }
+    for j in 0..n {
+        let mut acc = out[j];
+        for t in 0..R {
+            acc += avs[t] * rows[t][j] * m[j];
+        }
+        out[j] = acc;
+    }
+}
+
+/// Loop nest of [`Matrix::t_matmul_acc`] over raw slices: accumulates
+/// `a[r][i] * b[r]` into accumulator row `i`, skipping zero `a` entries.
+/// Blocks [`T_ACC_RB`] source rows per pass: for each accumulator row the
+/// block's surviving (nonzero) coefficients are collected in ascending
+/// `r` order and folded in one register-resident sweep, so each out
+/// element sees the exact add sequence of the naive loop while touching
+/// memory once per block instead of once per row. A free function over
+/// bare slices, kept out of line — inlined into the method, LLVM
+/// outer-loop-vectorizes across `i` with gather/scatter (masked by the
+/// zero skip), which runs slower than scalar code.
+#[inline(never)]
+fn t_acc_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, m: usize, n: usize) {
+    let mut r0 = 0;
+    while r0 < rows {
+        let rb = T_ACC_RB.min(rows - r0);
+        for i in 0..m {
+            let mut avs = [0f32; T_ACC_RB];
+            let mut brs: [&[f32]; T_ACC_RB] = [&[]; T_ACC_RB];
+            let mut cnt = 0;
+            for r in r0..r0 + rb {
+                let av = a[r * m + i];
+                if av != 0.0 {
+                    avs[cnt] = av;
+                    brs[cnt] = &b[r * n..(r + 1) * n];
+                    cnt += 1;
+                }
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            match cnt {
+                1 => axpy_rows([avs[0]], [brs[0]], out_row),
+                2 => axpy_rows([avs[0], avs[1]], [brs[0], brs[1]], out_row),
+                3 => axpy_rows([avs[0], avs[1], avs[2]], [brs[0], brs[1], brs[2]], out_row),
+                4 => axpy_rows(avs, brs, out_row),
+                _ => {}
+            }
+        }
+        r0 += rb;
+    }
+}
+
+/// Masked form of [`t_acc_rows`] for [`Matrix::t_matmul_masked_acc`]:
+/// every accumulated term is additionally gated by `mask` (same shape as
+/// `out`).
+#[inline(never)]
+fn t_acc_rows_masked(
+    a: &[f32],
+    b: &[f32],
+    mask: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut r0 = 0;
+    while r0 < rows {
+        let rb = T_ACC_RB.min(rows - r0);
+        for i in 0..m {
+            let mut avs = [0f32; T_ACC_RB];
+            let mut brs: [&[f32]; T_ACC_RB] = [&[]; T_ACC_RB];
+            let mut cnt = 0;
+            for r in r0..r0 + rb {
+                let av = a[r * m + i];
+                if av != 0.0 {
+                    avs[cnt] = av;
+                    brs[cnt] = &b[r * n..(r + 1) * n];
+                    cnt += 1;
+                }
+            }
+            let m_row = &mask[i * n..(i + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            match cnt {
+                1 => axpy_rows_masked([avs[0]], [brs[0]], m_row, out_row),
+                2 => axpy_rows_masked([avs[0], avs[1]], [brs[0], brs[1]], m_row, out_row),
+                3 => axpy_rows_masked(
+                    [avs[0], avs[1], avs[2]],
+                    [brs[0], brs[1], brs[2]],
+                    m_row,
+                    out_row,
+                ),
+                4 => axpy_rows_masked(avs, brs, m_row, out_row),
+                _ => {}
+            }
+        }
+        r0 += rb;
+    }
+}
+
 /// One `4 × NR` register tile of [`gemm_tiled_cols`]: columns
 /// `j0..j0 + NR` (offset by `c0` inside `b`) for rows `i..i + 4`,
-/// accumulated from zero in ascending `k`. Monomorphized per tile width so
-/// the accumulator array stays in registers.
+/// accumulated from zero in ascending `k` up to `klim` (`a`'s row stride
+/// stays `kk`). Monomorphized per tile width so the accumulator array
+/// stays in registers.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn mul_tile<const NR: usize>(
@@ -678,6 +945,7 @@ fn mul_tile<const NR: usize>(
     out: &mut [f32],
     i: usize,
     kk: usize,
+    klim: usize,
     bn: usize,
     c0: usize,
     w: usize,
@@ -685,7 +953,7 @@ fn mul_tile<const NR: usize>(
 ) {
     const MR: usize = 4;
     let mut acc = [[0f32; NR]; MR];
-    for k in 0..kk {
+    for k in 0..klim {
         let b_tile = &b[k * bn + c0 + j0..k * bn + c0 + j0 + NR];
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let av = a[(i + r) * kk + k];
@@ -841,6 +1109,138 @@ mod tests {
             a.t_matmul_acc_naive(&b, &mut naive);
             for (x, y) in tiled.data().iter().zip(naive.data()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_acc {k}x{m}x{n}");
+            }
+
+            // t_matmul_masked_acc: ((k × m)ᵀ · (k × n)) ⊙ mask += (m × n)
+            let mask = tricky(m, n, &mut rng);
+            let init = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init.clone();
+            a.t_matmul_masked_acc(&b, &mask, &mut tiled);
+            a.t_matmul_masked_acc_naive(&b, &mask, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_masked_acc {k}x{m}x{n}");
+            }
+        }
+    }
+
+    /// Every residue of the output width modulo the lane width (and the
+    /// two-lane tile) — exercises every tail path of the tile ladder on
+    /// whatever lane width this build selected.
+    fn ragged_widths() -> impl Iterator<Item = usize> {
+        (1..=2 * lane::WIDTH.max(8) + 1).chain([64])
+    }
+
+    #[test]
+    fn wide_forward_kernel_bit_identical_to_naive_on_ragged_widths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for m in [1usize, 4, 9] {
+            for n in ragged_widths() {
+                let k = 7;
+                let a = tricky(m, k, &mut rng);
+                let b = tricky(k, n, &mut rng);
+                let mut tiled = Matrix::zeros(0, 0);
+                let mut naive = Matrix::zeros(0, 0);
+                a.matmul_into(&b, &mut tiled);
+                a.matmul_into_naive(&b, &mut naive);
+                assert_eq!(tiled.shape(), naive.shape());
+                for (x, y) in tiled.data().iter().zip(naive.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "matmul {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_band_kernel_bit_identical_to_naive_on_ragged_bands() {
+        // Band starts both lane-aligned and not, band widths covering every
+        // residue mod the lane width — the shapes the padded sweep and its
+        // unpadded escape hatch feed this kernel.
+        let mut rng = StdRng::seed_from_u64(22);
+        let (m, k, n) = (9usize, 5usize, 2 * lane::WIDTH.max(8) + 40);
+        let a = tricky(m, k, &mut rng);
+        let b = tricky(k, n, &mut rng);
+        for start in [0usize, 3, lane::WIDTH] {
+            for w in 1..=2 * lane::WIDTH.max(8) + 1 {
+                let band = start..start + w;
+                let mut tiled = Matrix::zeros(0, 0);
+                let mut naive = Matrix::zeros(0, 0);
+                a.matmul_col_band_into(&b, band.clone(), &mut tiled);
+                a.matmul_col_band_into_naive(&b, band.clone(), &mut naive);
+                for (x, y) in tiled.data().iter().zip(naive.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "band {band:?} of {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_limited_band_kernel_bit_identical_to_full_k_on_zero_tails() {
+        // The k-limit contract: when every skipped `other` row is zero over
+        // the band, contracting only `k < k_limit` is bit-identical to the
+        // full product (skipped terms are exact `a · 0.0 = ±0.0` adds).
+        // Zero the tail rows of `b` inside the band and check the limited
+        // kernel against the full-k naive oracle at every limit.
+        let mut rng = StdRng::seed_from_u64(24);
+        let (m, k, n) = (9usize, 11usize, lane::WIDTH.max(8) + 13);
+        let a = tricky(m, k, &mut rng);
+        for start in [0usize, 3] {
+            for w in [1usize, lane::WIDTH, lane::WIDTH + 3] {
+                let band = start..start + w;
+                for klim in [0usize, 1, 5, k] {
+                    let mut b = tricky(k, n, &mut rng);
+                    for r in klim..k {
+                        for c in band.clone() {
+                            b.set(r, c, 0.0);
+                        }
+                    }
+                    let mut limited = Matrix::zeros(0, 0);
+                    let mut naive = Matrix::zeros(0, 0);
+                    a.matmul_col_band_limited_into(&b, band.clone(), klim, &mut limited);
+                    a.matmul_col_band_into_naive(&b, band.clone(), &mut naive);
+                    for (x, y) in limited.data().iter().zip(naive.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "band {band:?} klim {klim}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_acc_kernels_bit_identical_to_naive_on_ragged_widths() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (m, k) = (7usize, 6usize);
+        for n in ragged_widths() {
+            // matmul_t_acc: (m × k) · (n × k)ᵀ += (m × n)
+            let a = tricky(m, k, &mut rng);
+            let b = tricky(n, k, &mut rng);
+            let init = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init.clone();
+            a.matmul_t_acc(&b, &mut tiled);
+            a.matmul_t_acc_naive(&b, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul_t_acc n={n}");
+            }
+
+            // t_matmul_acc and its masked form: (k × m)ᵀ · (k × n) += (m × n)
+            let a = tricky(k, m, &mut rng);
+            let b = tricky(k, n, &mut rng);
+            let init = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init.clone();
+            a.t_matmul_acc(&b, &mut tiled);
+            a.t_matmul_acc_naive(&b, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_acc n={n}");
+            }
+            let mask = tricky(m, n, &mut rng);
+            let mut tiled = init.clone();
+            let mut naive = init;
+            a.t_matmul_masked_acc(&b, &mask, &mut tiled);
+            a.t_matmul_masked_acc_naive(&b, &mask, &mut naive);
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t_matmul_masked_acc n={n}");
             }
         }
     }
