@@ -1,0 +1,222 @@
+//! CI chaos smoke: soaks the serving front-end through a seeded
+//! [`FaultPlan`](restore_serve::FaultPlan) — delays, read/write errors,
+//! torn responses, and handler panics on a reproducible schedule — and
+//! asserts the resilience-plane contract end to end:
+//!
+//! * **no wedge** — every soaked request resolves (answer or clean
+//!   transport error), the whole soak finishes, and `/metrics` stays
+//!   reachable throughout;
+//! * **bit-reproducible** — two soaks with the same seed produce identical
+//!   per-key outcome classes, even with 4 concurrent client workers
+//!   (the schedule is a pure function of `(seed, fault key)`);
+//! * **recovery** — every request past the fault window answers 200;
+//! * **bounded shed** — a saturated admission gate answers 429 with
+//!   `Retry-After` instead of queueing, and reopens after the load passes;
+//! * **drain** — a server that just absorbed panics and torn writes still
+//!   shuts down gracefully.
+//!
+//! Exits non-zero on any violation (the workflow checks the exit code).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use restore_bench::{sealed_synthetic_snapshot, serving_workload as workload};
+use restore_core::wire::QueryRequest;
+use restore_core::{Snapshot, SnapshotRegistry};
+use restore_serve::{FaultAction, FaultConfig, FaultPlan, HttpClient, ServeConfig, Server};
+use restore_util::json::{parse, JsonValue};
+
+const SEED: u64 = 2026;
+const WINDOW: (u64, u64) = (0, 120);
+const KEYS: u64 = 180;
+const WORKERS: u64 = 4;
+
+fn fault_config() -> FaultConfig {
+    FaultConfig {
+        seed: SEED,
+        window: WINDOW,
+        delay_prob: 0.10,
+        delay: Duration::from_millis(2),
+        read_error_prob: 0.10,
+        write_error_prob: 0.10,
+        torn_prob: 0.10,
+        panic_prob: 0.10,
+    }
+}
+
+/// Outcome class of one soaked request: `'k'` answered 200, `'p'` drew a
+/// panic (500), `'c'` lost its connection to an injected transport fault.
+fn soak(registry: &Arc<SnapshotRegistry>, bodies: &Arc<Vec<String>>) -> (Vec<char>, f64) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(registry),
+        ServeConfig {
+            fault: Some(fault_config()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let bodies = Arc::clone(bodies);
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for key in (0..KEYS).filter(|k| k % WORKERS == w) {
+                let body = &bodies[key as usize % bodies.len()];
+                let outcome = HttpClient::connect(addr).expect("connect").request_full(
+                    "POST",
+                    "/v1/synthetic/query",
+                    Some(body),
+                    &[("X-Fault-Key", &key.to_string())],
+                );
+                let class = match outcome {
+                    Ok(r) if r.status == 200 => 'k',
+                    Ok(r) if r.status == 500 => 'p',
+                    Ok(r) => panic!("unexpected status {} for key {key}: {}", r.status, r.body),
+                    Err(_) => 'c',
+                };
+                out.push((key, class));
+            }
+            out
+        }));
+    }
+    let mut classes = vec![' '; KEYS as usize];
+    for handle in handles {
+        for (key, class) in handle.join().expect("soak worker must not wedge") {
+            classes[key as usize] = class;
+        }
+    }
+    // The server is still observable after absorbing the whole fault mix…
+    let mut client = HttpClient::connect(addr).expect("post-soak connect");
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200, "{metrics}");
+    let injected = parse(&metrics)
+        .expect("metrics is valid JSON")
+        .get("requests")
+        .and_then(|r| r.get("faults_injected"))
+        .and_then(JsonValue::as_f64)
+        .expect("faults_injected counter");
+    // …and still drains gracefully.
+    drop(client);
+    assert!(server.shutdown(), "faulted server must drain");
+    (classes, injected)
+}
+
+fn main() {
+    // The soak injects handler panics on purpose; keep their backtraces out
+    // of the CI log while leaving real failures (the asserts below) loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let started = Instant::now();
+    let snapshot: Arc<Snapshot> = sealed_synthetic_snapshot(13, 13);
+    let registry = Arc::new(SnapshotRegistry::new());
+    registry.publish("synthetic", snapshot);
+    let bodies: Arc<Vec<String>> = Arc::new(
+        workload()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q.clone(), i as u64).to_json())
+            .collect(),
+    );
+
+    // The expected outcome classes come straight from the plan: the soak
+    // must land exactly on them, run after run.
+    let plan = FaultPlan::new(fault_config());
+    let expected: Vec<char> = (0..KEYS)
+        .map(|k| match plan.action(k) {
+            FaultAction::None | FaultAction::Delay(_) => 'k',
+            FaultAction::Panic => 'p',
+            _ => 'c',
+        })
+        .collect();
+    let expected_injected = (0..KEYS)
+        .filter(|&k| plan.action(k) != FaultAction::None)
+        .count() as f64;
+    assert!(
+        expected[..WINDOW.1 as usize].iter().any(|&c| c != 'k'),
+        "the seed must actually fault part of the window"
+    );
+
+    let (first, injected_first) = soak(&registry, &bodies);
+    let (second, injected_second) = soak(&registry, &bodies);
+    assert_eq!(first, expected, "soak must match the seeded plan exactly");
+    assert_eq!(second, expected, "second soak must be bit-identical");
+    assert_eq!(
+        (injected_first, injected_second),
+        (expected_injected, expected_injected),
+        "faults_injected must count exactly the planned faults"
+    );
+    assert!(
+        first[WINDOW.1 as usize..].iter().all(|&c| c == 'k'),
+        "every request past the fault window must answer 200 (recovery)"
+    );
+
+    // Bounded shed: hold the only admission permit with a delayed request,
+    // watch a concurrent request shed 429 + Retry-After, then watch the
+    // gate reopen once the slow request completes.
+    let shed_server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServeConfig {
+            max_in_flight: 1,
+            fault: Some(FaultConfig {
+                seed: SEED,
+                window: (1, 2),
+                delay_prob: 1.0,
+                delay: Duration::from_millis(300),
+                ..FaultConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind shed server");
+    let addr = shed_server.local_addr();
+    let slow_body = bodies[0].clone();
+    let slow = std::thread::spawn(move || {
+        HttpClient::connect(addr)
+            .expect("connect")
+            .request_full(
+                "POST",
+                "/v1/synthetic/query",
+                Some(&slow_body),
+                &[("X-Fault-Key", "1")],
+            )
+            .expect("slow request")
+    });
+    let hold_deadline = Instant::now() + Duration::from_secs(5);
+    while shed_server.requests_admitted() == 0 {
+        assert!(Instant::now() < hold_deadline, "permit never taken");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let shed = client
+        .request_full("POST", "/v1/synthetic/query", Some(&bodies[1]), &[])
+        .expect("shed request answers");
+    assert_eq!(shed.status, 429, "saturated gate must shed: {}", shed.body);
+    assert!(shed.retry_after().is_some(), "sheds carry Retry-After");
+    assert_eq!(slow.join().expect("slow thread").status, 200);
+    let reopened = client
+        .request_full("POST", "/v1/synthetic/query", Some(&bodies[1]), &[])
+        .expect("post-overload request");
+    assert_eq!(reopened.status, 200, "gate must reopen: {}", reopened.body);
+    drop(client);
+    assert!(shed_server.shutdown(), "shed server must drain");
+
+    let faulted = expected.iter().filter(|&&c| c != 'k').count();
+    println!(
+        "chaos smoke OK: 2x{KEYS}-request seeded soak ({WORKERS} workers, {faulted} faulted keys) \
+         bit-reproducible, full recovery past the window, bounded 429 shed with Retry-After, \
+         graceful drains; {:.2}s total",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -7,17 +7,39 @@
 //!
 //! `--quick` shrinks the sweep for CI; the full run also measures a
 //! reconnect-per-request variant (connection-setup overhead) at 4 threads.
+//!
+//! Every run ends with an **overload phase**: twice as many closed-loop
+//! clients as the admission gate has permits hammer a capacity-capped
+//! server, and the record `{offered_per_s, queries_per_s, shed_rate,
+//! p99_ms}` (engine `overload_2x`) lands next to the healthy records —
+//! the trend report then tracks graceful degradation, not just peak speed.
 
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use restore_bench::{
     percentile, sealed_synthetic_snapshot, serving_workload as workload, write_bench_json,
-    HttpRecord,
+    HttpOverloadRecord, HttpRecord,
 };
 use restore_core::wire::QueryRequest;
 use restore_core::SnapshotRegistry;
 use restore_serve::{HttpClient, ServeConfig, Server};
+use restore_util::json::ToJson;
+
+/// One file, two record shapes: the healthy sweep and the overload phase.
+enum Record {
+    Healthy(HttpRecord),
+    Overload(HttpOverloadRecord),
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> String {
+        match self {
+            Record::Healthy(r) => r.to_json(),
+            Record::Overload(r) => r.to_json(),
+        }
+    }
+}
 
 /// Runs `per_thread` requests on each of `threads` keep-alive connections;
 /// returns (queries/s, per-request latencies in ms).
@@ -77,6 +99,80 @@ fn run_clients(
     ((threads * per_thread) as f64 / elapsed, latencies)
 }
 
+/// Hammers `addr` with `threads` closed-loop clients that tolerate 429s
+/// (shed requests are counted, checked for `Retry-After`, and immediately
+/// followed by the next request — no client-side backoff, this *is* the
+/// overload). Returns `(offered/s, answered-200/s, shed rate, ok latencies)`.
+fn run_overload(
+    addr: std::net::SocketAddr,
+    threads: usize,
+    per_thread: usize,
+) -> (f64, f64, f64, Vec<f64>) {
+    let bodies: Arc<Vec<String>> = Arc::new(
+        workload()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q.clone(), i as u64).to_json())
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let tallies = Arc::new(Mutex::new((0usize, 0usize, Vec::new())));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let (bodies, barrier, tallies) = (
+            Arc::clone(&bodies),
+            Arc::clone(&barrier),
+            Arc::clone(&tallies),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            barrier.wait();
+            let (mut oks, mut sheds, mut local) = (0usize, 0usize, Vec::new());
+            for i in 0..per_thread {
+                let body = &bodies[(t + i) % bodies.len()];
+                let started = Instant::now();
+                let response = client
+                    .request_full("POST", "/v1/synthetic/query", Some(body), &[])
+                    .expect("overload request answers");
+                match response.status {
+                    200 => {
+                        local.push(started.elapsed().as_secs_f64() * 1e3);
+                        oks += 1;
+                    }
+                    429 => {
+                        assert!(
+                            response.retry_after().is_some(),
+                            "every shed must carry Retry-After"
+                        );
+                        sheds += 1;
+                    }
+                    s => panic!("unexpected overload status {s}: {}", response.body),
+                }
+            }
+            let mut tallies = tallies.lock().unwrap_or_else(|e| e.into_inner());
+            tallies.0 += oks;
+            tallies.1 += sheds;
+            tallies.2.extend(local);
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("overload client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let (oks, sheds, latencies) = Arc::try_unwrap(tallies)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_default();
+    let offered = (oks + sheds) as f64;
+    (
+        offered / elapsed,
+        oks as f64 / elapsed,
+        sheds as f64 / offered.max(1.0),
+        latencies,
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (thread_sweep, per_thread): (&[usize], usize) = if quick {
@@ -93,16 +189,19 @@ fn main() {
     }
     let registry = Arc::new(SnapshotRegistry::new());
     registry.publish("synthetic", snapshot);
-    let server = Server::bind("127.0.0.1:0", registry, ServeConfig::default()).expect("bind");
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&registry), ServeConfig::default()).expect("bind");
     let addr = server.local_addr();
 
     let mut records = Vec::new();
+    let mut healthy_p99 = 0.0f64;
     let mut summary = String::from("http serving (warm cache, keep-alive)");
     for &threads in thread_sweep {
         run_clients(addr, threads, per_thread / 3 + 1, false); // warmup
         let (qps, latencies) = run_clients(addr, threads, per_thread, false);
         let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
-        records.push(HttpRecord {
+        healthy_p99 = p99;
+        records.push(Record::Healthy(HttpRecord {
             bench: "http".into(),
             engine: "warm_keepalive".into(),
             threads,
@@ -112,14 +211,14 @@ fn main() {
             queries_per_s: qps,
             p50_ms: p50,
             p99_ms: p99,
-        });
+        }));
         summary.push_str(&format!(
             ", t{threads} {qps:.0} q/s (p50 {p50:.2}ms p99 {p99:.2}ms)"
         ));
     }
     if !quick {
         let (qps, latencies) = run_clients(addr, 4, per_thread, true);
-        records.push(HttpRecord {
+        records.push(Record::Healthy(HttpRecord {
             bench: "http".into(),
             engine: "warm_reconnect".into(),
             threads: 4,
@@ -129,10 +228,71 @@ fn main() {
             queries_per_s: qps,
             p50_ms: percentile(&latencies, 0.5),
             p99_ms: percentile(&latencies, 0.99),
-        });
+        }));
         summary.push_str(&format!(", reconnect t4 {qps:.0} q/s"));
     }
+    assert!(server.shutdown(), "healthy server must drain");
+
+    // Overload phase: a server whose admission gate holds as many permits
+    // as the top healthy concurrency, driven by twice as many closed-loop
+    // clients — roughly 2x offered load. Warm-cache queries finish in
+    // ~100 µs, far below the loopback request cycle, so the gate would
+    // never bind; a deterministic 1 ms injected delay stands in for a
+    // realistic per-query cost and makes the saturation real. The gate
+    // must shed the excess with 429 + Retry-After while the admitted tail
+    // stays sane.
+    let capacity = *thread_sweep.last().expect("non-empty sweep");
+    let overload_server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            max_in_flight: capacity,
+            fault: Some(restore_serve::FaultConfig {
+                seed: 0,
+                window: (0, u64::MAX),
+                delay_prob: 1.0,
+                delay: std::time::Duration::from_millis(1),
+                ..restore_serve::FaultConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind overload server");
+    let clients = capacity * 2;
+    run_overload(overload_server.local_addr(), clients, per_thread / 3 + 1); // warmup
+    let (offered, ok_qps, shed_rate, ok_latencies) =
+        run_overload(overload_server.local_addr(), clients, per_thread);
+    let overload_p99 = percentile(&ok_latencies, 0.99);
+    assert!(
+        !ok_latencies.is_empty(),
+        "the gate must still admit work under overload"
+    );
+    assert!(
+        shed_rate > 0.0,
+        "2x offered load against a bound gate must shed some requests"
+    );
+    records.push(Record::Overload(HttpOverloadRecord {
+        bench: "http".into(),
+        engine: "overload_2x".into(),
+        threads: clients,
+        hardware_threads: restore_bench::hardware_threads(),
+        lane_width: restore_bench::lane_width(),
+        target_feature: restore_bench::target_feature(),
+        offered_per_s: offered,
+        queries_per_s: ok_qps,
+        shed_rate,
+        p99_ms: overload_p99,
+    }));
+    summary.push_str(&format!(
+        ", overload t{clients}/gate{capacity} offered {offered:.0}/s answered {ok_qps:.0}/s \
+         shed {:.0}% (admitted p99 {overload_p99:.2}ms vs healthy {healthy_p99:.2}ms)",
+        shed_rate * 100.0
+    ));
+    assert!(
+        overload_server.shutdown(),
+        "overloaded server must still drain"
+    );
+
     println!("{summary}");
     write_bench_json("BENCH_http.json", &records);
-    assert!(server.shutdown(), "server must drain after the bench");
 }

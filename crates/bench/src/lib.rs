@@ -135,6 +135,46 @@ impl_to_json!(HttpRecord {
     p99_ms
 });
 
+/// One HTTP overload measurement (the `http_bench` binary): offered load
+/// past capacity, what the admission gate admitted vs shed, and the tail
+/// latency of the *admitted* requests — the "degrades gracefully" record
+/// next to [`HttpRecord`]'s "how fast when healthy".
+#[derive(Clone, Debug)]
+pub struct HttpOverloadRecord {
+    /// Bench group, e.g. `"http"`.
+    pub bench: String,
+    /// Variant label, e.g. `"overload_2x"`.
+    pub engine: String,
+    /// Client threads driving the overload.
+    pub threads: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
+    /// Requests offered per second (attempted, before shedding).
+    pub offered_per_s: f64,
+    /// Requests answered 200 per second under that offered load.
+    pub queries_per_s: f64,
+    /// Fraction of offered requests shed with 429.
+    pub shed_rate: f64,
+    /// 99th-percentile latency of the *admitted* requests, milliseconds.
+    pub p99_ms: f64,
+}
+impl_to_json!(HttpOverloadRecord {
+    bench,
+    engine,
+    threads,
+    hardware_threads,
+    lane_width,
+    target_feature,
+    offered_per_s,
+    queries_per_s,
+    shed_rate,
+    p99_ms
+});
+
 /// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted sample, in the
 /// sample's own unit. Returns 0 for an empty sample.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {

@@ -1,28 +1,133 @@
-//! A minimal blocking HTTP/1.1 client for the serving API — just enough
-//! for the integration tests, the `http_smoke` CI binary, and the HTTP
-//! throughput bench to drive the server without external dependencies.
-//! Keep-alive by default: one [`HttpClient`] issues many requests over one
-//! TCP connection, like a real dashboard client.
+//! A blocking HTTP/1.1 client for the serving API — keep-alive by default
+//! (one [`HttpClient`] issues many requests over one TCP connection, like a
+//! real dashboard client), with an opt-in retry layer that makes it a
+//! resilient building block for anything sitting in front of the server
+//! (the shard-router direction in the ROADMAP): capped exponential backoff
+//! with deterministic jitter ([`restore_util::BackoffConfig`]), honoring
+//! the server's `Retry-After` on 429/503, reconnecting on transport
+//! errors, all under a wall-clock [`RetryPolicy::budget`].
 
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use restore_util::BackoffConfig;
+
+/// How [`HttpClient::request_with_retry`] behaves.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 1 disables retrying).
+    pub max_attempts: u32,
+    /// Backoff schedule between attempts.
+    pub backoff: BackoffConfig,
+    /// Wall-clock budget across all attempts *and* waits; when the next
+    /// wait would cross it, the client gives up with the last outcome.
+    pub budget: Duration,
+    /// Upper bound on any single wait, including server-requested
+    /// `Retry-After`s — a misbehaving server cannot park the client.
+    pub retry_after_cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff: BackoffConfig::default(),
+            budget: Duration::from_secs(60),
+            retry_after_cap: Duration::from_secs(30),
+            seed: 0,
+        }
+    }
+}
+
+/// Client knobs; [`ClientConfig::default`] matches the old hardcoded
+/// behavior (30 s read timeout) with the default retry policy on top.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Read timeout on the underlying socket.
+    pub read_timeout: Duration,
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A complete response: status, lowercased headers, body.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The server's `Retry-After`, when present and parseable (integer
+    /// seconds form).
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+    }
+
+    /// The server-assigned accept-order request id (`X-Request-Id`).
+    pub fn request_id(&self) -> Option<u64> {
+        self.header("x-request-id")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    }
+}
 
 /// A keep-alive connection to the server.
 pub struct HttpClient {
     stream: TcpStream,
     carry: Vec<u8>,
+    peer: SocketAddr,
+    config: ClientConfig,
 }
 
 impl HttpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, config)
+    }
+
+    fn from_stream(stream: TcpStream, config: ClientConfig) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        let peer = stream.peer_addr()?;
         Ok(Self {
             stream,
             carry: Vec::new(),
+            peer,
+            config,
         })
+    }
+
+    /// Drops the current connection and dials the same peer again —
+    /// what the retry layer does after a transport error.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        *self = Self::from_stream(stream, self.config)?;
+        Ok(())
     }
 
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
@@ -40,23 +145,90 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.request_full(method, path, body, &[])
+            .map(|r| (r.status, r.body))
+    }
+
+    /// One request with extra headers (the chaos tests pin fault keys with
+    /// `X-Fault-Key`), returning the full [`HttpResponse`].
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
         let body = body.unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: restore\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: restore\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body.as_bytes())?;
         self.stream.flush()?;
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    /// [`HttpClient::request_full`] under the configured [`RetryPolicy`]:
+    /// 429 and 503 responses retry after `max(backoff, Retry-After)`
+    /// (capped at `retry_after_cap`), transport errors reconnect and
+    /// retry, and the whole dance stays inside [`RetryPolicy::budget`] —
+    /// when attempts or budget run out, the last outcome (response or
+    /// error) is returned as-is.
+    pub fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        let policy = self.config.retry;
+        let deadline = Instant::now() + policy.budget;
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_full(method, path, body, extra_headers);
+            let retry_after = match &outcome {
+                Ok(response) if response.status == 429 || response.status == 503 => {
+                    response.retry_after()
+                }
+                Ok(_) => return outcome,
+                // Transport error: the connection state is unknown — only
+                // retryable through a reconnect below.
+                Err(_) => None,
+            };
+            if attempt + 1 >= policy.max_attempts.max(1) {
+                return outcome;
+            }
+            let mut wait = policy.backoff.delay(policy.seed, attempt);
+            if let Some(requested) = retry_after {
+                wait = wait.max(requested);
+            }
+            wait = wait.min(policy.retry_after_cap);
+            let now = Instant::now();
+            if now + wait > deadline {
+                return outcome;
+            }
+            std::thread::sleep(wait);
+            if outcome.is_err() && self.reconnect().is_err() {
+                // The peer refused the redial; count the attempt and keep
+                // backing off — it may be mid-restart.
+                attempt += 1;
+                continue;
+            }
+            attempt += 1;
+        }
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
         let mut chunk = [0u8; 8 * 1024];
         loop {
-            if let Some((status, body, consumed)) = parse_response(&self.carry)? {
+            if let Some((response, consumed)) = parse_response(&self.carry)? {
                 self.carry.drain(..consumed);
-                return Ok((status, body));
+                return Ok(response);
             }
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -77,9 +249,9 @@ fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Parses a complete `(status, body, consumed)` response off the front of
-/// `buf`, or `Ok(None)` if more bytes are needed.
-fn parse_response(buf: &[u8]) -> std::io::Result<Option<(u16, String, usize)>> {
+/// Parses a complete `(response, consumed)` off the front of `buf`, or
+/// `Ok(None)` if more bytes are needed. Header names come out lowercased.
+fn parse_response(buf: &[u8]) -> std::io::Result<Option<(HttpResponse, usize)>> {
     let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
     };
@@ -93,14 +265,16 @@ fn parse_response(buf: &[u8]) -> std::io::Result<Option<(u16, String, usize)>> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| bad(&format!("bad content-length {value:?}")))?;
             }
+            headers.push((name, value));
         }
     }
     let body_start = head_end + 4;
@@ -108,7 +282,14 @@ fn parse_response(buf: &[u8]) -> std::io::Result<Option<(u16, String, usize)>> {
         return Ok(None);
     }
     let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
-    Ok(Some((status, body, body_start + content_length)))
+    Ok(Some((
+        HttpResponse {
+            status,
+            headers,
+            body,
+        },
+        body_start + content_length,
+    )))
 }
 
 /// One-shot convenience: connect, issue a single request, disconnect.
@@ -129,16 +310,30 @@ mod tests {
     fn parses_responses_incrementally() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4\r\n\r\nbodyHTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
         assert!(parse_response(&raw[..10]).unwrap().is_none());
-        let (status, body, consumed) = parse_response(raw).unwrap().expect("complete");
-        assert_eq!((status, body.as_str()), (200, "body"));
-        let (status2, body2, consumed2) =
-            parse_response(&raw[consumed..]).unwrap().expect("second");
-        assert_eq!((status2, body2.as_str()), (404, ""));
+        let (first, consumed) = parse_response(raw).unwrap().expect("complete");
+        assert_eq!((first.status, first.body.as_str()), (200, "body"));
+        assert_eq!(first.header("content-type"), Some("application/json"));
+        let (second, consumed2) = parse_response(&raw[consumed..]).unwrap().expect("second");
+        assert_eq!((second.status, second.body.as_str()), (404, ""));
         assert_eq!(consumed + consumed2, raw.len());
     }
 
     #[test]
     fn rejects_garbage_status_lines() {
         assert!(parse_response(b"whatever\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn exposes_resilience_headers() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nX-Request-Id: 41\r\nContent-Length: 0\r\n\r\n";
+        let (response, _) = parse_response(raw).unwrap().expect("complete");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.retry_after(), Some(Duration::from_secs(3)));
+        assert_eq!(response.request_id(), Some(41));
+        // Unparseable values read as absent, not as errors.
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: soon\r\nContent-Length: 0\r\n\r\n";
+        let (response, _) = parse_response(raw).unwrap().expect("complete");
+        assert_eq!(response.retry_after(), None);
     }
 }

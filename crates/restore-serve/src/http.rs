@@ -68,8 +68,9 @@ impl Request {
 /// What [`read_request`] produced.
 #[derive(Debug)]
 pub enum ReadOutcome {
-    /// A complete request.
-    Request(Request),
+    /// A complete request, paired with the instant its first bytes were
+    /// seen — the start of the request's deadline budget.
+    Request(Request, std::time::Instant),
     /// Clean EOF (or poll-abort while idle) — close quietly.
     Closed,
     /// The head or body exceeded the limits → 413.
@@ -120,6 +121,7 @@ fn percent_decode(s: &str, plus_is_space: bool) -> String {
 /// Attempts to parse one complete request from the front of `buf`.
 /// `Ok(Some((request, consumed)))` on success; `Ok(None)` when more bytes
 /// are needed; `Err` on protocol violations.
+#[allow(clippy::result_large_err)] // the Err is the same enum the caller matches on anyway
 pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, ReadOutcome> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > limits.max_head_bytes {
@@ -232,7 +234,8 @@ pub fn read_request(
         match try_parse(carry, limits) {
             Ok(Some((request, consumed))) => {
                 carry.drain(..consumed);
-                return ReadOutcome::Request(request);
+                let arrived = partial_since.unwrap_or_else(std::time::Instant::now);
+                return ReadOutcome::Request(request, arrived);
             }
             Ok(None) => {}
             Err(outcome) => return outcome,
@@ -268,11 +271,14 @@ pub fn read_request(
     }
 }
 
-/// An outgoing response; the body is always JSON here.
+/// An outgoing response; the body is always JSON here. `headers` carries
+/// route-specific extras (`X-Request-Id`, `Retry-After`) on top of the
+/// fixed content headers [`write_response`] always emits.
 #[derive(Clone, Debug)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -280,12 +286,26 @@ impl Response {
         Self {
             status,
             body: body.into(),
+            headers: Vec::new(),
         }
     }
 
     /// A [`error_body`] response.
     pub fn error(status: u16, message: &str) -> Self {
         Self::json(status, error_body(message))
+    }
+
+    /// Appends one extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// A 429 with a computed `Retry-After` (integer seconds, per RFC 9110;
+    /// always at least 1 so a client never busy-retries).
+    pub fn too_many_requests(message: &str, retry_after: Duration) -> Self {
+        let secs = retry_after.as_secs_f64().ceil().clamp(1.0, 3600.0) as u64;
+        Self::error(429, message).with_header("Retry-After", secs.to_string())
     }
 }
 
@@ -303,10 +323,34 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Serializes a response to bytes; `close` controls the `Connection`
+/// header.
+fn serialize_response(response: &Response, close: bool) -> Vec<u8> {
+    let mut extra = String::new();
+    for (name, value) in &response.headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{extra}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    let mut out = Vec::with_capacity(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(response.body.as_bytes());
+    out
 }
 
 /// Serializes a response; `close` controls the `Connection` header.
@@ -315,15 +359,18 @@ pub fn write_response(
     response: &Response,
     close: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    stream.write_all(&serialize_response(response, close))?;
+    stream.flush()
+}
+
+/// Fault-injection seam: writes only the first half of the serialized
+/// response (at least one byte, never all of them), leaving the client
+/// with a torn response it must treat as a transport error. The caller
+/// closes the connection afterwards.
+pub fn write_torn_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let bytes = serialize_response(response, true);
+    let cut = (bytes.len() / 2).max(1).min(bytes.len() - 1);
+    stream.write_all(&bytes[..cut])?;
     stream.flush()
 }
 

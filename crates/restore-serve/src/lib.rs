@@ -71,11 +71,30 @@
 //!   (idle keep-alive sockets are released at the next poll tick), then
 //!   return; built on `restore-util`'s [`Shutdown`](restore_util::Shutdown)
 //!   accounting.
+//! * **Bounded overload** — an admission gate
+//!   ([`ServeConfig::max_in_flight`]) and a per-tenant token bucket
+//!   ([`ServeConfig::rate_limit`]) shed excess load with 429 +
+//!   `Retry-After` instead of queueing without bound; per-request deadline
+//!   budgets answer 503 with stage detail instead of holding connections;
+//!   every response carries an accept-order `X-Request-Id` that `/metrics`
+//!   threads into the per-tenant error counters. See the "Resilience
+//!   plane" section of `ARCHITECTURE.md`.
+//! * **Deterministic chaos** — a seeded [`FaultPlan`](fault::FaultPlan)
+//!   ([`ServeConfig::fault`]) injects delays, read/write errors, torn
+//!   responses, and handler panics as a pure function of `(seed, fault
+//!   key)`, so the chaos tests and the `chaos_smoke` CI soak reproduce
+//!   bit-identically across runs and worker counts.
+//! * **A resilient client** — [`HttpClient::request_with_retry`] backs off
+//!   exponentially with deterministic jitter, honors `Retry-After`, and
+//!   reconnects on transport errors, all inside a wall-clock
+//!   [`RetryPolicy::budget`].
 
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod server;
 
-pub use client::{one_shot, HttpClient};
+pub use client::{one_shot, ClientConfig, HttpClient, HttpResponse, RetryPolicy};
+pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use http::{Limits, Request, Response};
 pub use server::{ServeConfig, Server};

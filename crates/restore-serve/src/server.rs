@@ -1,5 +1,5 @@
 //! The serving front-end: a thread-per-connection TCP/HTTP 1.1 server over
-//! a shared [`SnapshotRegistry`].
+//! a shared [`SnapshotRegistry`], fronted by an ingress resilience plane.
 //!
 //! Request lifecycle:
 //!
@@ -7,15 +7,45 @@
 //!  accept loop ──► connection thread (one per socket, ConnectionGuard held)
 //!      │               loop: read_request (poll ticks check shutdown)
 //!      │                 │
+//!      │                 ▼ request id (accept order) · fault plan consult
+//!      │               admission gate (max_in_flight) ──► 429 + Retry-After
+//!      │                 │
 //!      │                 ▼ route — resolves ONE registry view per request
+//!      │               per-tenant token bucket ──► 429 + Retry-After
+//!      │               deadline budget checks  ──► 503 + stage detail
 //!      │               POST /v1/{t}/query   GET /v1/{t}/tables/{n}
-//!      │               GET /healthz         GET /metrics
+//!      │               GET /healthz         GET /metrics   (never gated)
 //!      │                 │
 //!      │                 ▼ catch_unwind: a panicking handler answers 500
-//!      │               write_response (keep-alive unless asked to close)
+//!      │               write_response (+X-Request-Id; keep-alive)
 //!      ▼
 //!  Server::shutdown(): Shutdown::trigger → wake accept → drain guards
 //! ```
+//!
+//! **Admission control.** At most [`ServeConfig::max_in_flight`] `/v1/*`
+//! requests execute concurrently; excess load is *shed* with an immediate
+//! 429 carrying a `Retry-After` computed from an EWMA of recent service
+//! times, instead of queueing work behind saturated threads. Control-plane
+//! routes (`/healthz`, `/metrics`) bypass the gate so the service stays
+//! observable under overload. A per-tenant token bucket
+//! ([`restore_util::RateLimiter`]) additionally bounds each tenant's
+//! sustained rate, so one hot tenant degrades alone instead of starving
+//! the box.
+//!
+//! **Deadline budget.** [`ServeConfig::request_deadline`] is a per-request
+//! wall-clock budget starting at the request's first byte, re-checked
+//! between parse, the single-flight wait, synthesis, and the confidence
+//! tail. An exhausted budget answers 503 with the stage reached and the
+//! elapsed/budget milliseconds, releasing the connection instead of
+//! holding it. A budget 503 computed by a single-flight leader is shared
+//! with its followers — the work did not materialize for anyone, and the
+//! retrying client treats 503 as retryable.
+//!
+//! **Fault injection.** An optional seeded [`FaultPlan`] injects delays,
+//! read/write errors, torn responses, and handler panics on a schedule
+//! that is a pure function of `(seed, fault key)` — see [`crate::fault`] —
+//! generalizing the test-only `/debug/panic/{key}` route into the chaos
+//! layer the resilience tests and `chaos_smoke` soak drive.
 //!
 //! **Hot swap / drain semantics.** A request resolves its tenant against
 //! one [`SnapshotRegistry::view`] and keeps the resulting `Arc<Snapshot>`
@@ -42,11 +72,12 @@ use std::time::{Duration, Instant};
 use restore_core::wire::{self, QueryRequest};
 use restore_core::{CoreError, SnapshotRegistry};
 use restore_util::json::ToJson;
-use restore_util::{ConnectionGuard, Shutdown, SingleFlight};
+use restore_util::{ConnectionGuard, RateLimitConfig, RateLimiter, Shutdown, SingleFlight};
 
+use crate::fault::{self, FaultAction, FaultConfig, FaultPlan};
 use crate::http::{
-    configure_stream, error_body, read_request, write_response, Limits, ReadOutcome, Request,
-    Response,
+    configure_stream, error_body, read_request, write_response, write_torn_response, Limits,
+    ReadOutcome, Request, Response,
 };
 
 /// Server knobs. Defaults are sized for tests and modest deployments.
@@ -56,15 +87,26 @@ pub struct ServeConfig {
     /// Poll interval at which idle keep-alive connections re-check the
     /// shutdown signal.
     pub read_poll: Duration,
-    /// Once request bytes start arriving, the complete request must land
-    /// within this window — stalled or slow-dripping clients are cut.
+    /// Per-request deadline budget, started at the request's first byte:
+    /// a request that has not finished arriving within it is cut, and one
+    /// that has not *started each processing stage* within it answers 503
+    /// with partial-progress detail instead of holding the connection.
     pub request_deadline: Duration,
     /// How long [`Server::shutdown`] waits for in-flight connections.
     pub drain_timeout: Duration,
+    /// Admission gate: at most this many `/v1/*` requests execute
+    /// concurrently; excess answers 429 + `Retry-After` immediately.
+    pub max_in_flight: usize,
+    /// Per-tenant token-bucket rate limit; `None` disables it.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Seeded deterministic fault injection; `None` (the default) disables
+    /// it. **Test/chaos only** — never enable in production configs.
+    pub fault: Option<FaultConfig>,
     /// Enables `GET /debug/panic/{key}`, a fault-injection route whose
     /// handler panics inside the shared single-flight — **test only**; the
     /// serving tests use it to prove a panicking handler cannot wedge
-    /// other connections.
+    /// other connections. Subsumed by [`ServeConfig::fault`] for anything
+    /// beyond that one scenario.
     pub panic_route: bool,
 }
 
@@ -75,6 +117,9 @@ impl Default for ServeConfig {
             read_poll: Duration::from_millis(100),
             request_deadline: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
+            max_in_flight: 256,
+            rate_limit: None,
+            fault: None,
             panic_route: false,
         }
     }
@@ -84,6 +129,19 @@ impl Default for ServeConfig {
 struct TenantCounters {
     queries: AtomicU64,
     errors: AtomicU64,
+    /// Requests shed by this tenant's token bucket.
+    rate_limited: AtomicU64,
+    /// `X-Request-Id` of the most recent error response (0 = none yet;
+    /// request ids start at 1).
+    last_error_request_id: AtomicU64,
+}
+
+impl TenantCounters {
+    fn note_error(&self, request_id: u64) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.last_error_request_id
+            .store(request_id, Ordering::Relaxed);
+    }
 }
 
 /// Serving counters surfaced by `GET /metrics`.
@@ -92,6 +150,15 @@ struct Metrics {
     requests_total: AtomicU64,
     requests_in_flight: AtomicU64,
     panics_caught: AtomicU64,
+    /// 429s issued by the admission gate and the per-tenant rate limiter.
+    requests_shed: AtomicU64,
+    /// 503s issued by deadline-budget checks.
+    deadline_exceeded: AtomicU64,
+    /// Faults the configured [`FaultPlan`] injected.
+    faults_injected: AtomicU64,
+    /// EWMA of admitted-request service time (nanoseconds, α = 1/8) — the
+    /// basis of the admission gate's `Retry-After` hint.
+    service_ewma_nanos: AtomicU64,
     per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
 }
 
@@ -102,6 +169,10 @@ impl Metrics {
             requests_total: AtomicU64::new(0),
             requests_in_flight: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            service_ewma_nanos: AtomicU64::new(0),
             per_tenant: Mutex::new(BTreeMap::new()),
         }
     }
@@ -109,6 +180,14 @@ impl Metrics {
     fn tenant(&self, name: &str) -> Arc<TenantCounters> {
         let mut map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    fn record_service_time(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        // Racy load/store is fine for a heuristic hint; no CAS needed.
+        let old = self.service_ewma_nanos.load(Ordering::Relaxed);
+        self.service_ewma_nanos
+            .store(old - old / 8 + sample / 8, Ordering::Relaxed);
     }
 }
 
@@ -128,6 +207,36 @@ impl Drop for InFlight<'_> {
     }
 }
 
+/// RAII admission permit; dropping it (including by panic) frees the slot.
+struct AdmitPermit<'a>(&'a AtomicU64);
+
+impl Drop for AdmitPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A request's wall-clock budget, started when its first bytes arrived.
+/// Stages check it *before* starting work; a blown budget sheds the rest
+/// of the request rather than interrupting a stage mid-flight.
+#[derive(Clone, Copy)]
+struct Budget {
+    arrived: Instant,
+    limit: Duration,
+}
+
+impl Budget {
+    /// `Ok` while inside budget; `Err(elapsed)` once exhausted.
+    fn check(&self) -> Result<(), Duration> {
+        let elapsed = self.arrived.elapsed();
+        if elapsed > self.limit {
+            Err(elapsed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// Single-flight key: tenant, snapshot generation (pointer identity), and
 /// the raw request body (`Arc<str>` so the leader's key clone into the
 /// in-flight map is a refcount bump, not a second body copy). Including
@@ -143,6 +252,48 @@ struct Shared {
     shutdown: Shutdown,
     metrics: Metrics,
     queries: SingleFlight<QueryKey, QueryOutcome>,
+    /// Accept-order request id counter; ids start at 1.
+    request_ids: AtomicU64,
+    /// `/v1/*` requests currently admitted (bounded by `max_in_flight`).
+    admitted: AtomicU64,
+    limiter: Option<RateLimiter>,
+    fault: Option<FaultPlan>,
+}
+
+impl Shared {
+    fn try_admit(&self) -> Option<AdmitPermit<'_>> {
+        let prev = self.admitted.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.config.max_in_flight as u64 {
+            self.admitted.fetch_sub(1, Ordering::AcqRel);
+            None
+        } else {
+            Some(AdmitPermit(&self.admitted))
+        }
+    }
+
+    /// How long a shed client should wait before retrying: one EWMA
+    /// service time (the 429 builder rounds this up to at least 1 s).
+    fn retry_after_hint(&self) -> Duration {
+        Duration::from_nanos(self.metrics.service_ewma_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The 503 every exhausted-budget stage answers: which stage the
+    /// request reached and how far over budget it was — partial progress a
+    /// retrying client can log instead of a connection silently held.
+    fn deadline_response(&self, stage: &str, elapsed: Duration, budget: &Budget) -> Response {
+        self.metrics
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        Response::json(
+            503,
+            format!(
+                "{{\"error\":\"deadline budget exhausted\",\"stage\":\"{stage}\",\
+                 \"elapsed_ms\":{},\"budget_ms\":{}}}",
+                elapsed.as_millis(),
+                budget.limit.as_millis()
+            ),
+        )
+    }
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops
@@ -163,12 +314,18 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let limiter = config.rate_limit.map(RateLimiter::new);
+        let fault = config.fault.map(FaultPlan::new);
         let shared = Arc::new(Shared {
             registry,
             config,
             shutdown: Shutdown::new(),
             metrics: Metrics::new(),
             queries: SingleFlight::new(),
+            request_ids: AtomicU64::new(1),
+            admitted: AtomicU64::new(0),
+            limiter,
+            fault,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -192,6 +349,11 @@ impl Server {
     /// Connections currently being served.
     pub fn connections_active(&self) -> usize {
         self.shared.shutdown.active()
+    }
+
+    /// `/v1/*` requests currently holding an admission permit.
+    pub fn requests_admitted(&self) -> usize {
+        self.shared.admitted.load(Ordering::Acquire) as usize
     }
 
     /// Stops accepting, wakes the accept loop, and waits up to the
@@ -275,24 +437,48 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream, guard: Connecti
             &|| shutdown.is_triggered(),
         );
         match outcome {
-            ReadOutcome::Request(request) => {
+            ReadOutcome::Request(request, arrived) => {
                 shared
                     .metrics
                     .requests_total
                     .fetch_add(1, Ordering::Relaxed);
+                let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed);
+                let action = match &shared.fault {
+                    None => FaultAction::None,
+                    Some(plan) => plan.action(fault::fault_key(
+                        &request.method,
+                        &request.path,
+                        &request.body,
+                        request.header("x-fault-key"),
+                    )),
+                };
+                if action != FaultAction::None {
+                    shared
+                        .metrics
+                        .faults_injected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if action == FaultAction::ReadError {
+                    // Injected read failure: cut the connection before
+                    // handling, as if the request never finished arriving.
+                    return;
+                }
                 let handled = {
                     let _in_flight = InFlight::enter(&shared.metrics.requests_in_flight);
-                    catch_unwind(AssertUnwindSafe(|| route(&shared, &request)))
+                    catch_unwind(AssertUnwindSafe(|| {
+                        handle_request(&shared, &request, request_id, arrived, action)
+                    }))
                 };
-                let (response, close) = match handled {
+                let (mut response, close) = match handled {
                     Ok(response) => {
                         let close = request.wants_close() || shutdown.is_triggered();
                         (response, close)
                     }
                     Err(_) => {
-                        // A handler panic (own or a poisoned single-flight
-                        // follower's) answers 500 and closes this
-                        // connection; every other connection is unaffected.
+                        // A handler panic (own, injected, or a poisoned
+                        // single-flight follower's) answers 500 and closes
+                        // this connection; every other connection is
+                        // unaffected.
                         shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
                         (
                             Response::error(500, "internal error: handler panicked"),
@@ -300,6 +486,19 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream, guard: Connecti
                         )
                     }
                 };
+                response
+                    .headers
+                    .push(("X-Request-Id".to_string(), request_id.to_string()));
+                match action {
+                    // Injected write failure: the work happened, the
+                    // response is dropped on the floor.
+                    FaultAction::WriteError => return,
+                    FaultAction::TornResponse => {
+                        let _ = write_torn_response(&mut stream, &response);
+                        return;
+                    }
+                    _ => {}
+                }
                 if write_response(&mut stream, &response, close).is_err() || close {
                     return;
                 }
@@ -322,7 +521,49 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream, guard: Connecti
     }
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+/// The ingress pipeline for one parsed request: fault panic/delay seams,
+/// the admission gate for `/v1/*`, then routing under the deadline budget.
+fn handle_request(
+    shared: &Shared,
+    request: &Request,
+    request_id: u64,
+    arrived: Instant,
+    action: FaultAction,
+) -> Response {
+    let budget = Budget {
+        arrived,
+        limit: shared.config.request_deadline,
+    };
+    if action == FaultAction::Panic {
+        panic!("injected fault panic (request {request_id})");
+    }
+    // Control-plane routes bypass admission and rate limiting so the
+    // service stays observable while it sheds.
+    if !request.path.starts_with("/v1/") {
+        if let FaultAction::Delay(d) = action {
+            std::thread::sleep(d);
+        }
+        return route(shared, request, request_id, &budget);
+    }
+    let Some(_permit) = shared.try_admit() else {
+        shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::too_many_requests("server at capacity", shared.retry_after_hint());
+    };
+    // The injected delay runs *inside* the admitted section, so a chaos
+    // plan can hold permits and drive the gate into shedding.
+    if let FaultAction::Delay(d) = action {
+        std::thread::sleep(d);
+    }
+    if let Err(elapsed) = budget.check() {
+        return shared.deadline_response("admission", elapsed, &budget);
+    }
+    let started = Instant::now();
+    let response = route(shared, request, request_id, &budget);
+    shared.metrics.record_service_time(started.elapsed());
+    response
+}
+
+fn route(shared: &Shared, request: &Request, request_id: u64, budget: &Budget) -> Response {
     let segments = request.segments();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(shared),
@@ -338,8 +579,12 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 .run(&key, || panic!("injected panic for {key:?}"));
             Response::json(status, body.as_str())
         }
-        ("POST", ["v1", tenant, "query"]) => query(shared, tenant, &request.body),
-        ("GET", ["v1", tenant, "tables", table]) => completed_table(shared, tenant, table, request),
+        ("POST", ["v1", tenant, "query"]) => {
+            query(shared, tenant, &request.body, request_id, budget)
+        }
+        ("GET", ["v1", tenant, "tables", table]) => {
+            completed_table(shared, tenant, table, request, request_id, budget)
+        }
         (_, ["v1", _, "query"]) | (_, ["v1", _, "tables", _]) | (_, ["healthz" | "metrics"]) => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
@@ -357,34 +602,82 @@ fn healthz(shared: &Shared) -> Response {
     )
 }
 
-fn query(shared: &Shared, tenant: &str, body: &str) -> Response {
+/// Per-tenant rate limit check — after tenant resolution (unknown tenants
+/// 404 first, so hostile tenant names cannot grow the bucket map), before
+/// any work is done for the request.
+fn rate_limit_check(
+    shared: &Shared,
+    tenant: &str,
+    counters: &TenantCounters,
+    request_id: u64,
+) -> Result<(), Response> {
+    let Some(limiter) = &shared.limiter else {
+        return Ok(());
+    };
+    match limiter.try_acquire(tenant) {
+        Ok(()) => Ok(()),
+        Err(wait) => {
+            shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+            counters
+                .last_error_request_id
+                .store(request_id, Ordering::Relaxed);
+            Err(Response::too_many_requests(
+                &format!("tenant {tenant:?} over rate limit"),
+                wait,
+            ))
+        }
+    }
+}
+
+fn query(shared: &Shared, tenant: &str, body: &str, request_id: u64, budget: &Budget) -> Response {
     let Some(snapshot) = shared.registry.view().get(tenant).cloned() else {
         return Response::error(404, &format!("unknown tenant {tenant:?}"));
     };
     let counters = shared.metrics.tenant(tenant);
+    if let Err(response) = rate_limit_check(shared, tenant, &counters, request_id) {
+        return response;
+    }
     counters.queries.fetch_add(1, Ordering::Relaxed);
+    // Budget check before committing to the single-flight wait.
+    if let Err(elapsed) = budget.check() {
+        counters.note_error(request_id);
+        return shared.deadline_response("singleflight", elapsed, budget);
+    }
     let key: QueryKey = (
         tenant.to_string(),
         Arc::as_ptr(&snapshot) as usize,
         Arc::from(body),
     );
     let ((status, response_body), _leader) = shared.queries.run(&key, || {
-        let (status, body) = execute_query(&snapshot, body);
+        let (status, body) = execute_query(shared, &snapshot, body, budget);
         (status, Arc::new(body))
     });
     if status >= 400 {
-        counters.errors.fetch_add(1, Ordering::Relaxed);
+        counters.note_error(request_id);
     }
     Response::json(status, response_body.as_str())
 }
 
-/// Parses and executes one query body against a snapshot. Pure — safe to
-/// share its result across single-flight followers.
-fn execute_query(snapshot: &restore_core::Snapshot, body: &str) -> (u16, String) {
+/// Parses and executes one query body against a snapshot, checking the
+/// deadline budget before each expensive stage. Safe to share its result
+/// across single-flight followers: a success is a pure function of
+/// `(snapshot, body)`, and a budget 503 means the shared work did not
+/// materialize for anyone piled onto this flight.
+fn execute_query(
+    shared: &Shared,
+    snapshot: &restore_core::Snapshot,
+    body: &str,
+    budget: &Budget,
+) -> (u16, String) {
     let request = match QueryRequest::from_json(body) {
         Ok(r) => r,
         Err(e) => return (400, error_body(&e.to_string())),
     };
+    if let Err(elapsed) = budget.check() {
+        let response = shared.deadline_response("synthesis", elapsed, budget);
+        return (response.status, response.body);
+    }
     let result = match snapshot.execute(&request.query, request.seed) {
         Ok(r) => r,
         Err(e) => return (core_error_status(&e), error_body(&e.to_string())),
@@ -392,6 +685,10 @@ fn execute_query(snapshot: &restore_core::Snapshot, body: &str) -> (u16, String)
     let interval = match &request.confidence {
         None => None,
         Some(spec) => {
+            if let Err(elapsed) = budget.check() {
+                let response = shared.deadline_response("confidence", elapsed, budget);
+                return (response.status, response.body);
+            }
             match snapshot.confidence(&request.query.tables, &spec.query, spec.level, request.seed)
             {
                 Ok(ci) => Some(ci),
@@ -402,26 +699,40 @@ fn execute_query(snapshot: &restore_core::Snapshot, body: &str) -> (u16, String)
     (200, wire::query_response_json(&result, interval.as_ref()))
 }
 
-fn completed_table(shared: &Shared, tenant: &str, table: &str, request: &Request) -> Response {
+fn completed_table(
+    shared: &Shared,
+    tenant: &str,
+    table: &str,
+    request: &Request,
+    request_id: u64,
+    budget: &Budget,
+) -> Response {
     let Some(snapshot) = shared.registry.view().get(tenant).cloned() else {
         return Response::error(404, &format!("unknown tenant {tenant:?}"));
     };
     let counters = shared.metrics.tenant(tenant);
+    if let Err(response) = rate_limit_check(shared, tenant, &counters, request_id) {
+        return response;
+    }
     counters.queries.fetch_add(1, Ordering::Relaxed);
     let seed = match request.query_param("seed") {
         None => 0,
         Some(raw) => match raw.parse::<u64>() {
             Ok(seed) => seed,
             Err(_) => {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
+                counters.note_error(request_id);
                 return Response::error(400, &format!("bad seed {raw:?}"));
             }
         },
     };
+    if let Err(elapsed) = budget.check() {
+        counters.note_error(request_id);
+        return shared.deadline_response("synthesis", elapsed, budget);
+    }
     match snapshot.completed_table(table, seed) {
         Ok(completed) => Response::json(200, wire::table_json(&completed)),
         Err(e) => {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            counters.note_error(request_id);
             Response::error(core_error_status(&e), &e.to_string())
         }
     }
@@ -449,10 +760,13 @@ fn metrics(shared: &Shared) -> Response {
             .map(|(name, c)| {
                 let queries = c.queries.load(Ordering::Relaxed);
                 format!(
-                    "\"{}\":{{\"queries\":{},\"errors\":{},\"queries_per_s\":{}}}",
+                    "\"{}\":{{\"queries\":{},\"errors\":{},\"rate_limited\":{},\
+                     \"last_error_request_id\":{},\"queries_per_s\":{}}}",
                     restore_util::json::escape(name),
                     queries,
                     c.errors.load(Ordering::Relaxed),
+                    c.rate_limited.load(Ordering::Relaxed),
+                    c.last_error_request_id.load(Ordering::Relaxed),
                     (queries as f64 / uptime).to_json()
                 )
             })
@@ -475,7 +789,9 @@ fn metrics(shared: &Shared) -> Response {
     let body = format!(
         "{{\"uptime_s\":{},\
            \"connections\":{{\"total\":{},\"active\":{}}},\
-           \"requests\":{{\"total\":{},\"in_flight\":{},\"panics_caught\":{}}},\
+           \"requests\":{{\"total\":{},\"in_flight\":{},\"admitted\":{},\"shed\":{},\
+                          \"deadline_exceeded\":{},\"panics_caught\":{},\"faults_injected\":{},\
+                          \"service_ewma_ms\":{}}},\
            \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"waits\":{waits},\
                        \"evictions\":{evictions},\"bytes\":{bytes},\"entries\":{entries}}},\
            \"tenants\":{{{}}}}}",
@@ -484,7 +800,12 @@ fn metrics(shared: &Shared) -> Response {
         shared.shutdown.active(),
         shared.metrics.requests_total.load(Ordering::Relaxed),
         shared.metrics.requests_in_flight.load(Ordering::Relaxed),
+        shared.admitted.load(Ordering::Acquire),
+        shared.metrics.requests_shed.load(Ordering::Relaxed),
+        shared.metrics.deadline_exceeded.load(Ordering::Relaxed),
         shared.metrics.panics_caught.load(Ordering::Relaxed),
+        shared.metrics.faults_injected.load(Ordering::Relaxed),
+        (shared.metrics.service_ewma_nanos.load(Ordering::Relaxed) as f64 / 1e6).to_json(),
         tenants.join(",")
     );
     Response::json(200, body)

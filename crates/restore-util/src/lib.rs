@@ -8,10 +8,14 @@
 //! determinism contract: results are a pure function of the inputs and the
 //! seeds, never of scheduling.
 
+pub mod backoff;
 pub mod json;
+pub mod ratelimit;
 pub mod shutdown;
 pub mod singleflight;
 
+pub use backoff::BackoffConfig;
+pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use shutdown::{ConnectionGuard, Shutdown};
 pub use singleflight::{Flight, SingleFlight};
 
