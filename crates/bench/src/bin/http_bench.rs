@@ -13,23 +13,37 @@
 //! server, and the record `{offered_per_s, queries_per_s, shed_rate,
 //! p99_ms}` (engine `overload_2x`) lands next to the healthy records —
 //! the trend report then tracks graceful degradation, not just peak speed.
+//!
+//! …and a **connection-scale phase**: a child process (re-exec of this
+//! binary with `--hold-connections N <addr>`) parks N idle keep-alive
+//! connections on the epoll reactor while a hot 4-client subset keeps
+//! querying from the parent. The record `{connections, queries_per_s,
+//! p50_ms, p99_ms, rss_mb}` (engine `concurrent_connections`) tracks
+//! sockets-per-box and what an idle armada costs the hot path. The child
+//! exists because the box caps each process at ~20k fds: the server side
+//! of the armada lives in the parent, the client side in the child.
+//! `--connections N` overrides the armada size (default 10000, `--quick`
+//! 2000).
 
+use std::io::BufRead;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use restore_bench::{
     percentile, sealed_synthetic_snapshot, serving_workload as workload, write_bench_json,
-    HttpOverloadRecord, HttpRecord,
+    HttpConnectionsRecord, HttpOverloadRecord, HttpRecord,
 };
 use restore_core::wire::QueryRequest;
 use restore_core::SnapshotRegistry;
-use restore_serve::{HttpClient, ServeConfig, Server};
+use restore_serve::{raise_fd_limit, HttpClient, ServeConfig, Server};
 use restore_util::json::ToJson;
 
-/// One file, two record shapes: the healthy sweep and the overload phase.
+/// One file, three record shapes: the healthy sweep, the overload phase,
+/// and the connection-scale phase.
 enum Record {
     Healthy(HttpRecord),
     Overload(HttpOverloadRecord),
+    Connections(HttpConnectionsRecord),
 }
 
 impl ToJson for Record {
@@ -37,8 +51,53 @@ impl ToJson for Record {
         match self {
             Record::Healthy(r) => r.to_json(),
             Record::Overload(r) => r.to_json(),
+            Record::Connections(r) => r.to_json(),
         }
     }
+}
+
+/// Child mode: connect `n` keep-alive clients to `addr`, prime each with
+/// one `/healthz` round trip so the server parks it in `KeepAliveIdle`,
+/// report `held n` on stdout, then sit on the sockets until the parent
+/// closes our stdin.
+fn hold_connections(n: usize, addr: &str) -> ! {
+    raise_fd_limit().expect("raise fd limit in holder");
+    let addr: std::net::SocketAddr = addr.parse().expect("holder addr");
+    let mut held = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut client =
+            HttpClient::connect(addr).unwrap_or_else(|e| panic!("holder connect {i}: {e}"));
+        let (status, _) = client.get("/healthz").expect("prime keep-alive");
+        assert_eq!(status, 200, "holder prime {i}");
+        held.push(client);
+    }
+    println!("held {n}");
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+    drop(held);
+    std::process::exit(0);
+}
+
+/// Resident set size of this process (the server process) in MiB, from
+/// `/proc/self/status` VmRSS. 0.0 when unreadable (non-Linux).
+fn rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// A numeric field out of the `event_loop` section of `/metrics`.
+fn event_loop_metric(metrics_body: &str, key: &str) -> f64 {
+    restore_util::json::parse(metrics_body)
+        .and_then(|root| root.get("event_loop")?.get(key)?.as_f64())
+        .unwrap_or_else(|| panic!("event_loop.{key} missing in {metrics_body}"))
 }
 
 /// Runs `per_thread` requests on each of `threads` keep-alive connections;
@@ -174,7 +233,22 @@ fn run_overload(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--hold-connections") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--hold-connections N <addr>");
+        let addr = args.get(i + 2).expect("--hold-connections N <addr>");
+        hold_connections(n, addr);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let connections_override: Option<usize> =
+        args.iter().position(|a| a == "--connections").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--connections N")
+        });
     let (thread_sweep, per_thread): (&[usize], usize) = if quick {
         (&[1, 2, 4], 30)
     } else {
@@ -244,7 +318,7 @@ fn main() {
     let capacity = *thread_sweep.last().expect("non-empty sweep");
     let overload_server = Server::bind(
         "127.0.0.1:0",
-        registry,
+        Arc::clone(&registry),
         ServeConfig {
             max_in_flight: capacity,
             fault: Some(restore_serve::FaultConfig {
@@ -292,6 +366,78 @@ fn main() {
         overload_server.shutdown(),
         "overloaded server must still drain"
     );
+
+    // Connection-scale phase: a child process parks an armada of idle
+    // keep-alive connections on the reactor, then a hot 4-client subset
+    // queries from the parent. The phase measures what tens of thousands
+    // of parked sockets cost the hot path (throughput, tail, RSS).
+    let requested = connections_override.unwrap_or(if quick { 2_000 } else { 10_000 });
+    let soft = raise_fd_limit().expect("raise fd limit");
+    let connections = if soft < requested as u64 + 1024 {
+        let clamped = soft.saturating_sub(1024) as usize;
+        println!(
+            "fd soft limit {soft} cannot hold {requested} server-side sockets; \
+             clamping armada to {clamped}"
+        );
+        clamped
+    } else {
+        requested
+    };
+    let conn_server =
+        Server::bind("127.0.0.1:0", registry, ServeConfig::default()).expect("bind armada server");
+    let conn_addr = conn_server.local_addr();
+    let mut child = std::process::Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--hold-connections")
+        .arg(connections.to_string())
+        .arg(conn_addr.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn connection holder");
+    let mut holder_out = std::io::BufReader::new(child.stdout.take().expect("holder stdout"));
+    let mut line = String::new();
+    holder_out.read_line(&mut line).expect("holder report");
+    assert_eq!(
+        line.trim(),
+        format!("held {connections}"),
+        "holder must park the full armada"
+    );
+    let mut probe = HttpClient::connect(conn_addr).expect("probe connect");
+    let (status, metrics) = probe.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let open = event_loop_metric(&metrics, "open_connections");
+    assert!(
+        open >= connections as f64,
+        "reactor must hold the armada: {open} open < {connections} parked"
+    );
+    run_clients(conn_addr, 4, per_thread / 3 + 1, false); // warmup
+    let (qps, latencies) = run_clients(conn_addr, 4, per_thread, false);
+    let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+    let rss = rss_mb();
+    let (status, metrics) = probe.get("/metrics").expect("metrics after hot subset");
+    assert_eq!(status, 200);
+    let accepts = event_loop_metric(&metrics, "accepts");
+    let wakeups = event_loop_metric(&metrics, "epoll_wakeups");
+    let idle = event_loop_metric(&metrics, "keepalive_idle");
+    records.push(Record::Connections(HttpConnectionsRecord {
+        bench: "http".into(),
+        engine: "concurrent_connections".into(),
+        connections,
+        hardware_threads: restore_bench::hardware_threads(),
+        lane_width: restore_bench::lane_width(),
+        target_feature: restore_bench::target_feature(),
+        queries_per_s: qps,
+        p50_ms: p50,
+        p99_ms: p99,
+        rss_mb: rss,
+    }));
+    summary.push_str(&format!(
+        ", {connections} idle conns hot4 {qps:.0} q/s (p50 {p50:.2}ms p99 {p99:.2}ms, \
+         rss {rss:.0} MiB, idle {idle:.0}, accepts {accepts:.0}, wakeups {wakeups:.0})"
+    ));
+    drop(child.stdin.take()); // holder sees stdin EOF, releases the armada
+    let _ = child.wait();
+    assert!(conn_server.shutdown(), "armada server must drain");
 
     println!("{summary}");
     write_bench_json("BENCH_http.json", &records);

@@ -6,23 +6,68 @@
 //! `/healthz`, `/metrics`, the completed-table endpoint, and a clean
 //! graceful shutdown. Exits non-zero on any divergence (the workflow
 //! checks the exit code).
+//!
+//! `--connections N` additionally parks N idle keep-alive connections on
+//! the epoll reactor before the workload runs, asserting byte-equality
+//! holds with the armada in place and that `/metrics` accounts every
+//! open socket.
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
 use restore_bench::{sealed_synthetic_snapshot, serving_workload as workload};
 use restore_core::wire::{self, QueryRequest};
 use restore_core::SnapshotRegistry;
-use restore_serve::{HttpClient, ServeConfig, Server};
+use restore_serve::{raise_fd_limit, HttpClient, ServeConfig, Server};
 use restore_util::json::{parse, JsonValue};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let idle_connections: usize = args
+        .iter()
+        .position(|a| a == "--connections")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--connections N")
+        })
+        .unwrap_or(0);
+
     let snapshot = sealed_synthetic_snapshot(9, 9);
     let registry = Arc::new(SnapshotRegistry::new());
     registry.publish("synthetic", Arc::clone(&snapshot));
     let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), ServeConfig::default())
         .expect("bind loopback");
     let addr = server.local_addr();
+
+    // Optional connection axis: park an armada of idle keep-alive sockets
+    // on the reactor before (and throughout) the byte-equality run. Each
+    // is primed with one request so the server holds it in KeepAliveIdle.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_connections);
+    if idle_connections > 0 {
+        raise_fd_limit().expect("raise fd limit");
+        for i in 0..idle_connections {
+            let mut stream =
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}"));
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+                .expect("prime idle socket");
+            idle.push(stream);
+        }
+        for stream in &mut idle {
+            let mut seen = Vec::new();
+            let mut chunk = [0u8; 1024];
+            // One healthz response is tiny; read until the blank line, then
+            // trust Content-Length-free framing (body arrives with head).
+            while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                let n = std::io::Read::read(stream, &mut chunk).expect("idle response");
+                assert!(n > 0, "idle socket closed during prime");
+                seen.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
 
     // Query bit-equality from a dedicated client thread (like CI's other
     // smokes, the comparison is exact, not approximate).
@@ -103,6 +148,15 @@ fn main() {
         cache_misses >= 1.0,
         "served queries synthesized at least one chain"
     );
+    let open_connections = doc
+        .get("event_loop")
+        .and_then(|e| e.get("open_connections"))
+        .and_then(JsonValue::as_f64)
+        .expect("event_loop.open_connections");
+    assert!(
+        open_connections >= idle_connections as f64 + 1.0,
+        "reactor accounts the idle armada + this client: {metrics}"
+    );
 
     // Unknown tenants and routes fail cleanly, connection stays usable.
     let (status, _) = client.post("/v1/nope/query", "{}").expect("unknown tenant");
@@ -110,19 +164,22 @@ fn main() {
     let (status, _) = client.get("/nowhere").expect("unknown route");
     assert_eq!(status, 404);
 
-    // Graceful shutdown: drains (idle keep-alive connections included) and
-    // stops accepting.
+    // Graceful shutdown: drains (idle keep-alive connections included —
+    // the armada stays parked until the trigger closes it) and stops
+    // accepting.
     drop(client);
     assert!(server.shutdown(), "server must drain cleanly");
+    drop(idle);
     assert!(
         HttpClient::connect(addr).is_err(),
         "listener must be closed after shutdown"
     );
 
     println!(
-        "http smoke OK: {queries} HTTP queries in {elapsed:.2}s ({:.0} q/s), \
-         byte-identical to direct Snapshot::execute; healthz/metrics/tables live; \
-         graceful shutdown drained",
+        "http smoke OK: {queries} HTTP queries in {elapsed:.2}s ({:.0} q/s) with \
+         {idle_connections} idle keep-alive connections parked, byte-identical to \
+         direct Snapshot::execute; healthz/metrics/tables live; graceful shutdown \
+         drained",
         queries as f64 / elapsed.max(1e-9),
     );
 }

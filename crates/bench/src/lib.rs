@@ -175,6 +175,46 @@ impl_to_json!(HttpOverloadRecord {
     p99_ms
 });
 
+/// One HTTP connection-scale measurement (the `http_bench` binary): a
+/// large armada of idle keep-alive connections parked on the epoll
+/// reactor while a hot subset keeps querying — "how many sockets per box"
+/// next to [`HttpRecord`]'s "how fast per socket".
+#[derive(Clone, Debug)]
+pub struct HttpConnectionsRecord {
+    /// Bench group, e.g. `"http"`.
+    pub bench: String,
+    /// Variant label, `"concurrent_connections"`.
+    pub engine: String,
+    /// Idle keep-alive connections held open for the whole phase.
+    pub connections: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
+    /// Hot-subset requests answered per second while the armada idles.
+    pub queries_per_s: f64,
+    /// Median hot-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile hot-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Server-process resident set size with the armada parked, MiB.
+    pub rss_mb: f64,
+}
+impl_to_json!(HttpConnectionsRecord {
+    bench,
+    engine,
+    connections,
+    hardware_threads,
+    lane_width,
+    target_feature,
+    queries_per_s,
+    p50_ms,
+    p99_ms,
+    rss_mb
+});
+
 /// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted sample, in the
 /// sample's own unit. Returns 0 for an empty sample.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
@@ -238,7 +278,10 @@ fn is_context_field(key: &str) -> bool {
 fn is_identity_field(key: &str, value: &JsonValue) -> bool {
     !is_context_field(key)
         && (matches!(value, JsonValue::Str(_) | JsonValue::Bool(_))
-            || matches!(key, "workers" | "threads" | "batch" | "seed"))
+            || matches!(
+                key,
+                "workers" | "threads" | "batch" | "seed" | "connections"
+            ))
 }
 
 /// Context-field value rendered for the mismatch warning (numbers without

@@ -1,12 +1,14 @@
-//! Hand-rolled HTTP/1.1 request parsing and response writing — `std` only,
+//! Hand-rolled HTTP/1.1 request parsing and response encoding — `std` only,
 //! in the spirit of `restore-util`'s JSON module. Just enough of the
 //! protocol for the serving API: request line + headers + `Content-Length`
 //! bodies, percent-decoded paths and query strings, keep-alive by default.
 //! No chunked transfer encoding, no TLS, no HTTP/2.
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+//!
+//! Parsing is *incremental*: [`RequestParser`] accumulates whatever bytes
+//! the socket happens to deliver — a byte at a time, a pipelined burst of
+//! several requests, anything in between — and yields complete requests as
+//! they materialize. The event loop in [`crate::reactor`] feeds it from
+//! nonblocking reads; nothing in this module touches a socket.
 
 /// Parse-time limits; oversized inputs answer 413 instead of buffering
 /// without bound.
@@ -65,20 +67,13 @@ impl Request {
     }
 }
 
-/// What [`read_request`] produced.
+/// A protocol violation the connection answers (413 / 400) before closing.
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete request, paired with the instant its first bytes were
-    /// seen — the start of the request's deadline budget.
-    Request(Request, std::time::Instant),
-    /// Clean EOF (or poll-abort while idle) — close quietly.
-    Closed,
+pub enum ParseError {
     /// The head or body exceeded the limits → 413.
     TooLarge,
     /// Unparseable input → 400 with the message.
     Malformed(String),
-    /// I/O error mid-request.
-    Io(std::io::Error),
 }
 
 /// Decodes `%XX` escapes (and `+` as space in query strings).
@@ -118,35 +113,121 @@ fn percent_decode(s: &str, plus_is_space: bool) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Attempts to parse one complete request from the front of `buf`.
-/// `Ok(Some((request, consumed)))` on success; `Ok(None)` when more bytes
-/// are needed; `Err` on protocol violations.
-#[allow(clippy::result_large_err)] // the Err is the same enum the caller matches on anyway
-pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, ReadOutcome> {
-    let Some(head_end) = find_head_end(buf) else {
-        if buf.len() > limits.max_head_bytes {
-            return Err(ReadOutcome::TooLarge);
-        }
-        return Ok(None);
-    };
-    if head_end > limits.max_head_bytes {
-        return Err(ReadOutcome::TooLarge);
+/// A fully-received head, waiting for its body bytes.
+struct PendingHead {
+    /// The request with everything but `body` filled in.
+    request: Request,
+    /// Offset of the first body byte in the parser's buffer.
+    body_start: usize,
+    content_length: usize,
+}
+
+/// Incremental HTTP/1.1 request parser: feed it bytes as they arrive with
+/// [`RequestParser::extend`], pull complete requests with
+/// [`RequestParser::next_request`]. Tolerates byte-dribble arrivals (the
+/// head-terminator scan is memoized, so re-polling after every single byte
+/// stays O(total bytes), not O(n²)) and pipelining (leftover bytes stay
+/// buffered for the next call).
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for the `\r\n\r\n` head terminator
+    /// (kept 3 short of the end so a terminator straddling two reads is
+    /// still found).
+    scanned: usize,
+    head: Option<PendingHead>,
+}
+
+impl RequestParser {
+    pub fn new() -> Self {
+        Self::default()
     }
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| ReadOutcome::Malformed("request head is not UTF-8".into()))?;
+
+    /// Appends newly-arrived socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (unconsumed carry).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is a request partially received (head bytes buffered or a complete
+    /// head waiting for its body)?
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.head.is_some()
+    }
+
+    /// Has the current request's head completed, leaving the parser
+    /// waiting on body bytes?
+    pub fn reading_body(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// Attempts to produce the next complete request from the buffer.
+    /// `Ok(None)` means more bytes are needed; an `Err` is fatal for the
+    /// connection (the caller answers 413/400 and closes).
+    pub fn next_request(&mut self, limits: &Limits) -> Result<Option<Request>, ParseError> {
+        if self.head.is_none() {
+            if self.buf.is_empty() {
+                return Ok(None);
+            }
+            let Some(head_end) = find_head_end_from(&self.buf, self.scanned) else {
+                self.scanned = self.buf.len().saturating_sub(3);
+                if self.buf.len() > limits.max_head_bytes {
+                    return Err(ParseError::TooLarge);
+                }
+                return Ok(None);
+            };
+            if head_end > limits.max_head_bytes {
+                return Err(ParseError::TooLarge);
+            }
+            let (request, content_length) = parse_head(&self.buf[..head_end])?;
+            if content_length > limits.max_body_bytes {
+                return Err(ParseError::TooLarge);
+            }
+            self.head = Some(PendingHead {
+                request,
+                body_start: head_end + 4,
+                content_length,
+            });
+        }
+        let ready = {
+            let head = self.head.as_ref().expect("head parsed above");
+            self.buf.len() >= head.body_start + head.content_length
+        };
+        if !ready {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let consumed = head.body_start + head.content_length;
+        let mut request = head.request;
+        request.body = String::from_utf8_lossy(&self.buf[head.body_start..consumed]).into_owned();
+        self.buf.drain(..consumed);
+        self.scanned = 0;
+        Ok(Some(request))
+    }
+}
+
+/// Parses a complete request head (everything before `\r\n\r\n`) into a
+/// body-less [`Request`] plus the announced `Content-Length`.
+fn parse_head(head_bytes: &[u8]) -> Result<(Request, usize), ParseError> {
+    let head = std::str::from_utf8(head_bytes)
+        .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut rl = request_line.split(' ');
     let (method, target, version) = match (rl.next(), rl.next(), rl.next(), rl.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
         _ => {
-            return Err(ReadOutcome::Malformed(format!(
+            return Err(ParseError::Malformed(format!(
                 "bad request line {request_line:?}"
             )))
         }
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadOutcome::Malformed(format!(
+        return Err(ParseError::Malformed(format!(
             "unsupported protocol {version:?}"
         )));
     }
@@ -156,7 +237,7 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadOutcome::Malformed(format!("bad header line {line:?}")));
+            return Err(ParseError::Malformed(format!("bad header line {line:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
@@ -164,7 +245,7 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>
         .iter()
         .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
     {
-        return Err(ReadOutcome::Malformed(
+        return Err(ParseError::Malformed(
             "chunked transfer encoding is not supported".into(),
         ));
     }
@@ -172,17 +253,8 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>
         None => 0usize,
         Some((_, v)) => v
             .parse::<usize>()
-            .map_err(|_| ReadOutcome::Malformed(format!("bad content-length {v:?}")))?,
+            .map_err(|_| ParseError::Malformed(format!("bad content-length {v:?}")))?,
     };
-    if content_length > limits.max_body_bytes {
-        return Err(ReadOutcome::TooLarge);
-    }
-    let body_start = head_end + 4;
-    if buf.len() < body_start + content_length {
-        return Ok(None);
-    }
-    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
-
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
@@ -203,77 +275,36 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>
         path: percent_decode(raw_path, false),
         query,
         headers,
-        body,
+        body: String::new(),
     };
-    Ok(Some((request, body_start + content_length)))
+    Ok((request, content_length))
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-/// Reads one request from `stream`, carrying pipelined leftovers in
-/// `carry` across calls. The stream must have a read timeout set; on each
-/// poll tick `abort()` is consulted — when it returns true the read gives
-/// up with [`ReadOutcome::Closed`], partial bytes included (a
-/// half-received request is not in-flight work; graceful drain must not
-/// wait on a stalled sender). Independently, once request bytes start
-/// arriving the full request must land within `deadline`, or the
-/// connection is cut — a stalled or slow-dripping client cannot pin a
-/// connection thread forever.
-pub fn read_request(
-    stream: &mut TcpStream,
-    carry: &mut Vec<u8>,
-    limits: &Limits,
-    deadline: Duration,
-    abort: &dyn Fn() -> bool,
-) -> ReadOutcome {
-    let mut chunk = [0u8; 8 * 1024];
-    let mut partial_since: Option<std::time::Instant> = None;
-    loop {
-        match try_parse(carry, limits) {
-            Ok(Some((request, consumed))) => {
-                carry.drain(..consumed);
-                let arrived = partial_since.unwrap_or_else(std::time::Instant::now);
-                return ReadOutcome::Request(request, arrived);
-            }
-            Ok(None) => {}
-            Err(outcome) => return outcome,
-        }
-        if !carry.is_empty() {
-            let since = *partial_since.get_or_insert_with(std::time::Instant::now);
-            if since.elapsed() > deadline {
-                return ReadOutcome::Malformed("request did not complete in time".into());
-            }
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if carry.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    ReadOutcome::Malformed("connection closed mid-request".into())
-                };
-            }
-            Ok(n) => carry.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if abort() {
-                    return ReadOutcome::Closed;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return ReadOutcome::Io(e),
-        }
+/// Attempts to parse one complete request from the front of `buf` in one
+/// shot — the stateless reference form of [`RequestParser`], kept for tests
+/// and one-off callers. `Ok(Some((request, consumed)))` on success;
+/// `Ok(None)` when more bytes are needed; `Err` on protocol violations.
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, ParseError> {
+    let mut parser = RequestParser::new();
+    parser.extend(buf);
+    match parser.next_request(limits)? {
+        Some(request) => Ok(Some((request, buf.len() - parser.buffered()))),
+        None => Ok(None),
     }
+}
+
+/// Finds the `\r\n\r\n` head terminator, resuming the scan at `from`
+/// (bytes before it are known terminator-free).
+fn find_head_end_from(buf: &[u8], from: usize) -> Option<usize> {
+    buf.get(from..)?
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + from)
 }
 
 /// An outgoing response; the body is always JSON here. `headers` carries
 /// route-specific extras (`X-Request-Id`, `Retry-After`) on top of the
-/// fixed content headers [`write_response`] always emits.
+/// fixed content headers [`encode_response`] always emits.
 #[derive(Clone, Debug)]
 pub struct Response {
     pub status: u16,
@@ -303,7 +334,7 @@ impl Response {
 
     /// A 429 with a computed `Retry-After` (integer seconds, per RFC 9110;
     /// always at least 1 so a client never busy-retries).
-    pub fn too_many_requests(message: &str, retry_after: Duration) -> Self {
+    pub fn too_many_requests(message: &str, retry_after: std::time::Duration) -> Self {
         let secs = retry_after.as_secs_f64().ceil().clamp(1.0, 3600.0) as u64;
         Self::error(429, message).with_header("Retry-After", secs.to_string())
     }
@@ -330,9 +361,9 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes a response to bytes; `close` controls the `Connection`
-/// header.
-fn serialize_response(response: &Response, close: bool) -> Vec<u8> {
+/// Serializes a response to wire bytes; `close` controls the `Connection`
+/// header. The reactor owns the actual write.
+pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     let mut extra = String::new();
     for (name, value) in &response.headers {
         extra.push_str(name);
@@ -353,41 +384,11 @@ fn serialize_response(response: &Response, close: bool) -> Vec<u8> {
     out
 }
 
-/// Serializes a response; `close` controls the `Connection` header.
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    close: bool,
-) -> std::io::Result<()> {
-    stream.write_all(&serialize_response(response, close))?;
-    stream.flush()
-}
-
-/// Fault-injection seam: writes only the first half of the serialized
-/// response (at least one byte, never all of them), leaving the client
-/// with a torn response it must treat as a transport error. The caller
-/// closes the connection afterwards.
-pub fn write_torn_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let bytes = serialize_response(response, true);
-    let cut = (bytes.len() / 2).max(1).min(bytes.len() - 1);
-    stream.write_all(&bytes[..cut])?;
-    stream.flush()
-}
-
-/// Sets the per-read poll interval used by [`read_request`]'s abort checks
-/// and a write timeout so a client that stops reading its socket cannot
-/// block a connection thread forever (and with it, graceful drain). Also
-/// forces blocking mode: sockets accepted from a non-blocking listener
-/// inherit non-blocking on some platforms.
-pub fn configure_stream(
-    stream: &TcpStream,
-    poll: Duration,
-    write_timeout: Duration,
-) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(poll))?;
-    stream.set_write_timeout(Some(write_timeout))?;
-    stream.set_nodelay(true)
+/// Fault-injection seam: how many bytes of an encoded response a torn
+/// write ships — the first half, at least one byte, never all of them, so
+/// the client is left with a response it must treat as a transport error.
+pub fn torn_prefix_len(encoded_len: usize) -> usize {
+    (encoded_len / 2).max(1).min(encoded_len.saturating_sub(1))
 }
 
 #[cfg(test)]
@@ -449,6 +450,86 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parser_handles_byte_dribble() {
+        let raw = "POST /v1/t/query HTTP/1.1\r\nContent-Length: 7\r\n\r\npayload";
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.as_bytes().iter().enumerate() {
+            parser.extend(std::slice::from_ref(byte));
+            let result = parser.next_request(&Limits::default()).expect("no error");
+            if i + 1 < raw.len() {
+                assert!(result.is_none(), "complete after only {} bytes", i + 1);
+                assert!(parser.has_partial());
+            } else {
+                let request = result.expect("complete at last byte");
+                assert_eq!(request.path, "/v1/t/query");
+                assert_eq!(request.body, "payload");
+            }
+        }
+        assert!(!parser.has_partial());
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_parser_tracks_body_phase() {
+        let mut parser = RequestParser::new();
+        parser.extend(b"POST /q HTTP/1.1\r\nContent-Length: 5\r\n");
+        assert!(parser.next_request(&Limits::default()).unwrap().is_none());
+        assert!(!parser.reading_body());
+        parser.extend(b"\r\nhel");
+        assert!(parser.next_request(&Limits::default()).unwrap().is_none());
+        assert!(parser.reading_body(), "head complete, body outstanding");
+        parser.extend(b"lo");
+        let request = parser
+            .next_request(&Limits::default())
+            .unwrap()
+            .expect("complete");
+        assert_eq!(request.body, "hello");
+        assert!(!parser.reading_body());
+    }
+
+    #[test]
+    fn incremental_parser_yields_pipelined_requests_in_order() {
+        let raw =
+            "GET /healthz HTTP/1.1\r\n\r\nPOST /v1/t/query HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut parser = RequestParser::new();
+        parser.extend(raw.as_bytes());
+        let limits = Limits::default();
+        let first = parser.next_request(&limits).unwrap().expect("first");
+        assert_eq!(first.path, "/healthz");
+        assert!(parser.has_partial(), "second request still buffered");
+        let second = parser.next_request(&limits).unwrap().expect("second");
+        assert_eq!(second.path, "/v1/t/query");
+        assert_eq!(second.body, "hi");
+        assert!(parser.next_request(&limits).unwrap().is_none());
+        assert!(!parser.has_partial());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_limits_under_dribble() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let mut parser = RequestParser::new();
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let mut blew = false;
+        for byte in long_head.as_bytes() {
+            parser.extend(std::slice::from_ref(byte));
+            if parser.next_request(&limits).is_err() {
+                blew = true;
+                break;
+            }
+        }
+        assert!(blew, "oversized head must error before the terminator");
+        let mut parser = RequestParser::new();
+        parser.extend(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(&limits),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
     fn rejects_malformed_and_oversized_input() {
         let limits = Limits {
             max_head_bytes: 64,
@@ -456,27 +537,27 @@ mod tests {
         };
         assert!(matches!(
             try_parse(b"NOT A REQUEST\r\n\r\n", &limits),
-            Err(ReadOutcome::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             try_parse(b"GET / FTP/1.0\r\n\r\n", &limits),
-            Err(ReadOutcome::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             try_parse(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", &limits),
-            Err(ReadOutcome::TooLarge)
+            Err(ParseError::TooLarge)
         ));
         let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
         assert!(matches!(
             try_parse(long_head.as_bytes(), &limits),
-            Err(ReadOutcome::TooLarge)
+            Err(ParseError::TooLarge)
         ));
         assert!(matches!(
             try_parse(
                 b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
                 &limits
             ),
-            Err(ReadOutcome::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
     }
 
@@ -486,5 +567,24 @@ mod tests {
         assert_eq!(percent_decode("100%", false), "100%");
         assert_eq!(percent_decode("a+b", true), "a b");
         assert_eq!(percent_decode("a+b", false), "a+b");
+    }
+
+    #[test]
+    fn torn_prefix_is_a_strict_nonempty_prefix() {
+        for len in [2usize, 3, 10, 1001] {
+            let cut = torn_prefix_len(len);
+            assert!(cut >= 1 && cut < len, "len {len} cut {cut}");
+        }
+    }
+
+    #[test]
+    fn encode_response_emits_connection_header() {
+        let response = Response::json(200, "{}").with_header("X-Request-Id", "7");
+        let keep = String::from_utf8(encode_response(&response, false)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(keep.contains("X-Request-Id: 7\r\n"));
+        assert!(keep.ends_with("\r\n\r\n{}"));
+        let close = String::from_utf8(encode_response(&response, true)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
     }
 }

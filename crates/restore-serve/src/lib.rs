@@ -1,9 +1,12 @@
 //! # restore-serve — the network serving front-end
 //!
 //! Turns a set of sealed [`Snapshot`](restore_core::Snapshot)s into a
-//! deployable service: a `std`-only, thread-per-connection TCP/HTTP 1.1
-//! server (hand-rolled request parsing, no external dependencies) over a
+//! deployable service: a `std`-only TCP/HTTP 1.1 server (hand-rolled
+//! incremental request parsing, no external dependencies) over a
 //! hot-swappable, multi-tenant [`SnapshotRegistry`](restore_core::SnapshotRegistry).
+//! One epoll reactor thread ([`reactor`]) owns every socket and holds tens
+//! of thousands of idle keep-alive connections; request execution runs on
+//! a small worker pool behind an admission gate.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -67,10 +70,11 @@
 //! * **Panic containment** — a panicking handler (including a poisoned
 //!   single-flight follower) answers 500 on its own connection and leaves
 //!   every other connection serving.
-//! * **Graceful shutdown** — stop accepting, drain in-flight connections
-//!   (idle keep-alive sockets are released at the next poll tick), then
-//!   return; built on `restore-util`'s [`Shutdown`](restore_util::Shutdown)
-//!   accounting.
+//! * **Graceful shutdown** — an eventfd wake pops the reactor out of
+//!   `epoll_wait`, the listener and idle keep-alive sockets close
+//!   immediately, and in-flight responses ride through the drain; built on
+//!   `restore-util`'s [`Shutdown`](restore_util::Shutdown) accounting
+//!   (guards now live on reactor-owned connection slots, not threads).
 //! * **Bounded overload** — an admission gate
 //!   ([`ServeConfig::max_in_flight`]) and a per-tenant token bucket
 //!   ([`ServeConfig::rate_limit`]) shed excess load with 429 +
@@ -92,9 +96,11 @@
 pub mod client;
 pub mod fault;
 pub mod http;
+pub mod reactor;
 pub mod server;
 
 pub use client::{one_shot, ClientConfig, HttpClient, HttpResponse, RetryPolicy};
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use http::{Limits, Request, Response};
+pub use reactor::raise_fd_limit;
 pub use server::{ServeConfig, Server};

@@ -1,0 +1,959 @@
+//! The epoll readiness event loop under the serving front-end — `std` only,
+//! speaking to the kernel through a minimal `extern "C"` surface
+//! (`epoll_create1` / `epoll_ctl` / `epoll_wait` / `eventfd`) against the
+//! libc `std` already links. One reactor thread owns every socket: it
+//! accepts, feeds nonblocking reads through the incremental
+//! [`RequestParser`](crate::http::RequestParser), and writes responses back
+//! on writability. Request *execution* never runs here — a parsed request
+//! is handed to the worker pool via [`Shared::on_request`], and the worker's
+//! completion is delivered back through an eventfd wake.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!  KeepAliveIdle ──bytes──► ReadingHead ──head──► ReadingBody
+//!        ▲                      │ (no body: skip)      │
+//!        │                      ▼                      ▼
+//!        │                  complete request ──► Dispatched (worker owns it)
+//!        │                                             │ completion
+//!        └────────── response flushed ◄── Writing ◄────┘
+//!             (pipelined carry re-parsed immediately)
+//! ```
+//!
+//! Deadlines are reactor-enforced: a request that stops arriving mid-parse
+//! is answered 400 after [`ServeConfig::request_deadline`](crate::ServeConfig::request_deadline),
+//! and a client that stops reading its response is cut on the same budget —
+//! so neither a slow-loris sender nor a dead receiver can pin a connection
+//! slot through graceful drain.
+
+use std::collections::{HashMap, HashSet};
+use std::ffi::c_int;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use restore_util::ConnectionGuard;
+
+use crate::fault::FaultAction;
+use crate::http::{encode_response, torn_prefix_len, ParseError, RequestParser, Response};
+use crate::server::{Completion, Decision, Metrics, Shared};
+
+/// Raw syscall surface. Constants match the Linux UAPI headers; the
+/// `epoll_event` layout is packed on x86_64 (and only there), exactly as
+/// the kernel expects.
+mod sys {
+    use std::ffi::c_int;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct RLimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+}
+
+/// Raises the process soft fd limit to the hard limit (always permitted,
+/// no privileges needed) and returns the resulting soft limit. Connection
+/// counts are fd counts, so every connection-scale entry point — the
+/// server-side bench phases and the soak tests — calls this first.
+pub fn raise_fd_limit() -> io::Result<u64> {
+    let mut lim = sys::RLimit { cur: 0, max: 0 };
+    if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        let want = sys::RLimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &want) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        lim.cur = lim.max;
+    }
+    Ok(lim.cur)
+}
+
+/// Safe wrapper over one epoll instance. Tokens are opaque `u64`s carried
+/// in `epoll_event.data`; closing a registered fd deregisters it.
+pub(crate) struct Epoll {
+    fd: OwnedFd,
+    events: Vec<sys::EpollEvent>,
+}
+
+fn interest_mask(read: bool, write: bool) -> u32 {
+    let mut mask = 0;
+    if read {
+        mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+    }
+    if write {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+impl Epoll {
+    pub(crate) fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            events: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: mask,
+            data: token,
+        };
+        if unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, interest_mask(read, write), token)
+    }
+
+    pub(crate) fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, interest_mask(read, write), token)
+    }
+
+    /// Blocks until readiness events arrive (or `timeout` elapses; `None`
+    /// blocks indefinitely), filling `out` with `(token, event mask)`
+    /// pairs. EINTR retries internally.
+    pub(crate) fn wait(
+        &mut self,
+        out: &mut Vec<(u64, u32)>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        out.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a deadline poll never wakes before its deadline
+            // and then spins until the clock catches up.
+            Some(d) => {
+                let ms = d.as_millis() + u128::from(d.subsec_nanos() % 1_000_000 != 0);
+                ms.min(i32::MAX as u128) as c_int
+            }
+        };
+        let n = loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.fd.as_raw_fd(),
+                    self.events.as_mut_ptr(),
+                    self.events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                break n as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &self.events[..n] {
+            out.push((ev.data, ev.events));
+        }
+        Ok(())
+    }
+}
+
+/// An eventfd the worker pool (and shutdown) use to pop the reactor out of
+/// `epoll_wait`. Nonblocking on both ends: a saturated counter still means
+/// "a wake is pending", and the reactor drains it back to zero per wakeup.
+pub(crate) struct WakeHandle {
+    fd: OwnedFd,
+}
+
+impl WakeHandle {
+    pub(crate) fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    pub(crate) fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    pub(crate) fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        let _ = unsafe { sys::write(self.fd.as_raw_fd(), one.as_ptr(), one.len()) };
+    }
+
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while unsafe { sys::read(self.fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+pub(crate) const TOKEN_LISTENER: u64 = 0;
+pub(crate) const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Where a connection is in its request/response cycle. `/metrics` exposes
+/// the `KeepAliveIdle` population as `event_loop.keepalive_idle`.
+enum Phase {
+    /// Bytes of a request head are buffered; the terminator hasn't landed.
+    ReadingHead,
+    /// The head is complete; `Content-Length` body bytes are outstanding.
+    ReadingBody,
+    /// A worker owns the parsed request; the reactor keeps reading carry
+    /// (bounded) but dispatches nothing else on this connection.
+    Dispatched,
+    /// Encoded response bytes are waiting on socket writability.
+    Writing,
+    /// Between requests: parser empty, nothing in flight.
+    KeepAliveIdle,
+}
+
+struct Conn {
+    stream: TcpStream,
+    phase: Phase,
+    parser: RequestParser,
+    /// When the current (incomplete) request's first bytes arrived — the
+    /// start of its deadline budget.
+    partial_since: Option<Instant>,
+    /// Cut-off for an incomplete request (slow-loris defense → 400).
+    partial_deadline: Option<Instant>,
+    /// Encoded response bytes not yet accepted by the kernel.
+    pending: Vec<u8>,
+    written: usize,
+    close_after_write: bool,
+    /// Cut-off for a client that stops reading its response.
+    write_deadline: Option<Instant>,
+    /// Reads suspended because the pipelined carry hit its bound.
+    read_paused: bool,
+    /// Peer sent FIN; never re-arm read interest (level-triggered EOF
+    /// would spin), and close once nothing is left to answer.
+    peer_eof: bool,
+    /// Interest currently registered with epoll, to skip redundant MODs.
+    registered: (bool, bool),
+    _guard: ConnectionGuard,
+}
+
+/// What one state-machine step decided, computed under the `Conn` borrow
+/// and acted on after it ends.
+enum Step {
+    /// Nothing further until more I/O (or a completion) arrives.
+    Parked,
+    /// Close without an answer (clean EOF between requests).
+    CloseQuiet,
+    /// Answer immediately from the reactor, then close if `bool` says so.
+    Respond(Response, bool),
+    /// A complete request is ready for the dispatch decision.
+    Ready(crate::http::Request, Instant),
+}
+
+enum WriteOutcome {
+    /// Connection closed (fatal error, injected fault, or `close` done).
+    Closed,
+    /// Bytes remain; EPOLLOUT is armed.
+    Pending,
+    /// Fully flushed and the connection stays open.
+    DoneKeepAlive,
+}
+
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    /// Tokens carrying a partial-request or stalled-write deadline — the
+    /// only connections the poll timeout has to consider, so 10k idle
+    /// sockets don't cost a 10k-entry scan per wakeup.
+    deadlined: HashSet<u64>,
+    next_token: u64,
+}
+
+impl Reactor {
+    pub(crate) fn new(listener: TcpListener, epoll: Epoll, shared: Arc<Shared>) -> Self {
+        Self {
+            shared,
+            epoll,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            deadlined: HashSet::new(),
+            next_token: FIRST_CONN_TOKEN,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<(u64, u32)> = Vec::new();
+        loop {
+            let timeout = self.poll_timeout();
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable for this loop;
+                // fall through to the shutdown checks so we still exit.
+                events.clear();
+            }
+            self.shared
+                .metrics
+                .epoll_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            for &(token, mask) in &events {
+                match token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    _ => self.conn_event(token, mask),
+                }
+            }
+            self.drain_completions();
+            if self.shared.shutdown.is_triggered() {
+                self.on_shutdown();
+                if self.listener.is_none() && self.conns.is_empty() {
+                    return;
+                }
+            }
+            self.expire_deadlines();
+            if self.shared.abandon.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    /// Next `epoll_wait` timeout: indefinite unless some connection holds
+    /// a deadline, then the nearest one (capped at `read_poll` so a clock
+    /// oddity can never park the loop past its tick).
+    fn poll_timeout(&self) -> Option<Duration> {
+        if self.deadlined.is_empty() {
+            return None;
+        }
+        let mut nearest: Option<Instant> = None;
+        for token in &self.deadlined {
+            let Some(conn) = self.conns.get(token) else {
+                continue;
+            };
+            for deadline in [conn.partial_deadline, conn.write_deadline]
+                .into_iter()
+                .flatten()
+            {
+                nearest = Some(match nearest {
+                    Some(n) => n.min(deadline),
+                    None => deadline,
+                });
+            }
+        }
+        let nearest = nearest?;
+        let delta = nearest.saturating_duration_since(Instant::now());
+        Some(delta.min(self.shared.config.read_poll))
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.metrics.accepts.fetch_add(1, Ordering::Relaxed);
+                    // A refused guard means shutdown won the race: drop the
+                    // socket; the listener itself closes on the next sweep.
+                    let Some(guard) = self.shared.shutdown.begin() else {
+                        continue;
+                    };
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared
+                        .metrics
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .metrics
+                        .keepalive_idle
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            phase: Phase::KeepAliveIdle,
+                            parser: RequestParser::new(),
+                            partial_since: None,
+                            partial_deadline: None,
+                            pending: Vec::new(),
+                            written: 0,
+                            close_after_write: false,
+                            write_deadline: None,
+                            read_paused: false,
+                            peer_eof: false,
+                            registered: (true, false),
+                            _guard: guard,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (fd exhaustion under a
+                    // connection flood): back off briefly instead of
+                    // busy-spinning on the still-ready listener.
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, mask: u32) {
+        if mask & sys::EPOLLERR != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if mask & sys::EPOLLOUT != 0 {
+            self.continue_write(token);
+        }
+        if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 {
+            self.do_read(token);
+        }
+    }
+
+    fn do_read(&mut self, token: u64) {
+        let fatal = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.read_paused || conn.peer_eof {
+                return;
+            }
+            let carry_bound = self.shared.config.limits.max_head_bytes
+                + self.shared.config.limits.max_body_bytes
+                + READ_CHUNK;
+            let mut chunk = [0u8; READ_CHUNK];
+            let mut fatal = false;
+            loop {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let was_empty = !conn.parser.has_partial();
+                        conn.parser.extend(&chunk[..n]);
+                        if was_empty {
+                            conn.partial_since = Some(Instant::now());
+                        }
+                        if matches!(conn.phase, Phase::Dispatched | Phase::Writing)
+                            && conn.parser.buffered() > carry_bound
+                        {
+                            // A pipelining client outran the in-flight
+                            // request; stop reading until its response
+                            // ships rather than buffering without bound.
+                            conn.read_paused = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.shared
+                            .metrics
+                            .read_would_block
+                            .fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+            fatal
+        };
+        if fatal {
+            self.close_conn(token);
+            return;
+        }
+        self.sync_interest(token);
+        self.advance(token);
+    }
+
+    /// Pumps the parse → dispatch cycle while the connection is in a
+    /// parsing phase. Iterative (not recursive) so a buffer full of
+    /// pipelined requests can't grow the stack.
+    fn advance(&mut self, token: u64) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if matches!(conn.phase, Phase::Dispatched | Phase::Writing) {
+                    return;
+                }
+                match conn.parser.next_request(&self.shared.config.limits) {
+                    Err(ParseError::TooLarge) => {
+                        Step::Respond(Response::error(413, "request too large"), true)
+                    }
+                    Err(ParseError::Malformed(msg)) => {
+                        Step::Respond(Response::error(400, &msg), true)
+                    }
+                    Ok(Some(request)) => {
+                        let arrived = conn.partial_since.take().unwrap_or_else(Instant::now);
+                        conn.partial_deadline = None;
+                        Step::Ready(request, arrived)
+                    }
+                    Ok(None) if conn.parser.has_partial() => {
+                        if conn.peer_eof {
+                            Step::Respond(
+                                Response::error(400, "connection closed mid-request"),
+                                true,
+                            )
+                        } else {
+                            let phase = if conn.parser.reading_body() {
+                                Phase::ReadingBody
+                            } else {
+                                Phase::ReadingHead
+                            };
+                            set_phase(&self.shared.metrics, conn, phase);
+                            let since = *conn.partial_since.get_or_insert_with(Instant::now);
+                            if conn.partial_deadline.is_none() {
+                                conn.partial_deadline =
+                                    Some(since + self.shared.config.request_deadline);
+                            }
+                            Step::Parked
+                        }
+                    }
+                    Ok(None) => {
+                        set_phase(&self.shared.metrics, conn, Phase::KeepAliveIdle);
+                        conn.partial_since = None;
+                        conn.partial_deadline = None;
+                        if conn.peer_eof {
+                            Step::CloseQuiet
+                        } else {
+                            Step::Parked
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Parked => {
+                    self.sync_deadline(token);
+                    return;
+                }
+                Step::CloseQuiet => {
+                    self.close_conn(token);
+                    return;
+                }
+                Step::Respond(response, close) => {
+                    self.sync_deadline(token);
+                    match self.respond(token, response, close, FaultAction::None) {
+                        WriteOutcome::DoneKeepAlive => continue,
+                        _ => return,
+                    }
+                }
+                Step::Ready(request, arrived) => {
+                    self.sync_deadline(token);
+                    match self.shared.on_request(token, request, arrived) {
+                        Decision::Close => {
+                            self.close_conn(token);
+                            return;
+                        }
+                        Decision::Respond(response, close) => {
+                            match self.respond(token, response, close, FaultAction::None) {
+                                WriteOutcome::DoneKeepAlive => continue,
+                                _ => return,
+                            }
+                        }
+                        Decision::Dispatched => {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                set_phase(&self.shared.metrics, conn, Phase::Dispatched);
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stages an encoded response (applying write-side fault actions) and
+    /// flushes as much as the socket will take right now.
+    fn respond(
+        &mut self,
+        token: u64,
+        response: Response,
+        close: bool,
+        action: FaultAction,
+    ) -> WriteOutcome {
+        if action == FaultAction::WriteError {
+            // Injected write failure: the work happened, the response is
+            // dropped on the floor.
+            self.close_conn(token);
+            return WriteOutcome::Closed;
+        }
+        let mut close = close;
+        let mut bytes = encode_response(&response, close);
+        if action == FaultAction::TornResponse {
+            bytes.truncate(torn_prefix_len(bytes.len()));
+            close = true;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return WriteOutcome::Closed;
+        };
+        conn.pending = bytes;
+        conn.written = 0;
+        conn.close_after_write = close;
+        self.flush_write(token)
+    }
+
+    fn continue_write(&mut self, token: u64) {
+        let writing = matches!(
+            self.conns.get(&token).map(|c| &c.phase),
+            Some(Phase::Writing)
+        );
+        if !writing {
+            return;
+        }
+        if let WriteOutcome::DoneKeepAlive = self.flush_write(token) {
+            self.advance(token);
+        }
+    }
+
+    fn flush_write(&mut self, token: u64) -> WriteOutcome {
+        enum Flush {
+            Done,
+            Blocked,
+            Fatal,
+        }
+        let flushed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return WriteOutcome::Closed;
+            };
+            loop {
+                if conn.written >= conn.pending.len() {
+                    break Flush::Done;
+                }
+                match (&conn.stream).write(&conn.pending[conn.written..]) {
+                    Ok(0) => break Flush::Fatal,
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.shared
+                            .metrics
+                            .write_would_block
+                            .fetch_add(1, Ordering::Relaxed);
+                        break Flush::Blocked;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break Flush::Fatal,
+                }
+            }
+        };
+        match flushed {
+            Flush::Fatal => {
+                self.close_conn(token);
+                WriteOutcome::Closed
+            }
+            Flush::Blocked => {
+                let deadline = Instant::now() + self.shared.config.request_deadline;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    set_phase(&self.shared.metrics, conn, Phase::Writing);
+                    if conn.write_deadline.is_none() {
+                        conn.write_deadline = Some(deadline);
+                    }
+                }
+                self.sync_deadline(token);
+                self.sync_interest(token);
+                WriteOutcome::Pending
+            }
+            Flush::Done => {
+                let close = {
+                    let conn = self.conns.get_mut(&token).expect("conn flushed above");
+                    conn.pending.clear();
+                    conn.written = 0;
+                    conn.write_deadline = None;
+                    conn.close_after_write
+                };
+                if close {
+                    self.close_conn(token);
+                    return WriteOutcome::Closed;
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.read_paused = false;
+                    set_phase(&self.shared.metrics, conn, Phase::KeepAliveIdle);
+                }
+                self.sync_deadline(token);
+                self.sync_interest(token);
+                WriteOutcome::DoneKeepAlive
+            }
+        }
+    }
+
+    /// Delivers finished worker responses to their connections.
+    fn drain_completions(&mut self) {
+        let completions: Vec<Completion> = self.shared.take_completions();
+        for completion in completions {
+            let token = completion.token;
+            // The connection may have died (reset, abandon) while the
+            // worker ran; its completion simply evaporates.
+            let dispatched = matches!(
+                self.conns.get(&token).map(|c| &c.phase),
+                Some(Phase::Dispatched)
+            );
+            if !dispatched {
+                continue;
+            }
+            if let WriteOutcome::DoneKeepAlive = self.respond(
+                token,
+                completion.response,
+                completion.close,
+                completion.action,
+            ) {
+                self.advance(token);
+            }
+        }
+    }
+
+    /// Cuts connections whose partial request or stalled response write
+    /// outlived the request deadline.
+    fn expire_deadlines(&mut self) {
+        if self.deadlined.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<(u64, bool)> = self
+            .deadlined
+            .iter()
+            .filter_map(|&token| {
+                let conn = self.conns.get(&token)?;
+                if conn.write_deadline.is_some_and(|d| d <= now) {
+                    Some((token, true))
+                } else if conn.partial_deadline.is_some_and(|d| d <= now) {
+                    Some((token, false))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (token, stalled_write) in expired {
+            if stalled_write {
+                self.close_conn(token);
+            } else {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.partial_deadline = None;
+                }
+                self.respond(
+                    token,
+                    Response::error(400, "request did not complete in time"),
+                    true,
+                    FaultAction::None,
+                );
+            }
+        }
+    }
+
+    /// Shutdown sweep: close the listener (new connects are refused from
+    /// here on) and every connection with no response in flight — a
+    /// half-received request is not in-flight work, and graceful drain
+    /// must not wait on a stalled sender. `Dispatched`/`Writing`
+    /// connections ride through the drain and close with their response.
+    fn on_shutdown(&mut self) {
+        self.listener = None;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| !matches!(conn.phase, Phase::Dispatched | Phase::Writing))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    fn sync_deadline(&mut self, token: u64) {
+        let has = self
+            .conns
+            .get(&token)
+            .is_some_and(|c| c.partial_deadline.is_some() || c.write_deadline.is_some());
+        if has {
+            self.deadlined.insert(token);
+        } else {
+            self.deadlined.remove(&token);
+        }
+    }
+
+    /// Re-registers the connection's epoll interest when it changed.
+    fn sync_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let read = !conn.peer_eof && !conn.read_paused;
+        let write = matches!(conn.phase, Phase::Writing) && conn.written < conn.pending.len();
+        if conn.registered == (read, write) {
+            return;
+        }
+        if self
+            .epoll
+            .modify(conn.stream.as_raw_fd(), token, read, write)
+            .is_ok()
+        {
+            conn.registered = (read, write);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.deadlined.remove(&token);
+            self.shared
+                .metrics
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            if matches!(conn.phase, Phase::KeepAliveIdle) {
+                self.shared
+                    .metrics
+                    .keepalive_idle
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            // Dropping `conn` closes the socket (auto-deregistering it
+            // from epoll) and releases its ConnectionGuard.
+        }
+    }
+}
+
+fn set_phase(metrics: &Metrics, conn: &mut Conn, phase: Phase) {
+    let was_idle = matches!(conn.phase, Phase::KeepAliveIdle);
+    let is_idle = matches!(phase, Phase::KeepAliveIdle);
+    if was_idle && !is_idle {
+        metrics.keepalive_idle.fetch_sub(1, Ordering::Relaxed);
+    } else if !was_idle && is_idle {
+        metrics.keepalive_idle.fetch_add(1, Ordering::Relaxed);
+    }
+    conn.phase = phase;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn raise_fd_limit_is_idempotent_and_nonzero() {
+        let first = raise_fd_limit().expect("raise");
+        let second = raise_fd_limit().expect("raise again");
+        assert!(first > 0);
+        assert_eq!(first, second, "already at the hard limit");
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let mut epoll = Epoll::new().expect("epoll");
+        let wake = WakeHandle::new().expect("eventfd");
+        epoll
+            .add(wake.as_raw_fd(), TOKEN_WAKE, true, false)
+            .expect("register");
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+        wake.wake();
+        wake.wake();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, TOKEN_WAKE);
+        assert_ne!(events[0].1 & sys::EPOLLIN, 0);
+        wake.drain();
+        // Drained: readiness is gone (level-triggered would re-report).
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn epoll_reports_socket_readability_with_token() {
+        let mut epoll = Epoll::new().expect("epoll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        epoll
+            .add(server_side.as_raw_fd(), 42, true, false)
+            .expect("register");
+        let mut events = Vec::new();
+        client.write_all(b"ping").expect("write");
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(events
+            .iter()
+            .any(|&(token, mask)| { token == 42 && mask & sys::EPOLLIN != 0 }));
+        let mut buf = [0u8; 8];
+        let n = (&server_side).read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"ping");
+        // Write interest on a fresh socket reports writable immediately.
+        epoll
+            .modify(server_side.as_raw_fd(), 42, true, true)
+            .expect("modify");
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(events
+            .iter()
+            .any(|&(token, mask)| token == 42 && mask & sys::EPOLLOUT != 0));
+    }
+}

@@ -1,51 +1,55 @@
-//! The serving front-end: a thread-per-connection TCP/HTTP 1.1 server over
-//! a shared [`SnapshotRegistry`], fronted by an ingress resilience plane.
+//! The serving front-end: an epoll event-loop TCP/HTTP 1.1 server over a
+//! shared [`SnapshotRegistry`], fronted by an ingress resilience plane.
 //!
 //! Request lifecycle:
 //!
 //! ```text
-//!  accept loop ──► connection thread (one per socket, ConnectionGuard held)
-//!      │               loop: read_request (poll ticks check shutdown)
-//!      │                 │
-//!      │                 ▼ request id (accept order) · fault plan consult
-//!      │               admission gate (max_in_flight) ──► 429 + Retry-After
-//!      │                 │
-//!      │                 ▼ route — resolves ONE registry view per request
-//!      │               per-tenant token bucket ──► 429 + Retry-After
-//!      │               deadline budget checks  ──► 503 + stage detail
-//!      │               POST /v1/{t}/query   GET /v1/{t}/tables/{n}
-//!      │               GET /healthz         GET /metrics   (never gated)
-//!      │                 │
-//!      │                 ▼ catch_unwind: a panicking handler answers 500
-//!      │               write_response (+X-Request-Id; keep-alive)
+//!  reactor thread (crate::reactor — owns listener + every socket)
+//!      │  accept (epoll-registered, no sleep tick) · nonblocking reads
+//!      │  incremental parse: ReadingHead → ReadingBody → complete request
+//!      │    │
+//!      │    ▼ request id (parse order) · fault plan consult
+//!      │  admission gate (max_in_flight) ──► 429 + Retry-After written
+//!      │    │                                from the reactor, no worker
+//!      │    ▼ Job{request, id, permit} ──► worker pool (queue + condvar)
+//!      │                                     │ route — ONE registry view
+//!      │                                     │ per-tenant token bucket 429
+//!      │                                     │ deadline budget checks 503
+//!      │                                     │ catch_unwind: panic → 500
+//!      │    ┌────── Completion{response} ◄───┘ (+eventfd wake)
+//!      │    ▼
+//!      │  write on writability (+X-Request-Id; keep-alive; pipelined
+//!      │  carry re-parsed immediately after each response)
 //!      ▼
-//!  Server::shutdown(): Shutdown::trigger → wake accept → drain guards
+//!  Server::shutdown(): trigger + wake → close listener + idle conns,
+//!  in-flight responses ride through drain, then the reactor exits
 //! ```
 //!
 //! **Admission control.** At most [`ServeConfig::max_in_flight`] `/v1/*`
-//! requests execute concurrently; excess load is *shed* with an immediate
-//! 429 carrying a `Retry-After` computed from an EWMA of recent service
-//! times, instead of queueing work behind saturated threads. Control-plane
-//! routes (`/healthz`, `/metrics`) bypass the gate so the service stays
-//! observable under overload. A per-tenant token bucket
-//! ([`restore_util::RateLimiter`]) additionally bounds each tenant's
-//! sustained rate, so one hot tenant degrades alone instead of starving
-//! the box.
+//! requests hold an admission permit (queued + executing) at once; excess
+//! load is *shed* with an immediate 429 carrying a `Retry-After` computed
+//! from an EWMA of recent service times, written straight from the reactor
+//! without touching the worker pool. Control-plane routes (`/healthz`,
+//! `/metrics`) bypass the gate so the service stays observable under
+//! overload. A per-tenant token bucket ([`restore_util::RateLimiter`])
+//! additionally bounds each tenant's sustained rate, so one hot tenant
+//! degrades alone instead of starving the box.
 //!
 //! **Deadline budget.** [`ServeConfig::request_deadline`] is a per-request
 //! wall-clock budget starting at the request's first byte, re-checked
 //! between parse, the single-flight wait, synthesis, and the confidence
 //! tail. An exhausted budget answers 503 with the stage reached and the
 //! elapsed/budget milliseconds, releasing the connection instead of
-//! holding it. A budget 503 computed by a single-flight leader is shared
-//! with its followers — the work did not materialize for anyone, and the
-//! retrying client treats 503 as retryable.
+//! holding it. The reactor enforces the same budget on the wire: a request
+//! that stops arriving mid-parse is answered 400, and a client that stops
+//! reading its response is cut.
 //!
 //! **Fault injection.** An optional seeded [`FaultPlan`] injects delays,
 //! read/write errors, torn responses, and handler panics on a schedule
-//! that is a pure function of `(seed, fault key)` — see [`crate::fault`] —
-//! generalizing the test-only `/debug/panic/{key}` route into the chaos
-//! layer the resilience tests and `chaos_smoke` soak drive.
+//! that is a pure function of `(seed, fault key)` — see [`crate::fault`].
+//! Read/write faults act at the reactor's socket seam; delays and panics
+//! ride the job into the worker pool (a panicking handler must never take
+//! the reactor thread down).
 //!
 //! **Hot swap / drain semantics.** A request resolves its tenant against
 //! one [`SnapshotRegistry::view`] and keeps the resulting `Arc<Snapshot>`
@@ -61,31 +65,31 @@
 //! leader panic poisons the flight: followers answer 500 instead of
 //! hanging, and the next request computes afresh.
 
-use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use restore_core::wire::{self, QueryRequest};
 use restore_core::{CoreError, SnapshotRegistry};
 use restore_util::json::ToJson;
-use restore_util::{ConnectionGuard, RateLimitConfig, RateLimiter, Shutdown, SingleFlight};
+use restore_util::{RateLimitConfig, RateLimiter, Shutdown, SingleFlight};
 
 use crate::fault::{self, FaultAction, FaultConfig, FaultPlan};
-use crate::http::{
-    configure_stream, error_body, read_request, write_response, write_torn_response, Limits,
-    ReadOutcome, Request, Response,
-};
+use crate::http::{error_body, Limits, Request, Response};
+use crate::reactor::{Epoll, Reactor, WakeHandle, TOKEN_LISTENER, TOKEN_WAKE};
 
 /// Server knobs. Defaults are sized for tests and modest deployments.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     pub limits: Limits,
-    /// Poll interval at which idle keep-alive connections re-check the
-    /// shutdown signal.
+    /// Upper bound on how long the reactor parks in `epoll_wait` while any
+    /// connection carries a deadline (partial request or stalled write) —
+    /// the staleness bound on deadline enforcement.
     pub read_poll: Duration,
     /// Per-request deadline budget, started at the request's first byte:
     /// a request that has not finished arriving within it is cut, and one
@@ -94,9 +98,12 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// How long [`Server::shutdown`] waits for in-flight connections.
     pub drain_timeout: Duration,
-    /// Admission gate: at most this many `/v1/*` requests execute
-    /// concurrently; excess answers 429 + `Retry-After` immediately.
+    /// Admission gate: at most this many `/v1/*` requests hold a permit
+    /// (queued for or executing on the worker pool) concurrently; excess
+    /// answers 429 + `Retry-After` immediately.
     pub max_in_flight: usize,
+    /// Request-execution worker threads behind the reactor.
+    pub workers: usize,
     /// Per-tenant token-bucket rate limit; `None` disables it.
     pub rate_limit: Option<RateLimitConfig>,
     /// Seeded deterministic fault injection; `None` (the default) disables
@@ -118,6 +125,10 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
             max_in_flight: 256,
+            // At least a few workers even on a 1-core box: handlers can
+            // block on single-flight waits and injected delays, and panic
+            // containment is only provable with real concurrency.
+            workers: restore_util::default_workers().max(4),
             rate_limit: None,
             fault: None,
             panic_route: false,
@@ -145,7 +156,7 @@ impl TenantCounters {
 }
 
 /// Serving counters surfaced by `GET /metrics`.
-struct Metrics {
+pub(crate) struct Metrics {
     started: Instant,
     requests_total: AtomicU64,
     requests_in_flight: AtomicU64,
@@ -160,6 +171,17 @@ struct Metrics {
     /// basis of the admission gate's `Retry-After` hint.
     service_ewma_nanos: AtomicU64,
     per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
+    // --- event-loop counters, maintained by the reactor ---
+    /// Gauge: sockets currently owned by the reactor.
+    pub(crate) open_connections: AtomicU64,
+    /// Gauge: connections idle between requests.
+    pub(crate) keepalive_idle: AtomicU64,
+    pub(crate) accepts: AtomicU64,
+    pub(crate) epoll_wakeups: AtomicU64,
+    /// Nonblocking reads/writes that hit `EWOULDBLOCK` — the readiness
+    /// loop working as intended (vs. blocking threads doing nothing).
+    pub(crate) read_would_block: AtomicU64,
+    pub(crate) write_would_block: AtomicU64,
 }
 
 impl Metrics {
@@ -174,6 +196,12 @@ impl Metrics {
             faults_injected: AtomicU64::new(0),
             service_ewma_nanos: AtomicU64::new(0),
             per_tenant: Mutex::new(BTreeMap::new()),
+            open_connections: AtomicU64::new(0),
+            keepalive_idle: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            epoll_wakeups: AtomicU64::new(0),
+            read_would_block: AtomicU64::new(0),
+            write_would_block: AtomicU64::new(0),
         }
     }
 
@@ -207,10 +235,13 @@ impl Drop for InFlight<'_> {
     }
 }
 
-/// RAII admission permit; dropping it (including by panic) frees the slot.
-struct AdmitPermit<'a>(&'a AtomicU64);
+/// Owned RAII admission permit; it rides inside a [`Job`] from the
+/// reactor's dispatch decision to the end of worker execution, and
+/// dropping it (including by panic, or with a job discarded at shutdown)
+/// frees the slot.
+struct AdmitPermit(Arc<AtomicU64>);
 
-impl Drop for AdmitPermit<'_> {
+impl Drop for AdmitPermit {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::AcqRel);
     }
@@ -246,28 +277,127 @@ type QueryKey = (String, usize, Arc<str>);
 /// Status + body, cheaply cloneable to every follower.
 type QueryOutcome = (u16, Arc<String>);
 
-struct Shared {
+/// A parsed request on its way from the reactor to a worker.
+pub(crate) struct Job {
+    pub(crate) token: u64,
+    request: Request,
+    request_id: u64,
+    arrived: Instant,
+    action: FaultAction,
+    permit: Option<AdmitPermit>,
+}
+
+/// A finished response on its way from a worker back to the reactor,
+/// which owns the socket write (applying any write-side fault action).
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Response,
+    pub(crate) close: bool,
+    pub(crate) action: FaultAction,
+}
+
+/// The reactor's dispatch decision for one parsed request.
+pub(crate) enum Decision {
+    /// Cut the connection without an answer (injected read fault).
+    Close,
+    /// Answer straight from the reactor (admission shed), then close if
+    /// the flag says so.
+    Respond(Response, bool),
+    /// The request was queued to the worker pool; a [`Completion`] will
+    /// arrive via the wake handle.
+    Dispatched,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    stopped: bool,
+}
+
+/// The reactor → worker handoff: a plain mutex + condvar queue. Depth is
+/// bounded by the admission gate (`/v1/*` needs a permit to enqueue) plus
+/// the trickle of control-plane requests.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::new(),
+                stopped: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.stopped {
+            return; // job drops here; its permit releases
+        }
+        state.jobs.push_back(job);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.stopped {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Discards queued jobs (releasing their permits) and unparks every
+    /// worker for exit.
+    fn stop(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.stopped = true;
+        state.jobs.clear();
+        self.available.notify_all();
+    }
+}
+
+pub(crate) struct Shared {
     registry: Arc<SnapshotRegistry>,
-    config: ServeConfig,
-    shutdown: Shutdown,
-    metrics: Metrics,
+    pub(crate) config: ServeConfig,
+    pub(crate) shutdown: Shutdown,
+    pub(crate) metrics: Metrics,
     queries: SingleFlight<QueryKey, QueryOutcome>,
-    /// Accept-order request id counter; ids start at 1.
+    /// Parse-order request id counter; ids start at 1.
     request_ids: AtomicU64,
-    /// `/v1/*` requests currently admitted (bounded by `max_in_flight`).
-    admitted: AtomicU64,
+    /// `/v1/*` permits outstanding (bounded by `max_in_flight`). Shared
+    /// with the owned permits so a permit outliving `Shared` is impossible
+    /// to misaccount.
+    admitted: Arc<AtomicU64>,
     limiter: Option<RateLimiter>,
     fault: Option<FaultPlan>,
+    jobs: JobQueue,
+    completions: Mutex<Vec<Completion>>,
+    /// Wakes the reactor out of `epoll_wait`: completions and shutdown.
+    pub(crate) wake: WakeHandle,
+    /// Set after the drain window: the reactor must exit now, dropping
+    /// whatever connections remain.
+    pub(crate) abandon: AtomicBool,
 }
 
 impl Shared {
-    fn try_admit(&self) -> Option<AdmitPermit<'_>> {
+    fn try_admit(&self) -> Option<AdmitPermit> {
         let prev = self.admitted.fetch_add(1, Ordering::AcqRel);
         if prev >= self.config.max_in_flight as u64 {
             self.admitted.fetch_sub(1, Ordering::AcqRel);
             None
         } else {
-            Some(AdmitPermit(&self.admitted))
+            Some(AdmitPermit(Arc::clone(&self.admitted)))
         }
     }
 
@@ -294,6 +424,70 @@ impl Shared {
             ),
         )
     }
+
+    /// The reactor's per-request entry point: accounts the request,
+    /// consults the fault plan, applies the admission gate, and either
+    /// answers on the spot or queues a [`Job`] for the worker pool.
+    pub(crate) fn on_request(&self, token: u64, request: Request, arrived: Instant) -> Decision {
+        self.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let request_id = self.request_ids.fetch_add(1, Ordering::Relaxed);
+        let action = match &self.fault {
+            None => FaultAction::None,
+            Some(plan) => plan.action(fault::fault_key(
+                &request.method,
+                &request.path,
+                &request.body,
+                request.header("x-fault-key"),
+            )),
+        };
+        if action != FaultAction::None {
+            self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        if action == FaultAction::ReadError {
+            // Injected read failure: cut the connection before handling,
+            // as if the request never finished arriving.
+            return Decision::Close;
+        }
+        // Control-plane routes bypass admission (and, in the worker, rate
+        // limiting) so the service stays observable while it sheds.
+        let permit = if request.path.starts_with("/v1/") {
+            match self.try_admit() {
+                Some(permit) => Some(permit),
+                None => {
+                    self.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let response =
+                        Response::too_many_requests("server at capacity", self.retry_after_hint())
+                            .with_header("X-Request-Id", request_id.to_string());
+                    let close = request.wants_close() || self.shutdown.is_triggered();
+                    return Decision::Respond(response, close);
+                }
+            }
+        } else {
+            None
+        };
+        self.jobs.push(Job {
+            token,
+            request,
+            request_id,
+            arrived,
+            action,
+            permit,
+        });
+        Decision::Dispatched
+    }
+
+    pub(crate) fn take_completions(&self) -> Vec<Completion> {
+        let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *completions)
+    }
+
+    fn complete(&self, completion: Completion) {
+        {
+            let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+            completions.push(completion);
+        }
+        self.wake.wake();
+    }
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops
@@ -301,21 +495,30 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds and starts serving `registry` on `addr` (use port 0 for an
-    /// ephemeral port; read it back via [`Server::local_addr`]).
+    /// ephemeral port; read it back via [`Server::local_addr`]). Fails
+    /// loudly if the listener cannot be made nonblocking or the epoll
+    /// set / wake eventfd cannot be created — a server whose event loop
+    /// can't run should never come up half-alive.
     pub fn bind(
         addr: impl ToSocketAddrs,
         registry: Arc<SnapshotRegistry>,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let epoll = Epoll::new()?;
+        let wake = WakeHandle::new()?;
+        epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        epoll.add(wake.as_raw_fd(), TOKEN_WAKE, true, false)?;
         let limiter = config.rate_limit.map(RateLimiter::new);
         let fault = config.fault.map(FaultPlan::new);
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
             config,
@@ -323,18 +526,30 @@ impl Server {
             metrics: Metrics::new(),
             queries: SingleFlight::new(),
             request_ids: AtomicU64::new(1),
-            admitted: AtomicU64::new(0),
+            admitted: Arc::new(AtomicU64::new(0)),
             limiter,
             fault,
+            jobs: JobQueue::new(),
+            completions: Mutex::new(Vec::new()),
+            wake,
+            abandon: AtomicBool::new(false),
         });
-        let accept = {
+        for _ in 0..workers {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
+            // Workers are detached: shutdown stops the queue rather than
+            // joining, so a handler stuck in external code cannot wedge
+            // shutdown (the old per-connection threads had the same
+            // property).
+            std::thread::spawn(move || worker_loop(shared));
+        }
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || Reactor::new(listener, epoll, shared).run())
         };
         Ok(Self {
             addr,
             shared,
-            accept: Some(accept),
+            reactor: Some(reactor),
         })
     }
 
@@ -356,23 +571,27 @@ impl Server {
         self.shared.admitted.load(Ordering::Acquire) as usize
     }
 
-    /// Stops accepting, wakes the accept loop, and waits up to the
-    /// configured drain timeout for in-flight connections to finish.
-    /// Returns `true` when fully drained.
+    /// Stops accepting, wakes the reactor, and waits up to the configured
+    /// drain timeout for in-flight connections to finish. Returns `true`
+    /// when fully drained.
     pub fn shutdown(mut self) -> bool {
         self.shutdown_inner()
     }
 
     fn shutdown_inner(&mut self) -> bool {
-        let Some(accept) = self.accept.take() else {
+        let Some(reactor) = self.reactor.take() else {
             return true;
         };
-        // The accept loop polls a non-blocking listener, so triggering the
-        // signal is enough — it exits within one poll tick, with nothing to
-        // wake and therefore nothing that can fail to wake it.
         self.shared.shutdown.trigger();
-        let _ = accept.join();
-        self.shared.shutdown.drain(self.shared.config.drain_timeout)
+        self.shared.wake.wake();
+        let drained = self.shared.shutdown.drain(self.shared.config.drain_timeout);
+        // Drain window over (or instantly drained): tell the reactor to
+        // exit unconditionally, dropping whatever connections remain.
+        self.shared.abandon.store(true, Ordering::Release);
+        self.shared.wake.wake();
+        let _ = reactor.join();
+        self.shared.jobs.stop();
+        drained
     }
 }
 
@@ -382,183 +601,77 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    // Non-blocking accept polled on a short tick: shutdown needs no
-    // wake-up connection (which could itself fail and hang the join), and
-    // transient accept errors (fd exhaustion under a connection flood)
-    // back off on the same tick instead of busy-spinning.
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
-    loop {
-        if shared.shutdown.is_triggered() {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-                continue;
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.jobs.pop() {
+        let handled = {
+            let _in_flight = InFlight::enter(&shared.metrics.requests_in_flight);
+            catch_unwind(AssertUnwindSafe(|| execute_job(&shared, &job)))
+        };
+        let (mut response, close) = match handled {
+            Ok(response) => {
+                let close = job.request.wants_close() || shared.shutdown.is_triggered();
+                (response, close)
             }
             Err(_) => {
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        // The guard rides into the connection thread; a refused guard
-        // means shutdown won the race — drop the socket.
-        let Some(guard) = shared.shutdown.begin() else {
-            return;
-        };
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || handle_connection(shared, stream, guard));
-    }
-}
-
-fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream, guard: ConnectionGuard) {
-    let _guard = guard;
-    if configure_stream(
-        &stream,
-        shared.config.read_poll,
-        shared.config.request_deadline,
-    )
-    .is_err()
-    {
-        return;
-    }
-    let mut carry = Vec::new();
-    let shutdown = shared.shutdown.clone();
-    loop {
-        let outcome = read_request(
-            &mut stream,
-            &mut carry,
-            &shared.config.limits,
-            shared.config.request_deadline,
-            &|| shutdown.is_triggered(),
-        );
-        match outcome {
-            ReadOutcome::Request(request, arrived) => {
-                shared
-                    .metrics
-                    .requests_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed);
-                let action = match &shared.fault {
-                    None => FaultAction::None,
-                    Some(plan) => plan.action(fault::fault_key(
-                        &request.method,
-                        &request.path,
-                        &request.body,
-                        request.header("x-fault-key"),
-                    )),
-                };
-                if action != FaultAction::None {
-                    shared
-                        .metrics
-                        .faults_injected
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                if action == FaultAction::ReadError {
-                    // Injected read failure: cut the connection before
-                    // handling, as if the request never finished arriving.
-                    return;
-                }
-                let handled = {
-                    let _in_flight = InFlight::enter(&shared.metrics.requests_in_flight);
-                    catch_unwind(AssertUnwindSafe(|| {
-                        handle_request(&shared, &request, request_id, arrived, action)
-                    }))
-                };
-                let (mut response, close) = match handled {
-                    Ok(response) => {
-                        let close = request.wants_close() || shutdown.is_triggered();
-                        (response, close)
-                    }
-                    Err(_) => {
-                        // A handler panic (own, injected, or a poisoned
-                        // single-flight follower's) answers 500 and closes
-                        // this connection; every other connection is
-                        // unaffected.
-                        shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
-                        (
-                            Response::error(500, "internal error: handler panicked"),
-                            true,
-                        )
-                    }
-                };
-                response
-                    .headers
-                    .push(("X-Request-Id".to_string(), request_id.to_string()));
-                match action {
-                    // Injected write failure: the work happened, the
-                    // response is dropped on the floor.
-                    FaultAction::WriteError => return,
-                    FaultAction::TornResponse => {
-                        let _ = write_torn_response(&mut stream, &response);
-                        return;
-                    }
-                    _ => {}
-                }
-                if write_response(&mut stream, &response, close).is_err() || close {
-                    return;
-                }
-            }
-            ReadOutcome::Closed => return,
-            ReadOutcome::TooLarge => {
-                let _ = write_response(
-                    &mut stream,
-                    &Response::error(413, "request too large"),
+                // A handler panic (own, injected, or a poisoned
+                // single-flight follower's) answers 500 and closes this
+                // connection; every other connection is unaffected.
+                shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                (
+                    Response::error(500, "internal error: handler panicked"),
                     true,
-                );
-                return;
+                )
             }
-            ReadOutcome::Malformed(msg) => {
-                let _ = write_response(&mut stream, &Response::error(400, &msg), true);
-                return;
-            }
-            ReadOutcome::Io(_) => return,
-        }
+        };
+        response
+            .headers
+            .push(("X-Request-Id".to_string(), job.request_id.to_string()));
+        let completion = Completion {
+            token: job.token,
+            response,
+            close,
+            action: match job.action {
+                FaultAction::WriteError => FaultAction::WriteError,
+                FaultAction::TornResponse => FaultAction::TornResponse,
+                _ => FaultAction::None,
+            },
+        };
+        // Release the admission permit before the response ships, matching
+        // the thread-per-connection server: the slot frees as soon as the
+        // work is done, not when the client finishes reading.
+        drop(job);
+        shared.complete(completion);
     }
 }
 
-/// The ingress pipeline for one parsed request: fault panic/delay seams,
-/// the admission gate for `/v1/*`, then routing under the deadline budget.
-fn handle_request(
-    shared: &Shared,
-    request: &Request,
-    request_id: u64,
-    arrived: Instant,
-    action: FaultAction,
-) -> Response {
+/// The ingress pipeline for one dispatched request: fault panic/delay
+/// seams, then routing under the deadline budget. The admission permit (if
+/// any) is already held by the surrounding [`Job`].
+fn execute_job(shared: &Shared, job: &Job) -> Response {
     let budget = Budget {
-        arrived,
+        arrived: job.arrived,
         limit: shared.config.request_deadline,
     };
-    if action == FaultAction::Panic {
-        panic!("injected fault panic (request {request_id})");
+    if job.action == FaultAction::Panic {
+        panic!("injected fault panic (request {})", job.request_id);
     }
-    // Control-plane routes bypass admission and rate limiting so the
-    // service stays observable while it sheds.
-    if !request.path.starts_with("/v1/") {
-        if let FaultAction::Delay(d) = action {
+    if !job.request.path.starts_with("/v1/") {
+        if let FaultAction::Delay(d) = job.action {
             std::thread::sleep(d);
         }
-        return route(shared, request, request_id, &budget);
+        return route(shared, &job.request, job.request_id, &budget);
     }
-    let Some(_permit) = shared.try_admit() else {
-        shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
-        return Response::too_many_requests("server at capacity", shared.retry_after_hint());
-    };
+    debug_assert!(job.permit.is_some(), "/v1/* dispatched without a permit");
     // The injected delay runs *inside* the admitted section, so a chaos
     // plan can hold permits and drive the gate into shedding.
-    if let FaultAction::Delay(d) = action {
+    if let FaultAction::Delay(d) = job.action {
         std::thread::sleep(d);
     }
     if let Err(elapsed) = budget.check() {
         return shared.deadline_response("admission", elapsed, &budget);
     }
     let started = Instant::now();
-    let response = route(shared, request, request_id, &budget);
+    let response = route(shared, &job.request, job.request_id, &budget);
     shared.metrics.record_service_time(started.elapsed());
     response
 }
@@ -789,6 +902,9 @@ fn metrics(shared: &Shared) -> Response {
     let body = format!(
         "{{\"uptime_s\":{},\
            \"connections\":{{\"total\":{},\"active\":{}}},\
+           \"event_loop\":{{\"open_connections\":{},\"keepalive_idle\":{},\
+                            \"accepts\":{},\"epoll_wakeups\":{},\
+                            \"read_would_block\":{},\"write_would_block\":{}}},\
            \"requests\":{{\"total\":{},\"in_flight\":{},\"admitted\":{},\"shed\":{},\
                           \"deadline_exceeded\":{},\"panics_caught\":{},\"faults_injected\":{},\
                           \"service_ewma_ms\":{}}},\
@@ -798,6 +914,12 @@ fn metrics(shared: &Shared) -> Response {
         uptime.to_json(),
         shared.shutdown.total_started(),
         shared.shutdown.active(),
+        shared.metrics.open_connections.load(Ordering::Relaxed),
+        shared.metrics.keepalive_idle.load(Ordering::Relaxed),
+        shared.metrics.accepts.load(Ordering::Relaxed),
+        shared.metrics.epoll_wakeups.load(Ordering::Relaxed),
+        shared.metrics.read_would_block.load(Ordering::Relaxed),
+        shared.metrics.write_would_block.load(Ordering::Relaxed),
         shared.metrics.requests_total.load(Ordering::Relaxed),
         shared.metrics.requests_in_flight.load(Ordering::Relaxed),
         shared.admitted.load(Ordering::Acquire),
