@@ -1,0 +1,135 @@
+//! Cold-start measurement: how fast a server comes up from a snapshot file
+//! versus retraining from scratch — the number the persistence layer
+//! exists to improve.
+//!
+//! Measures, over the synthetic `ta → tb` fixture:
+//! * `train_ms`  — build + train + warm + seal from raw data,
+//! * `save_ms`   — serialize + atomic write to disk,
+//! * `load_ms`   — read + validate + rehydrate into a serving snapshot,
+//! * `snapshot_bytes` and `speedup = train_ms / load_ms`.
+//!
+//! Writes `results/BENCH_coldstart.json` (picked up by the CI trend
+//! report) and leaves the snapshot under `results/snapshots/` so CI can
+//! upload it as an artifact. Asserts the loaded snapshot serves the
+//! workload bit-identically and that `speedup ≥ 10` — instant cold start
+//! is a hard acceptance bar, not an aspiration. `--quick` shrinks nothing
+//! (the fixture is already tiny) but skips the repeat loop.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use restore_bench::{
+    hardware_threads, lane_width, result_fingerprint as fingerprint, sealed_synthetic_snapshot,
+    serving_workload as workload, target_feature, write_bench_json,
+};
+use restore_core::Snapshot;
+use restore_util::impl_to_json;
+
+/// One cold-start measurement (`BENCH_coldstart.json`).
+#[derive(Clone, Debug)]
+struct ColdstartRecord {
+    /// Bench group, `"coldstart"`.
+    bench: String,
+    /// Variant label, `"snapshot_vs_train"`.
+    engine: String,
+    /// Hardware threads of the machine the record was taken on.
+    hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    lane_width: usize,
+    /// Target-feature label behind the lane width.
+    target_feature: String,
+    /// Milliseconds to build + train + warm + seal from raw data.
+    train_ms: f64,
+    /// Milliseconds to serialize + atomically write the snapshot.
+    save_ms: f64,
+    /// Milliseconds to load + validate + rehydrate from disk (best of the
+    /// measured iterations — steady-state cold start, not first-touch IO).
+    load_ms: f64,
+    /// Snapshot file size in bytes.
+    snapshot_bytes: f64,
+    /// `train_ms / load_ms` — how much faster a snapshot boot is.
+    speedup: f64,
+}
+impl_to_json!(ColdstartRecord {
+    bench,
+    engine,
+    hardware_threads,
+    lane_width,
+    target_feature,
+    train_ms,
+    save_ms,
+    load_ms,
+    snapshot_bytes,
+    speedup
+});
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let load_iters = if quick { 3 } else { 10 };
+
+    // Train phase: everything a server without persistence must do before
+    // it can answer its first query.
+    let train_started = Instant::now();
+    let snapshot = sealed_synthetic_snapshot(11, 23);
+    let train_ms = train_started.elapsed().as_secs_f64() * 1e3;
+
+    // Save into results/snapshots/ so CI uploads the file as an artifact.
+    let dir: PathBuf = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/snapshots"
+    ));
+    std::fs::create_dir_all(&dir).expect("snapshots dir");
+    let path = dir.join("coldstart").join("v00001.snap");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("tenant dir");
+    let save_started = Instant::now();
+    let snapshot_bytes = snapshot.save(&path).expect("save");
+    let save_ms = save_started.elapsed().as_secs_f64() * 1e3;
+
+    // Load phase: what a server *with* persistence does instead. Best of N
+    // so the record reflects the format, not one cold page cache.
+    let mut load_ms = f64::INFINITY;
+    let mut loaded = None;
+    for _ in 0..load_iters {
+        let started = Instant::now();
+        let snap = Snapshot::load(&path).expect("load");
+        load_ms = load_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        loaded = Some(snap);
+    }
+    let loaded = loaded.expect("at least one load iteration");
+
+    // The speedup only counts if the loaded snapshot actually serves the
+    // same bytes.
+    for q in workload() {
+        for seed in [0u64, 7] {
+            assert_eq!(
+                fingerprint(&loaded.execute(&q, seed).expect("loaded execute")),
+                fingerprint(&snapshot.execute(&q, seed).expect("trained execute")),
+                "loaded snapshot diverged on {q:?} seed {seed}"
+            );
+        }
+    }
+
+    let speedup = train_ms / load_ms.max(1e-9);
+    let record = ColdstartRecord {
+        bench: "coldstart".into(),
+        engine: "snapshot_vs_train".into(),
+        hardware_threads: hardware_threads(),
+        lane_width: lane_width(),
+        target_feature: target_feature(),
+        train_ms,
+        save_ms,
+        load_ms,
+        snapshot_bytes: snapshot_bytes as f64,
+        speedup,
+    };
+    write_bench_json("BENCH_coldstart.json", std::slice::from_ref(&record));
+    println!(
+        "coldstart: train {train_ms:.1} ms, save {save_ms:.2} ms, load {load_ms:.2} ms, \
+         {snapshot_bytes} bytes, speedup {speedup:.0}x"
+    );
+    assert!(
+        speedup >= 10.0,
+        "cold start from snapshot must be ≥10x faster than retraining \
+         (train {train_ms:.1} ms / load {load_ms:.2} ms = {speedup:.1}x)"
+    );
+}

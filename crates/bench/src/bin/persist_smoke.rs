@@ -1,0 +1,148 @@
+//! CI persistence gate: proves a snapshot loaded from disk serves
+//! **byte-identically** to the in-memory snapshot it was saved from — not
+//! just in this process, but in a *fresh* one.
+//!
+//! 1. Build a tiny sealed snapshot, save it, load it back in-process, and
+//!    assert bit-identical fingerprints over the whole serving workload
+//!    (every query × seed, plus a confidence interval).
+//! 2. Re-exec this binary as a child (`--child <path>`): the child knows
+//!    nothing but the file path, loads the snapshot cold, and prints its
+//!    fingerprints; the parent asserts they match the in-memory ones —
+//!    the cold-start contract across a process boundary.
+//! 3. Corrupt a copy (one flipped byte; then a truncated tail) and assert
+//!    the loader rejects both with a clean `corrupt snapshot` error — no
+//!    panic, no garbage snapshot.
+//!
+//! Exits non-zero on any divergence.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use restore_bench::{
+    result_fingerprint as fingerprint, sealed_synthetic_snapshot, serving_workload as workload,
+};
+use restore_core::{ConfidenceQuery, PersistError, Snapshot};
+
+const SEEDS: [u64; 3] = [0, 7, 40];
+
+/// Every fingerprint the serving contract covers: the full query workload
+/// under each seed, then one §6 confidence interval (a different execution
+/// path: per-row certainties + bootstrap over the completed join).
+fn serve_fingerprints(snapshot: &Snapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    for q in workload() {
+        for &seed in &SEEDS {
+            out.push(fingerprint(&snapshot.execute(&q, seed).expect("execute")));
+        }
+    }
+    let tables = vec!["ta".to_string(), "tb".to_string()];
+    let cq = ConfidenceQuery::CountFraction {
+        table: "tb".to_string(),
+        column: "b".to_string(),
+        value: "b0".to_string(),
+    };
+    let ci = snapshot
+        .confidence(&tables, &cq, 0.95, 7)
+        .expect("confidence");
+    out.push(format!(
+        "ci:{:016x},{:016x},{:016x}",
+        ci.lo.to_bits(),
+        ci.hi.to_bits(),
+        ci.estimate.to_bits()
+    ));
+    out
+}
+
+/// Child mode: load the snapshot cold and print one fingerprint per line.
+fn child(path: &Path) {
+    let snapshot = Snapshot::load(path).expect("child load");
+    for fp in serve_fingerprints(&snapshot) {
+        println!("{fp}");
+    }
+}
+
+fn expect_corrupt(bytes: &[u8], label: &str) {
+    match Snapshot::from_bytes(bytes) {
+        Err(PersistError::Corrupt(reason)) => {
+            println!("persist smoke: {label} rejected: {reason}");
+        }
+        Err(other) => panic!("{label}: expected Corrupt, got {other}"),
+        Ok(_) => panic!("{label}: loader accepted corrupted bytes"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--child" {
+        child(Path::new(&args[2]));
+        return;
+    }
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("restore-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("v00001.snap");
+
+    // Build, serve in memory, save.
+    let snapshot = sealed_synthetic_snapshot(11, 23);
+    let reference = serve_fingerprints(&snapshot);
+    let bytes = snapshot.save(&path).expect("save");
+
+    // In-process round trip: byte-identical serving.
+    let loaded = Snapshot::load(&path).expect("load");
+    assert_eq!(
+        loaded.serve_seed(),
+        snapshot.serve_seed(),
+        "serve seed must survive the round trip"
+    );
+    let round_trip = serve_fingerprints(&loaded);
+    assert_eq!(
+        round_trip, reference,
+        "loaded snapshot diverged from the in-memory original"
+    );
+
+    // Idempotence: re-serializing the loaded snapshot reproduces the file.
+    let on_disk = std::fs::read(&path).expect("read back");
+    assert_eq!(
+        loaded.to_bytes(),
+        on_disk,
+        "serialization must be deterministic across a round trip"
+    );
+
+    // Cross-process cold start: a fresh process, given only the file path,
+    // must serve the same bytes.
+    let exe = std::env::current_exe().expect("current exe");
+    let output = Command::new(&exe)
+        .arg("--child")
+        .arg(&path)
+        .output()
+        .expect("spawn child");
+    assert!(
+        output.status.success(),
+        "child failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let child_lines: Vec<String> = String::from_utf8(output.stdout)
+        .expect("child stdout utf-8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        child_lines, reference,
+        "cold-started child process diverged from the in-memory original"
+    );
+
+    // Corruption rejection: a flipped byte mid-file and a truncated tail
+    // must both fail checksum/framing validation with a clean error.
+    let mut flipped = on_disk.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    expect_corrupt(&flipped, "flipped byte");
+    expect_corrupt(&on_disk[..on_disk.len() - 16], "truncated tail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "persist smoke OK: {} fingerprints byte-identical in-process and across a \
+         process boundary ({bytes} byte snapshot); flipped-byte and truncated copies rejected",
+        reference.len()
+    );
+}

@@ -30,6 +30,7 @@ pub mod error;
 pub mod merge;
 pub mod model;
 pub mod paths;
+pub mod persist;
 pub mod registry;
 pub mod restore;
 pub mod selection;
@@ -48,6 +49,7 @@ pub use error::{CoreError, CoreResult};
 pub use merge::{merge_tasks, CompletionTask, MergedModelSpec};
 pub use model::{AttrKind, CompletionModel, ModelAttr, TrainConfig};
 pub use paths::{enumerate_paths, CompletionPath};
+pub use persist::{PersistError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use registry::{RegistryView, SnapshotRegistry};
 pub use restore::{ModelSummary, ReStore, RestoreConfig, TrainReport};
 pub use selection::{

@@ -152,6 +152,29 @@ struct CtxTable {
     self_evidence: bool,
 }
 
+/// Everything about a model except trained weights: the output of
+/// [`CompletionModel::build_structure`], shared by training and snapshot
+/// rehydration.
+struct ModelStructure {
+    attrs: Vec<ModelAttr>,
+    table_ranges: Vec<Range<usize>>,
+    tf_attrs: Vec<Option<usize>>,
+    made: Made,
+    store: ParamStore,
+    ctx: Vec<CtxTable>,
+    deepsets: Option<DeepSets>,
+}
+
+/// The training-time statistics a snapshot persists alongside weights —
+/// `val_per_attr` in particular feeds the §5 selection criterion, so a
+/// loaded model must report exactly what the trained one did.
+pub(crate) struct RehydratedStats {
+    pub train_losses: Vec<f32>,
+    pub val_per_attr: Vec<f32>,
+    pub val_loss: f32,
+    pub train_seconds: f64,
+}
+
 /// A trained completion model for one path.
 pub struct CompletionModel {
     path: CompletionPath,
@@ -240,6 +263,105 @@ impl CompletionModel {
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
 
+        // Structure first: it consumes RNG only for weight init, so hoisting
+        // it before the join build leaves the training stream bit-identical.
+        let structure = Self::build_structure(db, annotation, &path, cfg, &mut rng)?;
+
+        // ---- training join ------------------------------------------------
+        let join = build_path_join(db, &path)?;
+        if join.n_rows() < 8 {
+            return Err(CoreError::InsufficientData(format!(
+                "path {} yields only {} joined rows",
+                path.describe(),
+                join.n_rows()
+            )));
+        }
+        let (tokens, weights) =
+            encode_training_tokens(db, &path, &structure.attrs, &structure.tf_attrs, &join)?;
+
+        let mut model = Self::from_structure(path, structure, cfg);
+        model.fit(&join, tokens, weights, &mut rng)?;
+        model.train_seconds = started.elapsed().as_secs_f64();
+        Ok(model)
+    }
+
+    /// Reconstructs a trained model from persisted weights: rebuilds the
+    /// deterministic structure (encoders, context tables, network masks)
+    /// from the same incomplete database it was trained on, then overwrites
+    /// the freshly initialized parameters with the stored blocks. The seed
+    /// fed to weight init is irrelevant — every value it produces is
+    /// replaced — so the result serves byte-identically to the original.
+    pub(crate) fn rehydrate(
+        db: &Database,
+        annotation: &SchemaAnnotation,
+        path: CompletionPath,
+        cfg: &TrainConfig,
+        weights: &[Matrix],
+        stats: RehydratedStats,
+    ) -> CoreResult<Self> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let structure = Self::build_structure(db, annotation, &path, cfg, &mut rng)?;
+        if stats.val_per_attr.len() != structure.attrs.len() {
+            return Err(CoreError::Invalid(format!(
+                "snapshot for path {} has {} per-attr losses, model has {} attrs",
+                path.describe(),
+                stats.val_per_attr.len(),
+                structure.attrs.len()
+            )));
+        }
+        let mut model = Self::from_structure(path, structure, cfg);
+        model.store.import_values(weights).map_err(|e| {
+            CoreError::Invalid(format!(
+                "snapshot weights for {}: {e}",
+                model.path.describe()
+            ))
+        })?;
+        model.train_losses = stats.train_losses;
+        model.val_per_attr = stats.val_per_attr;
+        model.val_loss = stats.val_loss;
+        model.train_seconds = stats.train_seconds;
+        Ok(model)
+    }
+
+    /// The training configuration this model was built with — persisted so
+    /// a loaded snapshot can rebuild the identical structure.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Wraps a built structure into an (untrained) model shell.
+    fn from_structure(path: CompletionPath, s: ModelStructure, cfg: &TrainConfig) -> Self {
+        Self {
+            path,
+            attrs: s.attrs,
+            table_ranges: s.table_ranges,
+            tf_attrs: s.tf_attrs,
+            made: s.made,
+            store: s.store,
+            ctx: s.ctx,
+            deepsets: s.deepsets,
+            cfg: cfg.clone(),
+            train_losses: Vec::new(),
+            val_per_attr: Vec::new(),
+            val_loss: 0.0,
+            train_seconds: 0.0,
+        }
+    }
+
+    /// Builds everything about a model except its trained weights: the
+    /// attribute layout with fitted encoders, the SSAR context tables, and
+    /// the network with freshly initialized parameters. Everything here is
+    /// a deterministic function of `(db, annotation, path, cfg)` — the only
+    /// RNG consumption is weight initialization — which is what makes
+    /// snapshot rehydration byte-exact: the loader replays this and then
+    /// overwrites the weights.
+    fn build_structure(
+        db: &Database,
+        annotation: &SchemaAnnotation,
+        path: &CompletionPath,
+        cfg: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> CoreResult<ModelStructure> {
         // ---- attribute layout & encoders --------------------------------
         let mut attrs: Vec<ModelAttr> = Vec::new();
         let mut table_ranges = Vec::with_capacity(path.len());
@@ -280,21 +402,10 @@ impl CompletionModel {
             )));
         }
 
-        // ---- training join ------------------------------------------------
-        let join = build_path_join(db, &path)?;
-        if join.n_rows() < 8 {
-            return Err(CoreError::InsufficientData(format!(
-                "path {} yields only {} joined rows",
-                path.describe(),
-                join.n_rows()
-            )));
-        }
-        let (tokens, weights) = encode_training_tokens(db, &path, &attrs, &tf_attrs, &join)?;
-
         // ---- SSAR context (decided before the network: a path without
         // fan-out evidence degrades to a plain AR model) -------------------
         let ctx = if cfg.is_ssar() {
-            build_ctx_tables(db, annotation, &path, cfg)?
+            build_ctx_tables(db, annotation, path, cfg)?
         } else {
             Vec::new()
         };
@@ -310,7 +421,7 @@ impl CompletionModel {
             .with_ctx(effective_ctx_dim)
             .with_hidden(cfg.hidden.clone())
             .with_incremental_sweep(cfg.incremental_sweep);
-        let made = Made::new(made_cfg, &mut store, &mut rng);
+        let made = Made::new(made_cfg, &mut store, rng);
 
         let deepsets = if ctx.is_empty() {
             None
@@ -329,11 +440,10 @@ impl CompletionModel {
                 ctx_dim: cfg.ctx_dim,
                 post_hidden: 32,
             };
-            Some(DeepSets::new(&ds_cfg, &mut store, &mut rng))
+            Some(DeepSets::new(&ds_cfg, &mut store, rng))
         };
 
-        let mut model = Self {
-            path,
+        Ok(ModelStructure {
             attrs,
             table_ranges,
             tf_attrs,
@@ -341,15 +451,7 @@ impl CompletionModel {
             store,
             ctx,
             deepsets,
-            cfg: cfg.clone(),
-            train_losses: Vec::new(),
-            val_per_attr: Vec::new(),
-            val_loss: 0.0,
-            train_seconds: 0.0,
-        };
-        model.fit(&join, tokens, weights, &mut rng)?;
-        model.train_seconds = started.elapsed().as_secs_f64();
-        Ok(model)
+        })
     }
 
     /// Known tuple factors of a fan-out step: the non-null `__tf_<child>`

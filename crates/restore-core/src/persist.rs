@@ -1,0 +1,866 @@
+//! Versioned on-disk snapshot format: instant cold starts for sealed
+//! snapshots.
+//!
+//! A snapshot file is `magic ++ version ++ meta ++ payload ++ checksum`:
+//!
+//! ```text
+//! offset  size     content
+//! 0       8        magic "RSTRSNAP"
+//! 8       4        format version, u32 LE (currently 1)
+//! 12      8        meta length in bytes, u64 LE
+//! 20      m        meta JSON (UTF-8): catalog, annotation, configs,
+//!                  per-model metadata + parameter shapes, selected paths
+//! 20+m    p        binary payload: column sections per table (catalog
+//!                  order), then raw little-endian f32 weight blocks per
+//!                  model (sorted path order, authoritative unpadded
+//!                  ParamStore layout)
+//! 20+m+p  8        FNV-1a 64 checksum over ALL preceding bytes, u64 LE
+//! ```
+//!
+//! The loader does **not** deserialize trained state it can recompute:
+//! encoders, context tables and network masks are deterministic functions
+//! of the stored incomplete database and config, so
+//! [`CompletionModel::rehydrate`] rebuilds them and then overwrites only
+//! the weights. Together with path-derived synthesis seeds this makes the
+//! round-trip invariant exact: `load(save(snapshot))` serves
+//! **byte-identically** to the in-memory original for any `(query, seed)`.
+//! The completed-join cache is deliberately not persisted — a loaded
+//! snapshot starts cold and repopulates with bit-identical entries.
+//!
+//! Numeric fidelity in the meta JSON: `f32`/`f64` stats round-trip exactly
+//! (f32→f64 promotion is exact, Rust's `Display` prints shortest
+//! round-trip decimals, and parsing is correctly rounded); the u64 serve
+//! seed is stored as a decimal *string* because the JSON reader funnels
+//! numbers through `f64`, which loses integers above 2^53.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use restore_db::{Column, DataType, Database, Dictionary, Field, ForeignKey, Table};
+use restore_nn::Matrix;
+use restore_util::json::{parse, JsonValue, ToJson};
+use restore_util::{fnv1a64, write_atomic};
+
+use crate::annotation::SchemaAnnotation;
+use crate::cache::JoinCache;
+use crate::completion::{CompleterConfig, ReplacementMode};
+use crate::error::CoreError;
+use crate::model::{CompletionModel, RehydratedStats, TrainConfig};
+use crate::paths::CompletionPath;
+use crate::restore::RestoreConfig;
+use crate::selection::SelectionStrategy;
+use crate::snapshot::Snapshot;
+
+/// File magic of snapshot files.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"RSTRSNAP";
+/// Current format version. Bump on ANY layout change — the loader refuses
+/// other versions rather than misreading them.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Errors of the snapshot persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file is not a valid snapshot: bad magic, failed checksum,
+    /// truncation, or malformed metadata.
+    Corrupt(String),
+    /// The file is a snapshot, but of a format version this build does not
+    /// speak.
+    UnsupportedVersion(u32),
+    /// Structural reconstruction failed (schema/model rebuild).
+    Core(CoreError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (this build speaks {SNAPSHOT_FORMAT_VERSION})"
+                )
+            }
+            PersistError::Core(e) => write!(f, "snapshot reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CoreError> for PersistError {
+    fn from(e: CoreError) -> Self {
+        PersistError::Core(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+impl Snapshot {
+    /// Serializes this snapshot into the versioned on-disk format.
+    /// Deterministic: the same snapshot always produces the same bytes
+    /// (maps are emitted in sorted order), so re-saving an unchanged
+    /// version is byte-idempotent.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let model_keys = self.sorted_model_keys();
+
+        let mut payload = Vec::new();
+        for name in self.db.table_names() {
+            let table = self.db.table(name).expect("catalog table");
+            for col in table.columns() {
+                write_column(&mut payload, col);
+            }
+        }
+        for key in &model_keys {
+            let model = &self.models[key];
+            for mat in model.params().values() {
+                for &v in mat.data() {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+
+        let meta = self.meta_json(&model_keys).to_json();
+        let mut out = Vec::with_capacity(20 + meta.len() + payload.len() + 8);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+        out.extend_from_slice(meta.as_bytes());
+        out.extend_from_slice(&payload);
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Writes this snapshot to `path` atomically (temp file → fsync →
+    /// rename → directory fsync). Returns the file size in bytes.
+    pub fn save(&self, path: &Path) -> Result<u64, PersistError> {
+        let bytes = self.to_bytes();
+        write_atomic(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and reconstructs a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Snapshot, PersistError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Reconstructs a snapshot from serialized bytes, validating magic,
+    /// version and checksum before touching any content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, PersistError> {
+        if bytes.len() < 28 {
+            return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
+        }
+        if &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic (not a snapshot file)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let meta_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let meta_end = 20usize
+            .checked_add(meta_len)
+            .filter(|&e| e <= body.len())
+            .ok_or_else(|| corrupt("meta length exceeds file size"))?;
+        let meta_str = std::str::from_utf8(&body[20..meta_end])
+            .map_err(|_| corrupt("meta is not valid UTF-8"))?;
+        let meta = parse(meta_str).ok_or_else(|| corrupt("meta is not valid JSON"))?;
+        let mut cur = Cursor::new(&body[meta_end..]);
+
+        // ---- catalog -----------------------------------------------------
+        let mut db = Database::new();
+        for tmeta in arr(&meta, "tables")? {
+            let name = str_field(tmeta, "name")?;
+            let n_rows = usize_field(tmeta, "n_rows")?;
+            let mut fields = Vec::new();
+            let mut columns = Vec::new();
+            for fmeta in arr(tmeta, "fields")? {
+                let dtype = parse_dtype(str_field(fmeta, "dtype")?)?;
+                fields.push(Field::new(str_field(fmeta, "name")?, dtype));
+                columns.push(read_column(&mut cur, dtype, n_rows)?);
+            }
+            let table = Table::from_columns(name, fields, columns)
+                .map_err(|e| corrupt(format!("table {name}: {e}")))?;
+            db.add_table(table);
+        }
+        for fkmeta in arr(&meta, "foreign_keys")? {
+            let fk = ForeignKey::new(
+                str_field(fkmeta, "child")?,
+                str_field(fkmeta, "child_col")?,
+                str_field(fkmeta, "parent")?,
+                str_field(fkmeta, "parent_col")?,
+            );
+            db.add_foreign_key(fk)
+                .map_err(|e| corrupt(format!("foreign key: {e}")))?;
+        }
+
+        // ---- annotation + config ----------------------------------------
+        let incomplete: Vec<String> = arr(&meta, "incomplete")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<_>>()
+            .ok_or_else(|| corrupt("incomplete table list"))?;
+        let annotation = SchemaAnnotation::with_incomplete(incomplete);
+        let config = config_from_json(field(&meta, "config")?)?;
+        let base_seed = match field(&meta, "serve_seed")? {
+            JsonValue::Null => None,
+            JsonValue::Str(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|_| corrupt(format!("serve_seed {s:?} is not a u64")))?,
+            ),
+            _ => return Err(corrupt("serve_seed must be a string or null")),
+        };
+
+        // ---- models (weight blocks follow the catalog in the payload) ---
+        let mut models = HashMap::new();
+        for mmeta in arr(&meta, "models")? {
+            let tables: Vec<String> = arr(mmeta, "tables")?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Option<_>>()
+                .ok_or_else(|| corrupt("model path tables"))?;
+            let train = train_from_json(field(mmeta, "train")?)?;
+            let mut weights = Vec::new();
+            for shape in arr(mmeta, "shapes")? {
+                let dims = shape
+                    .as_array()
+                    .filter(|d| d.len() == 2)
+                    .ok_or_else(|| corrupt("parameter shape"))?;
+                let rows = json_usize(&dims[0], "shape rows")?;
+                let cols = json_usize(&dims[1], "shape cols")?;
+                let mut data = Vec::with_capacity(rows * cols);
+                for _ in 0..rows * cols {
+                    data.push(cur.f32_le()?);
+                }
+                weights.push(Matrix::from_vec(rows, cols, data));
+            }
+            let stats = RehydratedStats {
+                train_losses: f32_list(mmeta, "train_losses")?,
+                val_per_attr: f32_list(mmeta, "val_per_attr")?,
+                val_loss: num_field(mmeta, "val_loss")? as f32,
+                train_seconds: num_field(mmeta, "train_seconds")?,
+            };
+            let path = CompletionPath::from_tables(&db, &tables)
+                .map_err(|e| corrupt(format!("model path {tables:?}: {e}")))?;
+            let model =
+                CompletionModel::rehydrate(&db, &annotation, path, &train, &weights, stats)?;
+            models.insert(tables, Arc::new(model));
+        }
+        if cur.pos != cur.buf.len() {
+            return Err(corrupt(format!(
+                "{} unconsumed payload bytes",
+                cur.buf.len() - cur.pos
+            )));
+        }
+
+        let selected = chains_from_json(&meta, "selected")?;
+        let forced = chains_from_json(&meta, "forced")?;
+
+        // Loaded snapshots start with a cold cache; sealed seeds make the
+        // repopulated entries bit-identical to the original's.
+        let cache = if base_seed.is_some() {
+            JoinCache::with_budget(config.cache_budget_bytes)
+        } else {
+            JoinCache::new()
+        };
+        Ok(Snapshot {
+            db: Arc::new(db),
+            annotation,
+            config,
+            models,
+            selected,
+            forced,
+            cache,
+            base_seed,
+        })
+    }
+
+    fn sorted_model_keys(&self) -> Vec<Vec<String>> {
+        let mut keys: Vec<Vec<String>> = self.models.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    fn meta_json(&self, model_keys: &[Vec<String>]) -> JsonValue {
+        let tables: Vec<JsonValue> = self
+            .db
+            .table_names()
+            .map(|name| {
+                let t = self.db.table(name).expect("catalog table");
+                let fields: Vec<JsonValue> = t
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        obj(vec![
+                            ("name", jstr(&f.name)),
+                            ("dtype", jstr(dtype_name(f.dtype))),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("name", jstr(name)),
+                    ("n_rows", jus(t.n_rows())),
+                    ("fields", JsonValue::Arr(fields)),
+                ])
+            })
+            .collect();
+        let foreign_keys: Vec<JsonValue> = self
+            .db
+            .foreign_keys()
+            .iter()
+            .map(|fk| {
+                obj(vec![
+                    ("child", jstr(&fk.child)),
+                    ("child_col", jstr(&fk.child_col)),
+                    ("parent", jstr(&fk.parent)),
+                    ("parent_col", jstr(&fk.parent_col)),
+                ])
+            })
+            .collect();
+        let models: Vec<JsonValue> = model_keys
+            .iter()
+            .map(|key| {
+                let m = &self.models[key];
+                let shapes: Vec<JsonValue> = m
+                    .params()
+                    .values()
+                    .iter()
+                    .map(|mat| {
+                        let (r, c) = mat.shape();
+                        JsonValue::Arr(vec![jus(r), jus(c)])
+                    })
+                    .collect();
+                obj(vec![
+                    ("tables", jstr_arr(key)),
+                    ("train", train_to_json(m.train_config())),
+                    ("train_losses", jf32_arr(&m.train_losses)),
+                    ("val_per_attr", jf32_arr(&m.val_per_attr)),
+                    ("val_loss", jnum(m.val_loss as f64)),
+                    ("train_seconds", jnum(m.train_seconds)),
+                    ("shapes", JsonValue::Arr(shapes)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("format", jstr("restore-snapshot")),
+            (
+                "serve_seed",
+                match self.base_seed {
+                    Some(s) => jstr(&s.to_string()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "incomplete",
+                JsonValue::Arr(
+                    self.annotation
+                        .incomplete_tables()
+                        .map(jstr)
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("config", config_to_json(&self.config)),
+            ("tables", JsonValue::Arr(tables)),
+            ("foreign_keys", JsonValue::Arr(foreign_keys)),
+            ("models", JsonValue::Arr(models)),
+            ("selected", chains_to_json(&self.selected)),
+            ("forced", chains_to_json(&self.forced)),
+        ])
+    }
+}
+
+// ---- binary column sections ---------------------------------------------
+
+/// Column tags in the payload (one byte before each column body).
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_STR: u8 = 2;
+
+fn write_bitmap(out: &mut Vec<u8>, present: impl ExactSizeIterator<Item = bool>) {
+    let n = present.len();
+    let mut bytes = vec![0u8; n.div_ceil(8)];
+    for (i, p) in present.enumerate() {
+        if p {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bytes);
+}
+
+fn write_column(out: &mut Vec<u8>, col: &Column) {
+    match col {
+        Column::Int(v) => {
+            out.push(TAG_INT);
+            write_bitmap(out, v.iter().map(Option::is_some));
+            for x in v {
+                out.extend_from_slice(&x.unwrap_or(0).to_le_bytes());
+            }
+        }
+        Column::Float(v) => {
+            out.push(TAG_FLOAT);
+            write_bitmap(out, v.iter().map(Option::is_some));
+            for x in v {
+                // Bit pattern, not value: NaN payloads survive round trips.
+                out.extend_from_slice(&x.unwrap_or(0.0).to_bits().to_le_bytes());
+            }
+        }
+        Column::Str { dict, codes } => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+            for c in 0..dict.len() {
+                let s = dict.value(c as u32);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            write_bitmap(out, codes.iter().map(Option::is_some));
+            for c in codes {
+                out.extend_from_slice(&c.unwrap_or(0).to_le_bytes());
+            }
+        }
+    }
+}
+
+fn read_column(
+    cur: &mut Cursor<'_>,
+    dtype: DataType,
+    n_rows: usize,
+) -> Result<Column, PersistError> {
+    let tag = cur.u8()?;
+    let expected = match dtype {
+        DataType::Int => TAG_INT,
+        DataType::Float => TAG_FLOAT,
+        DataType::Str => TAG_STR,
+    };
+    if tag != expected {
+        return Err(corrupt(format!(
+            "column tag {tag} does not match declared dtype {}",
+            dtype_name(dtype)
+        )));
+    }
+    match dtype {
+        DataType::Int => {
+            let present = cur.bitmap(n_rows)?;
+            let mut v = Vec::with_capacity(n_rows);
+            for p in present {
+                let x = cur.i64_le()?;
+                v.push(p.then_some(x));
+            }
+            Ok(Column::Int(v))
+        }
+        DataType::Float => {
+            let present = cur.bitmap(n_rows)?;
+            let mut v = Vec::with_capacity(n_rows);
+            for p in present {
+                let x = f64::from_bits(cur.u64_le()?);
+                v.push(p.then_some(x));
+            }
+            Ok(Column::Float(v))
+        }
+        DataType::Str => {
+            let n_dict = cur.u32_le()? as usize;
+            let mut dict = Dictionary::new();
+            for i in 0..n_dict {
+                let len = cur.u32_le()? as usize;
+                let s = std::str::from_utf8(cur.take(len)?)
+                    .map_err(|_| corrupt("dictionary entry is not UTF-8"))?;
+                let code = dict.intern(s);
+                if code as usize != i {
+                    return Err(corrupt("duplicate dictionary entry"));
+                }
+            }
+            let present = cur.bitmap(n_rows)?;
+            let mut codes = Vec::with_capacity(n_rows);
+            for p in present {
+                let c = cur.u32_le()?;
+                if p && c as usize >= n_dict {
+                    return Err(corrupt(format!("string code {c} out of dictionary range")));
+                }
+                codes.push(p.then_some(c));
+            }
+            Ok(Column::Str { dict, codes })
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("payload truncated"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32_le(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64_le(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32_le(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn bitmap(&mut self, n: usize) -> Result<Vec<bool>, PersistError> {
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+}
+
+// ---- meta JSON helpers ---------------------------------------------------
+
+fn jnum(v: f64) -> JsonValue {
+    JsonValue::Num(v)
+}
+
+fn jus(v: usize) -> JsonValue {
+    JsonValue::Num(v as f64)
+}
+
+fn jstr(s: &str) -> JsonValue {
+    JsonValue::Str(s.to_string())
+}
+
+fn jstr_arr(items: &[String]) -> JsonValue {
+    JsonValue::Arr(items.iter().map(|s| jstr(s)).collect())
+}
+
+/// f32 values promote to f64 exactly; the shortest-round-trip printer plus
+/// correctly rounded parsing makes the f32 round trip lossless.
+fn jf32_arr(items: &[f32]) -> JsonValue {
+    JsonValue::Arr(items.iter().map(|&v| jnum(v as f64)).collect())
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, PersistError> {
+    v.get(key)
+        .ok_or_else(|| corrupt(format!("missing meta field {key:?}")))
+}
+
+fn arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], PersistError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| corrupt(format!("meta field {key:?} is not an array")))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, PersistError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| corrupt(format!("meta field {key:?} is not a string")))
+}
+
+fn num_field(v: &JsonValue, key: &str) -> Result<f64, PersistError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| corrupt(format!("meta field {key:?} is not a number")))
+}
+
+fn json_usize(v: &JsonValue, what: &str) -> Result<usize, PersistError> {
+    v.as_f64()
+        .filter(|&x| x >= 0.0 && x.fract() == 0.0)
+        .map(|x| x as usize)
+        .ok_or_else(|| corrupt(format!("{what} is not a non-negative integer")))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, PersistError> {
+    json_usize(field(v, key)?, key)
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, PersistError> {
+    match field(v, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(corrupt(format!("meta field {key:?} is not a bool"))),
+    }
+}
+
+fn f32_list(v: &JsonValue, key: &str) -> Result<Vec<f32>, PersistError> {
+    arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| corrupt(format!("meta field {key:?} holds a non-number")))
+        })
+        .collect()
+}
+
+fn dtype_name(d: DataType) -> &'static str {
+    match d {
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Str => "str",
+    }
+}
+
+fn parse_dtype(s: &str) -> Result<DataType, PersistError> {
+    match s {
+        "int" => Ok(DataType::Int),
+        "float" => Ok(DataType::Float),
+        "str" => Ok(DataType::Str),
+        other => Err(corrupt(format!("unknown dtype {other:?}"))),
+    }
+}
+
+fn chains_to_json(map: &HashMap<String, Vec<String>>) -> JsonValue {
+    let mut entries: Vec<(&String, &Vec<String>)> = map.iter().collect();
+    entries.sort_by_key(|(k, _)| k.as_str());
+    JsonValue::Arr(
+        entries
+            .into_iter()
+            .map(|(k, chain)| JsonValue::Arr(vec![jstr(k), jstr_arr(chain)]))
+            .collect(),
+    )
+}
+
+fn chains_from_json(
+    meta: &JsonValue,
+    key: &str,
+) -> Result<HashMap<String, Vec<String>>, PersistError> {
+    let mut out = HashMap::new();
+    for entry in arr(meta, key)? {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| corrupt(format!("meta field {key:?} entry is not a pair")))?;
+        let table = pair[0]
+            .as_str()
+            .ok_or_else(|| corrupt(format!("{key} table name")))?;
+        let chain: Vec<String> = pair[1]
+            .as_array()
+            .ok_or_else(|| corrupt(format!("{key} chain")))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<_>>()
+            .ok_or_else(|| corrupt(format!("{key} chain entry")))?;
+        out.insert(table.to_string(), chain);
+    }
+    Ok(out)
+}
+
+fn train_to_json(t: &TrainConfig) -> JsonValue {
+    obj(vec![
+        ("epochs", jus(t.epochs)),
+        ("batch_size", jus(t.batch_size)),
+        ("lr", jnum(t.lr as f64)),
+        (
+            "hidden",
+            JsonValue::Arr(t.hidden.iter().map(|&h| jus(h)).collect()),
+        ),
+        ("embed_dim", jus(t.embed_dim)),
+        ("max_bins", jus(t.max_bins)),
+        ("val_fraction", jnum(t.val_fraction)),
+        ("clip_norm", jnum(t.clip_norm as f64)),
+        ("max_train_rows", jus(t.max_train_rows)),
+        ("tf_cap", jnum(t.tf_cap as f64)),
+        ("ctx_dim", jus(t.ctx_dim)),
+        ("max_set_size", jus(t.max_set_size)),
+        ("min_steps", jus(t.min_steps)),
+        ("patience", jus(t.patience)),
+        ("workers", jus(t.workers)),
+        ("microbatch", jus(t.microbatch)),
+        ("incremental_sweep", JsonValue::Bool(t.incremental_sweep)),
+    ])
+}
+
+fn train_from_json(v: &JsonValue) -> Result<TrainConfig, PersistError> {
+    Ok(TrainConfig {
+        epochs: usize_field(v, "epochs")?,
+        batch_size: usize_field(v, "batch_size")?,
+        lr: num_field(v, "lr")? as f32,
+        hidden: arr(v, "hidden")?
+            .iter()
+            .map(|h| json_usize(h, "hidden layer width"))
+            .collect::<Result<_, _>>()?,
+        embed_dim: usize_field(v, "embed_dim")?,
+        max_bins: usize_field(v, "max_bins")?,
+        val_fraction: num_field(v, "val_fraction")?,
+        clip_norm: num_field(v, "clip_norm")? as f32,
+        max_train_rows: usize_field(v, "max_train_rows")?,
+        tf_cap: num_field(v, "tf_cap")? as i64,
+        ctx_dim: usize_field(v, "ctx_dim")?,
+        max_set_size: usize_field(v, "max_set_size")?,
+        min_steps: usize_field(v, "min_steps")?,
+        patience: usize_field(v, "patience")?,
+        workers: usize_field(v, "workers")?,
+        microbatch: usize_field(v, "microbatch")?,
+        incremental_sweep: bool_field(v, "incremental_sweep")?,
+    })
+}
+
+fn completer_to_json(c: &CompleterConfig) -> JsonValue {
+    obj(vec![
+        ("ann_bits", jus(c.ann_bits)),
+        ("ann_tables", jus(c.ann_tables)),
+        ("max_missing_per_row", jnum(c.max_missing_per_row as f64)),
+        (
+            "replacement",
+            jstr(match c.replacement {
+                ReplacementMode::Auto => "auto",
+                ReplacementMode::Always => "always",
+                ReplacementMode::Never => "never",
+            }),
+        ),
+        ("batch_size", jus(c.batch_size)),
+        ("workers", jus(c.workers)),
+        (
+            "incremental_encoding",
+            JsonValue::Bool(c.incremental_encoding),
+        ),
+    ])
+}
+
+fn completer_from_json(v: &JsonValue) -> Result<CompleterConfig, PersistError> {
+    Ok(CompleterConfig {
+        ann_bits: usize_field(v, "ann_bits")?,
+        ann_tables: usize_field(v, "ann_tables")?,
+        max_missing_per_row: num_field(v, "max_missing_per_row")? as i64,
+        replacement: match str_field(v, "replacement")? {
+            "auto" => ReplacementMode::Auto,
+            "always" => ReplacementMode::Always,
+            "never" => ReplacementMode::Never,
+            other => return Err(corrupt(format!("unknown replacement mode {other:?}"))),
+        },
+        batch_size: usize_field(v, "batch_size")?,
+        workers: usize_field(v, "workers")?,
+        incremental_encoding: bool_field(v, "incremental_encoding")?,
+    })
+}
+
+fn config_to_json(c: &RestoreConfig) -> JsonValue {
+    obj(vec![
+        ("train", train_to_json(&c.train)),
+        ("completer", completer_to_json(&c.completer)),
+        ("max_path_len", jus(c.max_path_len)),
+        ("max_candidates", jus(c.max_candidates)),
+        (
+            "strategy",
+            jstr(match c.strategy {
+                SelectionStrategy::Shortest => "shortest",
+                SelectionStrategy::BestValLoss => "best_val_loss",
+                SelectionStrategy::SuspectedBiasRanking => "suspected_bias_ranking",
+            }),
+        ),
+        ("cache_budget_bytes", jus(c.cache_budget_bytes)),
+    ])
+}
+
+fn config_from_json(v: &JsonValue) -> Result<RestoreConfig, PersistError> {
+    Ok(RestoreConfig {
+        train: train_from_json(field(v, "train")?)?,
+        completer: completer_from_json(field(v, "completer")?)?,
+        max_path_len: usize_field(v, "max_path_len")?,
+        max_candidates: usize_field(v, "max_candidates")?,
+        strategy: match str_field(v, "strategy")? {
+            "shortest" => SelectionStrategy::Shortest,
+            "best_val_loss" => SelectionStrategy::BestValLoss,
+            "suspected_bias_ranking" => SelectionStrategy::SuspectedBiasRanking,
+            other => return Err(corrupt(format!("unknown selection strategy {other:?}"))),
+        },
+        cache_budget_bytes: usize_field(v, "cache_budget_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_json_round_trips() {
+        let cfg = RestoreConfig::default();
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        assert_eq!(back.train.epochs, cfg.train.epochs);
+        assert_eq!(back.train.lr.to_bits(), cfg.train.lr.to_bits());
+        assert_eq!(back.train.hidden, cfg.train.hidden);
+        assert_eq!(back.completer.batch_size, cfg.completer.batch_size);
+        assert_eq!(back.cache_budget_bytes, cfg.cache_budget_bytes);
+    }
+
+    #[test]
+    fn train_json_preserves_f32_bits() {
+        let t = TrainConfig {
+            lr: 5.1234e-3,
+            clip_norm: 3.333,
+            ..TrainConfig::default()
+        };
+        let doc = train_to_json(&t).to_json();
+        let back = train_from_json(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.lr.to_bits(), t.lr.to_bits());
+        assert_eq!(back.clip_norm.to_bits(), t.clip_norm.to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_checksum() {
+        assert!(matches!(
+            Snapshot::from_bytes(b"not a snapshot file at all.."),
+            Err(PersistError::Corrupt(_))
+        ));
+        let mut fake = Vec::new();
+        fake.extend_from_slice(SNAPSHOT_MAGIC);
+        fake.extend_from_slice(&99u32.to_le_bytes());
+        fake.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Snapshot::from_bytes(&fake),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+        let mut bad = Vec::new();
+        bad.extend_from_slice(SNAPSHOT_MAGIC);
+        bad.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(PersistError::Corrupt(m)) if m.contains("checksum")
+        ));
+    }
+}

@@ -184,6 +184,36 @@ impl ReStore {
         snapshot
     }
 
+    /// Starts a fresh build phase from an existing snapshot (typically one
+    /// loaded from disk): database, annotation, config and forced paths
+    /// carry over, and every model of `snapshot` is **retrained** under
+    /// `train_seed` — this is the background-rebuild primitive that
+    /// produces version n+1 while version n keeps serving. Selected paths
+    /// are copied, not re-scored; suspected-bias hints are not persisted
+    /// and therefore do not carry over.
+    pub fn rebuild_from(snapshot: &Snapshot, train_seed: u64) -> CoreResult<Self> {
+        let mut rs = Self {
+            inner: Snapshot {
+                db: Arc::clone(&snapshot.db),
+                annotation: snapshot.annotation.clone(),
+                config: snapshot.config.clone(),
+                models: HashMap::new(),
+                selected: HashMap::new(),
+                forced: snapshot.forced.clone(),
+                cache: JoinCache::new(),
+                base_seed: None,
+            },
+            suspected: Vec::new(),
+        };
+        let mut keys: Vec<Vec<String>> = snapshot.models.keys().cloned().collect();
+        keys.sort();
+        for (i, tables) in keys.iter().enumerate() {
+            rs.model_for_path(tables, train_seed.wrapping_add(i as u64 * 7919))?;
+        }
+        rs.inner.selected = snapshot.selected.clone();
+        Ok(rs)
+    }
+
     /// Selects completion paths and trains models for every incomplete
     /// table with modeled attributes (link tables without attributes are
     /// completed implicitly inside longer chains).

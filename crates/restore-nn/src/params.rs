@@ -185,6 +185,40 @@ impl ParamStore {
         }
     }
 
+    /// All parameter values in registration order — the authoritative
+    /// (unpadded) layout the persistence layer serializes.
+    pub fn values(&self) -> &[Matrix] {
+        &self.values
+    }
+
+    /// Overwrites every parameter value from `blocks`, which must match
+    /// this store's registration order and shapes exactly. Used by the
+    /// snapshot loader: the model is rebuilt structurally (registering
+    /// freshly initialized parameters), then its weights are replaced with
+    /// the persisted blocks.
+    pub fn import_values(&mut self, blocks: &[Matrix]) -> Result<(), String> {
+        if blocks.len() != self.values.len() {
+            return Err(format!(
+                "parameter count mismatch: store has {}, import has {}",
+                self.values.len(),
+                blocks.len()
+            ));
+        }
+        for (id, (dst, src)) in self.values.iter().zip(blocks).enumerate() {
+            if dst.shape() != src.shape() {
+                return Err(format!(
+                    "parameter {id} shape mismatch: store {:?}, import {:?}",
+                    dst.shape(),
+                    src.shape()
+                ));
+            }
+        }
+        for (dst, src) in self.values.iter_mut().zip(blocks) {
+            dst.copy_from(src);
+        }
+        Ok(())
+    }
+
     /// Iterates over `(id, value, grad)` triples, mutably — used by
     /// optimizers.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &Matrix)> {

@@ -98,9 +98,11 @@ pub mod fault;
 pub mod http;
 pub mod reactor;
 pub mod server;
+pub mod store;
 
 pub use client::{one_shot, ClientConfig, HttpClient, HttpResponse, RetryPolicy};
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use http::{Limits, Request, Response};
 pub use reactor::raise_fd_limit;
 pub use server::{ServeConfig, Server};
+pub use store::{LoadedSnapshot, SkippedSnapshot, SnapshotStore};

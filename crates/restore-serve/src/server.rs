@@ -65,23 +65,25 @@
 //! leader panic poisons the flight: followers answer 500 instead of
 //! hanging, and the next request computes afresh.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use restore_core::wire::{self, QueryRequest};
-use restore_core::{CoreError, SnapshotRegistry};
+use restore_core::{CoreError, ReStore, SnapshotRegistry};
 use restore_util::json::ToJson;
-use restore_util::{RateLimitConfig, RateLimiter, Shutdown, SingleFlight};
+use restore_util::{derive_seed, RateLimitConfig, RateLimiter, Shutdown, SingleFlight};
 
 use crate::fault::{self, FaultAction, FaultConfig, FaultPlan};
 use crate::http::{error_body, Limits, Request, Response};
 use crate::reactor::{Epoll, Reactor, WakeHandle, TOKEN_LISTENER, TOKEN_WAKE};
+use crate::store::SnapshotStore;
 
 /// Server knobs. Defaults are sized for tests and modest deployments.
 #[derive(Clone, Debug)]
@@ -115,6 +117,14 @@ pub struct ServeConfig {
     /// other connections. Subsumed by [`ServeConfig::fault`] for anything
     /// beyond that one scenario.
     pub panic_route: bool,
+    /// Root of the versioned snapshot directory
+    /// (`<dir>/<tenant>/v<NNNNN>.snap`). When set, [`Server::bind`] scans
+    /// it and serves each tenant's newest *valid* version (corrupt or
+    /// truncated files are skipped with a logged reason), and
+    /// `POST /v1/{tenant}/rebuild` becomes available: retrain off-thread,
+    /// save the next version atomically, publish through the registry.
+    /// `None` (the default) disables persistence entirely.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +142,7 @@ impl Default for ServeConfig {
             rate_limit: None,
             fault: None,
             panic_route: false,
+            snapshot_dir: None,
         }
     }
 }
@@ -170,6 +181,18 @@ pub(crate) struct Metrics {
     /// EWMA of admitted-request service time (nanoseconds, α = 1/8) — the
     /// basis of the admission gate's `Retry-After` hint.
     service_ewma_nanos: AtomicU64,
+    // --- persistence counters (boot scan + rebuild pipeline) ---
+    /// Snapshot files loaded and published (boot scan).
+    snapshots_loaded: AtomicU64,
+    /// Snapshot files written by the rebuild pipeline.
+    snapshots_saved: AtomicU64,
+    /// Cumulative snapshot load time, microseconds (reported as ms).
+    snapshot_load_us: AtomicU64,
+    snapshot_loaded_bytes: AtomicU64,
+    snapshot_saved_bytes: AtomicU64,
+    rebuilds_started: AtomicU64,
+    rebuilds_completed: AtomicU64,
+    rebuilds_failed: AtomicU64,
     per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
     // --- event-loop counters, maintained by the reactor ---
     /// Gauge: sockets currently owned by the reactor.
@@ -195,6 +218,14 @@ impl Metrics {
             deadline_exceeded: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             service_ewma_nanos: AtomicU64::new(0),
+            snapshots_loaded: AtomicU64::new(0),
+            snapshots_saved: AtomicU64::new(0),
+            snapshot_load_us: AtomicU64::new(0),
+            snapshot_loaded_bytes: AtomicU64::new(0),
+            snapshot_saved_bytes: AtomicU64::new(0),
+            rebuilds_started: AtomicU64::new(0),
+            rebuilds_completed: AtomicU64::new(0),
+            rebuilds_failed: AtomicU64::new(0),
             per_tenant: Mutex::new(BTreeMap::new()),
             open_connections: AtomicU64::new(0),
             keepalive_idle: AtomicU64::new(0),
@@ -381,6 +412,12 @@ pub(crate) struct Shared {
     admitted: Arc<AtomicU64>,
     limiter: Option<RateLimiter>,
     fault: Option<FaultPlan>,
+    /// The versioned snapshot directory, when persistence is configured.
+    store: Option<SnapshotStore>,
+    /// Tenants with a rebuild in flight — one rebuild per tenant at a
+    /// time; a second `POST …/rebuild` answers 409 instead of stacking
+    /// training runs.
+    rebuilds: Mutex<BTreeSet<String>>,
     jobs: JobQueue,
     completions: Mutex<Vec<Completion>>,
     /// Wakes the reactor out of `epoll_wait`: completions and shutdown.
@@ -519,16 +556,23 @@ impl Server {
         let limiter = config.rate_limit.map(RateLimiter::new);
         let fault = config.fault.map(FaultPlan::new);
         let workers = config.workers.max(1);
+        let metrics = Metrics::new();
+        let store = config.snapshot_dir.as_deref().map(SnapshotStore::new);
+        if let Some(store) = &store {
+            boot_scan(store, &registry, &metrics);
+        }
         let shared = Arc::new(Shared {
             registry,
             config,
             shutdown: Shutdown::new(),
-            metrics: Metrics::new(),
+            metrics,
             queries: SingleFlight::new(),
             request_ids: AtomicU64::new(1),
             admitted: Arc::new(AtomicU64::new(0)),
             limiter,
             fault,
+            store,
+            rebuilds: Mutex::new(BTreeSet::new()),
             jobs: JobQueue::new(),
             completions: Mutex::new(Vec::new()),
             wake,
@@ -647,7 +691,7 @@ fn worker_loop(shared: Arc<Shared>) {
 /// The ingress pipeline for one dispatched request: fault panic/delay
 /// seams, then routing under the deadline budget. The admission permit (if
 /// any) is already held by the surrounding [`Job`].
-fn execute_job(shared: &Shared, job: &Job) -> Response {
+fn execute_job(shared: &Arc<Shared>, job: &Job) -> Response {
     let budget = Budget {
         arrived: job.arrived,
         limit: shared.config.request_deadline,
@@ -676,7 +720,7 @@ fn execute_job(shared: &Shared, job: &Job) -> Response {
     response
 }
 
-fn route(shared: &Shared, request: &Request, request_id: u64, budget: &Budget) -> Response {
+fn route(shared: &Arc<Shared>, request: &Request, request_id: u64, budget: &Budget) -> Response {
     let segments = request.segments();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(shared),
@@ -698,7 +742,11 @@ fn route(shared: &Shared, request: &Request, request_id: u64, budget: &Budget) -
         ("GET", ["v1", tenant, "tables", table]) => {
             completed_table(shared, tenant, table, request, request_id, budget)
         }
-        (_, ["v1", _, "query"]) | (_, ["v1", _, "tables", _]) | (_, ["healthz" | "metrics"]) => {
+        ("POST", ["v1", tenant, "rebuild"]) => rebuild(shared, tenant, request),
+        (_, ["v1", _, "query"])
+        | (_, ["v1", _, "tables", _])
+        | (_, ["v1", _, "rebuild"])
+        | (_, ["healthz" | "metrics"]) => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
         _ => Response::error(404, &format!("no route for {}", request.path)),
@@ -851,6 +899,176 @@ fn completed_table(
     }
 }
 
+/// Boot-time snapshot scan: serve each stored tenant's newest valid
+/// version. Tenants already published (programmatically, before `bind`)
+/// are left alone; corrupt/truncated/unreadable version files are skipped
+/// with a logged reason and the scan falls back to the next-newest — a bad
+/// file on disk must never keep the server from coming up.
+fn boot_scan(store: &SnapshotStore, registry: &Arc<SnapshotRegistry>, metrics: &Metrics) {
+    for tenant in store.tenants() {
+        if registry.get(&tenant).is_some() {
+            continue;
+        }
+        let (loaded, skipped) = store.load_latest(&tenant);
+        for skip in &skipped {
+            eprintln!(
+                "restore-serve: boot scan skipping {}: {}",
+                skip.path.display(),
+                skip.reason
+            );
+        }
+        if let Some(loaded) = loaded {
+            metrics.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .snapshot_load_us
+                .fetch_add((loaded.load_ms * 1e3) as u64, Ordering::Relaxed);
+            metrics
+                .snapshot_loaded_bytes
+                .fetch_add(loaded.bytes, Ordering::Relaxed);
+            eprintln!(
+                "restore-serve: serving tenant {:?} from v{:05} ({} bytes, {:.1} ms load)",
+                loaded.tenant, loaded.version, loaded.bytes, loaded.load_ms
+            );
+            registry.publish(loaded.tenant, Arc::new(loaded.snapshot));
+        }
+    }
+}
+
+/// Removes the tenant from the in-flight rebuild set when the rebuild
+/// thread exits — by any path, including a panic inside training.
+struct RebuildGuard {
+    shared: Arc<Shared>,
+    tenant: String,
+}
+
+impl Drop for RebuildGuard {
+    fn drop(&mut self) {
+        let mut rebuilds = self
+            .shared
+            .rebuilds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        rebuilds.remove(&self.tenant);
+    }
+}
+
+/// `POST /v1/{tenant}/rebuild` — the background rebuild/republish
+/// pipeline: answer 202 immediately, then, off the worker pool, retrain
+/// version n+1 from the currently served snapshot while version n keeps
+/// serving, save it atomically into the snapshot directory, and publish it
+/// through the copy-on-write registry (in-flight requests finish on the
+/// old snapshot under their own `Arc`).
+///
+/// Seeds default deterministically — `serve_seed` derives from the current
+/// snapshot's serve seed and the new version number, `train_seed` from the
+/// new serve seed — and can be pinned via `?train_seed=&serve_seed=`.
+fn rebuild(shared: &Arc<Shared>, tenant: &str, request: &Request) -> Response {
+    let Some(store) = shared.store.clone() else {
+        return Response::error(
+            503,
+            "snapshot persistence is not configured (no snapshot dir)",
+        );
+    };
+    let Some(snapshot) = shared.registry.view().get(tenant).cloned() else {
+        return Response::error(404, &format!("unknown tenant {tenant:?}"));
+    };
+    let version = store.latest_version(tenant).unwrap_or(0).saturating_add(1);
+    let serve_seed = match seed_param(request, "serve_seed") {
+        Ok(Some(s)) => s,
+        Ok(None) => derive_seed(snapshot.serve_seed().unwrap_or(0), version as u64),
+        Err(response) => return response,
+    };
+    let train_seed = match seed_param(request, "train_seed") {
+        Ok(Some(s)) => s,
+        Ok(None) => derive_seed(serve_seed, 1),
+        Err(response) => return response,
+    };
+    {
+        let mut rebuilds = shared.rebuilds.lock().unwrap_or_else(|e| e.into_inner());
+        if !rebuilds.insert(tenant.to_string()) {
+            return Response::error(409, &format!("rebuild already in flight for {tenant:?}"));
+        }
+    }
+    shared
+        .metrics
+        .rebuilds_started
+        .fetch_add(1, Ordering::Relaxed);
+    let guard = RebuildGuard {
+        shared: Arc::clone(shared),
+        tenant: tenant.to_string(),
+    };
+    std::thread::spawn(move || {
+        run_rebuild(guard, store, snapshot, version, train_seed, serve_seed)
+    });
+    Response::json(
+        202,
+        format!(
+            "{{\"status\":\"rebuilding\",\"tenant\":\"{}\",\"version\":{version},\
+             \"train_seed\":\"{train_seed}\",\"serve_seed\":\"{serve_seed}\"}}",
+            restore_util::json::escape(tenant)
+        ),
+    )
+}
+
+fn seed_param(request: &Request, name: &str) -> Result<Option<u64>, Response> {
+    match request.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+    }
+}
+
+/// The rebuild thread body: retrain → seal → atomic save → publish.
+fn run_rebuild(
+    guard: RebuildGuard,
+    store: SnapshotStore,
+    base: Arc<restore_core::Snapshot>,
+    version: u32,
+    train_seed: u64,
+    serve_seed: u64,
+) {
+    let shared = Arc::clone(&guard.shared);
+    let tenant = guard.tenant.clone();
+    let result = (|| -> Result<(), String> {
+        let rs = ReStore::rebuild_from(&base, train_seed).map_err(|e| e.to_string())?;
+        let sealed = rs.seal(serve_seed);
+        let (path, bytes) = store
+            .save_version(&tenant, version, &sealed)
+            .map_err(|e| e.to_string())?;
+        shared
+            .metrics
+            .snapshots_saved
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .snapshot_saved_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        shared.registry.publish(&tenant, Arc::new(sealed));
+        eprintln!(
+            "restore-serve: rebuilt tenant {tenant:?} as v{version:05} ({bytes} bytes) at {}",
+            path.display()
+        );
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            shared
+                .metrics
+                .rebuilds_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .rebuilds_failed
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!("restore-serve: rebuild of tenant {tenant:?} v{version:05} failed: {e}");
+        }
+    }
+}
+
 /// Client-visible status for an execution error: unknown tables and other
 /// relational errors are 404-ish lookups; everything else is a valid
 /// request the snapshot cannot serve (no model, no path, …) → 422.
@@ -910,6 +1128,9 @@ fn metrics(shared: &Shared) -> Response {
                           \"service_ewma_ms\":{}}},\
            \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"waits\":{waits},\
                        \"evictions\":{evictions},\"bytes\":{bytes},\"entries\":{entries}}},\
+           \"persistence\":{{\"snapshots_loaded\":{},\"snapshots_saved\":{},\
+                             \"load_ms\":{},\"loaded_bytes\":{},\"saved_bytes\":{},\
+                             \"rebuilds\":{{\"started\":{},\"completed\":{},\"failed\":{}}}}},\
            \"tenants\":{{{}}}}}",
         uptime.to_json(),
         shared.shutdown.total_started(),
@@ -928,6 +1149,14 @@ fn metrics(shared: &Shared) -> Response {
         shared.metrics.panics_caught.load(Ordering::Relaxed),
         shared.metrics.faults_injected.load(Ordering::Relaxed),
         (shared.metrics.service_ewma_nanos.load(Ordering::Relaxed) as f64 / 1e6).to_json(),
+        shared.metrics.snapshots_loaded.load(Ordering::Relaxed),
+        shared.metrics.snapshots_saved.load(Ordering::Relaxed),
+        (shared.metrics.snapshot_load_us.load(Ordering::Relaxed) as f64 / 1e3).to_json(),
+        shared.metrics.snapshot_loaded_bytes.load(Ordering::Relaxed),
+        shared.metrics.snapshot_saved_bytes.load(Ordering::Relaxed),
+        shared.metrics.rebuilds_started.load(Ordering::Relaxed),
+        shared.metrics.rebuilds_completed.load(Ordering::Relaxed),
+        shared.metrics.rebuilds_failed.load(Ordering::Relaxed),
         tenants.join(",")
     );
     Response::json(200, body)

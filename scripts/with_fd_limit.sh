@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Raise the fd soft limit, then exec the given command.
+#
+# The event-loop tests and HTTP benches park thousands of idle sockets;
+# CI runners default to a 1024-fd soft limit. Raising it is best effort —
+# the server also raises it to the hard limit itself via raise_fd_limit —
+# so a refusal is logged, not fatal.
+ulimit -n 8192 2>/dev/null || echo "with_fd_limit: fd soft limit unchanged"
+exec "$@"
