@@ -24,26 +24,39 @@
 //! of the armada lives in the parent, the client side in the child.
 //! `--connections N` overrides the armada size (default 10000, `--quick`
 //! 2000).
+//!
+//! …and a **fleet phase**: a shard router in front of N worker *processes*
+//! (re-execs of this binary with `--fleet-worker <dir>`), all booted from
+//! one temp snapshot directory, swept over shard counts with 8 tenants
+//! hash-balanced across shards. Workers run 2 executor threads with a
+//! deterministic 3 ms injected delay, so throughput is concurrency-bound
+//! (~N × threads/delay) and the records `fleet_{shards}` `{shards,
+//! queries_per_s, p50_ms, p99_ms}` measure horizontal scaling honestly
+//! even on a 1-core box. The phase asserts ≥ 1.6× the matched 1-shard
+//! baseline for every multi-shard point.
 
 use std::io::BufRead;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use restore_bench::{
-    percentile, sealed_synthetic_snapshot, serving_workload as workload, write_bench_json,
-    HttpConnectionsRecord, HttpOverloadRecord, HttpRecord,
+    balanced_fleet_tenants, percentile, sealed_synthetic_snapshot, seed_fleet_snapshot_dir,
+    serving_workload as workload, write_bench_json, HttpConnectionsRecord, HttpFleetRecord,
+    HttpOverloadRecord, HttpRecord,
 };
 use restore_core::wire::QueryRequest;
 use restore_core::SnapshotRegistry;
+use restore_serve::router::{Fleet, FleetConfig, ShardConfig, WorkerSpec};
 use restore_serve::{raise_fd_limit, HttpClient, ServeConfig, Server};
 use restore_util::json::ToJson;
 
-/// One file, three record shapes: the healthy sweep, the overload phase,
-/// and the connection-scale phase.
+/// One file, four record shapes: the healthy sweep, the overload phase,
+/// the connection-scale phase, and the fleet phase.
 enum Record {
     Healthy(HttpRecord),
     Overload(HttpOverloadRecord),
     Connections(HttpConnectionsRecord),
+    Fleet(HttpFleetRecord),
 }
 
 impl ToJson for Record {
@@ -52,6 +65,7 @@ impl ToJson for Record {
             Record::Healthy(r) => r.to_json(),
             Record::Overload(r) => r.to_json(),
             Record::Connections(r) => r.to_json(),
+            Record::Fleet(r) => r.to_json(),
         }
     }
 }
@@ -158,6 +172,61 @@ fn run_clients(
     ((threads * per_thread) as f64 / elapsed, latencies)
 }
 
+/// Runs `per_thread` requests per tenant, one keep-alive client thread
+/// pinned to each tenant (so the router's hash mapping spreads the threads
+/// across shards exactly as the tenant list was balanced); returns
+/// (queries/s, per-request latencies in ms).
+fn run_fleet_clients(
+    addr: std::net::SocketAddr,
+    tenants: &[String],
+    per_thread: usize,
+) -> (f64, Vec<f64>) {
+    let bodies: Arc<Vec<String>> = Arc::new(
+        workload()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q.clone(), i as u64).to_json())
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(tenants.len() + 1));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(tenants.len() * per_thread)));
+    let mut handles = Vec::new();
+    for (t, tenant) in tenants.iter().enumerate() {
+        let path = format!("/v1/{tenant}/query");
+        let (bodies, barrier, latencies) = (
+            Arc::clone(&bodies),
+            Arc::clone(&barrier),
+            Arc::clone(&latencies),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("fleet connect");
+            barrier.wait();
+            let mut local = Vec::with_capacity(per_thread);
+            for i in 0..per_thread {
+                let body = &bodies[(t + i) % bodies.len()];
+                let started = Instant::now();
+                let (status, response) = client.post(&path, body).expect("fleet query");
+                local.push(started.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(status, 200, "fleet query failed: {response}");
+            }
+            latencies
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(local);
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("fleet client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let latencies = Arc::try_unwrap(latencies)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_default();
+    ((tenants.len() * per_thread) as f64 / elapsed, latencies)
+}
+
 /// Hammers `addr` with `threads` closed-loop clients that tolerate 429s
 /// (shed requests are counted, checked for `Retry-After`, and immediately
 /// followed by the next request — no client-side backoff, this *is* the
@@ -241,6 +310,10 @@ fn main() {
             .expect("--hold-connections N <addr>");
         let addr = args.get(i + 2).expect("--hold-connections N <addr>");
         hold_connections(n, addr);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fleet-worker") {
+        let dir = args.get(i + 1).expect("--fleet-worker <snapshot-dir>");
+        restore_bench::run_fleet_worker_child(std::path::PathBuf::from(dir));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let connections_override: Option<usize> =
@@ -438,6 +511,86 @@ fn main() {
     drop(child.stdin.take()); // holder sees stdin EOF, releases the armada
     let _ = child.wait();
     assert!(conn_server.shutdown(), "armada server must drain");
+
+    // Fleet phase: router + N worker processes from one snapshot
+    // directory, swept over shard counts. Workers are delay-dominated
+    // (3 ms injected, 2 threads — see `fleet_worker_config`), so each
+    // shard contributes a fixed ~threads/delay capacity and the sweep
+    // measures horizontal scaling, not how N processes time-slice the
+    // box's cores. shards == 1 is the matched baseline.
+    let shard_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let fleet_per_thread = if quick { 40 } else { 120 };
+    let tenants = balanced_fleet_tenants(2, *shard_sweep.last().expect("non-empty sweep"));
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("restore_fleet_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    seed_fleet_snapshot_dir(&snapshot_dir, &tenants);
+    let worker_spec = WorkerSpec {
+        program: std::env::current_exe().expect("current exe"),
+        args: vec![
+            "--fleet-worker".to_string(),
+            snapshot_dir.display().to_string(),
+        ],
+    };
+    let mut fleet_baseline = 0.0f64;
+    for &shards in shard_sweep {
+        let fleet = Fleet::start(FleetConfig {
+            shards: vec![
+                ShardConfig {
+                    addr: None,
+                    worker: Some(worker_spec.clone()),
+                };
+                shards
+            ],
+            ..FleetConfig::default()
+        })
+        .expect("fleet start");
+        let router = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(SnapshotRegistry::new()),
+            ServeConfig {
+                fleet: Some(Arc::clone(&fleet)),
+                workers: 16,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind router");
+        let router_addr = router.local_addr();
+        run_fleet_clients(router_addr, &tenants, fleet_per_thread / 4 + 1); // warmup
+        let (qps, latencies) = run_fleet_clients(router_addr, &tenants, fleet_per_thread);
+        let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+        if shards == 1 {
+            fleet_baseline = qps;
+        } else {
+            assert!(
+                qps >= 1.6 * fleet_baseline,
+                "fleet of {shards} must scale: {qps:.0} q/s < 1.6x the \
+                 1-shard baseline {fleet_baseline:.0} q/s"
+            );
+        }
+        records.push(Record::Fleet(HttpFleetRecord {
+            bench: "http".into(),
+            engine: format!("fleet_{shards}"),
+            shards,
+            hardware_threads: restore_bench::hardware_threads(),
+            lane_width: restore_bench::lane_width(),
+            target_feature: restore_bench::target_feature(),
+            queries_per_s: qps,
+            p50_ms: p50,
+            p99_ms: p99,
+        }));
+        summary.push_str(&format!(
+            ", fleet{shards} {qps:.0} q/s (p50 {p50:.2}ms p99 {p99:.2}ms{})",
+            if shards == 1 {
+                String::new()
+            } else {
+                format!(", {:.2}x baseline", qps / fleet_baseline.max(1e-9))
+            }
+        ));
+        assert!(router.shutdown(), "router must drain");
+        fleet.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
 
     println!("{summary}");
     write_bench_json("BENCH_http.json", &records);

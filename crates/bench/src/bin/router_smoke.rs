@@ -1,0 +1,284 @@
+//! Fleet smoke: one shard router in front of two worker *processes*
+//! (re-execs of this binary with `--worker <dir>`), both booted from a
+//! temp snapshot directory — the CI gate for the multi-process scale-out
+//! path. Exercises, in order:
+//!
+//! 1. **Byte equality** — for every wire route (query with and without a
+//!    confidence interval, completed table, protocol errors, unknown
+//!    tenant, method mismatch), the response through the router is
+//!    byte-identical (status + body) to asking the tenant's worker
+//!    directly. The router adds transport, never bits.
+//! 2. **Failover** — kill one worker mid-load: the monitor re-execs it
+//!    from the same snapshot directory, a closed-loop client pinned to
+//!    that shard sees **zero failed requests** (forwards ride out the
+//!    window on the retry budget), the tenant→shard mapping is unchanged,
+//!    and post-recovery responses are byte-identical to pre-kill ones
+//!    (same snapshot directory ⇒ same bytes).
+//! 3. **Fleet observability** — `/healthz` reports the fleet up,
+//!    `/metrics` carries a `fleet` section with the respawn on record, and
+//!    `/fleet/{i}/metrics` passes a worker's own document through.
+//! 4. **Graceful drain** — the router drains cleanly and the fleet tears
+//!    its workers down.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use restore_bench::{
+    balanced_fleet_tenants, run_fleet_worker_child, seed_fleet_snapshot_dir,
+    serving_workload as workload,
+};
+use restore_core::wire::QueryRequest;
+use restore_core::{ConfidenceQuery, SnapshotRegistry};
+use restore_db::{Agg, Query};
+use restore_serve::router::{Fleet, FleetConfig, ShardConfig, WorkerSpec};
+use restore_serve::{HttpClient, HttpResponse, ServeConfig, Server};
+use restore_util::json::parse;
+
+/// (status, body) for one request against one address — the unit of the
+/// byte-equality comparison. Headers are excluded on purpose: request ids
+/// are per-server accept-order counters and legitimately differ.
+fn ask(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let HttpResponse { status, body, .. } = HttpClient::connect(addr)
+        .expect("connect")
+        .request_full(method, path, body, &[])
+        .expect("request");
+    (status, body)
+}
+
+fn assert_byte_equal(
+    router: std::net::SocketAddr,
+    worker: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    let via_router = ask(router, method, path, body);
+    let direct = ask(worker, method, path, body);
+    assert_eq!(
+        via_router, direct,
+        "router must pass bytes through untouched: {method} {path}"
+    );
+    via_router
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--worker") {
+        let dir = args.get(i + 1).expect("--worker <snapshot-dir>");
+        run_fleet_worker_child(std::path::PathBuf::from(dir));
+    }
+
+    // Two shards, four tenants balanced two-per-shard, one snapshot dir.
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("restore_router_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    let tenants = balanced_fleet_tenants(2, 2);
+    seed_fleet_snapshot_dir(&snapshot_dir, &tenants);
+    let spec = WorkerSpec {
+        program: std::env::current_exe().expect("current exe"),
+        args: vec!["--worker".to_string(), snapshot_dir.display().to_string()],
+    };
+    let fleet = Fleet::start(FleetConfig {
+        shards: vec![
+            ShardConfig {
+                addr: None,
+                worker: Some(spec)
+            };
+            2
+        ],
+        ..FleetConfig::default()
+    })
+    .expect("fleet start");
+    let router = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(SnapshotRegistry::new()),
+        ServeConfig {
+            fleet: Some(Arc::clone(&fleet)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind router");
+    let router_addr = router.local_addr();
+    println!("router on {router_addr}, fleet {:?}", fleet);
+
+    // Phase 1: byte equality on every route, for every tenant.
+    let plain = QueryRequest::new(workload()[0].clone(), 3).to_json();
+    let confident = QueryRequest::new(Query::new(["ta", "tb"]).aggregate(Agg::CountStar), 5)
+        .with_confidence(
+            ConfidenceQuery::CountFraction {
+                table: "tb".into(),
+                column: "b".into(),
+                value: "b1".into(),
+            },
+            0.95,
+        )
+        .to_json();
+    for tenant in &tenants {
+        let worker = fleet
+            .shard_addr(fleet.shard_for(tenant))
+            .expect("shard addr");
+        let base = format!("/v1/{tenant}");
+        let (status, _) = assert_byte_equal(
+            router_addr,
+            worker,
+            "POST",
+            &format!("{base}/query"),
+            Some(&plain),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = assert_byte_equal(
+            router_addr,
+            worker,
+            "POST",
+            &format!("{base}/query"),
+            Some(&confident),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = assert_byte_equal(
+            router_addr,
+            worker,
+            "GET",
+            &format!("{base}/tables/tb?seed=2"),
+            None,
+        );
+        assert_eq!(status, 200);
+        // Protocol errors and method mismatches pass through too.
+        let (status, _) = assert_byte_equal(
+            router_addr,
+            worker,
+            "POST",
+            &format!("{base}/query"),
+            Some("not json"),
+        );
+        assert_eq!(status, 400);
+        let (status, _) =
+            assert_byte_equal(router_addr, worker, "GET", &format!("{base}/query"), None);
+        assert_eq!(status, 405);
+    }
+    // Unknown tenants still route (by hash) and 404 identically.
+    let ghost_worker = fleet
+        .shard_addr(fleet.shard_for("no-such-tenant"))
+        .expect("ghost shard addr");
+    let (status, _) = assert_byte_equal(
+        router_addr,
+        ghost_worker,
+        "POST",
+        "/v1/no-such-tenant/query",
+        Some(&plain),
+    );
+    assert_eq!(status, 404);
+    println!(
+        "byte equality: all routes identical through router, {} tenants",
+        tenants.len()
+    );
+
+    // Phase 3a (pre-kill observability): fleet healthz + metrics sections.
+    let (status, health) = ask(router_addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"status\":\"ok\"") && health.contains("\"up\":2"),
+        "fleet healthz must report both shards up: {health}"
+    );
+    let (status, metrics) = ask(router_addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let root = parse(&metrics).expect("router metrics parse");
+    let fleet_section = root
+        .get("fleet")
+        .expect("metrics must carry a fleet section");
+    assert_eq!(
+        fleet_section.get("shards").and_then(|v| v.as_f64()),
+        Some(2.0)
+    );
+    let (status, shard0_metrics) = ask(router_addr, "GET", "/fleet/0/metrics", None);
+    assert_eq!(status, 200, "shard drill-down must pass through");
+    assert!(
+        parse(&shard0_metrics)
+            .and_then(|v| v.get("requests").map(|_| ()))
+            .is_some(),
+        "worker metrics must pass through parseable: {shard0_metrics}"
+    );
+    let (status, _) = ask(router_addr, "GET", "/fleet/9/metrics", None);
+    assert_eq!(status, 404, "out-of-range shard index answers 404");
+
+    // Phase 2: kill shard 0's worker under load; zero failed requests.
+    let victim_tenant = tenants
+        .iter()
+        .find(|t| fleet.shard_for(t) == 0)
+        .expect("a tenant lives on shard 0")
+        .clone();
+    let victim_path = format!("/v1/{victim_tenant}/query");
+    let pre_kill = ask(router_addr, "POST", &victim_path, Some(&plain));
+    let old_addr = fleet.shard_addr(0).expect("shard 0 addr");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let load = {
+        let (stop, path, body) = (Arc::clone(&stop), victim_path.clone(), plain.clone());
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(router_addr).expect("load connect");
+            let mut completed = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match client.request_full("POST", &path, Some(&body), &[]) {
+                    Ok(response) => assert_eq!(
+                        response.status, 200,
+                        "zero failed requests through failover: {}",
+                        response.body
+                    ),
+                    // The router may close the connection it was holding
+                    // when it answered; transport-level reconnect is the
+                    // client's normal keep-alive contract, not a failure.
+                    Err(_) => client = HttpClient::connect(router_addr).expect("reconnect"),
+                }
+                completed += 1;
+            }
+            completed
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(fleet.kill_shard(0), "shard 0 must have a child to kill");
+    // Wait for the monitor to notice, re-exec, and restore service.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !(fleet.shard_is_up(0) && fleet.shard_addr(0) != Some(old_addr)) {
+        assert!(Instant::now() < deadline, "failover must finish within 30s");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Ride a little longer on the recovered shard, then stop the load.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let completed = load.join().expect("load thread");
+    assert!(
+        completed > 0,
+        "load thread must have exercised the failover"
+    );
+    let new_addr = fleet.shard_addr(0).expect("respawned shard addr");
+    assert_ne!(new_addr, old_addr, "respawned worker binds a fresh port");
+
+    // Mapping stability + byte-stable answers across the restart: the
+    // respawned worker boot-scanned the same snapshot directory, so the
+    // same request answers with the same bytes.
+    assert_eq!(fleet.shard_for(&victim_tenant), 0);
+    let post_kill = ask(router_addr, "POST", &victim_path, Some(&plain));
+    assert_eq!(
+        pre_kill, post_kill,
+        "a re-execed worker must answer byte-identically from the same snapshot dir"
+    );
+    let fleet_metrics = parse(&fleet.metrics_json()).expect("fleet metrics parse");
+    let respawns = fleet_metrics
+        .get("respawns")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(respawns >= 1.0, "the failover must be a recorded re-exec");
+    let (_, health) = ask(router_addr, "GET", "/healthz", None);
+    assert!(
+        health.contains("\"up\":2"),
+        "fleet must be fully healthy after failover: {health}"
+    );
+    println!(
+        "failover: worker re-execed ({old_addr} -> {new_addr}), {completed} requests, 0 failures, \
+         respawns {respawns}"
+    );
+
+    // Phase 4: graceful drain.
+    assert!(router.shutdown(), "router must drain cleanly");
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    println!("router_smoke ok: byte-equal forwarding, zero-loss failover, clean drain");
+}

@@ -215,6 +215,44 @@ impl_to_json!(HttpConnectionsRecord {
     rss_mb
 });
 
+/// One fleet-throughput measurement (the `http_bench` binary's fleet
+/// phase): a shard router in front of `shards` worker processes, all
+/// booted from one snapshot directory — "how many boxes wide" next to
+/// [`HttpRecord`]'s "how fast per box". `shards == 1` is the matched
+/// baseline the scaling ratio is read against.
+#[derive(Clone, Debug)]
+pub struct HttpFleetRecord {
+    /// Bench group, e.g. `"http"`.
+    pub bench: String,
+    /// Variant label, `"fleet"`.
+    pub engine: String,
+    /// Worker processes behind the router.
+    pub shards: usize,
+    /// Hardware threads of the machine the record was taken on.
+    pub hardware_threads: usize,
+    /// SIMD lane width the kernels were compiled for.
+    pub lane_width: usize,
+    /// Target-feature label behind the lane width.
+    pub target_feature: String,
+    /// Requests answered per second through the router, all tenants.
+    pub queries_per_s: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+impl_to_json!(HttpFleetRecord {
+    bench,
+    engine,
+    shards,
+    hardware_threads,
+    lane_width,
+    target_feature,
+    queries_per_s,
+    p50_ms,
+    p99_ms
+});
+
 /// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted sample, in the
 /// sample's own unit. Returns 0 for an empty sample.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
@@ -280,7 +318,7 @@ fn is_identity_field(key: &str, value: &JsonValue) -> bool {
         && (matches!(value, JsonValue::Str(_) | JsonValue::Bool(_))
             || matches!(
                 key,
-                "workers" | "threads" | "batch" | "seed" | "connections"
+                "workers" | "threads" | "batch" | "seed" | "connections" | "shards"
             ))
 }
 
@@ -455,6 +493,85 @@ pub fn sealed_synthetic_snapshot(data_seed: u64, serve_seed: u64) -> Arc<Snapsho
             .expect("ensure");
     }
     Arc::new(rs.seal(serve_seed))
+}
+
+/// Tenant names balanced over `classes` FNV-1a shard classes: exactly
+/// `per_class` tenants hash to each value of `fnv1a64(name) % classes`.
+/// Any shard count that divides `classes` partitions those classes
+/// evenly, so one tenant list serves a whole shard sweep (e.g. 8 tenants
+/// balanced over 4 classes are also 4-per-shard at 2 shards and trivially
+/// balanced at 1) — fleet scaling measurements then never confound hash
+/// skew with shard count.
+pub fn balanced_fleet_tenants(per_class: usize, classes: usize) -> Vec<String> {
+    let mut buckets = vec![0usize; classes];
+    let mut tenants = Vec::with_capacity(per_class * classes);
+    let mut i = 0u64;
+    while tenants.len() < per_class * classes {
+        let name = format!("tenant-{i}");
+        let class = (restore_util::fnv1a64(name.as_bytes()) % classes as u64) as usize;
+        if buckets[class] < per_class {
+            buckets[class] += 1;
+            tenants.push(name);
+        }
+        i += 1;
+    }
+    tenants
+}
+
+/// Seeds a fleet snapshot directory: one sealed synthetic snapshot
+/// (trained once) saved as version 1 under every tenant, so seeding N
+/// tenants is serialization-bound, not training-bound. Every fleet worker
+/// boot-scans this directory and serves all tenants; which shard actually
+/// *receives* a tenant's requests is the router's hash mapping.
+pub fn seed_fleet_snapshot_dir(dir: &std::path::Path, tenants: &[String]) {
+    let snapshot = sealed_synthetic_snapshot(7, 1);
+    let store = restore_serve::SnapshotStore::new(dir);
+    for tenant in tenants {
+        store
+            .save_version(tenant, 1, &snapshot)
+            .expect("seed fleet snapshot");
+    }
+}
+
+/// The worker-side [`ServeConfig`](restore_serve::ServeConfig) of the
+/// fleet bench/smoke harnesses: boot from `snapshot_dir`, two executor
+/// threads, and a deterministic 3 ms injected delay on every request. The
+/// delay makes fleet scaling *concurrency*-bound instead of core-bound —
+/// each worker answers ~(threads / delay) q/s regardless of host cores —
+/// so N healthy shards measure ~N× one shard even on a 1-core CI box
+/// where N busy processes would otherwise just time-slice one core.
+pub fn fleet_worker_config(snapshot_dir: std::path::PathBuf) -> restore_serve::ServeConfig {
+    restore_serve::ServeConfig {
+        snapshot_dir: Some(snapshot_dir),
+        workers: 2,
+        fault: Some(restore_serve::FaultConfig {
+            seed: 0,
+            window: (0, u64::MAX),
+            delay_prob: 1.0,
+            delay: std::time::Duration::from_millis(3),
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// Child-process entry point shared by the bench binaries' worker modes
+/// (`http_bench --fleet-worker`, `router_smoke --worker`): bind a fleet
+/// worker on an ephemeral port, print the address line the fleet spawner
+/// parses, serve until stdin reaches EOF (parent drop or death), then
+/// drain and exit.
+pub fn run_fleet_worker_child(snapshot_dir: std::path::PathBuf) -> ! {
+    use std::io::Read;
+    let registry = Arc::new(restore_core::SnapshotRegistry::new());
+    let server =
+        restore_serve::Server::bind("127.0.0.1:0", registry, fleet_worker_config(snapshot_dir))
+            .expect("fleet worker bind");
+    println!("fleet worker listening on {}", server.local_addr());
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    server.shutdown();
+    std::process::exit(0);
 }
 
 /// Training configuration used by the timing benches (matches the

@@ -230,6 +230,13 @@ impl CompletionModel {
         self.made.set_incremental_sweep(on);
     }
 
+    /// Whether the lane-padded banded trunk caches were frozen for
+    /// cross-session sharing — true for snapshot-rehydrated models, which
+    /// build them once at load instead of once per inference session.
+    pub fn has_frozen_banded(&self) -> bool {
+        self.made.has_frozen_banded()
+    }
+
     /// Attr range holding the columns of path table `idx`.
     pub fn table_attr_range(&self, idx: usize) -> Range<usize> {
         self.table_ranges[idx].clone()
@@ -287,16 +294,20 @@ impl CompletionModel {
 
     /// Reconstructs a trained model from persisted weights: rebuilds the
     /// deterministic structure (encoders, context tables, network masks)
-    /// from the same incomplete database it was trained on, then overwrites
-    /// the freshly initialized parameters with the stored blocks. The seed
-    /// fed to weight init is irrelevant — every value it produces is
+    /// from the same incomplete database it was trained on, then streams
+    /// the stored little-endian weight bytes straight over the freshly
+    /// initialized parameters — one copy, no intermediate matrices. The
+    /// seed fed to weight init is irrelevant — every value it produces is
     /// replaced — so the result serves byte-identically to the original.
+    /// The lane-padded band matrices the synthesis sweep reads are built
+    /// once here and shared across all inference sessions, instead of
+    /// being re-derived (a second copy) per session.
     pub(crate) fn rehydrate(
         db: &Database,
         annotation: &SchemaAnnotation,
         path: CompletionPath,
         cfg: &TrainConfig,
-        weights: &[Matrix],
+        weights: &[u8],
         stats: RehydratedStats,
     ) -> CoreResult<Self> {
         let mut rng = StdRng::seed_from_u64(0);
@@ -310,7 +321,7 @@ impl CompletionModel {
             )));
         }
         let mut model = Self::from_structure(path, structure, cfg);
-        model.store.import_values(weights).map_err(|e| {
+        model.store.import_raw_le(weights).map_err(|e| {
             CoreError::Invalid(format!(
                 "snapshot weights for {}: {e}",
                 model.path.describe()
@@ -320,6 +331,7 @@ impl CompletionModel {
         model.val_per_attr = stats.val_per_attr;
         model.val_loss = stats.val_loss;
         model.train_seconds = stats.train_seconds;
+        model.made.freeze_banded(&model.store);
         Ok(model)
     }
 

@@ -39,7 +39,6 @@ use std::path::Path;
 use std::sync::Arc;
 
 use restore_db::{Column, DataType, Database, Dictionary, Field, ForeignKey, Table};
-use restore_nn::Matrix;
 use restore_util::json::{parse, JsonValue, ToJson};
 use restore_util::{fnv1a64, write_atomic};
 
@@ -50,7 +49,7 @@ use crate::error::CoreError;
 use crate::model::{CompletionModel, RehydratedStats, TrainConfig};
 use crate::paths::CompletionPath;
 use crate::restore::RestoreConfig;
-use crate::selection::SelectionStrategy;
+use crate::selection::{BiasDirection, SelectionStrategy, SuspectedBias};
 use crate::snapshot::Snapshot;
 
 /// File magic of snapshot files.
@@ -242,7 +241,10 @@ impl Snapshot {
                 .collect::<Option<_>>()
                 .ok_or_else(|| corrupt("model path tables"))?;
             let train = train_from_json(field(mmeta, "train")?)?;
-            let mut weights = Vec::new();
+            // Total scalar count across all parameter blocks: the weights
+            // are handed to the model as one raw LE byte slice and stream
+            // straight into the rebuilt store — no intermediate matrices.
+            let mut scalars = 0usize;
             for shape in arr(mmeta, "shapes")? {
                 let dims = shape
                     .as_array()
@@ -250,12 +252,16 @@ impl Snapshot {
                     .ok_or_else(|| corrupt("parameter shape"))?;
                 let rows = json_usize(&dims[0], "shape rows")?;
                 let cols = json_usize(&dims[1], "shape cols")?;
-                let mut data = Vec::with_capacity(rows * cols);
-                for _ in 0..rows * cols {
-                    data.push(cur.f32_le()?);
-                }
-                weights.push(Matrix::from_vec(rows, cols, data));
+                scalars = rows
+                    .checked_mul(cols)
+                    .and_then(|n| scalars.checked_add(n))
+                    .ok_or_else(|| corrupt("parameter shape overflow"))?;
             }
+            let raw = cur.take(
+                scalars
+                    .checked_mul(4)
+                    .ok_or_else(|| corrupt("parameter shape overflow"))?,
+            )?;
             let stats = RehydratedStats {
                 train_losses: f32_list(mmeta, "train_losses")?,
                 val_per_attr: f32_list(mmeta, "val_per_attr")?,
@@ -264,8 +270,7 @@ impl Snapshot {
             };
             let path = CompletionPath::from_tables(&db, &tables)
                 .map_err(|e| corrupt(format!("model path {tables:?}: {e}")))?;
-            let model =
-                CompletionModel::rehydrate(&db, &annotation, path, &train, &weights, stats)?;
+            let model = CompletionModel::rehydrate(&db, &annotation, path, &train, raw, stats)?;
             models.insert(tables, Arc::new(model));
         }
         if cur.pos != cur.buf.len() {
@@ -277,6 +282,7 @@ impl Snapshot {
 
         let selected = chains_from_json(&meta, "selected")?;
         let forced = chains_from_json(&meta, "forced")?;
+        let suspected = suspected_from_json(&meta)?;
 
         // Loaded snapshots start with a cold cache; sealed seeds make the
         // repopulated entries bit-identical to the original's.
@@ -292,6 +298,7 @@ impl Snapshot {
             models,
             selected,
             forced,
+            suspected,
             cache,
             base_seed,
         })
@@ -363,7 +370,7 @@ impl Snapshot {
                 ])
             })
             .collect();
-        obj(vec![
+        let mut fields = vec![
             ("format", jstr("restore-snapshot")),
             (
                 "serve_seed",
@@ -387,7 +394,14 @@ impl Snapshot {
             ("models", JsonValue::Arr(models)),
             ("selected", chains_to_json(&self.selected)),
             ("forced", chains_to_json(&self.forced)),
-        ])
+        ];
+        // Optional key: suspected-bias hints. Emitted only when present so
+        // hint-free snapshots keep their pre-existing byte layout (and the
+        // golden fixture stays valid); old files simply lack the key.
+        if !self.suspected.is_empty() {
+            fields.push(("suspected", suspected_to_json(&self.suspected)));
+        }
+        obj(fields)
     }
 }
 
@@ -541,10 +555,6 @@ impl<'a> Cursor<'a> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32_le(&mut self) -> Result<f32, PersistError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
     fn bitmap(&mut self, n: usize) -> Result<Vec<bool>, PersistError> {
         let bytes = self.take(n.div_ceil(8))?;
         Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
@@ -687,6 +697,64 @@ fn chains_from_json(
         out.insert(table.to_string(), chain);
     }
     Ok(out)
+}
+
+fn suspected_to_json(hints: &[SuspectedBias]) -> JsonValue {
+    JsonValue::Arr(
+        hints
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("table", jstr(&s.table)),
+                    ("column", jstr(&s.column)),
+                    (
+                        "direction",
+                        jstr(match s.direction {
+                            BiasDirection::Overestimated => "overestimated",
+                            BiasDirection::Underestimated => "underestimated",
+                        }),
+                    ),
+                    (
+                        "value",
+                        match &s.value {
+                            Some(v) => jstr(v),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Tolerant reader for the optional `"suspected"` meta key: files written
+/// before the key existed simply have no hints.
+fn suspected_from_json(meta: &JsonValue) -> Result<Vec<SuspectedBias>, PersistError> {
+    let Some(entries) = meta.get("suspected") else {
+        return Ok(Vec::new());
+    };
+    let entries = entries
+        .as_array()
+        .ok_or_else(|| corrupt("meta field \"suspected\" is not an array"))?;
+    entries
+        .iter()
+        .map(|e| {
+            Ok(SuspectedBias {
+                table: str_field(e, "table")?.to_string(),
+                column: str_field(e, "column")?.to_string(),
+                direction: match str_field(e, "direction")? {
+                    "overestimated" => BiasDirection::Overestimated,
+                    "underestimated" => BiasDirection::Underestimated,
+                    other => return Err(corrupt(format!("unknown bias direction {other:?}"))),
+                },
+                value: match field(e, "value")? {
+                    JsonValue::Null => None,
+                    JsonValue::Str(s) => Some(s.clone()),
+                    _ => return Err(corrupt("suspected bias value must be a string or null")),
+                },
+            })
+        })
+        .collect()
 }
 
 fn train_to_json(t: &TrainConfig) -> JsonValue {

@@ -93,7 +93,6 @@ pub struct TrainReport {
 /// [`Snapshot`] for concurrent serving.
 pub struct ReStore {
     inner: Snapshot,
-    suspected: Vec<SuspectedBias>,
 }
 
 impl ReStore {
@@ -108,10 +107,10 @@ impl ReStore {
                 models: HashMap::new(),
                 selected: HashMap::new(),
                 forced: HashMap::new(),
+                suspected: Vec::new(),
                 cache,
                 base_seed: None,
             },
-            suspected: Vec::new(),
         }
     }
 
@@ -132,7 +131,7 @@ impl ReStore {
     /// Registers a suspected bias hint used by
     /// [`SelectionStrategy::SuspectedBiasRanking`].
     pub fn suspect_bias(&mut self, bias: SuspectedBias) {
-        self.suspected.push(bias);
+        self.inner.suspected.push(bias);
     }
 
     /// Cache statistics `(hits, misses)` (§4.5 instrumentation).
@@ -173,6 +172,7 @@ impl ReStore {
             models: self.inner.models.clone(),
             selected: self.inner.selected.clone(),
             forced: self.inner.forced.clone(),
+            suspected: self.inner.suspected.clone(),
             cache: JoinCache::with_budget(self.inner.config.cache_budget_bytes),
             base_seed: Some(serve_seed),
         };
@@ -189,8 +189,8 @@ impl ReStore {
     /// carry over, and every model of `snapshot` is **retrained** under
     /// `train_seed` — this is the background-rebuild primitive that
     /// produces version n+1 while version n keeps serving. Selected paths
-    /// are copied, not re-scored; suspected-bias hints are not persisted
-    /// and therefore do not carry over.
+    /// are copied, not re-scored; suspected-bias hints carry over (they are
+    /// persisted in the snapshot meta) so a re-ranking rebuild sees them.
     pub fn rebuild_from(snapshot: &Snapshot, train_seed: u64) -> CoreResult<Self> {
         let mut rs = Self {
             inner: Snapshot {
@@ -200,10 +200,10 @@ impl ReStore {
                 models: HashMap::new(),
                 selected: HashMap::new(),
                 forced: snapshot.forced.clone(),
+                suspected: snapshot.suspected.clone(),
                 cache: JoinCache::new(),
                 base_seed: None,
             },
-            suspected: Vec::new(),
         };
         let mut keys: Vec<Vec<String>> = snapshot.models.keys().cloned().collect();
         keys.sort();
@@ -230,7 +230,12 @@ impl ReStore {
             if modeled_columns(table).is_empty() {
                 continue;
             }
-            let suspected = self.suspected.iter().find(|s| &s.table == target).cloned();
+            let suspected = self
+                .inner
+                .suspected
+                .iter()
+                .find(|s| &s.table == target)
+                .cloned();
             let outcome = select_model(
                 &self.inner.db,
                 &self.inner.annotation,

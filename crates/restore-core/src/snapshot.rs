@@ -40,6 +40,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::model::CompletionModel;
 use crate::paths::CompletionPath;
 use crate::restore::RestoreConfig;
+use crate::selection::SuspectedBias;
 
 /// Stable fingerprint of an ordered table chain (FNV-1a over the names) —
 /// the per-path component of the sealed synthesis seed.
@@ -66,6 +67,10 @@ pub struct Snapshot {
     pub(crate) selected: HashMap<String, Vec<String>>,
     /// Paths explicitly forced at build time.
     pub(crate) forced: HashMap<String, Vec<String>>,
+    /// Suspected-bias hints registered at build time (§5). Frozen into the
+    /// snapshot (and persisted) so a rebuild re-ranks candidates under the
+    /// same hints instead of silently dropping them.
+    pub(crate) suspected: Vec<SuspectedBias>,
     pub(crate) cache: JoinCache,
     /// `Some(serve_seed)` once sealed: synthesis seeds derive from
     /// `(serve_seed, path)`. `None` inside the build facade: synthesis
@@ -89,6 +94,11 @@ impl Snapshot {
     /// The serve seed this snapshot was sealed with, if sealed.
     pub fn serve_seed(&self) -> Option<u64> {
         self.base_seed
+    }
+
+    /// Suspected-bias hints frozen into this snapshot at build time.
+    pub fn suspected_biases(&self) -> &[SuspectedBias] {
+        &self.suspected
     }
 
     /// Cache statistics `(hits, misses)` (§4.5 instrumentation).

@@ -48,7 +48,7 @@ pub use loss::{
 pub use made::{sample_categorical, AttrSpec, Made, MadeConfig};
 pub use optim::{Adam, Sgd};
 pub use params::{GradBuffer, ParamId, ParamStore};
-pub use sweep::ArSweep;
+pub use sweep::{ArSweep, BandedCache};
 pub use tape::{Tape, TapeCtx, VarId};
 pub use tensor::{lane, Matrix};
 pub use train::TrainEngine;

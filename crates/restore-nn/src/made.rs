@@ -12,7 +12,7 @@ use crate::layers::{Embedding, MaskedLinear};
 use crate::loss::{block_cross_entropy, softmax_into, BlockLayout, BlockLoss};
 use crate::masks::build_masks;
 use crate::params::ParamStore;
-use crate::sweep::{ArSweep, SweepNet};
+use crate::sweep::{ArSweep, BandedCache, SweepNet};
 use crate::tensor::Matrix;
 
 /// One model attribute: its token cardinality and embedding width.
@@ -92,6 +92,10 @@ pub struct Made {
     /// Column offset of each attribute's embedding block inside the trunk
     /// input (after the `ctx_dim`-wide context block).
     embed_offsets: Vec<usize>,
+    /// Frozen banded trunk caches shared across inference sessions — built
+    /// by [`Made::freeze_banded`] once the weights are final (snapshot
+    /// rehydration). `None` while the model may still train.
+    banded: Option<Arc<BandedCache>>,
 }
 
 impl Made {
@@ -133,7 +137,24 @@ impl Made {
             layout: BlockLayout::new(&cards),
             hidden_degrees: masks.hidden_degrees,
             embed_offsets,
+            banded: None,
         }
+    }
+
+    /// Builds the lane-padded banded trunk caches once and freezes them
+    /// for sharing across all inference sessions (`Arc` adoption in
+    /// [`ArSweep::begin`]) — the snapshot loader calls this right after
+    /// streaming the persisted weights in, so no session ever pays the
+    /// degree-sort-and-pad copy again. Must only be called once the
+    /// weights are final: the caches snapshot `w ⊙ mask`.
+    pub fn freeze_banded(&mut self, store: &ParamStore) {
+        let cache = BandedCache::build(store, &self.sweep_net());
+        self.banded = Some(Arc::new(cache));
+    }
+
+    /// Whether [`Made::freeze_banded`] has run (diagnostics).
+    pub fn has_frozen_banded(&self) -> bool {
+        self.banded.is_some()
     }
 
     /// Whether sampling/block-logit evaluation runs through the
@@ -292,6 +313,7 @@ impl Made {
             degrees: &self.hidden_degrees,
             n_attrs: self.num_attrs(),
             residual: self.cfg.residual,
+            banded: self.banded.as_deref(),
         }
     }
 

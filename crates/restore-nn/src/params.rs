@@ -219,6 +219,28 @@ impl ParamStore {
         Ok(())
     }
 
+    /// Overwrites every parameter value from one contiguous little-endian
+    /// f32 byte stream in registration order — the snapshot loader's
+    /// single-copy path: weight bytes stream straight from the file
+    /// payload into the store without materializing intermediate blocks.
+    pub fn import_raw_le(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let expected = self.num_scalars() * 4;
+        if bytes.len() != expected {
+            return Err(format!(
+                "weight byte count mismatch: store needs {expected} bytes, import has {}",
+                bytes.len()
+            ));
+        }
+        let mut chunks = bytes.chunks_exact(4);
+        for dst in &mut self.values {
+            for v in dst.data_mut() {
+                let chunk = chunks.next().expect("length checked above");
+                *v = f32::from_le_bytes(chunk.try_into().unwrap());
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over `(id, value, grad)` triples, mutably — used by
     /// optimizers.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &Matrix)> {

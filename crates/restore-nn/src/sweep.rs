@@ -65,10 +65,15 @@ pub(crate) struct SweepNet<'a> {
     pub n_attrs: usize,
     /// Identity skips between equal-width hidden layers.
     pub residual: bool,
+    /// Prebuilt frozen banded caches shared across sessions, if the model
+    /// froze them (snapshot rehydration does). Sessions adopt these via
+    /// `Arc` instead of re-deriving their own padded copies.
+    pub banded: Option<&'a BandedCache>,
 }
 
 /// Frozen per-layer cache: the masked weight with columns stably sorted by
 /// hidden-unit degree, so each degree band is a contiguous column range.
+#[derive(Debug)]
 struct BandedLayer {
     /// `Arc` pointer of the mask this cache was built against (to catch a
     /// weight being reused under a different mask, like the session's
@@ -174,6 +179,53 @@ impl BandedLayer {
     }
 }
 
+/// Frozen, `Arc`-shareable set of banded trunk caches for one model —
+/// built once by [`Made::freeze_banded`](crate::made::Made::freeze_banded)
+/// (snapshot rehydration does this right after streaming the weights in)
+/// and adopted by every inference session, so sessions skip the
+/// per-session degree-sort-and-pad copy of every trunk layer. Weights must
+/// be frozen when this is built; a model that keeps training must not
+/// freeze.
+#[derive(Debug, Default)]
+pub struct BandedCache {
+    layers: HashMap<ParamId, Arc<BandedLayer>>,
+}
+
+impl BandedCache {
+    pub(crate) fn build(store: &ParamStore, net: &SweepNet) -> Self {
+        let mut layers = HashMap::new();
+        for layer in &net.layers {
+            let (w, b) = layer.param_ids();
+            let width = layer.mask().cols();
+            layers.insert(
+                w,
+                Arc::new(BandedLayer::build(
+                    store,
+                    w,
+                    b,
+                    layer.mask(),
+                    &net.degrees[..width],
+                    net.n_attrs,
+                )),
+            );
+        }
+        Self { layers }
+    }
+
+    fn get(&self, w: ParamId) -> Option<Arc<BandedLayer>> {
+        self.layers.get(&w).cloned()
+    }
+
+    /// Number of trunk layers with a frozen banded cache (diagnostics).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
 /// Persistent state of one band-incremental sweep executor: frozen
 /// degree-sorted weight caches plus the per-layer activation matrices the
 /// attribute loop maintains. Lives inside an
@@ -184,8 +236,10 @@ impl BandedLayer {
 /// buffers — their *values* are per-sweep, their allocations persist.
 #[derive(Default)]
 pub struct ArSweep {
-    /// Degree-banded caches of the input + hidden layers, by weight id.
-    banded: HashMap<ParamId, BandedLayer>,
+    /// Degree-banded caches of the input + hidden layers, by weight id —
+    /// adopted from the model's shared [`BandedCache`] when it froze one,
+    /// otherwise built on first use.
+    banded: HashMap<ParamId, Arc<BandedLayer>>,
     /// Current trunk input: context block + every attribute's embedding
     /// block, refreshed in place as columns are sampled.
     x: Matrix,
@@ -208,23 +262,26 @@ impl ArSweep {
         self.banded.len()
     }
 
-    /// Starts a sweep over an `m`-row batch: builds the frozen caches on
-    /// first use and sizes + zeroes the activation matrices (zeroed so the
-    /// not-yet-computed bands contribute deterministic masked zeros to the
-    /// full-length band dot products).
+    /// Starts a sweep over an `m`-row batch: adopts the model's shared
+    /// frozen caches (or builds session-local ones on first use) and
+    /// sizes + zeroes the activation matrices (zeroed so the
+    /// not-yet-computed bands contribute deterministic masked zeros to
+    /// the full-length band dot products).
     pub(crate) fn begin(&mut self, store: &ParamStore, net: &SweepNet, m: usize) {
         for layer in &net.layers {
             let (w, b) = layer.param_ids();
             let width = layer.mask().cols();
             let entry = self.banded.entry(w).or_insert_with(|| {
-                BandedLayer::build(
-                    store,
-                    w,
-                    b,
-                    layer.mask(),
-                    &net.degrees[..width],
-                    net.n_attrs,
-                )
+                net.banded.and_then(|c| c.get(w)).unwrap_or_else(|| {
+                    Arc::new(BandedLayer::build(
+                        store,
+                        w,
+                        b,
+                        layer.mask(),
+                        &net.degrees[..width],
+                        net.n_attrs,
+                    ))
+                })
             });
             debug_assert_eq!(
                 entry.mask_ptr,

@@ -9,9 +9,11 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use restore_util::BackoffConfig;
+use restore_util::{BackoffConfig, HealthState, ObjectPool, PoolStats};
 
 /// How [`HttpClient::request_with_retry`] behaves.
 #[derive(Clone, Copy, Debug)]
@@ -120,6 +122,11 @@ impl HttpClient {
             peer,
             config,
         })
+    }
+
+    /// The peer this connection was dialed to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
     }
 
     /// Drops the current connection and dials the same peer again —
@@ -302,6 +309,139 @@ pub fn one_shot(
     HttpClient::connect(addr)?.request(method, path, body)
 }
 
+/// Counters of one [`ConnectionPool`]: pool-level reuse plus how often a
+/// fresh dial was needed, for the router's fleet `/metrics` view.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnectionPoolStats {
+    /// Checkouts answered with a pooled keep-alive connection.
+    pub reused: u64,
+    /// Checkouts that dialed a fresh connection.
+    pub dialed: u64,
+    /// Idle connections dropped (pool overflow, peer move, or clear).
+    pub discarded: u64,
+    /// Connections currently idle in the pool.
+    pub idle: usize,
+}
+
+/// A health-aware pool of keep-alive [`HttpClient`] connections to one
+/// peer whose address may *move* (a re-execed worker binds a fresh
+/// ephemeral port). Checkout prefers an idle pooled connection, discards
+/// any dialed to a stale address, and refuses outright while the peer's
+/// [`HealthState`] says down — the caller backs off instead of burning a
+/// connect timeout per request against a dead peer.
+///
+/// The pool never speaks HTTP itself: callers check a connection out, run
+/// whatever requests they need, and check it back in if the exchange left
+/// it reusable (no transport error, no `Connection: close`).
+pub struct ConnectionPool {
+    config: ClientConfig,
+    peer: Mutex<Option<SocketAddr>>,
+    idle: ObjectPool<HttpClient>,
+    health: HealthState,
+    dialed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// A pool keeping at most `max_idle` idle connections; the peer is
+    /// registered (and re-registered after moves) via
+    /// [`ConnectionPool::set_peer`].
+    pub fn new(config: ClientConfig, max_idle: usize) -> Self {
+        Self {
+            config,
+            peer: Mutex::new(None),
+            idle: ObjectPool::new(max_idle),
+            health: HealthState::new(),
+            dialed: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// [`ConnectionPool::new`] with the peer already known.
+    pub fn with_peer(addr: SocketAddr, config: ClientConfig, max_idle: usize) -> Self {
+        let pool = Self::new(config, max_idle);
+        pool.set_peer(addr);
+        pool
+    }
+
+    /// The current peer address, if registered.
+    pub fn peer(&self) -> Option<SocketAddr> {
+        *self.peer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or moves) the peer. A changed address drops every idle
+    /// connection — they are dialed to the old one.
+    pub fn set_peer(&self, addr: SocketAddr) {
+        let changed = {
+            let mut peer = self.peer.lock().unwrap_or_else(|e| e.into_inner());
+            let changed = *peer != Some(addr);
+            *peer = Some(addr);
+            changed
+        };
+        if changed {
+            self.idle.clear();
+        }
+    }
+
+    /// The peer's health, shared with whoever monitors it. The pool itself
+    /// never writes health — callers record successes/failures from actual
+    /// request outcomes (and monitors from probes), keeping one authority
+    /// per signal.
+    pub fn health(&self) -> &HealthState {
+        &self.health
+    }
+
+    /// Checks a connection out: a pooled keep-alive connection to the
+    /// current peer when available, else a fresh dial. Fails fast with
+    /// `NotConnected` while the peer is marked down or unregistered.
+    pub fn checkout(&self) -> std::io::Result<HttpClient> {
+        let Some(peer) = self.peer() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection pool has no peer registered",
+            ));
+        };
+        if !self.health.is_up() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                format!("peer {peer} is marked down"),
+            ));
+        }
+        // Stale-address connections can linger if the peer moved while
+        // they were checked out; skip past them.
+        while let Some(client) = self.idle.take() {
+            if client.peer() == peer {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(client);
+            }
+        }
+        let client = HttpClient::connect_with(peer, self.config)?;
+        self.dialed.fetch_add(1, Ordering::Relaxed);
+        Ok(client)
+    }
+
+    /// Returns a still-healthy connection for reuse. Connections dialed to
+    /// a stale address (the peer moved meanwhile) are dropped.
+    pub fn checkin(&self, client: HttpClient) {
+        if self.peer() == Some(client.peer()) {
+            self.idle.put(client);
+        }
+        // else: dropped here — closing a stale socket is the right outcome.
+    }
+
+    pub fn stats(&self) -> ConnectionPoolStats {
+        let PoolStats {
+            discarded, idle, ..
+        } = self.idle.stats();
+        ConnectionPoolStats {
+            reused: self.reused.load(Ordering::Relaxed),
+            dialed: self.dialed.load(Ordering::Relaxed),
+            discarded,
+            idle,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +461,44 @@ mod tests {
     #[test]
     fn rejects_garbage_status_lines() {
         assert!(parse_response(b"whatever\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connection_pool_reuses_moves_and_gates_on_health() {
+        let listener_a = std::net::TcpListener::bind("127.0.0.1:0").expect("bind a");
+        let listener_b = std::net::TcpListener::bind("127.0.0.1:0").expect("bind b");
+        let addr_a = listener_a.local_addr().expect("addr a");
+        let addr_b = listener_b.local_addr().expect("addr b");
+        let pool = ConnectionPool::with_peer(addr_a, ClientConfig::default(), 4);
+        let first = pool.checkout().expect("fresh dial");
+        assert_eq!(first.peer(), addr_a);
+        pool.checkin(first);
+        assert_eq!(pool.stats().idle, 1);
+        let reused = pool.checkout().expect("pooled connection");
+        assert_eq!(pool.stats().reused, 1);
+        // Peer moves: idle connections are cleared, checked-out ones are
+        // dropped at checkin instead of poisoning the pool.
+        pool.set_peer(addr_b);
+        assert_eq!(pool.stats().idle, 0, "peer move clears idle conns");
+        pool.checkin(reused);
+        assert_eq!(pool.stats().idle, 0, "stale-peer checkin is dropped");
+        assert_eq!(pool.checkout().expect("dial b").peer(), addr_b);
+        // Health gate: a down peer fails fast, recovery restores service.
+        pool.health().force_down();
+        let err = match pool.checkout() {
+            Err(e) => e,
+            Ok(_) => panic!("down peer must fail fast"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
+        pool.health().record_success();
+        assert!(pool.checkout().is_ok());
+    }
+
+    #[test]
+    fn empty_pool_has_no_peer() {
+        let pool = ConnectionPool::new(ClientConfig::default(), 2);
+        assert!(pool.peer().is_none());
+        assert!(pool.checkout().is_err());
     }
 
     #[test]

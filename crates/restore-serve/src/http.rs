@@ -113,6 +113,45 @@ fn percent_decode(s: &str, plus_is_space: bool) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Percent-encodes one path segment or query component: unreserved
+/// characters (RFC 3986) pass through, everything else becomes `%XX`.
+/// Inverse of [`percent_decode`] over round-tripped components.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Re-encodes a parsed request's path + query back into a wire-safe
+/// request target — what the shard router sends upstream when forwarding.
+/// Parsing decodes `%XX` escapes, so a decoded path like `/v1/my db/query`
+/// must be re-escaped before it can appear in a request line again.
+pub(crate) fn encode_target(request: &Request) -> String {
+    let mut target: String = request
+        .path
+        .split('/')
+        .map(percent_encode)
+        .collect::<Vec<_>>()
+        .join("/");
+    if target.is_empty() {
+        target.push('/');
+    }
+    for (i, (k, v)) in request.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(&percent_encode(k));
+        target.push('=');
+        target.push_str(&percent_encode(v));
+    }
+    target
+}
+
 /// A fully-received head, waiting for its body bytes.
 struct PendingHead {
     /// The request with everything but `body` filled in.
@@ -567,6 +606,21 @@ mod tests {
         assert_eq!(percent_decode("100%", false), "100%");
         assert_eq!(percent_decode("a+b", true), "a b");
         assert_eq!(percent_decode("a+b", false), "a+b");
+    }
+
+    #[test]
+    fn encode_target_round_trips_through_the_parser() {
+        let raw = "POST /v1/my%20db/query?seed=7&x=a+b HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, _) = try_parse(raw.as_bytes(), &Limits::default())
+            .expect("parse")
+            .expect("complete");
+        let target = encode_target(&req);
+        let reparsed = parse_ok(&format!("GET {target} HTTP/1.1\r\n\r\n"));
+        assert_eq!(reparsed.path, req.path);
+        assert_eq!(reparsed.query, req.query);
+        // A plain target is untouched.
+        let plain = parse_ok("GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(encode_target(&plain), "/healthz");
     }
 
     #[test]

@@ -92,17 +92,57 @@
 //!   exponentially with deterministic jitter, honors `Retry-After`, and
 //!   reconnects on transport errors, all inside a wall-clock
 //!   [`RetryPolicy::budget`].
+//!
+//! ## Fleet mode — the `shard_router` binary
+//!
+//! One process is one core budget. The [`router`] module (and the
+//! `shard_router` binary) scale out horizontally: a thin router process —
+//! the same `Server`, in fleet mode — maps each tenant to one of N worker
+//! processes by stable FNV-1a hash and forwards over pooled keep-alive
+//! connections, with health probes and snapshot-directory re-exec
+//! failover. Wire format and response bytes are identical to a direct
+//! worker connection.
+//!
+//! ```text
+//! # one router + 4 workers, all booted from the same snapshot directory
+//! shard_router --snapshot-dir /var/lib/restore/snapshots --shards 4 --addr 127.0.0.1:8080
+//! # → shard_router listening on 127.0.0.1:8080
+//!
+//! curl -s localhost:8080/v1/housing/query -d '{…}'   # forwarded to housing's shard
+//! curl -s localhost:8080/healthz            # {"status":"ok","fleet":{"shards":4,"up":4}}
+//! curl -s localhost:8080/metrics            # router metrics + "fleet" section
+//! curl -s localhost:8080/fleet/2/metrics    # worker 2's raw /metrics, passed through
+//! ```
+//!
+//! A standalone worker (what the router re-execs on failover — also handy
+//! for running workers under your own supervisor and pointing a fleet at
+//! them with fixed addresses):
+//!
+//! ```text
+//! shard_router --worker --snapshot-dir /var/lib/restore/snapshots
+//! # → shard_router worker listening on 127.0.0.1:PORT   (ephemeral port)
+//! ```
+//!
+//! In-process, the same plumbing is three calls: [`router::Fleet::start`]
+//! with a [`router::FleetConfig`], put the `Arc<Fleet>` into
+//! [`ServeConfig::fleet`], and `Server::bind` as usual. See the "Fleet
+//! path" section of `ARCHITECTURE.md` for the failover rules.
 
 pub mod client;
 pub mod fault;
 pub mod http;
 pub mod reactor;
+pub mod router;
 pub mod server;
 pub mod store;
 
-pub use client::{one_shot, ClientConfig, HttpClient, HttpResponse, RetryPolicy};
+pub use client::{
+    one_shot, ClientConfig, ConnectionPool, ConnectionPoolStats, HttpClient, HttpResponse,
+    RetryPolicy,
+};
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use http::{Limits, Request, Response};
 pub use reactor::raise_fd_limit;
+pub use router::{Fleet, FleetConfig, ShardConfig, WorkerSpec};
 pub use server::{ServeConfig, Server};
 pub use store::{LoadedSnapshot, SkippedSnapshot, SnapshotStore};

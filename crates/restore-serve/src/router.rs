@@ -1,0 +1,798 @@
+//! Multi-process scale-out: the shard-router plane behind
+//! [`Server`](crate::Server)'s fleet mode.
+//!
+//! One snapshot registry per process keeps the serving path simple, but a
+//! single process is one core-budget and one blast radius. The router
+//! turns N independent worker processes — each a stock `restore-serve`
+//! server booted from the same versioned snapshot directory — into one
+//! endpoint speaking the exact same HTTP/1.1 wire format:
+//!
+//! ```text
+//!                        ┌─ worker 0 (Server, --snapshot-dir D) ─ D/
+//!  clients ── router ────┤                                        │
+//!   (epoll   (Server in  ├─ worker 1 (Server, --snapshot-dir D) ──┤
+//!    keep-    fleet      │      ▲ health probes /healthz          │
+//!    alive)   mode)      │      │ dead → re-exec from D ──────────┘
+//!                        └─ … shard N-1
+//! ```
+//!
+//! * **Tenant → shard** is a stable FNV-1a hash of the tenant name modulo
+//!   the shard count ([`Fleet::shard_for`]) — no coordination, no lookup
+//!   table, and the mapping survives worker restarts, so each tenant's
+//!   completion caches stay warm on exactly one worker.
+//! * **Forwarding** rides pooled keep-alive connections
+//!   ([`crate::client::ConnectionPool`]) with health-aware checkout; the
+//!   retry schedule reuses the client plane's
+//!   [`RetryPolicy`](crate::RetryPolicy) backoff/jitter machinery. Only
+//!   transport errors retry — worker status codes (including 429/503) pass
+//!   through byte-identically so end-to-end semantics match a direct
+//!   worker connection.
+//! * **Failover**: a monitor thread probes each worker's `/healthz`; a
+//!   worker that stops answering (or whose process exits) is marked down,
+//!   and — when the fleet owns its spawn command — re-execed against the
+//!   same `--snapshot-dir`. The PR 9 boot scan is the worker's entire
+//!   startup story: the respawned process loads the newest valid snapshot
+//!   per tenant and is serving again in roughly one snapshot-load. While
+//!   the window is open, forwards to that shard back off and retry inside
+//!   the request's own deadline budget, so a request that arrives
+//!   mid-failover *waits out* the respawn instead of failing.
+//! * **Fleet metrics**: the router's `/metrics` grows a `fleet` section —
+//!   per-shard up/down, forwarded/failed/retried counts, respawns, pool
+//!   reuse, and each worker's self-reported q/s (scraped from its own
+//!   `/metrics`). `GET /fleet/{i}/metrics` passes one worker's raw metrics
+//!   document through for drill-down.
+//!
+//! The router is not a second server implementation: fleet mode is a
+//! [`ServeConfig`](crate::ServeConfig) field, so the epoll reactor, the
+//! incremental parser, admission control, deadline budgets, request ids,
+//! and graceful drain are all the same code paths a worker runs.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use restore_util::json::ToJson;
+use restore_util::{fnv1a64, Shutdown};
+
+use crate::client::{ClientConfig, ConnectionPool, HttpResponse, RetryPolicy};
+use crate::http::{encode_target, Request, Response};
+use crate::server::{Budget, Shared};
+
+/// How to (re)spawn one worker process. The program must print a line
+/// ending in its listening address (`… listening on 127.0.0.1:PORT`) on
+/// stdout once bound — the `shard_router` binary's `--worker` mode does —
+/// and should exit when its stdin reaches EOF (orphan cleanup).
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    pub program: PathBuf,
+    pub args: Vec<String>,
+}
+
+/// One shard slot: a fixed address (externally managed worker), a spawn
+/// command (fleet-managed worker, restarted on failure), or both (initial
+/// address known, fleet still owns restarts).
+#[derive(Clone, Debug, Default)]
+pub struct ShardConfig {
+    /// Address of an already-running worker; `None` means the fleet learns
+    /// it from the spawned process's stdout.
+    pub addr: Option<SocketAddr>,
+    /// Spawn command; `None` disables failover re-exec for this shard
+    /// (the fleet only marks it down and waits for [`Fleet::set_shard_addr`]).
+    pub worker: Option<WorkerSpec>,
+}
+
+/// Fleet knobs. Defaults are sized for loopback worker fleets.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    pub shards: Vec<ShardConfig>,
+    /// Client config for forwarded requests; its [`RetryPolicy`] supplies
+    /// the forward backoff schedule and wall-clock budget.
+    pub client: ClientConfig,
+    /// Idle keep-alive connections pooled per shard.
+    pub max_idle_per_shard: usize,
+    /// Health-probe cadence of the monitor thread.
+    pub health_interval: Duration,
+    /// Consecutive failed probes before a shard is marked down.
+    pub down_after: u32,
+    /// How long one worker spawn may take to print its address and answer
+    /// `/healthz` before the attempt counts as failed.
+    pub spawn_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            client: ClientConfig {
+                read_timeout: Duration::from_secs(30),
+                retry: RetryPolicy {
+                    // The forward retry loop is deadline-bounded (riding
+                    // out a failover window), so the budget — not an
+                    // attempt count — is the real knob.
+                    budget: Duration::from_secs(10),
+                    ..RetryPolicy::default()
+                },
+            },
+            max_idle_per_shard: 16,
+            health_interval: Duration::from_millis(200),
+            down_after: 2,
+            spawn_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Short-timeout config for health probes and metrics scrapes — a wedged
+/// worker must cost the monitor 2 s, not the client default 30.
+fn probe_config() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_secs(2),
+        retry: RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        },
+    }
+}
+
+fn probe_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    crate::client::HttpClient::connect_with(addr, probe_config())?.get(path)
+}
+
+/// One worker slot's runtime state.
+struct Shard {
+    index: usize,
+    pool: ConnectionPool,
+    spec: Option<WorkerSpec>,
+    child: Mutex<Option<Child>>,
+    forwarded: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl Shard {
+    fn probe_ok(&self) -> bool {
+        match self.pool.peer() {
+            Some(addr) => matches!(probe_get(addr, "/healthz"), Ok((200, _))),
+            None => false,
+        }
+    }
+
+    fn kill_child(&self) {
+        let mut child = self.child.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(mut c) = child.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+
+    /// Has the fleet-spawned worker process exited?
+    fn child_exited(&self) -> bool {
+        let mut child = self.child.lock().unwrap_or_else(|e| e.into_inner());
+        match child.as_mut() {
+            Some(c) => matches!(c.try_wait(), Ok(Some(_))),
+            None => false,
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.kill_child();
+    }
+}
+
+/// A fleet of worker processes behind one router. Create with
+/// [`Fleet::start`], hand the `Arc` to [`ServeConfig::fleet`]
+/// (crate::ServeConfig::fleet), and call [`Fleet::shutdown`] after the
+/// router server drains.
+pub struct Fleet {
+    shards: Vec<Arc<Shard>>,
+    config: FleetConfig,
+    shutdown: Shutdown,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.shards.len())
+            .field(
+                "addrs",
+                &self
+                    .shards
+                    .iter()
+                    .map(|s| s.pool.peer())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Spawns every shard with a [`WorkerSpec`] (waiting for each to come
+    /// up healthy), registers fixed addresses, and starts the health
+    /// monitor. Fails loudly if any shard has neither an address nor a
+    /// spawn command, or if an initial spawn doesn't become healthy within
+    /// [`FleetConfig::spawn_timeout`].
+    pub fn start(config: FleetConfig) -> io::Result<Arc<Self>> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a fleet needs at least one shard",
+            ));
+        }
+        let mut shards = Vec::with_capacity(config.shards.len());
+        for (index, shard_config) in config.shards.iter().enumerate() {
+            if shard_config.addr.is_none() && shard_config.worker.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("shard {index} has neither an address nor a worker spec"),
+                ));
+            }
+            let shard = Arc::new(Shard {
+                index,
+                pool: ConnectionPool::new(config.client, config.max_idle_per_shard),
+                spec: shard_config.worker.clone(),
+                child: Mutex::new(None),
+                forwarded: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                retried: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+            });
+            if let Some(addr) = shard_config.addr {
+                shard.pool.set_peer(addr);
+            }
+            if shard_config.addr.is_none() {
+                let spec = shard.spec.as_ref().expect("checked above");
+                let (child, addr) = spawn_worker(spec, config.spawn_timeout)?;
+                *shard.child.lock().unwrap_or_else(|e| e.into_inner()) = Some(child);
+                shard.pool.set_peer(addr);
+                wait_healthy(addr, config.spawn_timeout).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("shard {index} worker at {addr} never became healthy: {e}"),
+                    )
+                })?;
+                eprintln!("restore-serve: fleet shard {index} worker up at {addr}");
+            }
+            shards.push(shard);
+        }
+        let fleet = Arc::new(Self {
+            shards,
+            config,
+            shutdown: Shutdown::new(),
+            monitor: Mutex::new(None),
+            started: Instant::now(),
+        });
+        let weak: Weak<Fleet> = Arc::downgrade(&fleet);
+        let handle = std::thread::spawn(move || monitor_loop(weak));
+        *fleet.monitor.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+        Ok(fleet)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stable tenant → shard mapping: FNV-1a over the tenant name,
+    /// modulo the shard count. Pure, so every router replica (and every
+    /// test) computes the same placement.
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        (fnv1a64(tenant.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    pub fn shard_addr(&self, shard: usize) -> Option<SocketAddr> {
+        self.shards.get(shard).and_then(|s| s.pool.peer())
+    }
+
+    pub fn shard_is_up(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.pool.health().is_up())
+    }
+
+    pub fn up_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.pool.health().is_up())
+            .count()
+    }
+
+    /// Re-registers a shard whose externally-managed worker moved (new
+    /// process, new ephemeral port). Clears the shard's pooled connections
+    /// and restores it to service immediately; the monitor keeps probing
+    /// the new address from here on.
+    pub fn set_shard_addr(&self, shard: usize, addr: SocketAddr) {
+        if let Some(s) = self.shards.get(shard) {
+            s.pool.set_peer(addr);
+            s.pool.health().record_success();
+        }
+    }
+
+    /// Chaos/test hook: kill shard `shard`'s fleet-spawned worker process.
+    /// The monitor notices (process exit or failed probe), marks the shard
+    /// down, and — because the spec is still present — re-execs it.
+    /// Returns `false` when there is no live child to kill.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        let Some(s) = self.shards.get(shard) else {
+            return false;
+        };
+        let had_child = {
+            let child = s.child.lock().unwrap_or_else(|e| e.into_inner());
+            child.is_some()
+        };
+        s.kill_child();
+        had_child
+    }
+
+    /// Stops the monitor and kills every fleet-spawned worker. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+        let handle = {
+            let mut monitor = self.monitor.lock().unwrap_or_else(|e| e.into_inner());
+            monitor.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        for shard in &self.shards {
+            shard.kill_child();
+        }
+    }
+
+    /// Forwards one `/v1/*` request to its tenant's shard and adapts the
+    /// worker's response for passthrough. Transport errors retry on the
+    /// policy's backoff schedule until `remaining` (the request's leftover
+    /// deadline budget, capped by the policy budget) runs out — a request
+    /// arriving mid-failover waits out the respawn. Worker status codes,
+    /// including 429/503, pass through untouched: the worker owns request
+    /// semantics, the router owns transport.
+    pub(crate) fn forward(&self, tenant: &str, request: &Request, remaining: Duration) -> Response {
+        let shard = &self.shards[self.shard_for(tenant)];
+        let policy = self.config.client.retry;
+        let deadline = Instant::now() + remaining.min(policy.budget);
+        let target = encode_target(request);
+        let body = (!request.body.is_empty()).then_some(request.body.as_str());
+        let mut attempt = 0u32;
+        let last_error = loop {
+            let outcome = self.try_forward_once(shard, &request.method, &target, body);
+            let error = match outcome {
+                Ok(upstream) => {
+                    shard.forwarded.fetch_add(1, Ordering::Relaxed);
+                    return passthrough(upstream);
+                }
+                Err(e) => e,
+            };
+            let wait = policy
+                .backoff
+                .delay(policy.seed, attempt)
+                .min(policy.retry_after_cap);
+            if Instant::now() + wait > deadline {
+                break error;
+            }
+            shard.retried.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(wait);
+            attempt += 1;
+        };
+        shard.failed.fetch_add(1, Ordering::Relaxed);
+        Response::error(
+            503,
+            &format!(
+                "shard {} unavailable for tenant {tenant:?}: {last_error}",
+                shard.index
+            ),
+        )
+        .with_header("Retry-After", "1")
+    }
+
+    /// One forward attempt over a pooled connection. Success checks the
+    /// connection back in (unless the worker asked to close) and records
+    /// shard health; failure records it against the down threshold so the
+    /// forward path and the monitor share one health authority.
+    fn try_forward_once(
+        &self,
+        shard: &Shard,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let result = shard.pool.checkout().and_then(|mut client| {
+            let response = client.request_full(method, target, body, &[])?;
+            let keep = response
+                .header("connection")
+                .is_none_or(|v| !v.eq_ignore_ascii_case("close"));
+            if keep {
+                shard.pool.checkin(client);
+            }
+            Ok(response)
+        });
+        match &result {
+            Ok(_) => {
+                shard.pool.health().record_success();
+            }
+            // A health-gate refusal (peer marked down / unregistered) is
+            // not *new* evidence of failure; dial and request errors are.
+            Err(e) if e.kind() != io::ErrorKind::NotConnected => {
+                shard.pool.health().record_failure(self.config.down_after);
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// The `fleet` section of the router's `/metrics`: shard counts and
+    /// states, forward counters, pool reuse, and each live worker's
+    /// self-reported totals scraped from its own `/metrics` (best effort —
+    /// a down worker reports `null`).
+    pub fn metrics_json(&self) -> String {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let (mut forwarded, mut failed, mut retried, mut respawns) = (0u64, 0u64, 0u64, 0u64);
+        let per_shard: Vec<String> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let f = shard.forwarded.load(Ordering::Relaxed);
+                forwarded += f;
+                let shard_failed = shard.failed.load(Ordering::Relaxed);
+                failed += shard_failed;
+                let shard_retried = shard.retried.load(Ordering::Relaxed);
+                retried += shard_retried;
+                let shard_respawns = shard.respawns.load(Ordering::Relaxed);
+                respawns += shard_respawns;
+                let up = shard.pool.health().is_up();
+                let addr = shard
+                    .pool
+                    .peer()
+                    .map_or("null".to_string(), |a| format!("\"{a}\""));
+                let pool = shard.pool.stats();
+                let worker = match shard.pool.peer().filter(|_| up) {
+                    Some(addr) => scrape_worker_metrics(addr),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"shard\":{},\"addr\":{addr},\"up\":{up},\"forwarded\":{f},\
+                     \"failed\":{shard_failed},\"retried\":{shard_retried},\
+                     \"respawns\":{shard_respawns},\"times_down\":{},\
+                     \"queries_per_s\":{},\
+                     \"pool\":{{\"idle\":{},\"reused\":{},\"dialed\":{},\"discarded\":{}}},\
+                     \"worker\":{worker}}}",
+                    shard.index,
+                    shard.pool.health().times_down(),
+                    (f as f64 / uptime).to_json(),
+                    pool.idle,
+                    pool.reused,
+                    pool.dialed,
+                    pool.discarded,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"shards\":{},\"up\":{},\"forwarded\":{forwarded},\"failed\":{failed},\
+             \"retried\":{retried},\"respawns\":{respawns},\"per_shard\":[{}]}}",
+            self.shards.len(),
+            self.up_count(),
+            per_shard.join(",")
+        )
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker's self-reported request totals, scraped from its `/metrics`
+/// with the short probe timeout. Returns a small JSON object (or `"null"`
+/// when the scrape fails or doesn't parse).
+fn scrape_worker_metrics(addr: SocketAddr) -> String {
+    let Ok((200, body)) = probe_get(addr, "/metrics") else {
+        return "null".to_string();
+    };
+    let Some(root) = restore_util::json::parse(&body) else {
+        return "null".to_string();
+    };
+    let total = root
+        .get("requests")
+        .and_then(|r| r.get("total"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let uptime = root
+        .get("uptime_s")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0)
+        .max(1e-9);
+    format!(
+        "{{\"requests_total\":{},\"uptime_s\":{},\"queries_per_s\":{}}}",
+        total.to_json(),
+        uptime.to_json(),
+        (total / uptime).to_json()
+    )
+}
+
+/// Converts a worker's response into a router response for passthrough:
+/// status and body verbatim; content/framing headers and the worker's
+/// request id dropped (the response encoder re-frames, and the router
+/// stamps its own `X-Request-Id`); everything else — notably
+/// `Retry-After` — carried through.
+fn passthrough(upstream: HttpResponse) -> Response {
+    let mut response = Response::json(upstream.status, upstream.body);
+    for (name, value) in upstream.headers {
+        if matches!(
+            name.as_str(),
+            "content-length" | "content-type" | "connection" | "x-request-id"
+        ) {
+            continue;
+        }
+        response.headers.push((name, value));
+    }
+    response
+}
+
+/// Spawns one worker process and reads its listening address: the first
+/// stdout line's last whitespace-separated token must parse as a socket
+/// address. The read happens on a helper thread so a silent child costs
+/// `timeout`, not forever. The child keeps a piped stdin for its lifetime;
+/// fleet teardown (or fleet process death) closes it, which a well-behaved
+/// worker treats as EOF-exit.
+fn spawn_worker(spec: &WorkerSpec, timeout: Duration) -> io::Result<(Child, SocketAddr)> {
+    let mut child = Command::new(&spec.program)
+        .args(&spec.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        let _ = BufReader::new(stdout).read_line(&mut line);
+        let _ = tx.send(line);
+    });
+    let line = match rx.recv_timeout(timeout) {
+        Ok(line) => line,
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "worker {} did not report an address within {timeout:?}",
+                    spec.program.display()
+                ),
+            ));
+        }
+    };
+    let addr = line
+        .split_whitespace()
+        .last()
+        .and_then(|token| token.parse::<SocketAddr>().ok());
+    match addr {
+        Some(addr) => Ok((child, addr)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker address line unparseable: {line:?}"),
+            ))
+        }
+    }
+}
+
+/// Polls `/healthz` until it answers 200 or `timeout` elapses.
+fn wait_healthy(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    let mut last = String::from("never probed");
+    while Instant::now() < deadline {
+        match probe_get(addr, "/healthz") {
+            Ok((200, _)) => return Ok(()),
+            Ok((status, _)) => last = format!("status {status}"),
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(io::Error::new(io::ErrorKind::TimedOut, last))
+}
+
+/// The monitor thread: probe every shard each interval, flip health on the
+/// evidence, and re-exec dead fleet-owned workers against their snapshot
+/// directory. Holds only a `Weak` on the fleet so an abandoned fleet (all
+/// `Arc`s dropped) tears down instead of leaking a thread.
+fn monitor_loop(fleet: Weak<Fleet>) {
+    loop {
+        let Some(fleet) = fleet.upgrade() else {
+            return;
+        };
+        if fleet.shutdown.is_triggered() {
+            return;
+        }
+        for shard in &fleet.shards {
+            check_shard(&fleet, shard);
+        }
+        let interval = fleet.config.health_interval;
+        drop(fleet); // don't hold the fleet alive through the sleep
+        std::thread::sleep(interval);
+    }
+}
+
+/// One monitor round for one shard: child exit is a definitive down
+/// signal; otherwise a `/healthz` probe decides. A shard that is down and
+/// owns a spawn spec is re-execed (synchronously — respawn latency is
+/// bounded by `spawn_timeout` and the fleet is small).
+fn check_shard(fleet: &Fleet, shard: &Shard) {
+    let exited = shard.child_exited();
+    if !exited && shard.probe_ok() {
+        if shard.pool.health().record_success() {
+            eprintln!(
+                "restore-serve: fleet shard {} back up at {:?}",
+                shard.index,
+                shard.pool.peer()
+            );
+        }
+        return;
+    }
+    let went_down = if exited {
+        shard.pool.health().force_down()
+    } else {
+        shard.pool.health().record_failure(fleet.config.down_after)
+    };
+    if went_down {
+        eprintln!(
+            "restore-serve: fleet shard {} down ({})",
+            shard.index,
+            if exited {
+                "worker process exited"
+            } else {
+                "health probes failing"
+            }
+        );
+    }
+    if shard.pool.health().is_up() || fleet.shutdown.is_triggered() {
+        return;
+    }
+    let Some(spec) = &shard.spec else {
+        return; // externally managed: wait for set_shard_addr
+    };
+    shard.kill_child();
+    match spawn_worker(spec, fleet.config.spawn_timeout).and_then(|(child, addr)| {
+        wait_healthy(addr, fleet.config.spawn_timeout).map(|()| (child, addr))
+    }) {
+        Ok((child, addr)) => {
+            *shard.child.lock().unwrap_or_else(|e| e.into_inner()) = Some(child);
+            shard.pool.set_peer(addr);
+            shard.respawns.fetch_add(1, Ordering::Relaxed);
+            shard.pool.health().record_success();
+            eprintln!(
+                "restore-serve: fleet shard {} re-execed, up at {addr}",
+                shard.index
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "restore-serve: fleet shard {} respawn failed ({e}); retrying next round",
+                shard.index
+            );
+        }
+    }
+}
+
+/// Routing for a server in fleet mode: control-plane routes answer from
+/// the router itself (health and metrics describe the *fleet*), a
+/// drill-down route passes one worker's metrics through raw, and every
+/// `/v1/{tenant}/…` request forwards to the tenant's shard.
+pub(crate) fn route_fleet(
+    shared: &Shared,
+    fleet: &Fleet,
+    request: &Request,
+    budget: &Budget,
+) -> Response {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let up = fleet.up_count();
+            let shards = fleet.shard_count();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"{}\",\"fleet\":{{\"shards\":{shards},\"up\":{up}}}}}",
+                    if up == shards { "ok" } else { "degraded" }
+                ),
+            )
+        }
+        ("GET", ["metrics"]) => crate::server::metrics(shared, Some(fleet.metrics_json())),
+        ("GET", ["fleet", index, "metrics"]) => {
+            let Ok(index) = index.parse::<usize>() else {
+                return Response::error(400, &format!("bad shard index {index:?}"));
+            };
+            let Some(addr) = fleet
+                .shard_addr(index)
+                .filter(|_| index < fleet.shard_count())
+            else {
+                return Response::error(404, &format!("no shard {index}"));
+            };
+            match probe_get(addr, "/metrics") {
+                Ok((status, body)) => Response::json(status, body),
+                Err(e) => Response::error(503, &format!("shard {index} metrics: {e}")),
+            }
+        }
+        (_, ["v1", tenant, ..]) => fleet.forward(tenant, request, budget.remaining()),
+        (_, ["healthz" | "metrics"]) => {
+            Response::error(405, &format!("method {} not allowed here", request.method))
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_mapping_is_stable_and_total() {
+        let config = FleetConfig {
+            shards: vec![
+                ShardConfig {
+                    addr: Some("127.0.0.1:1".parse().unwrap()),
+                    worker: None,
+                },
+                ShardConfig {
+                    addr: Some("127.0.0.1:2".parse().unwrap()),
+                    worker: None,
+                },
+            ],
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::start(config).expect("fleet with fixed addrs");
+        for tenant in ["alpha", "beta", "tenant with spaces", ""] {
+            let shard = fleet.shard_for(tenant);
+            assert!(shard < 2);
+            assert_eq!(shard, fleet.shard_for(tenant), "mapping must be stable");
+            assert_eq!(
+                shard,
+                (restore_util::fnv1a64(tenant.as_bytes()) % 2) as usize,
+                "mapping is the documented hash"
+            );
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(Fleet::start(FleetConfig::default()).is_err());
+        let no_way_to_reach = FleetConfig {
+            shards: vec![ShardConfig::default()],
+            ..FleetConfig::default()
+        };
+        assert!(Fleet::start(no_way_to_reach).is_err());
+    }
+
+    #[test]
+    fn passthrough_strips_framing_but_keeps_retry_after() {
+        let upstream = HttpResponse {
+            status: 429,
+            headers: vec![
+                ("content-type".into(), "application/json".into()),
+                ("content-length".into(), "2".into()),
+                ("connection".into(), "keep-alive".into()),
+                ("x-request-id".into(), "9".into()),
+                ("retry-after".into(), "3".into()),
+            ],
+            body: "{}".into(),
+        };
+        let response = passthrough(upstream);
+        assert_eq!(response.status, 429);
+        assert_eq!(response.body, "{}");
+        assert_eq!(
+            response.headers,
+            vec![("retry-after".to_string(), "3".to_string())]
+        );
+    }
+}

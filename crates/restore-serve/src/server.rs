@@ -125,6 +125,13 @@ pub struct ServeConfig {
     /// save the next version atomically, publish through the registry.
     /// `None` (the default) disables persistence entirely.
     pub snapshot_dir: Option<PathBuf>,
+    /// Fleet mode: when set, this server is a **shard router** — `/v1/*`
+    /// requests forward to worker processes by stable tenant hash instead
+    /// of executing locally, `/healthz` and `/metrics` describe the fleet,
+    /// and `GET /fleet/{i}/metrics` drills into one worker. The reactor,
+    /// admission gate, deadlines, request ids, and drain all behave
+    /// exactly as in worker mode. See [`crate::router`].
+    pub fleet: Option<Arc<crate::router::Fleet>>,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +150,7 @@ impl Default for ServeConfig {
             fault: None,
             panic_route: false,
             snapshot_dir: None,
+            fleet: None,
         }
     }
 }
@@ -282,7 +290,7 @@ impl Drop for AdmitPermit {
 /// Stages check it *before* starting work; a blown budget sheds the rest
 /// of the request rather than interrupting a stage mid-flight.
 #[derive(Clone, Copy)]
-struct Budget {
+pub(crate) struct Budget {
     arrived: Instant,
     limit: Duration,
 }
@@ -296,6 +304,12 @@ impl Budget {
         } else {
             Ok(())
         }
+    }
+
+    /// Wall-clock budget left before the deadline (zero once blown). The
+    /// fleet forward loop spends this riding out a shard failover.
+    pub(crate) fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.arrived.elapsed())
     }
 }
 
@@ -721,10 +735,15 @@ fn execute_job(shared: &Arc<Shared>, job: &Job) -> Response {
 }
 
 fn route(shared: &Arc<Shared>, request: &Request, request_id: u64, budget: &Budget) -> Response {
+    // Fleet mode: this server is a shard router. Same reactor, parser,
+    // admission, and deadlines — routing just forwards instead of executes.
+    if let Some(fleet) = &shared.config.fleet {
+        return crate::router::route_fleet(shared, fleet, request, budget);
+    }
     let segments = request.segments();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(shared),
-        ("GET", ["metrics"]) => metrics(shared),
+        ("GET", ["metrics"]) => metrics(shared, None),
         ("GET", ["debug", "panic", key]) if shared.config.panic_route => {
             // Fault injection: panic inside the shared single-flight so
             // tests can prove leader-panic poisoning surfaces as 500s, not
@@ -1079,7 +1098,9 @@ fn core_error_status(e: &CoreError) -> u16 {
     }
 }
 
-fn metrics(shared: &Shared) -> Response {
+/// The `/metrics` document. `fleet` (router mode only) is a pre-rendered
+/// JSON object slotted in as a `fleet` section ahead of `tenants`.
+pub(crate) fn metrics(shared: &Shared, fleet: Option<String>) -> Response {
     let uptime = shared.metrics.started.elapsed().as_secs_f64().max(1e-9);
     let tenants: Vec<String> = {
         let map = shared
@@ -1159,5 +1180,15 @@ fn metrics(shared: &Shared) -> Response {
         shared.metrics.rebuilds_failed.load(Ordering::Relaxed),
         tenants.join(",")
     );
+    let body = match fleet {
+        Some(fleet) => {
+            let tenants_key = "\"tenants\":";
+            let at = body
+                .rfind(tenants_key)
+                .expect("metrics has a tenants section");
+            format!("{}\"fleet\":{fleet},{}", &body[..at], &body[at..])
+        }
+        None => body,
+    };
     Response::json(200, body)
 }

@@ -11,12 +11,14 @@
 pub mod backoff;
 pub mod fsio;
 pub mod json;
+pub mod pool;
 pub mod ratelimit;
 pub mod shutdown;
 pub mod singleflight;
 
 pub use backoff::BackoffConfig;
 pub use fsio::{fnv1a64, is_tmp_name, write_atomic, Fnv64};
+pub use pool::{HealthState, ObjectPool, PoolStats};
 pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use shutdown::{ConnectionGuard, Shutdown};
 pub use singleflight::{Flight, SingleFlight};

@@ -1,0 +1,262 @@
+//! Generic pooling and health-state primitives — the substrate under the
+//! shard router's per-shard connection pools.
+//!
+//! Two pieces, deliberately decoupled:
+//!
+//! * [`ObjectPool`] — a bounded stack of reusable objects (checked-out
+//!   items are simply owned by the caller; returning is optional, the pool
+//!   drops overflow). Counters track reuse vs. miss vs. discard so a
+//!   `/metrics` view can show whether pooling actually pays.
+//! * [`HealthState`] — an up/down flag driven by consecutive-failure
+//!   counting: `record_failure(threshold)` flips to down once `threshold`
+//!   consecutive failures accumulate, one `record_success` flips back up.
+//!   Transition edges are reported to the caller (for logging / respawn
+//!   triggers) and counted (for metrics).
+//!
+//! Both are lock-light (`Mutex` only around the object stack) and safe to
+//! share behind an `Arc` across a reactor, a worker pool, and a monitor
+//! thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Point-in-time counters of an [`ObjectPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take` calls answered from the pool.
+    pub hits: u64,
+    /// `take` calls that found the pool empty (caller creates afresh).
+    pub misses: u64,
+    /// Objects dropped because the pool was full (or cleared).
+    pub discarded: u64,
+    /// Objects currently idle in the pool.
+    pub idle: usize,
+}
+
+/// A bounded LIFO pool of reusable objects. LIFO keeps the hottest object
+/// (most recently used connection, warmest buffers) cycling.
+#[derive(Debug)]
+pub struct ObjectPool<T> {
+    slots: Mutex<Vec<T>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl<T> ObjectPool<T> {
+    /// A pool holding at most `capacity` idle objects (0 disables pooling:
+    /// every `put` discards).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes the most recently returned object, if any.
+    pub fn take(&self) -> Option<T> {
+        let taken = self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match &taken {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        taken
+    }
+
+    /// Returns an object to the pool; `false` means the pool was full and
+    /// the object was dropped instead.
+    pub fn put(&self, object: T) -> bool {
+        {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            if slots.len() < self.capacity {
+                slots.push(object);
+                return true;
+            }
+        }
+        // Dropped outside the lock: object destructors (socket close) must
+        // not run under the pool mutex.
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Drops every idle object (e.g. after the peer they were dialed to
+    /// moved). Returns how many were dropped.
+    pub fn clear(&self) -> usize {
+        let drained = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *slots)
+        };
+        let n = drained.len();
+        self.discarded.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Objects currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            idle: self.idle(),
+        }
+    }
+}
+
+/// Up/down health of one peer, driven by consecutive-failure counting.
+/// Starts up (a peer is innocent until probed otherwise); any success
+/// resets the failure streak and restores up.
+#[derive(Debug)]
+pub struct HealthState {
+    up: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Up→down transitions observed so far.
+    times_down: AtomicU64,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HealthState {
+    pub fn new() -> Self {
+        Self {
+            up: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            times_down: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// Up→down transitions so far.
+    pub fn times_down(&self) -> u64 {
+        self.times_down.load(Ordering::Relaxed)
+    }
+
+    /// Records a successful interaction; returns `true` on the down→up
+    /// edge (the peer just recovered).
+    pub fn record_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        !self.up.swap(true, Ordering::AcqRel)
+    }
+
+    /// Records a failed interaction; once `threshold` consecutive failures
+    /// accumulate the peer goes down. Returns `true` on the up→down edge.
+    /// A `threshold` of 0 or 1 means the first failure downs the peer.
+    pub fn record_failure(&self, threshold: u32) -> bool {
+        let failures = self
+            .consecutive_failures
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1);
+        if failures >= threshold.max(1) {
+            let was_up = self.up.swap(false, Ordering::AcqRel);
+            if was_up {
+                self.times_down.fetch_add(1, Ordering::Relaxed);
+            }
+            was_up
+        } else {
+            false
+        }
+    }
+
+    /// Forces the peer down immediately (e.g. its process was observed to
+    /// exit — no need to wait out probe failures). Returns `true` on the
+    /// up→down edge.
+    pub fn force_down(&self) -> bool {
+        self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+        let was_up = self.up.swap(false, Ordering::AcqRel);
+        if was_up {
+            self.times_down.fetch_add(1, Ordering::Relaxed);
+        }
+        was_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_lifo_and_bounded() {
+        let pool = ObjectPool::new(2);
+        assert!(pool.take().is_none());
+        assert!(pool.put(1));
+        assert!(pool.put(2));
+        assert!(!pool.put(3), "third object overflows capacity 2");
+        assert_eq!(pool.take(), Some(2), "LIFO: most recent first");
+        assert_eq!(pool.take(), Some(1));
+        assert!(pool.take().is_none());
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.discarded), (2, 2, 1));
+        assert_eq!(stats.idle, 0);
+    }
+
+    #[test]
+    fn pool_clear_discards_idle_objects() {
+        let pool = ObjectPool::new(4);
+        pool.put("a");
+        pool.put("b");
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.clear(), 2);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.stats().discarded, 2);
+    }
+
+    #[test]
+    fn zero_capacity_pool_discards_everything() {
+        let pool = ObjectPool::new(0);
+        assert!(!pool.put(7));
+        assert!(pool.take().is_none());
+    }
+
+    #[test]
+    fn health_downs_after_threshold_and_recovers_on_success() {
+        let health = HealthState::new();
+        assert!(health.is_up());
+        assert!(!health.record_failure(3), "1 failure: still up");
+        assert!(!health.record_failure(3), "2 failures: still up");
+        assert!(health.record_failure(3), "3rd failure crosses threshold");
+        assert!(!health.is_up());
+        assert!(!health.record_failure(3), "already down: no new edge");
+        assert_eq!(health.times_down(), 1);
+        assert!(health.record_success(), "success is the up edge");
+        assert!(health.is_up());
+        assert_eq!(health.failures(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let health = HealthState::new();
+        health.record_failure(3);
+        health.record_failure(3);
+        health.record_success();
+        assert!(!health.record_failure(3), "streak restarted from zero");
+        assert!(health.is_up());
+    }
+
+    #[test]
+    fn force_down_is_immediate_and_counted() {
+        let health = HealthState::new();
+        assert!(health.force_down());
+        assert!(!health.is_up());
+        assert!(!health.force_down(), "second force: no new edge");
+        assert_eq!(health.times_down(), 1);
+    }
+}
